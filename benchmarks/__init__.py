@@ -1,0 +1,2 @@
+"""Benchmark harness package: one module per paper table/figure plus
+ablations and extensions.  See benchmarks/README.md."""

@@ -1,0 +1,112 @@
+"""Shared machinery for the benchmark harness.
+
+Every ``bench_*`` module reproduces one table or figure of the paper:
+it contains pytest-benchmark cases for representative points (so
+``pytest benchmarks/ --benchmark-only`` exercises everything) and a
+``main()`` that sweeps the full parameter range and prints the same
+rows/series the paper reports.  Run any module directly::
+
+    python benchmarks/bench_fig5_nblock_independent.py
+
+Bandwidths are per-process MB/s over measured CPU time + simulated device
+and wire time (see DESIGN.md §5.5); point estimates are medians over
+``REPEATS`` runs because the host may be a single-core box with noisy
+thread scheduling.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.bench import (
+    NoncontigConfig,
+    mb_per_s,
+    run_noncontig,
+)
+
+#: Runs per measured point; medians damp scheduler noise.
+REPEATS = 3
+
+ENGINES = ("list_based", "listless")
+PATTERNS = ("nc-nc", "nc-c", "c-nc")
+
+#: Legend entries exactly as in the paper figures.
+CURVES = [
+    f"{eng.replace('_', '-').replace('list-based', 'list-based')}: {pat}"
+    for eng in ENGINES
+    for pat in PATTERNS
+]
+
+
+def curve_name(engine: str, pattern: str) -> str:
+    return f"{'list-based' if engine == 'list_based' else 'listless'}: " \
+           f"{pattern}"
+
+
+def median_bpp(
+    engine: str, cfg: NoncontigConfig, phase: str, repeats: int = REPEATS
+) -> float:
+    """Median per-process bandwidth (MB/s) of the given phase."""
+    vals = []
+    for _ in range(repeats):
+        res = run_noncontig(engine, cfg)
+        vals.append(res.write_bpp if phase == "write" else res.read_bpp)
+    return mb_per_s(statistics.median(vals))
+
+
+def sweep_noncontig(
+    xs: Sequence[int],
+    make_cfg: Callable[[int], NoncontigConfig],
+    phase: str,
+    repeats: int = REPEATS,
+) -> Dict[str, List[float]]:
+    """Measure every (engine, pattern) curve over the x-axis values."""
+    curves: Dict[str, List[float]] = {}
+    for engine in ENGINES:
+        for pattern in PATTERNS:
+            name = curve_name(engine, pattern)
+            vals = []
+            for x in xs:
+                base = make_cfg(x)
+                cfg = NoncontigConfig(
+                    nprocs=base.nprocs,
+                    blocklen=base.blocklen,
+                    blockcount=base.blockcount,
+                    pattern=pattern,
+                    collective=base.collective,
+                    nreps=base.nreps,
+                    hints=base.hints,
+                )
+                vals.append(median_bpp(engine, cfg, phase, repeats))
+            curves[name] = vals
+    return curves
+
+
+def speedup_row(curves: Dict[str, List[float]], pattern: str,
+                i: int) -> float:
+    """listless / list-based ratio for one pattern at x-index i."""
+    return (
+        curves[curve_name("listless", pattern)][i]
+        / curves[curve_name("list_based", pattern)][i]
+    )
+
+
+def print_figure(
+    title: str,
+    x_name: str,
+    xs: Sequence[int],
+    curves: Dict[str, List[float]],
+) -> None:
+    from repro.bench import format_series
+
+    print(f"\n=== {title} ===")
+    print(
+        format_series(
+            x_name, list(xs), [(k, v) for k, v in curves.items()]
+        )
+    )
+    for pat in PATTERNS:
+        ratios = [speedup_row(curves, pat, i) for i in range(len(xs))]
+        rng = f"{min(ratios):.1f}x .. {max(ratios):.1f}x"
+        print(f"listless speedup [{pat}]: {rng}")

@@ -1,0 +1,240 @@
+"""Ablation: the individual ol-list overheads of paper §2.4 and the
+listless counterparts that eliminate them (§3.3).
+
+Five micro-benchmarks isolate each overhead:
+
+1. *Representation build*: explicit flattening O(Nblock) vs dataloop
+   compilation O(tree).
+2. *Representation memory*: 16 B/tuple vs the compact tree.
+3. *Navigation*: linear ol-list traversal vs O(depth) ff navigation.
+4. *Collective metadata*: per-access expanded ol-list volume vs the
+   one-time compact fileview exchange.
+5. *Merge vs mergeview*: O(Σ Nblock) list merge vs the O(P·depth)
+   coverage evaluation.
+
+Regenerate the summary table::
+
+    python benchmarks/bench_ablation_overheads.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import pytest
+
+from repro import datatypes as dt
+from repro.bench.reporting import fmt_bytes, format_table
+from repro.core import ff_extent, size_of_ext
+from repro.core.dataloop import compile_dataloop
+from repro.core.fileview_cache import CompactFileview
+from repro.core.mergeview import build_mergeview
+from repro.datatypes import decode
+from repro.flatten import expand_range, flatten_datatype, merge_lists
+
+NBLOCK = 16384
+SBLOCK = 8
+
+
+def make_vector(nblock=NBLOCK, sblock=SBLOCK):
+    return dt.vector(nblock, sblock, 2 * sblock, dt.BYTE)
+
+
+def fresh_vector(nblock=NBLOCK, sblock=SBLOCK):
+    """A structurally identical datatype without warmed caches."""
+    return dt.vector(nblock, sblock, 2 * sblock, dt.BYTE)
+
+
+# ----------------------------------------------------------------------
+# 1. Representation build time
+# ----------------------------------------------------------------------
+def test_ablation_flatten_cost_scales_with_nblock(benchmark):
+    benchmark.pedantic(
+        lambda: flatten_datatype(fresh_vector()), rounds=3, iterations=1
+    )
+
+
+def test_ablation_dataloop_compile_is_o_tree(benchmark):
+    benchmark.pedantic(
+        lambda: compile_dataloop(fresh_vector()), rounds=3, iterations=1
+    )
+
+
+def test_ablation_compile_beats_flatten_asymptotically():
+    big = 1 << 18
+    t0 = time.perf_counter()
+    compile_dataloop(fresh_vector(big))
+    t_compile = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    flatten_datatype(fresh_vector(big))
+    t_flatten = time.perf_counter() - t0
+    assert t_compile * 5 < t_flatten, (t_compile, t_flatten)
+
+
+# ----------------------------------------------------------------------
+# 2. Representation memory
+# ----------------------------------------------------------------------
+def test_ablation_representation_memory():
+    v = make_vector()
+    ol = flatten_datatype(v)
+    tree_bytes = decode.tree_nbytes(decode.to_tree(v))
+    assert ol.nbytes_repr == NBLOCK * 16
+    assert tree_bytes < 200
+    # Paper §2.1: for Sblock < 16 B the list outweighs the data.
+    assert ol.nbytes_repr > v.size
+
+
+# ----------------------------------------------------------------------
+# 3. Navigation
+# ----------------------------------------------------------------------
+def test_ablation_list_navigation(benchmark):
+    v = make_vector()
+    ol = flatten_datatype(v)
+    target = v.size // 2  # the paper's average case: Nblock/2 traversed
+
+    benchmark.pedantic(
+        lambda: ol.find_position(target), rounds=5, iterations=1
+    )
+
+
+def test_ablation_ff_navigation(benchmark):
+    v = make_vector()
+    compile_dataloop(v)  # warm, as a real view would be
+    target = v.size // 2
+
+    benchmark.pedantic(
+        lambda: ff_extent(v, target, 64), rounds=5, iterations=1
+    )
+
+
+def test_ablation_ff_navigation_beats_list_scan():
+    v = make_vector(1 << 16)
+    ol = flatten_datatype(v)
+    compile_dataloop(v)
+    target = v.size // 2
+    t0 = time.perf_counter()
+    for _ in range(50):
+        ol.find_position(target)
+    t_list = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(50):
+        ff_extent(v, target, 64)
+    t_ff = time.perf_counter() - t0
+    assert t_ff * 10 < t_list, (t_ff, t_list)
+
+
+# ----------------------------------------------------------------------
+# 4. Collective metadata volume
+# ----------------------------------------------------------------------
+def test_ablation_metadata_volume():
+    """Expanded per-access ol-lists vs one-time compact views, for a
+    4-process access covering 4 filetype instances."""
+    P = 4
+    from repro.bench.noncontig import build_noncontig_filetype
+
+    per_access = 0
+    one_time = 0
+    for r in range(P):
+        ft = build_noncontig_filetype(P, r, SBLOCK, 1024)
+        flat = flatten_datatype(ft)
+        ol = expand_range(flat, ft.extent, 0, 0, 4 * ft.extent)
+        per_access += ol.nbytes_repr
+        one_time += CompactFileview.from_view(0, dt.BYTE, ft).wire_bytes
+    data_volume = P * SBLOCK * 1024 * 4
+    assert per_access >= data_volume  # lists rival the data (paper §2.3)
+    assert one_time < per_access / 100
+
+
+# ----------------------------------------------------------------------
+# 5. Merge vs mergeview
+# ----------------------------------------------------------------------
+def _merge_setup(P=4, nblock=4096):
+    from repro.bench.noncontig import build_noncontig_filetype
+
+    fts = [build_noncontig_filetype(P, r, SBLOCK, nblock) for r in range(P)]
+    span = fts[0].extent
+    ols = [
+        expand_range(flatten_datatype(ft), ft.extent, 0, 0, span)
+        for ft in fts
+    ]
+    views = [CompactFileview.from_view(0, dt.BYTE, ft) for ft in fts]
+    return ols, views, span
+
+
+def test_ablation_list_merge(benchmark):
+    ols, _views, span = _merge_setup()
+    merged = benchmark.pedantic(
+        lambda: merge_lists(ols), rounds=3, iterations=1
+    )
+    assert merged == [(0, span)]
+
+
+def test_ablation_mergeview_check(benchmark):
+    _ols, views, span = _merge_setup()
+    mv = build_mergeview(views)
+
+    result = benchmark.pedantic(
+        lambda: mv.covers(0, span), rounds=3, iterations=1
+    )
+    assert result
+
+
+def main() -> None:
+    v = make_vector()
+    ol = flatten_datatype(v)
+    rows = []
+
+    t0 = time.perf_counter()
+    flatten_datatype(fresh_vector())
+    t_fl = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    compile_dataloop(fresh_vector())
+    t_dl = time.perf_counter() - t0
+    rows.append(("representation build", f"{t_fl*1e3:.2f} ms",
+                 f"{t_dl*1e3:.3f} ms"))
+
+    rows.append(
+        (
+            "representation memory",
+            fmt_bytes(ol.nbytes_repr),
+            fmt_bytes(decode.tree_nbytes(decode.to_tree(v))),
+        )
+    )
+
+    target = v.size // 2
+    compile_dataloop(v)
+    t0 = time.perf_counter()
+    for _ in range(100):
+        ol.find_position(target)
+    t_nav_list = (time.perf_counter() - t0) / 100
+    t0 = time.perf_counter()
+    for _ in range(100):
+        ff_extent(v, target, 64)
+    t_nav_ff = (time.perf_counter() - t0) / 100
+    rows.append(("navigation (mid-type)", f"{t_nav_list*1e6:.1f} us",
+                 f"{t_nav_ff*1e6:.1f} us"))
+
+    ols, views, span = _merge_setup()
+    per_access = sum(o.nbytes_repr for o in ols)
+    one_time = sum(cv.wire_bytes for cv in views)
+    rows.append(("collective metadata", fmt_bytes(per_access) +
+                 " / access", fmt_bytes(one_time) + " once"))
+
+    t0 = time.perf_counter()
+    merge_lists(ols)
+    t_merge = time.perf_counter() - t0
+    mv = build_mergeview(views)
+    t0 = time.perf_counter()
+    mv.covers(0, span)
+    t_mv = time.perf_counter() - t0
+    rows.append(("write contiguity check", f"{t_merge*1e3:.2f} ms",
+                 f"{t_mv*1e6:.1f} us"))
+
+    print("=== Ablation: ol-list overheads (paper §2.4) vs listless "
+          "(§3.3) ===")
+    print(format_table(["overhead", "list-based", "listless"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,148 @@
+"""Extension: engine comparison across realistic application workloads.
+
+Runs every family of :mod:`repro.bench.workloads` as a collective
+write+read through both engines and reports bandwidths — the "behavior
+in complex applications" sweep the paper's outlook asks for.  Each
+family exercises a different corner of the datatype machinery:
+
+=================  ==================================================
+tiled_matrix        darray block views, row-sized runs
+row_cyclic          darray cyclic views, large strides
+column_blocks       subarray views with element-sized runs (worst case)
+scatter_records     irregular indexed_block views
+ghost_grid3d        nested subarray memtype + filetype (BTIO's shape)
+=================  ==================================================
+
+Regenerate::
+
+    python benchmarks/bench_ext_workloads.py
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import fmt_bytes, format_table
+from repro.bench.workloads import WORKLOADS, make_workload
+from repro.fs import SimFileSystem
+from repro.io import File, MODE_CREATE, MODE_RDWR
+from repro.mpi import run_spmd
+
+NPROCS = 4
+ENGINES = ("list_based", "listless")
+
+
+def run_workload(name: str, engine: str) -> dict:
+    """Collective write + read of one workload; returns timings/stats."""
+    fs = SimFileSystem()
+    box = {}
+
+    def worker(comm):
+        w = make_workload(name, comm.rank, comm.size)
+        fh = File.open(comm, fs, "/w", MODE_CREATE | MODE_RDWR,
+                       engine=engine)
+        fh.set_view(0, _etype_for(w), w.filetype)
+        rng = np.random.default_rng(comm.rank)
+        buf = rng.integers(0, 256, w.buffer_bytes, dtype=np.uint8)
+        comm.barrier()
+        if comm.rank == 0:
+            box["t0"] = time.perf_counter()
+        comm.barrier()
+        fh.write_at_all(0, buf, w.count, w.memtype)
+        out = np.zeros(w.buffer_bytes, dtype=np.uint8)
+        fh.read_at_all(0, out, w.count, w.memtype)
+        comm.barrier()
+        if comm.rank == 0:
+            box["wall"] = time.perf_counter() - box["t0"]
+        fh.close()
+
+    run_spmd(NPROCS, worker)
+    w0 = make_workload(name, 0, NPROCS)
+    box["moved"] = 2 * w0.data_bytes * NPROCS
+    box["fs"] = fs.lookup("/w").stats.snapshot()
+    return box
+
+
+def _etype_for(w) -> "object":
+    """Etype choice per family: DOUBLE for numeric grids, BYTE for raw
+    records (must divide the filetype size)."""
+    from repro import datatypes as dt
+
+    return dt.DOUBLE if w.filetype.size % 8 == 0 else dt.BYTE
+
+
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+@pytest.mark.parametrize("engine", ENGINES)
+def test_ext_workloads(benchmark, name, engine):
+    result = benchmark.pedantic(
+        lambda: run_workload(name, engine), rounds=3, iterations=1
+    )
+    assert result["fs"]["bytes_written"] > 0
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_ext_workload_files_identical_across_engines(name):
+    imgs = {}
+    for engine in ENGINES:
+        fs = SimFileSystem()
+
+        def worker(comm):
+            w = make_workload(name, comm.rank, comm.size)
+            fh = File.open(comm, fs, "/w", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            fh.set_view(0, _etype_for(w), w.filetype)
+            rng = np.random.default_rng(comm.rank)
+            buf = rng.integers(0, 256, w.buffer_bytes, dtype=np.uint8)
+            fh.write_at_all(0, buf, w.count, w.memtype)
+            fh.close()
+
+        run_spmd(NPROCS, worker)
+        imgs[engine] = fs.lookup("/w").contents()
+    assert imgs["listless"].size == imgs["list_based"].size
+    assert (imgs["listless"] == imgs["list_based"]).all(), name
+
+
+def test_ext_column_blocks_is_listless_territory():
+    """The element-granular workload must show a clear listless win."""
+    t = {}
+    for engine in ENGINES:
+        vals = [run_workload("column_blocks", engine)["wall"]
+                for _ in range(3)]
+        t[engine] = min(vals)
+    assert t["listless"] < t["list_based"]
+
+
+def main() -> None:
+    rows = []
+    for name in WORKLOADS:
+        med = {}
+        for engine in ENGINES:
+            vals = [run_workload(name, engine)["wall"] for _ in range(3)]
+            med[engine] = min(vals)
+        w0 = make_workload(name, 0, NPROCS)
+        rows.append(
+            (
+                name,
+                fmt_bytes(w0.file_bytes),
+                w0.filetype.num_blocks,
+                f"{med['list_based']*1e3:.1f}",
+                f"{med['listless']*1e3:.1f}",
+                f"{med['list_based'] / med['listless']:.1f}x",
+            )
+        )
+    print(f"=== Extension: application workloads (P={NPROCS}, collective "
+          "write+read) ===")
+    print(format_table(
+        ["workload", "file", "Nblock/rank", "list-based ms",
+         "listless ms", "listless speedup"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Paper Figure 5: Bpp vs vector length Nblock — independent access.
+
+noncontig benchmark, Sblock = 8 bytes, P = 2, Nblock = 16 … 16k; six
+curves (list-based/listless × nc-nc, nc-c, c-nc), write (left panel) and
+read (right panel).
+
+Paper result: list-based bandwidth is flat and low (< 10 MB/s for
+non-contiguous files); listless is 3.6–330× faster.  Regenerate with::
+
+    python benchmarks/bench_fig5_nblock_independent.py [--paper-scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from benchmarks._common import (
+    ENGINES,
+    PATTERNS,
+    median_bpp,
+    print_figure,
+    sweep_noncontig,
+)
+from repro.bench import NoncontigConfig
+
+SBLOCK = 8
+P = 2
+NREPS = 2
+
+#: Scaled-down grid (same shape); --paper-scale uses the paper's full axis.
+NBLOCKS_QUICK = [16, 128, 1024, 4096]
+NBLOCKS_PAPER = [16, 64, 256, 1024, 4096, 16384]
+
+
+def config(nblock: int) -> NoncontigConfig:
+    return NoncontigConfig(
+        nprocs=P, blocklen=SBLOCK, blockcount=nblock,
+        collective=False, nreps=NREPS,
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark cases: representative points of each curve
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("pattern", PATTERNS)
+@pytest.mark.parametrize("nblock", [128, 2048])
+def test_fig5_write(benchmark, engine, pattern, nblock):
+    from repro.bench import run_noncontig
+
+    cfg = NoncontigConfig(
+        nprocs=P, blocklen=SBLOCK, blockcount=nblock, pattern=pattern,
+        collective=False, nreps=NREPS,
+    )
+    result = benchmark.pedantic(
+        lambda: run_noncontig(engine, cfg), rounds=3, iterations=1
+    )
+    benchmark.extra_info["write_MBps"] = result.write_bpp / 1e6
+    benchmark.extra_info["read_MBps"] = result.read_bpp / 1e6
+
+
+def test_fig5_shape_listless_wins_fine_grained():
+    """The figure's qualitative content: at Sblock = 8 B the listless
+    curves lie far above the list-based ones for nc file patterns."""
+    for pattern in ("nc-nc", "c-nc"):
+        cfg = NoncontigConfig(
+            nprocs=P, blocklen=SBLOCK, blockcount=2048, pattern=pattern,
+            collective=False, nreps=NREPS,
+        )
+        ll = median_bpp("listless", cfg, "write")
+        lb = median_bpp("list_based", cfg, "write")
+        assert ll > 2 * lb, (pattern, ll, lb)
+
+
+def main(paper_scale: bool = False) -> None:
+    xs = NBLOCKS_PAPER if paper_scale else NBLOCKS_QUICK
+    for phase in ("write", "read"):
+        curves = sweep_noncontig(xs, config, phase)
+        print_figure(
+            f"Figure 5 ({phase}): Bpp [MB/s] vs Nblock — independent, "
+            f"Sblock={SBLOCK}B, P={P}",
+            "Nblock", xs, curves,
+        )
+
+
+if __name__ == "__main__":
+    main(paper_scale="--paper-scale" in sys.argv)

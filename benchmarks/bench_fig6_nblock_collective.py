@@ -1,0 +1,102 @@
+"""Paper Figure 6: Bpp vs vector length Nblock — collective access.
+
+noncontig benchmark, Sblock = 8 bytes, P = 8, Nblock = 16 … 16k.
+
+Paper result: list-based collective access to non-contiguous files never
+exceeds 1 MB/s (the per-access ol-list exchange dominates); listless is
+8.6–540× faster, additionally helped by fileview caching.  Regenerate::
+
+    python benchmarks/bench_fig6_nblock_collective.py [--paper-scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from benchmarks._common import (
+    ENGINES,
+    PATTERNS,
+    median_bpp,
+    print_figure,
+    sweep_noncontig,
+)
+from repro.bench import NoncontigConfig, run_noncontig
+
+SBLOCK = 8
+P = 8
+NREPS = 2
+
+NBLOCKS_QUICK = [16, 128, 1024]
+NBLOCKS_PAPER = [16, 64, 256, 1024, 4096, 16384]
+
+
+def config(nblock: int) -> NoncontigConfig:
+    return NoncontigConfig(
+        nprocs=P, blocklen=SBLOCK, blockcount=nblock,
+        collective=True, nreps=NREPS,
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("pattern", PATTERNS)
+@pytest.mark.parametrize("nblock", [128, 1024])
+def test_fig6_collective(benchmark, engine, pattern, nblock):
+    cfg = NoncontigConfig(
+        nprocs=P, blocklen=SBLOCK, blockcount=nblock, pattern=pattern,
+        collective=True, nreps=NREPS,
+    )
+    result = benchmark.pedantic(
+        lambda: run_noncontig(engine, cfg), rounds=3, iterations=1
+    )
+    benchmark.extra_info["write_MBps"] = result.write_bpp / 1e6
+    benchmark.extra_info["read_MBps"] = result.read_bpp / 1e6
+
+
+def test_fig6_shape_collective_gap_exceeds_independent_gap():
+    """Collective list-based access pays the ol-list exchange on top of
+    the copy overhead, so the listless advantage is at least comparable
+    to the independent case and the absolute list-based bandwidth is
+    very low (paper: < 1 MB/s on the SX; qualitatively: far below the
+    listless engine here)."""
+    cfg = NoncontigConfig(
+        nprocs=4, blocklen=SBLOCK, blockcount=1024, pattern="nc-nc",
+        collective=True, nreps=NREPS,
+    )
+    ll = median_bpp("listless", cfg, "write")
+    lb = median_bpp("list_based", cfg, "write")
+    assert ll > 2 * lb
+
+
+def test_fig6_comm_volume_dominated_by_lists():
+    """Paper §2.3: the shipped ol-lists can match or exceed the data
+    volume (16 bytes of tuple per 8-byte element)."""
+    cfg = NoncontigConfig(
+        nprocs=4, blocklen=8, blockcount=1024, pattern="c-nc",
+        collective=True, nreps=1,
+    )
+    lb = run_noncontig("list_based", cfg)
+    ll = run_noncontig("listless", cfg)
+    # One write + one read phase: the data alone crosses the wire twice.
+    moved_data = 2 * cfg.file_bytes
+    assert ll.comm_bytes < 1.5 * moved_data
+    # List-based additionally ships 16 B of tuple per 8 B block, per
+    # phase, so its volume is far beyond the data volume.
+    assert lb.comm_bytes > 2.0 * moved_data
+    assert lb.comm_bytes > 2.0 * ll.comm_bytes
+
+
+def main(paper_scale: bool = False) -> None:
+    xs = NBLOCKS_PAPER if paper_scale else NBLOCKS_QUICK
+    for phase in ("write", "read"):
+        curves = sweep_noncontig(xs, config, phase)
+        print_figure(
+            f"Figure 6 ({phase}): Bpp [MB/s] vs Nblock — collective, "
+            f"Sblock={SBLOCK}B, P={P}",
+            "Nblock", xs, curves,
+        )
+
+
+if __name__ == "__main__":
+    main(paper_scale="--paper-scale" in sys.argv)

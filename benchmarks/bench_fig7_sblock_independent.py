@@ -1,0 +1,89 @@
+"""Paper Figure 7: Bpp vs vector blocksize Sblock — independent access.
+
+noncontig benchmark, Nblock = 8, P = 2, Sblock = 4 B … 16 kB.
+
+Paper result: the listless advantage *diminishes* as blocks grow (fewer,
+larger copies make the per-tuple loop competitive), and listless never
+performs worse than list-based.  Regenerate::
+
+    python benchmarks/bench_fig7_sblock_independent.py [--paper-scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from benchmarks._common import (
+    ENGINES,
+    PATTERNS,
+    curve_name,
+    median_bpp,
+    print_figure,
+    sweep_noncontig,
+)
+from repro.bench import NoncontigConfig, run_noncontig
+
+NBLOCK = 8
+P = 2
+NREPS = 4
+
+SBLOCKS_QUICK = [4, 64, 1024, 16384]
+SBLOCKS_PAPER = [4, 16, 64, 256, 1024, 4096, 16384]
+
+
+def config(sblock: int) -> NoncontigConfig:
+    return NoncontigConfig(
+        nprocs=P, blocklen=sblock, blockcount=NBLOCK,
+        collective=False, nreps=NREPS,
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("pattern", PATTERNS)
+@pytest.mark.parametrize("sblock", [8, 4096])
+def test_fig7_blocksize(benchmark, engine, pattern, sblock):
+    cfg = NoncontigConfig(
+        nprocs=P, blocklen=sblock, blockcount=NBLOCK, pattern=pattern,
+        collective=False, nreps=NREPS,
+    )
+    result = benchmark.pedantic(
+        lambda: run_noncontig(engine, cfg), rounds=3, iterations=1
+    )
+    benchmark.extra_info["write_MBps"] = result.write_bpp / 1e6
+
+
+def test_fig7_shape_advantage_shrinks_with_blocksize():
+    """The listless/list-based ratio at tiny blocks must exceed the
+    ratio at large blocks (the paper's crossover-free convergence)."""
+    def ratio(sblock, blockcount):
+        cfg = NoncontigConfig(
+            nprocs=P, blocklen=sblock, blockcount=blockcount,
+            pattern="nc-nc", collective=False, nreps=NREPS,
+        )
+        return (
+            median_bpp("listless", cfg, "write")
+            / median_bpp("list_based", cfg, "write")
+        )
+
+    # Same total volume: 8B x 4096 vs 16kB x 2.
+    small = ratio(8, 4096)
+    large = ratio(16384, 2)
+    assert small > large
+    assert small > 2.0
+
+
+def main(paper_scale: bool = False) -> None:
+    xs = SBLOCKS_PAPER if paper_scale else SBLOCKS_QUICK
+    for phase in ("write", "read"):
+        curves = sweep_noncontig(xs, config, phase)
+        print_figure(
+            f"Figure 7 ({phase}): Bpp [MB/s] vs Sblock — independent, "
+            f"Nblock={NBLOCK}, P={P}",
+            "Sblock[B]", xs, curves,
+        )
+
+
+if __name__ == "__main__":
+    main(paper_scale="--paper-scale" in sys.argv)

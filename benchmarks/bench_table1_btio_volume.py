@@ -1,0 +1,67 @@
+"""Paper Table 1: BTIO's I/O data volume per class.
+
+| Class | Grid        | Dstep  | Drun   |
+|-------|-------------|--------|--------|
+| B     | 102³        | 42 MB  | 1.7 GB |
+| C     | 162³        | 170 MB | 6.8 GB |
+
+These are analytic identities of the decomposition (Dstep = 40·N³ bytes,
+Drun = 40 steps × Dstep); the test asserts the paper's numbers exactly
+and a benchmark case verifies a *measured* run writes exactly Dstep per
+step.  Regenerate the table::
+
+    python benchmarks/bench_table1_btio_volume.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BTIOConfig, btio_characterize, run_btio
+from repro.bench.reporting import fmt_bytes, format_table
+from repro.fs import SimFileSystem
+
+
+@pytest.mark.parametrize(
+    "cls,dstep_mb,drun_gb", [("B", 42, 1.7), ("C", 170, 6.8)]
+)
+def test_table1_values_match_paper(cls, dstep_mb, drun_gb):
+    c = btio_characterize(cls, 4, nsteps=40)
+    assert round(c["dstep"] / 1e6) == dstep_mb
+    assert round(c["drun"] / 1e9, 1) == drun_gb
+
+
+def test_measured_volume_matches_characterization(benchmark):
+    """A real class-S run writes exactly Dstep bytes per step."""
+    cfg = BTIOConfig(cls="S", nprocs=4, nsteps=2, compute_sweeps=0)
+
+    def run():
+        fs = SimFileSystem()
+        run_btio("listless", cfg, fs=fs)
+        return fs.lookup("/btio.out").stats.snapshot()
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    c = btio_characterize("S", 4, nsteps=2)
+    assert stats["bytes_written"] == c["drun"]
+
+
+def main() -> None:
+    rows = []
+    for cls in ("S", "W", "A", "B", "C", "D"):
+        c = btio_characterize(cls, 4, nsteps=40)
+        rows.append(
+            (
+                cls,
+                f"{c['grid']}^3",
+                fmt_bytes(c["dstep"]),
+                fmt_bytes(c["drun"]),
+            )
+        )
+    print("=== Table 1: BTIO I/O data volume (Nstep = 40) ===")
+    print(format_table(["Class", "Grid", "Dstep", "Drun"], rows))
+    print("(paper reports classes B and C: 42 MB/1.7 GB and "
+          "170 MB/6.8 GB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Paper Table 2: BTIO's non-contiguous file access pattern.
+
+Nblock and Sblock per process for classes B and C at P ∈ {4, 9, 16, 25}.
+The characterization is analytic; the benchmark case additionally
+flattens a real class-S fileview and confirms the structural block count
+matches.  Regenerate::
+
+    python benchmarks/bench_table2_btio_pattern.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import btio_characterize
+from repro.bench.btio import BTIO_CLASSES, build_process_filetype
+from repro.bench.reporting import format_table
+from repro.flatten import flatten_datatype
+
+PAPER_TABLE2 = [
+    ("B", 4, 5202, 2040),
+    ("B", 9, 3468, 1360),
+    ("B", 16, 2601, 1020),
+    ("B", 25, 2080, 816),
+    ("C", 4, 13122, 3240),
+    ("C", 9, 8748, 2160),
+    ("C", 16, 6561, 1620),
+    ("C", 25, 5248, 1296),
+]
+
+
+@pytest.mark.parametrize("cls,P,nblock,sblock", PAPER_TABLE2)
+def test_table2_matches_paper_exactly(cls, P, nblock, sblock):
+    c = btio_characterize(cls, P)
+    assert c["nblock"] == nblock
+    assert c["sblock"] == sblock
+
+
+def test_flattened_fileview_matches_characterization(benchmark):
+    """Flatten a real class-S view; Nblock must equal q·(N/q)² up to the
+    (at most q−1) seams where a rank's diagonal-adjacent cells touch in
+    the file and their boundary blocks coalesce."""
+    def flatten_all():
+        return [
+            len(flatten_datatype(build_process_filetype(12, 4, r)))
+            for r in range(4)
+        ]
+
+    counts = benchmark.pedantic(flatten_all, rounds=3, iterations=1)
+    expect = btio_characterize("S", 4)["nblock"]
+    for c in counts:
+        assert expect - 1 <= c <= expect
+
+
+def main() -> None:
+    rows = []
+    for cls in ("B", "C"):
+        for P in (4, 9, 16, 25):
+            c = btio_characterize(cls, P)
+            rows.append((cls, P, c["nblock"], c["sblock"]))
+    print("=== Table 2: BTIO non-contiguous access pattern ===")
+    print(format_table(["Class", "P", "Nblock", "Sblock[B]"], rows))
+
+
+if __name__ == "__main__":
+    main()

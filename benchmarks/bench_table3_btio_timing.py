@@ -1,0 +1,117 @@
+"""Paper Table 3: BTIO I/O time, list-based vs listless.
+
+For each (class, P) the paper reports Δt_io for both engines, the ratio
+``r_io = Δt_list / Δt_listless`` (1.07–2.07 on the SX-7 — BTIO's blocks
+are ≥ 816 B, where the copy-loop advantage fades and the remaining win
+comes from eliminating the collective ol-list handling), and effective
+bandwidths.
+
+The default harness times scaled-down classes (S/W/A, few steps) so a
+laptop finishes in seconds; ``--paper-scale`` runs class B at the paper's
+process counts.  Regenerate::
+
+    python benchmarks/bench_table3_btio_timing.py [--paper-scale]
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+
+import pytest
+
+from repro.bench import BTIOConfig, mb_per_s, run_btio
+from repro.bench.reporting import format_table
+
+#: BTIO runs are short and the host may be single-core: medians over
+#: more repeats are needed than for the noncontig sweeps.
+REPEATS = 5
+
+#: Scaled-down grid: class A carries the paper's signal (blocks of
+#: ~1.3 kB, tens of MB per run) at laptop cost; S/W document the
+#: small-problem regime where constant overheads level the engines.
+QUICK_CASES = [("S", 4), ("W", 4), ("A", 4), ("A", 9)]
+PAPER_CASES = [("B", 4), ("B", 9), ("B", 16), ("B", 25)]
+
+
+def timed(engine: str, cls: str, P: int, nsteps: int,
+          repeats: int = REPEATS):
+    """Best-of-N (io seconds, bandwidth bytes/s) over repeated runs.
+
+    On an oversubscribed host (P ranks on few cores) individual runs can
+    stall for whole scheduler quanta; the minimum is the standard
+    stall-robust estimator and is what the engines' costs actually
+    determine.
+    """
+    times, bws = [], []
+    for _ in range(repeats):
+        r = run_btio(
+            engine,
+            BTIOConfig(cls=cls, nprocs=P, nsteps=nsteps,
+                       compute_sweeps=1),
+        )
+        times.append(r.io_time.total)
+        bws.append(r.io_bandwidth)
+    return min(times), max(bws)
+
+
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ["list_based", "listless"])
+@pytest.mark.parametrize("cls,P", [("S", 4), ("W", 4)])
+def test_table3_btio_io_time(benchmark, engine, cls, P):
+    cfg = BTIOConfig(cls=cls, nprocs=P, nsteps=2, compute_sweeps=0)
+    result = benchmark.pedantic(
+        lambda: run_btio(engine, cfg), rounds=3, iterations=1
+    )
+    benchmark.extra_info["io_seconds"] = result.io_time.total
+    benchmark.extra_info["io_MBps"] = result.io_bandwidth / 1e6
+
+
+def test_table3_shape_listless_not_slower():
+    """The paper's r_io ≥ 1: at a class with realistic block sizes
+    (A: ~1.3 kB blocks, ~10 MB/step) listless BTIO I/O clearly beats
+    list-based; at toy classes (S/W) the engines tie within noise."""
+    t_lb, _ = timed("list_based", "A", 4, nsteps=2)
+    t_ll, _ = timed("listless", "A", 4, nsteps=2)
+    assert t_ll < t_lb, (t_ll, t_lb)
+
+
+def main(paper_scale: bool = False) -> None:
+    cases = PAPER_CASES if paper_scale else QUICK_CASES
+    nsteps = 5 if paper_scale else 3
+    rows = []
+    for cls, P in cases:
+        t_lb, bw_lb = timed("list_based", cls, P, nsteps)
+        t_ll, bw_ll = timed("listless", cls, P, nsteps)
+        rows.append(
+            (
+                cls,
+                P,
+                f"{t_lb:.3f}",
+                f"{t_ll:.3f}",
+                f"{t_lb / t_ll:.2f}",
+                f"{mb_per_s(bw_lb):.0f}",
+                f"{mb_per_s(bw_ll):.0f}",
+            )
+        )
+    print(f"=== Table 3: BTIO I/O time comparison (nsteps={nsteps}) ===")
+    print(
+        format_table(
+            [
+                "Class",
+                "P",
+                "dT_io list [s]",
+                "dT_io listless [s]",
+                "r_io",
+                "B_list [MB/s]",
+                "B_listless [MB/s]",
+            ],
+            rows,
+        )
+    )
+    print("(paper, SX-7: r_io between 1.07 and 2.07; bandwidths in the "
+          "GB/s range on real hardware)")
+
+
+if __name__ == "__main__":
+    main(paper_scale="--paper-scale" in sys.argv)

@@ -1,0 +1,18 @@
+"""pytest configuration for the benchmark suite."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run benchmark sweeps at the paper's full parameter ranges "
+        "(slow); default is a scaled-down grid with identical shape",
+    )
+
+
+@pytest.fixture
+def paper_scale(request):
+    return request.config.getoption("--paper-scale")

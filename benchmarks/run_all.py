@@ -1,0 +1,50 @@
+"""Regenerate every paper table and figure in one go.
+
+Usage::
+
+    python benchmarks/run_all.py [--paper-scale]
+
+``--paper-scale`` sweeps the paper's full parameter ranges (slow on a
+small machine); the default uses scaled-down grids with the same shape.
+Output is the figure series and tables in the format of
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from benchmarks import (
+    bench_ablation_overheads,
+    bench_ablation_sieving,
+    bench_ext_environments,
+    bench_ext_multidim,
+    bench_ext_workloads,
+    bench_fig5_nblock_independent,
+    bench_fig6_nblock_collective,
+    bench_fig7_sblock_independent,
+    bench_fig8_procs_collective,
+    bench_table1_btio_volume,
+    bench_table2_btio_pattern,
+    bench_table3_btio_timing,
+)
+
+
+def main() -> None:
+    paper_scale = "--paper-scale" in sys.argv
+    bench_fig5_nblock_independent.main(paper_scale)
+    bench_fig6_nblock_collective.main(paper_scale)
+    bench_fig7_sblock_independent.main(paper_scale)
+    bench_fig8_procs_collective.main(paper_scale)
+    bench_table1_btio_volume.main()
+    bench_table2_btio_pattern.main()
+    bench_table3_btio_timing.main(paper_scale)
+    bench_ablation_overheads.main()
+    bench_ablation_sieving.main()
+    bench_ext_environments.main()
+    bench_ext_multidim.main()
+    bench_ext_workloads.main()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Checkpoint / restart of a block-distributed matrix.
+
+A classic MPI-IO workload: a 2-D array is distributed over a process grid
+(here with ``MPI_Type_create_darray`` semantics), and the *global* matrix
+is checkpointed to a single canonical-layout file with one collective
+write per snapshot.  A restart then reads the same file back through the
+same views — possibly on a different engine — and verifies the matrix.
+
+The canonical file is independent of the process count: a sequential
+POSIX reader can consume it, which this example demonstrates too.
+
+Run::
+
+    python examples/matrix_checkpoint.py
+"""
+
+import numpy as np
+
+from repro import datatypes as dt
+from repro.fs import PosixFile, SimFileSystem
+from repro.io import File, MODE_CREATE, MODE_RDONLY, MODE_RDWR
+from repro.mpi import run_spmd
+
+GRID = 2                       # 2x2 process grid
+N = 64                         # global matrix is N x N doubles
+LOCAL = N // GRID
+
+
+def my_view(rank: int, nprocs: int) -> dt.Datatype:
+    """This rank's block of the global matrix, as a darray filetype."""
+    return dt.darray(
+        nprocs, rank,
+        gsizes=[N, N],
+        distribs=[dt.DISTRIBUTE_BLOCK, dt.DISTRIBUTE_BLOCK],
+        dargs=[dt.DISTRIBUTE_DFLT_DARG] * 2,
+        psizes=[GRID, GRID],
+        base=dt.DOUBLE,
+    )
+
+
+def local_block(rank: int) -> np.ndarray:
+    """A deterministic local block: global row/col indices encoded."""
+    r, c = divmod(rank, GRID)
+    rows = np.arange(r * LOCAL, (r + 1) * LOCAL)
+    cols = np.arange(c * LOCAL, (c + 1) * LOCAL)
+    return rows[:, None] * 1000.0 + cols[None, :]
+
+
+def checkpoint(comm, fs, engine):
+    fh = File.open(comm, fs, "/matrix.ckpt", MODE_CREATE | MODE_RDWR,
+                   engine=engine)
+    fh.set_view(0, dt.DOUBLE, my_view(comm.rank, comm.size))
+    fh.write_at_all(0, local_block(comm.rank).copy(),
+                    LOCAL * LOCAL, dt.DOUBLE)
+    fh.close()
+
+
+def restart(comm, fs, engine):
+    fh = File.open(comm, fs, "/matrix.ckpt", MODE_RDONLY, engine=engine)
+    fh.set_view(0, dt.DOUBLE, my_view(comm.rank, comm.size))
+    block = np.zeros(LOCAL * LOCAL)
+    fh.read_at_all(0, block, LOCAL * LOCAL, dt.DOUBLE)
+    assert (block.reshape(LOCAL, LOCAL) == local_block(comm.rank)).all()
+    fh.close()
+
+
+def main():
+    fs = SimFileSystem()
+    # Checkpoint with the listless engine...
+    run_spmd(GRID * GRID, checkpoint, fs, "listless")
+    # ...restart through the conventional engine: same bytes, same file.
+    run_spmd(GRID * GRID, restart, fs, "list_based")
+
+    # The file is in canonical row-major order: a plain sequential reader
+    # (no MPI, no views) sees the global matrix directly.
+    with PosixFile(fs.lookup("/matrix.ckpt")) as pf:
+        raw = pf.read(N * N * 8).view(np.float64).reshape(N, N)
+    expect = (np.arange(N)[:, None] * 1000.0 + np.arange(N)[None, :])
+    assert (raw == expect).all()
+    print(f"checkpointed {N}x{N} matrix ({N*N*8:,} bytes), restarted on "
+          f"the other engine, and verified the canonical layout "
+          f"sequentially: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Irregular particle I/O with struct records and indexed fileviews.
+
+Each process owns particles identified by *global* indices scattered
+irregularly through a shared particle file.  In memory a particle is a
+C-style padded struct (tag int, 4 pad bytes, x, y doubles = 24 bytes); on
+disk the records are packed to 20 bytes — the datatype engine performs
+the gather/pack between the two layouts, exactly what MPI derived
+datatypes are for:
+
+* memtype: ``struct{int @0, 2 double @8}`` (20 data bytes in a 24-byte
+  extent — the pad is skipped automatically),
+* filetype: ``indexed_block`` over packed 20-byte records at this
+  process' particle indices.
+
+The example writes all particles collectively, then each process reads
+back *only its own* records independently, and shows what the data-
+sieving hints do to the number of file operations.
+
+Run::
+
+    python examples/particle_io.py
+"""
+
+import numpy as np
+
+from repro import datatypes as dt
+from repro.fs import SimFileSystem
+from repro.io import File, MODE_CREATE, MODE_RDONLY, MODE_RDWR
+from repro.io.hints import Hints
+from repro.mpi import run_spmd
+
+NPROCS = 4
+TOTAL_PARTICLES = 4096
+
+#: In-memory record: int tag, 4 bytes padding, x, y (24-byte stride).
+MEM_RECORD = dt.struct([1, 2], [0, 8], [dt.INT, dt.DOUBLE])
+#: On-disk record: the same 20 data bytes, packed.
+FILE_RECORD = dt.contiguous(20, dt.BYTE)
+
+
+def owned_indices(rank: int) -> np.ndarray:
+    """A scattered, deterministic set of global particle ids."""
+    return np.sort(np.arange(rank, TOTAL_PARTICLES, NPROCS))
+
+
+def record_buffer(idx: np.ndarray) -> np.ndarray:
+    """Padded in-memory records for the given particle ids."""
+    buf = np.zeros(idx.size * 24, dtype=np.uint8)
+    rows = buf.reshape(idx.size, 24)
+    rows[:, 0:4] = idx.astype(np.int32)[:, None].view(np.uint8)
+    rows[:, 8:16] = (idx * 1.5)[:, None].view(np.uint8)
+    rows[:, 16:24] = (idx * -0.5)[:, None].view(np.uint8)
+    return buf
+
+
+def write_particles(comm, fs):
+    idx = owned_indices(comm.rank)
+    ftype = dt.indexed_block(1, idx.tolist(), FILE_RECORD)
+    fh = File.open(comm, fs, "/particles.dat", MODE_CREATE | MODE_RDWR,
+                   engine="listless")
+    fh.set_view(0, FILE_RECORD, ftype)
+    fh.write_at_all(0, record_buffer(idx), idx.size, MEM_RECORD)
+    fh.close()
+
+
+def read_mine_independently(comm, fs, hints):
+    idx = owned_indices(comm.rank)
+    ftype = dt.indexed_block(1, idx.tolist(), FILE_RECORD)
+    fh = File.open(comm, fs, "/particles.dat", MODE_RDONLY,
+                   engine="listless", hints=hints)
+    fh.set_view(0, FILE_RECORD, ftype)
+    out = np.zeros(idx.size * 24, dtype=np.uint8)
+    fh.read_at(0, out, idx.size, MEM_RECORD)
+    rows = out.reshape(idx.size, 24)
+    tags = rows[:, 0:4].copy().view(np.int32)[:, 0]
+    xs = rows[:, 8:16].copy().view(np.float64)[:, 0]
+    assert (tags == idx.astype(np.int32)).all()
+    assert (xs == idx * 1.5).all()
+    assert (rows[:, 4:8] == 0).all()  # padding untouched by I/O
+    fh.close()
+
+
+def main():
+    fs = SimFileSystem()
+    run_spmd(NPROCS, write_particles, fs)
+    f = fs.lookup("/particles.dat")
+    print(f"particle file: {f.size:,} bytes "
+          f"({TOTAL_PARTICLES} packed records x 20 B)")
+    assert f.size == TOTAL_PARTICLES * 20
+
+    for label, hints in [
+        ("data sieving ON ", Hints()),
+        ("data sieving OFF", Hints(ds_read=False)),
+    ]:
+        f.stats.reset()
+        run_spmd(NPROCS, read_mine_independently, fs, hints)
+        s = f.stats.snapshot()
+        print(f"{label}: {s['n_reads']:5d} file reads, "
+              f"{s['bytes_read']:9,d} bytes read, "
+              f"simulated device time {s['sim_time']*1e3:.2f} ms")
+    print("\nSieving trades extra bytes (reading the gaps) for far fewer "
+          "file operations — the paper's [11] baseline technique that "
+          "both engines build on.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""The paper's opening motivation: POSIX vs MPI-IO for non-contiguous
+access.
+
+"Only few file system interfaces directly support this kind of
+non-contiguous file access" — with POSIX, an application that needs
+every 4th record of a file must issue one ``lseek`` + ``read`` pair per
+record.  With MPI-IO it describes the pattern *once* as a fileview and
+issues one call.
+
+This example reads the same scattered records three ways and compares
+the file-operation counts and simulated device time:
+
+1. POSIX loop: seek+read per record;
+2. MPI-IO independent read (data sieving turns it into few big reads);
+3. MPI-IO collective read with 4 processes whose views interleave to
+   cover the whole file (two-phase I/O reads every byte exactly once).
+
+Run::
+
+    python examples/posix_vs_mpiio.py
+"""
+
+import numpy as np
+
+from repro import datatypes as dt
+from repro.fs import PosixFile, SimFileSystem
+from repro.io import File, MODE_RDONLY
+from repro.mpi import run_spmd
+
+RECORD = 64          # bytes per record
+NRECORDS = 4096      # records in the file
+NPROCS = 4           # each process owns every 4th record
+
+
+def make_file(fs):
+    f = fs.create("/records.dat")
+    data = np.arange(NRECORDS * RECORD, dtype=np.int64) % 251
+    f.pwrite(0, data.astype(np.uint8))
+    f.stats.reset()
+    return f
+
+
+def posix_reader(fs):
+    """Rank-0-style access with the POSIX interface: one seek+read per
+    owned record."""
+    out = np.zeros(NRECORDS // NPROCS * RECORD, dtype=np.uint8)
+    with PosixFile(fs.lookup("/records.dat")) as pf:
+        pos = 0
+        for rec in range(0, NRECORDS, NPROCS):
+            pf.lseek(rec * RECORD)
+            out[pos : pos + RECORD] = pf.read(RECORD)
+            pos += RECORD
+    return out
+
+
+def mpiio_independent(comm, fs, results):
+    ftype = dt.vector(NRECORDS // NPROCS, RECORD, NPROCS * RECORD,
+                      dt.BYTE)
+    fh = File.open(comm, fs, "/records.dat", MODE_RDONLY,
+                   engine="listless")
+    fh.set_view(comm.rank * RECORD, dt.BYTE, ftype)
+    out = np.zeros(NRECORDS // NPROCS * RECORD, dtype=np.uint8)
+    fh.read_at(0, out)
+    results[comm.rank] = out
+    fh.close()
+
+
+def mpiio_collective(comm, fs, results):
+    vec = dt.vector(NRECORDS // NPROCS, RECORD, NPROCS * RECORD, dt.BYTE)
+    ftype = dt.struct(
+        [1, 1, 1],
+        [0, comm.rank * RECORD, NRECORDS * RECORD],
+        [dt.LB, vec, dt.UB],
+    )
+    fh = File.open(comm, fs, "/records.dat", MODE_RDONLY,
+                   engine="listless")
+    fh.set_view(0, dt.BYTE, ftype)
+    out = np.zeros(NRECORDS // NPROCS * RECORD, dtype=np.uint8)
+    fh.read_at_all(0, out)
+    results[comm.rank] = out
+    fh.close()
+
+
+def main():
+    fs = SimFileSystem()
+    f = make_file(fs)
+    golden = f.contents().reshape(NRECORDS, RECORD)[0::NPROCS].reshape(-1)
+    f.stats.reset()
+
+    # 1. POSIX, single process, per-record seek+read.
+    out = posix_reader(fs)
+    assert (out == golden).all()
+    s = f.stats.snapshot()
+    print(f"POSIX seek+read loop : {s['n_reads']:5d} file ops, "
+          f"{s['bytes_read']:9,d} B, device {s['sim_time']*1e3:6.2f} ms")
+
+    # 2. MPI-IO independent (data sieving), 4 ranks.
+    f.stats.reset()
+    results = [None] * NPROCS
+    run_spmd(NPROCS, mpiio_independent, fs, results)
+    assert (results[0] == golden).all()
+    s = f.stats.snapshot()
+    print(f"MPI-IO independent   : {s['n_reads']:5d} file ops, "
+          f"{s['bytes_read']:9,d} B, device {s['sim_time']*1e3:6.2f} ms")
+
+    # 3. MPI-IO collective (two-phase), 4 ranks.
+    f.stats.reset()
+    results = [None] * NPROCS
+    run_spmd(NPROCS, mpiio_collective, fs, results)
+    assert (results[0] == golden).all()
+    s = f.stats.snapshot()
+    print(f"MPI-IO collective    : {s['n_reads']:5d} file ops, "
+          f"{s['bytes_read']:9,d} B, device {s['sim_time']*1e3:6.2f} ms")
+
+    print("\nOne fileview replaces a thousand seeks; collective I/O "
+          "additionally reads every byte exactly once across ranks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: non-contiguous parallel file access in 60 lines.
+
+Four processes share one file.  Each sets up the paper's Fig.-4 fileview
+(an interleaved vector pattern), writes its data with a single collective
+call, and reads it back — first with the *listless* engine (the paper's
+contribution), then with the conventional *list-based* engine, comparing
+the communication volume the two need.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import datatypes as dt
+from repro.fs import SimFileSystem
+from repro.io import File, MODE_CREATE, MODE_RDWR
+from repro.mpi import run_spmd
+
+NPROCS = 4
+BLOCKLEN = 8        # bytes per block (Sblock)
+BLOCKCOUNT = 1024   # blocks per process (Nblock)
+
+
+def fileview_for(rank: int) -> dt.Datatype:
+    """Process `rank` sees every NPROCS-th block of the file (Fig. 4):
+    struct{ LB@0, vector(BLOCKCOUNT x BLOCKLEN, stride NPROCS*BLOCKLEN),
+    UB@extent } displaced by rank*BLOCKLEN."""
+    vec = dt.vector(BLOCKCOUNT, BLOCKLEN, NPROCS * BLOCKLEN, dt.BYTE)
+    extent = BLOCKCOUNT * NPROCS * BLOCKLEN
+    return dt.struct(
+        [1, 1, 1], [0, rank * BLOCKLEN, extent], [dt.LB, vec, dt.UB]
+    )
+
+
+def app(comm, fs, engine):
+    rank = comm.rank
+    fh = File.open(comm, fs, "/quickstart.dat", MODE_CREATE | MODE_RDWR,
+                   engine=engine)
+    fh.set_view(0, dt.BYTE, fileview_for(rank))
+
+    payload = np.full(BLOCKLEN * BLOCKCOUNT, rank + 1, dtype=np.uint8)
+    fh.write_at_all(0, payload)        # one collective call moves it all
+
+    echo = np.zeros_like(payload)
+    fh.read_at_all(0, echo)
+    assert (echo == payload).all(), "roundtrip failed!"
+    fh.close()
+
+
+def main():
+    for engine in ("listless", "list_based"):
+        fs = SimFileSystem()
+        worlds = []
+        run_spmd(NPROCS, app, fs, engine, world_out=worlds)
+
+        data = fs.lookup("/quickstart.dat").contents()
+        print(f"[{engine:>10}] file size: {data.size} bytes; "
+              f"first 16 bytes: {data[:16].tolist()}")
+        print(f"[{engine:>10}] bytes on the wire: "
+              f"{worlds[0].total_bytes_sent():,}")
+    print("\nThe interleave pattern 1,2,3,4 shows each rank's blocks; "
+          "the list-based engine shipped ol-lists on top of the data.")
+
+
+if __name__ == "__main__":
+    main()

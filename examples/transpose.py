@@ -1,0 +1,83 @@
+"""Out-of-core matrix transpose with two fileviews.
+
+A classic trick of MPI-IO: to transpose a huge row-major matrix that
+lives in a file, no element-shuffling pass is needed — each process
+*writes* its row block through the canonical view and *reads* its column
+block back through a strided view.  The datatype engine does the
+transposition; collective I/O keeps the file traffic coalesced.
+
+Process r of P:
+
+* owns rows  ``[r·N/P, (r+1)·N/P)``  when writing,
+* owns cols  ``[r·N/P, (r+1)·N/P)``  when reading — the read view is a
+  ``subarray`` selecting a column stripe, which is exactly the transposed
+  block (fetched row-wise, i.e. already transposed in memory after a
+  local reshape).
+
+Run::
+
+    python examples/transpose.py
+"""
+
+import numpy as np
+
+from repro import datatypes as dt
+from repro.fs import SimFileSystem
+from repro.io import File, MODE_CREATE, MODE_RDONLY, MODE_RDWR
+from repro.mpi import run_spmd
+
+N = 128          # matrix is N x N doubles
+NPROCS = 4
+ROWS = N // NPROCS
+
+
+def write_row_block(comm, fs, matrix_blocks):
+    """Each rank writes its row block at its canonical offset."""
+    r = comm.rank
+    fh = File.open(comm, fs, "/matrix.dat", MODE_CREATE | MODE_RDWR,
+                   engine="listless")
+    fh.set_view(0, dt.DOUBLE, dt.DOUBLE)
+    block = matrix_blocks[r]
+    fh.write_at_all(r * ROWS * N, block.reshape(-1), ROWS * N, dt.DOUBLE)
+    fh.close()
+
+
+def read_col_block(comm, fs, out_blocks):
+    """Each rank reads its column stripe — the transposed row block."""
+    r = comm.rank
+    stripe = dt.subarray([N, N], [N, ROWS], [0, r * ROWS], dt.DOUBLE)
+    fh = File.open(comm, fs, "/matrix.dat", MODE_RDONLY,
+                   engine="listless")
+    fh.set_view(0, dt.DOUBLE, stripe)
+    buf = np.zeros(N * ROWS, dtype=np.float64)
+    fh.read_at_all(0, buf, N * ROWS, dt.DOUBLE)
+    # The stripe arrives row-by-row: shape (N, ROWS); transposing the
+    # small local block finishes the global transpose.
+    out_blocks[r] = buf.reshape(N, ROWS).T.copy()
+
+
+def main():
+    rng = np.random.default_rng(42)
+    matrix = rng.random((N, N))
+    blocks = [matrix[r * ROWS : (r + 1) * ROWS] for r in range(NPROCS)]
+
+    fs = SimFileSystem()
+    run_spmd(NPROCS, write_row_block, fs, blocks)
+
+    out = [None] * NPROCS
+    run_spmd(NPROCS, read_col_block, fs, out)
+
+    transposed = np.vstack(out)
+    assert transposed.shape == (N, N)
+    assert (transposed == matrix.T).all()
+    print(f"transposed a {N}x{N} matrix out of core "
+          f"({N*N*8:,} bytes) — no shuffle pass, two fileviews: OK")
+
+    stats = fs.lookup("/matrix.dat").stats.snapshot()
+    print(f"file ops: {stats['n_writes']} writes, "
+          f"{stats['n_reads']} reads "
+          f"(collective I/O coalesced the column gather)")
+
+
+if __name__ == "__main__":
+    main()

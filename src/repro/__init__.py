@@ -1,0 +1,36 @@
+"""repro — reproduction of "Fast Parallel Non-Contiguous File Access" (SC'03).
+
+This package implements, from scratch and in pure Python/NumPy:
+
+* an MPI derived-datatype engine (:mod:`repro.datatypes`),
+* ROMIO-style explicit flattening into ol-lists (:mod:`repro.flatten`),
+* the paper's *listless I/O* core — flattening-on-the-fly pack/unpack and
+  datatype navigation (:mod:`repro.core`),
+* a simulated POSIX-like parallel file system (:mod:`repro.fs`),
+* an in-process SPMD MPI runtime (:mod:`repro.mpi`),
+* an MPI-IO layer with interchangeable list-based and listless engines
+  (:mod:`repro.io`),
+* the paper's evaluation workloads — the ``noncontig`` synthetic benchmark
+  and the NAS BTIO application kernel (:mod:`repro.bench`).
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ReproError,
+    DatatypeError,
+    FileSystemError,
+    IOEngineError,
+    MPIRuntimeError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "DatatypeError",
+    "FileSystemError",
+    "IOEngineError",
+    "MPIRuntimeError",
+]

@@ -1,0 +1,52 @@
+"""Evaluation workloads of the paper.
+
+* :mod:`repro.bench.noncontig` — the highly configurable synthetic
+  benchmark of §4.1: a vector-based non-contiguous fileview (paper Fig. 4)
+  partitioning a file among P processes, written and read back with
+  independent or collective accesses in the c-nc / nc-c / nc-nc memory/file
+  layout combinations of Fig. 1.
+* :mod:`repro.bench.btio` — the NAS BTIO application kernel of §4.2:
+  diagonal multi-partitioning of a cubic grid, subarray-built memtypes and
+  filetypes, one collective ``write_at_all`` per time step.
+* :mod:`repro.bench.timing` — barrier-bracketed phase timing combining
+  measured CPU time with simulated device and wire time.
+* :mod:`repro.bench.reporting` — paper-style table/series formatting.
+"""
+
+from repro.bench.noncontig import (
+    NoncontigConfig,
+    NoncontigResult,
+    build_noncontig_filetype,
+    build_noncontig_memtype,
+    run_noncontig,
+)
+from repro.bench.btio import (
+    BTIOConfig,
+    BTIOResult,
+    BTIO_CLASSES,
+    btio_characterize,
+    run_btio,
+)
+from repro.bench.timing import PhaseClock
+from repro.bench.reporting import format_table, format_series, mb_per_s
+from repro.bench.workloads import Workload, WORKLOADS, make_workload
+
+__all__ = [
+    "NoncontigConfig",
+    "NoncontigResult",
+    "build_noncontig_filetype",
+    "build_noncontig_memtype",
+    "run_noncontig",
+    "BTIOConfig",
+    "BTIOResult",
+    "BTIO_CLASSES",
+    "btio_characterize",
+    "run_btio",
+    "PhaseClock",
+    "format_table",
+    "format_series",
+    "mb_per_s",
+    "Workload",
+    "WORKLOADS",
+    "make_workload",
+]

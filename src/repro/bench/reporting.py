@@ -1,0 +1,60 @@
+"""Paper-style table and series formatting for the benchmark harness.
+
+The benchmark scripts print the same rows/series the paper reports; these
+helpers keep the formatting consistent: fixed-width aligned columns,
+bandwidths in MB/s, ratios to two decimals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["mb_per_s", "format_table", "format_series", "fmt_bytes"]
+
+
+def mb_per_s(bytes_per_second: float) -> float:
+    """Convert bytes/s to MB/s (decimal, as the paper reports)."""
+    return bytes_per_second / 1e6
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (kB/MB/GB, decimal)."""
+    for unit, div in (("GB", 1e9), ("MB", 1e6), ("kB", 1e3)):
+        if n >= div:
+            return f"{n / div:.3g} {unit}"
+    return f"{int(n)} B"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned text table."""
+    srows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        srows.append([
+            f"{v:.4g}" if isinstance(v, float) else str(v) for v in row
+        ])
+    widths = [max(len(r[i]) for r in srows) for i in range(len(headers))]
+    lines = []
+    for i, r in enumerate(srows):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_name: str,
+    xs: Sequence[object],
+    series: Sequence[tuple],
+) -> str:
+    """Render figure data: one row per x value, one column per curve.
+
+    ``series`` is a sequence of ``(curve_name, values)`` pairs, matching
+    the paper figures' legend entries (e.g. ``"listless: nc-nc"``).
+    """
+    headers = [x_name] + [name for name, _ in series]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [vals[i] for _, vals in series])
+    return format_table(headers, rows)

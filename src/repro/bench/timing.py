@@ -1,0 +1,64 @@
+"""Phase timing: measured CPU time + simulated device/wire time.
+
+The substitution rule of this reproduction (DESIGN.md §2) replaces the SX
+file system and interconnect with in-memory stores plus cost models, so a
+phase's *effective* time is::
+
+    elapsed = wall (max over ranks, barrier-bracketed)
+            + simulated device seconds accumulated by the file system
+            + simulated wire seconds of the busiest rank
+
+:class:`PhaseClock` snapshots the simulated components around a phase and
+combines them with the measured wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.fs.filesystem import SimFileSystem
+from repro.mpi.runtime import World
+
+__all__ = ["PhaseClock", "PhaseTime"]
+
+
+@dataclass(frozen=True)
+class PhaseTime:
+    """Elapsed components of one measured phase (seconds)."""
+
+    wall: float
+    fs_sim: float
+    net_sim: float
+
+    @property
+    def total(self) -> float:
+        return self.wall + self.fs_sim + self.net_sim
+
+    def bandwidth(self, nbytes: int) -> float:
+        """Bytes/second over the combined elapsed time."""
+        return nbytes / self.total if self.total > 0 else float("inf")
+
+
+class PhaseClock:
+    """Start/stop clock over a file system and a world."""
+
+    def __init__(self, fs: SimFileSystem, world: World) -> None:
+        self._fs = fs
+        self._world = world
+        self._t0 = 0.0
+        self._fs0 = 0.0
+        self._net0 = 0.0
+
+    def start(self) -> None:
+        self._fs0 = self._fs.total_sim_time()
+        self._net0 = self._world.max_net_time()
+        self._t0 = time.perf_counter()
+
+    def stop(self) -> PhaseTime:
+        wall = time.perf_counter() - self._t0
+        return PhaseTime(
+            wall=wall,
+            fs_sim=self._fs.total_sim_time() - self._fs0,
+            net_sim=self._world.max_net_time() - self._net0,
+        )

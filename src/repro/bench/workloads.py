@@ -1,0 +1,186 @@
+"""A library of realistic non-contiguous access patterns.
+
+The paper closes by noting that "especially the behavior in complex
+applications is of interest".  This module collects the fileview/memtype
+families that parallel applications actually use, each as a parameterized
+generator returning a :class:`Workload` (per-rank filetype, memtype and
+buffer geometry).  The workload bench (``benchmarks/bench_ext_workloads``)
+runs every family through both engines; examples and tests reuse them.
+
+Families
+--------
+
+``tiled_matrix``
+    2-D block decomposition of an N×N matrix over a q×q grid — the
+    checkpoint pattern of dense solvers (moderate, row-sized runs).
+``row_cyclic``
+    cyclic row distribution — the ScaLAPACK-style layout (row-sized runs
+    with large strides).
+``column_blocks``
+    column-block decomposition of a row-major matrix — the pathological
+    fine-grained case (one element per run).
+``scatter_records``
+    irregular fixed-size records at per-rank index sets — particle /
+    unstructured-mesh I/O.
+``ghost_grid3d``
+    the BTIO-style 3-D cell interior write (subarray memtype with halo,
+    subarray filetype).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro import datatypes as dt
+from repro.datatypes.base import Datatype
+
+__all__ = ["Workload", "WORKLOADS", "make_workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One rank's view of a family instance."""
+
+    name: str
+    filetype: Datatype
+    memtype: Datatype
+    count: int
+    #: bytes the rank's user buffer must hold
+    buffer_bytes: int
+    #: total data bytes this rank moves per access
+    data_bytes: int
+    #: bytes of the whole shared file region (all ranks, one instance)
+    file_bytes: int
+
+
+def tiled_matrix(rank: int, nprocs: int, n: int = 256) -> Workload:
+    """Block-distributed N×N double matrix over a q×q grid."""
+    q = int(round(nprocs ** 0.5))
+    if q * q != nprocs:
+        raise ValueError(f"tiled_matrix needs square nprocs, got {nprocs}")
+    ftype = dt.darray(
+        nprocs, rank, [n, n], [dt.DISTRIBUTE_BLOCK] * 2,
+        [dt.DISTRIBUTE_DFLT_DARG] * 2, [q, q], dt.DOUBLE,
+    )
+    size = ftype.size
+    return Workload(
+        name="tiled_matrix",
+        filetype=ftype,
+        memtype=dt.contiguous(size // 8, dt.DOUBLE),
+        count=1,
+        buffer_bytes=size,
+        data_bytes=size,
+        file_bytes=n * n * 8,
+    )
+
+
+def row_cyclic(rank: int, nprocs: int, n: int = 256) -> Workload:
+    """Cyclic row distribution of an N×N double matrix."""
+    ftype = dt.darray(
+        nprocs, rank, [n, n],
+        [dt.DISTRIBUTE_CYCLIC, dt.DISTRIBUTE_NONE],
+        [1, dt.DISTRIBUTE_DFLT_DARG], [nprocs, 1], dt.DOUBLE,
+    )
+    size = ftype.size
+    return Workload(
+        name="row_cyclic",
+        filetype=ftype,
+        memtype=dt.contiguous(size // 8, dt.DOUBLE),
+        count=1,
+        buffer_bytes=size,
+        data_bytes=size,
+        file_bytes=n * n * 8,
+    )
+
+
+def column_blocks(rank: int, nprocs: int, n: int = 256) -> Workload:
+    """Column-block decomposition of a row-major matrix: each rank owns
+    n/nprocs *columns*, i.e. n runs of (n/nprocs) doubles — and for a
+    single column per rank, n runs of ONE double."""
+    cols = max(n // nprocs, 1)
+    ftype = dt.subarray(
+        [n, n], [n, cols], [0, rank * cols], dt.DOUBLE
+    )
+    size = ftype.size
+    return Workload(
+        name="column_blocks",
+        filetype=ftype,
+        memtype=dt.contiguous(size // 8, dt.DOUBLE),
+        count=1,
+        buffer_bytes=size,
+        data_bytes=size,
+        file_bytes=n * n * 8,
+    )
+
+
+def scatter_records(rank: int, nprocs: int, n: int = 4096,
+                    record_bytes: int = 32) -> Workload:
+    """Irregular record ownership: round-robin with a deterministic
+    shuffle of block boundaries (unstructured-mesh style)."""
+    rng = np.random.default_rng(7)
+    perm = rng.permutation(n)
+    mine = np.sort(perm[rank::nprocs])
+    rec = dt.contiguous(record_bytes, dt.BYTE)
+    ftype = dt.indexed_block(1, mine.tolist(), rec)
+    size = ftype.size
+    return Workload(
+        name="scatter_records",
+        filetype=ftype,
+        memtype=dt.contiguous(size, dt.BYTE),
+        count=1,
+        buffer_bytes=size,
+        data_bytes=size,
+        file_bytes=n * record_bytes,
+    )
+
+
+def ghost_grid3d(rank: int, nprocs: int, n: int = 32,
+                 ghost: int = 2) -> Workload:
+    """BTIO-style: a 3-D grid split into slabs along k; in memory each
+    slab is ghost-padded, the interior subarray is written."""
+    slab = n // nprocs
+    if slab * nprocs != n:
+        raise ValueError(f"{n} not divisible by {nprocs}")
+    point = dt.contiguous(5, dt.DOUBLE)
+    ftype = dt.subarray(
+        [n, n, n], [slab, n, n], [rank * slab, 0, 0], point
+    )
+    m = slab + 2 * ghost
+    mg = n + 2 * ghost
+    mtype = dt.subarray(
+        [m, mg, mg], [slab, n, n], [ghost, ghost, ghost], point
+    )
+    return Workload(
+        name="ghost_grid3d",
+        filetype=ftype,
+        memtype=mtype,
+        count=1,
+        buffer_bytes=m * mg * mg * 40,
+        data_bytes=ftype.size,
+        file_bytes=n ** 3 * 40,
+    )
+
+
+#: name → generator(rank, nprocs) with library defaults.
+WORKLOADS: Dict[str, Callable[[int, int], Workload]] = {
+    "tiled_matrix": tiled_matrix,
+    "row_cyclic": row_cyclic,
+    "column_blocks": column_blocks,
+    "scatter_records": scatter_records,
+    "ghost_grid3d": ghost_grid3d,
+}
+
+
+def make_workload(name: str, rank: int, nprocs: int,
+                  **kwargs) -> Workload:
+    """Instantiate workload ``name`` for one rank."""
+    try:
+        gen = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+    return gen(rank, nprocs, **kwargs)

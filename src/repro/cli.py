@@ -1,0 +1,296 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+
+``noncontig``
+    Run the synthetic benchmark of paper §4.1 at explicit parameters and
+    print both engines' bandwidths, e.g.::
+
+        python -m repro.cli noncontig --nprocs 2 --sblock 8 \\
+            --nblock 4096 --pattern nc-nc --collective
+
+``btio``
+    Run the BTIO kernel (paper §4.2) for a class/P on both engines::
+
+        python -m repro.cli btio --cls W --nprocs 4 --nsteps 3
+
+``characterize``
+    Print the analytic BTIO characterization (Tables 1–2 rows)::
+
+        python -m repro.cli characterize --cls B --nprocs 16
+
+``inspect``
+    Describe a datatype expression (size, extent, Nblock, depth,
+    flattening cost vs dataloop cost)::
+
+        python -m repro.cli inspect "vector(16384, 1, 2, DOUBLE)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+
+from repro.bench import (
+    BTIOConfig,
+    NoncontigConfig,
+    btio_characterize,
+    mb_per_s,
+    run_btio,
+    run_noncontig,
+)
+from repro.bench.reporting import fmt_bytes, format_table
+
+__all__ = ["main"]
+
+
+def _cmd_noncontig(args: argparse.Namespace) -> int:
+    cfg = NoncontigConfig(
+        nprocs=args.nprocs,
+        blocklen=args.sblock,
+        blockcount=args.nblock,
+        pattern=args.pattern,
+        collective=args.collective,
+        nreps=args.nreps,
+        verify=True,
+    )
+    rows = []
+    for engine in ("list_based", "listless"):
+        w, r = [], []
+        for _ in range(args.repeats):
+            res = run_noncontig(engine, cfg)
+            w.append(res.write_bpp)
+            r.append(res.read_bpp)
+        rows.append(
+            (
+                engine,
+                f"{mb_per_s(statistics.median(w)):.2f}",
+                f"{mb_per_s(statistics.median(r)):.2f}",
+            )
+        )
+    print(
+        f"noncontig: P={cfg.nprocs} Sblock={cfg.blocklen}B "
+        f"Nblock={cfg.blockcount} pattern={cfg.pattern} "
+        f"{'collective' if cfg.collective else 'independent'} "
+        f"({cfg.bytes_per_proc:,} B/proc/phase)"
+    )
+    print(format_table(["engine", "write MB/s", "read MB/s"], rows))
+    return 0
+
+
+def _cmd_btio(args: argparse.Namespace) -> int:
+    rows = []
+    times = {}
+    for engine in ("list_based", "listless"):
+        samples = []
+        for _ in range(args.repeats):
+            r = run_btio(
+                engine,
+                BTIOConfig(cls=args.cls, nprocs=args.nprocs,
+                           nsteps=args.nsteps, verify=args.verify),
+            )
+            samples.append(r)
+        t = min(s.io_time.total for s in samples)
+        bw = max(s.io_bandwidth for s in samples)
+        times[engine] = t
+        rows.append((engine, f"{t:.3f}", f"{mb_per_s(bw):.1f}"))
+    print(f"BTIO class {args.cls}, P={args.nprocs}, "
+          f"nsteps={args.nsteps}")
+    print(format_table(["engine", "io time [s]", "io MB/s"], rows))
+    print(f"r_io = {times['list_based'] / times['listless']:.2f}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    c = btio_characterize(args.cls, args.nprocs, nsteps=args.nsteps)
+    rows = [
+        ("grid", f"{c['grid']}^3"),
+        ("cells per rank", c["ncells"]),
+        ("Nblock per rank", c["nblock"]),
+        ("Sblock", f"{c['sblock']} B"),
+        ("Dstep", fmt_bytes(c["dstep"])),
+        ("Drun", fmt_bytes(c["drun"])),
+    ]
+    print(f"BTIO class {args.cls}, P={args.nprocs}, "
+          f"nsteps={c['nsteps']}:")
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _parse_type(expr: str):
+    """Evaluate a datatype expression in a restricted namespace."""
+    from repro import datatypes as dt
+
+    namespace = {
+        name: getattr(dt, name)
+        for name in dt.__all__
+        if not name.startswith("_")
+    }
+    try:
+        t = eval(expr, {"__builtins__": {}}, namespace)  # noqa: S307
+    except Exception as exc:  # pragma: no cover - user input path
+        raise SystemExit(f"cannot evaluate datatype expression: {exc}")
+    return t
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core.dataloop import compile_dataloop
+    from repro.datatypes import decode
+    from repro.flatten import flatten_datatype
+
+    t = _parse_type(args.expr)
+    t0 = time.perf_counter()
+    loop = compile_dataloop(t)
+    t_compile = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    flat = flatten_datatype(t)
+    t_flatten = time.perf_counter() - t0
+    rows = [
+        ("size (data bytes)", t.size),
+        ("extent", t.extent),
+        ("lb / ub", f"{t.lb} / {t.ub}"),
+        ("true lb / ub", f"{t.true_lb} / {t.true_ub}"),
+        ("Nblock", t.num_blocks),
+        ("tree depth", t.depth),
+        ("monotonic (filetype-legal order)", t.is_monotonic),
+        ("contiguous", t.is_contiguous),
+        ("ol-list memory", fmt_bytes(flat.nbytes_repr)),
+        ("compact tree wire size",
+         fmt_bytes(decode.tree_nbytes(decode.to_tree(t)))),
+        ("explicit flatten time", f"{t_flatten * 1e3:.3f} ms"),
+        ("dataloop compile time", f"{t_compile * 1e3:.3f} ms"),
+        ("dataloop depth", loop.depth if loop else "-"),
+    ]
+    print(format_table(["property", "value"], rows))
+    from repro.datatypes.describe import describe
+
+    print("\nconstructor tree:")
+    print(describe(t))
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro import datatypes as dtypes
+    from repro.bench.workloads import WORKLOADS, make_workload
+    from repro.fs import SimFileSystem
+    from repro.io import File, MODE_CREATE, MODE_RDWR
+    from repro.mpi import run_spmd
+
+    names = [args.only] if args.only else sorted(WORKLOADS)
+    for name in names:
+        if name not in WORKLOADS:
+            raise SystemExit(
+                f"unknown workload {name!r}; choose from "
+                f"{sorted(WORKLOADS)}"
+            )
+
+    def run_once(name, engine):
+        fs = SimFileSystem()
+        box = {}
+
+        def worker(comm):
+            w = make_workload(name, comm.rank, comm.size)
+            etype = dtypes.DOUBLE if w.filetype.size % 8 == 0 \
+                else dtypes.BYTE
+            fh = File.open(comm, fs, "/w", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            fh.set_view(0, etype, w.filetype)
+            buf = np.zeros(w.buffer_bytes, dtype=np.uint8)
+            comm.barrier()
+            if comm.rank == 0:
+                box["t0"] = time.perf_counter()
+            comm.barrier()
+            fh.write_at_all(0, buf, w.count, w.memtype)
+            comm.barrier()
+            if comm.rank == 0:
+                box["wall"] = time.perf_counter() - box["t0"]
+            fh.close()
+
+        run_spmd(args.nprocs, worker)
+        return box["wall"]
+
+    rows = []
+    for name in names:
+        med = {}
+        for engine in ("list_based", "listless"):
+            med[engine] = min(
+                run_once(name, engine) for _ in range(args.repeats)
+            )
+        rows.append(
+            (
+                name,
+                f"{med['list_based']*1e3:.1f}",
+                f"{med['listless']*1e3:.1f}",
+                f"{med['list_based'] / med['listless']:.1f}x",
+            )
+        )
+    print(f"workloads (P={args.nprocs}, collective write):")
+    print(format_table(
+        ["workload", "list-based ms", "listless ms", "speedup"], rows
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Fast Parallel "
+        "Non-Contiguous File Access' (SC'03)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    nc = sub.add_parser("noncontig", help="run the synthetic benchmark")
+    nc.add_argument("--nprocs", type=int, default=2)
+    nc.add_argument("--sblock", type=int, default=8)
+    nc.add_argument("--nblock", type=int, default=1024)
+    nc.add_argument("--pattern", choices=["c-nc", "nc-c", "nc-nc"],
+                    default="nc-nc")
+    nc.add_argument("--collective", action="store_true")
+    nc.add_argument("--nreps", type=int, default=2)
+    nc.add_argument("--repeats", type=int, default=3)
+    nc.set_defaults(fn=_cmd_noncontig)
+
+    bt = sub.add_parser("btio", help="run the BTIO kernel")
+    bt.add_argument("--cls", choices=list("SWABCD"), default="W")
+    bt.add_argument("--nprocs", type=int, default=4)
+    bt.add_argument("--nsteps", type=int, default=3)
+    bt.add_argument("--repeats", type=int, default=3)
+    bt.add_argument("--verify", action="store_true")
+    bt.set_defaults(fn=_cmd_btio)
+
+    ch = sub.add_parser("characterize",
+                        help="analytic BTIO characterization")
+    ch.add_argument("--cls", choices=list("SWABCD"), default="B")
+    ch.add_argument("--nprocs", type=int, default=4)
+    ch.add_argument("--nsteps", type=int, default=40)
+    ch.set_defaults(fn=_cmd_characterize)
+
+    ins = sub.add_parser("inspect", help="describe a datatype expression")
+    ins.add_argument("expr", help='e.g. "vector(1024, 1, 2, DOUBLE)"')
+    ins.set_defaults(fn=_cmd_inspect)
+
+    wl = sub.add_parser(
+        "workloads", help="compare engines across application workloads"
+    )
+    wl.add_argument("--nprocs", type=int, default=4)
+    wl.add_argument(
+        "--only", default=None,
+        help="run a single workload family (default: all)",
+    )
+    wl.add_argument("--repeats", type=int, default=3)
+    wl.set_defaults(fn=_cmd_workloads)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

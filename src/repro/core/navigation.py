@@ -1,0 +1,84 @@
+"""``ff_size`` / ``ff_extent`` — datatype navigation (paper §3.2.1).
+
+The two functions mirror the MPI/SX internals::
+
+    MPIR_Type_ff_extent(dtype, skipbytes, size)   -> extent
+    MPIR_Type_ff_size(dtype, skipbytes, extent)   -> size
+
+With a fileview, file accesses may start and end *inside* a filetype (the
+access granularity is the etype, not the whole type), so the I/O layer
+constantly converts between
+
+* **size space** — data bytes in the contiguous (packed) representation,
+  which is how file pointers in etype units count, and
+* **extent space** — byte positions in the (virtual) tiled buffer, which
+  is how absolute file offsets count.
+
+Both directions cost O(depth · log k) on the compiled dataloop (divmod per
+vector level, binary search per irregular level) — independent of
+repetition counts, Nblock, and of the magnitude of ``skipbytes``.  The
+list-based engine answers the same questions by walking its ol-list
+linearly (:meth:`repro.flatten.ol_list.OLList.find_position`), which is
+the O(Nblock/2)-per-access overhead the paper eliminates.
+"""
+
+from __future__ import annotations
+
+from repro.core.ff_pack import top_dataloop
+from repro.datatypes.base import Datatype
+from repro.errors import FFError
+
+__all__ = ["ff_extent", "ff_size", "ext_of_size", "size_of_ext"]
+
+
+def ext_of_size(dt: Datatype, size_offset: int, count: int = 1,
+                end: bool = False) -> int:
+    """Extent position of the ``size_offset``-th data byte of ``count``
+    tiled instances of ``dt``.
+
+    With ``end=True`` the position *after* data byte ``size_offset - 1``
+    is returned instead (the two differ when the boundary falls between
+    two blocks: start-of-next vs end-of-previous).
+    """
+    loop = top_dataloop(dt, count)
+    if loop is None:
+        return 0
+    if not 0 <= size_offset <= loop.size:
+        raise FFError(
+            f"size offset {size_offset} outside [0, {loop.size}]"
+        )
+    return loop.ext_of_size(size_offset, end)
+
+
+def size_of_ext(dt: Datatype, extent_offset: int, count: int = 1) -> int:
+    """Number of data bytes of ``count`` tiled instances of ``dt`` located
+    strictly before extent position ``extent_offset`` (clamped)."""
+    loop = top_dataloop(dt, count)
+    if loop is None:
+        return 0
+    return loop.size_of_ext(extent_offset)
+
+
+def ff_extent(dt: Datatype, skipbytes: int, size: int, count: int = 1) -> int:
+    """Extent of a virtual typed buffer holding ``size`` data bytes after
+    ``skipbytes`` skipped data bytes (``MPIR_Type_ff_extent``).
+
+    Returns the distance from the displacement reached after skipping to
+    the end of the last unpacked byte — the amount by which a file/buffer
+    pointer advances when ``size`` bytes are consumed at that position.
+    """
+    if size == 0:
+        return 0
+    start = ext_of_size(dt, skipbytes, count, end=False)
+    stop = ext_of_size(dt, skipbytes + size, count, end=True)
+    return stop - start
+
+
+def ff_size(dt: Datatype, skipbytes: int, extent: int, count: int = 1) -> int:
+    """Data bytes contained in a virtual typed buffer of byte extent
+    ``extent`` beginning after ``skipbytes`` skipped data bytes
+    (``MPIR_Type_ff_size``)."""
+    if extent <= 0:
+        return 0
+    start = ext_of_size(dt, skipbytes, count, end=False)
+    return size_of_ext(dt, start + extent, count) - skipbytes

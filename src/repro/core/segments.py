@@ -1,0 +1,31 @@
+"""Bounded-segment iteration over typed data.
+
+When the contiguous pack buffer cannot hold a whole access (the normal
+case: file buffers and communication buffers are fixed-size), the listless
+engine iterates ``ff_pack``/``ff_unpack`` over consecutive byte segments.
+This module centralizes that loop so engine code reads declaratively.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+__all__ = ["iter_segments"]
+
+
+def iter_segments(
+    total: int, seg_size: int, start: int = 0
+) -> Iterator[Tuple[int, int]]:
+    """Yield ``(offset, nbytes)`` covering ``[start, total)`` in chunks of
+    at most ``seg_size`` bytes.
+
+    >>> list(iter_segments(10, 4))
+    [(0, 4), (4, 4), (8, 2)]
+    """
+    if seg_size <= 0:
+        raise ValueError(f"segment size must be positive, got {seg_size}")
+    pos = start
+    while pos < total:
+        n = min(seg_size, total - pos)
+        yield (pos, n)
+        pos += n

@@ -1,0 +1,118 @@
+"""MPI derived-datatype engine.
+
+This subpackage implements the subset of the MPI datatype machinery that
+MPI-IO's non-contiguous file access relies on, from scratch:
+
+* predefined (basic) types — :data:`BYTE`, :data:`CHAR`, :data:`INT`,
+  :data:`FLOAT`, :data:`DOUBLE`, ... plus the MPI-1 bounds markers
+  :data:`LB` and :data:`UB`;
+* type constructors — :func:`contiguous`, :func:`vector`, :func:`hvector`,
+  :func:`indexed`, :func:`hindexed`, :func:`indexed_block`, :func:`struct`,
+  :func:`resized`, :func:`subarray`, :func:`darray`, :func:`dup`;
+* type introspection — :func:`repro.datatypes.decode.get_envelope` and
+  :func:`repro.datatypes.decode.get_contents`;
+* validation of MPI-IO restrictions on etypes/filetypes
+  (:mod:`repro.datatypes.validation`);
+* a deliberately slow, obviously correct type-map based pack/unpack used as
+  the oracle in the test suite (:mod:`repro.datatypes.packing`).
+
+A :class:`Datatype` is an immutable tree.  The *type map* of a datatype is
+the ordered sequence of ``(byte_offset, byte_length)`` pairs of its basic
+elements; ``size`` is the total data bytes, ``extent = ub - lb`` the span it
+occupies when tiled, possibly adjusted with LB/UB markers or
+:func:`resized`.
+"""
+
+from repro.datatypes.base import Datatype
+from repro.datatypes.basic import (
+    BYTE,
+    CHAR,
+    SHORT,
+    INT,
+    LONG,
+    LONG_LONG,
+    FLOAT,
+    DOUBLE,
+    LONG_DOUBLE,
+    COMPLEX,
+    DOUBLE_COMPLEX,
+    LB,
+    UB,
+    PACKED,
+    BasicType,
+    BoundsMarker,
+    basic_by_name,
+)
+from repro.datatypes.constructors import (
+    contiguous,
+    vector,
+    hvector,
+    indexed,
+    hindexed,
+    indexed_block,
+    hindexed_block,
+    struct,
+    resized,
+    at_offset,
+    dup,
+)
+from repro.datatypes.subarray import subarray, ORDER_C, ORDER_FORTRAN
+from repro.datatypes.darray import (
+    darray,
+    DISTRIBUTE_BLOCK,
+    DISTRIBUTE_CYCLIC,
+    DISTRIBUTE_NONE,
+    DISTRIBUTE_DFLT_DARG,
+)
+from repro.datatypes.validation import (
+    validate_etype,
+    validate_filetype,
+    is_monotonic_nonoverlapping,
+)
+from repro.datatypes.packing import pack_typemap, unpack_typemap, typemap_blocks
+
+__all__ = [
+    "Datatype",
+    "BasicType",
+    "BoundsMarker",
+    "basic_by_name",
+    "BYTE",
+    "CHAR",
+    "SHORT",
+    "INT",
+    "LONG",
+    "LONG_LONG",
+    "FLOAT",
+    "DOUBLE",
+    "LONG_DOUBLE",
+    "COMPLEX",
+    "DOUBLE_COMPLEX",
+    "LB",
+    "UB",
+    "PACKED",
+    "contiguous",
+    "vector",
+    "hvector",
+    "indexed",
+    "hindexed",
+    "indexed_block",
+    "hindexed_block",
+    "struct",
+    "resized",
+    "at_offset",
+    "dup",
+    "subarray",
+    "ORDER_C",
+    "ORDER_FORTRAN",
+    "darray",
+    "DISTRIBUTE_BLOCK",
+    "DISTRIBUTE_CYCLIC",
+    "DISTRIBUTE_NONE",
+    "DISTRIBUTE_DFLT_DARG",
+    "validate_etype",
+    "validate_filetype",
+    "is_monotonic_nonoverlapping",
+    "pack_typemap",
+    "unpack_typemap",
+    "typemap_blocks",
+]

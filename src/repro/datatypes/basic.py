@@ -1,0 +1,158 @@
+"""Predefined (basic) MPI datatypes and the MPI-1 bounds markers.
+
+Basic types carry only a name and a byte width.  The pack/unpack machinery
+treats all data as raw bytes, so two basic types of the same width are
+interchangeable for I/O purposes; the distinct names exist for
+introspection and for building NumPy views in examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Sequence, Tuple
+
+from repro.datatypes.base import Datatype
+from repro.errors import DatatypeError
+
+__all__ = [
+    "BasicType",
+    "BoundsMarker",
+    "basic_by_name",
+    "BYTE",
+    "CHAR",
+    "SHORT",
+    "INT",
+    "LONG",
+    "LONG_LONG",
+    "FLOAT",
+    "DOUBLE",
+    "LONG_DOUBLE",
+    "COMPLEX",
+    "DOUBLE_COMPLEX",
+    "PACKED",
+    "LB",
+    "UB",
+]
+
+
+class BasicType(Datatype):
+    """A predefined MPI type: ``nbytes`` contiguous bytes."""
+
+    __slots__ = ("name", "nbytes", "np_dtype")
+
+    def __init__(self, name: str, nbytes: int, np_dtype: str | None = None):
+        if nbytes <= 0:
+            raise DatatypeError(f"basic type {name!r} needs positive width")
+        super().__init__(
+            size=nbytes,
+            true_lb=0,
+            true_ub=nbytes,
+            explicit_lb=None,
+            explicit_ub=None,
+            depth=1,
+            num_blocks=1,
+            contiguous=True,
+            monotonic=True,
+        )
+        self.name = name
+        self.nbytes = nbytes
+        #: name of the matching NumPy dtype, if any (for user convenience)
+        self.np_dtype = np_dtype
+
+    def typemap(self) -> Iterator[Tuple[int, int]]:
+        yield (0, self.nbytes)
+
+    def children(self) -> Sequence[Datatype]:
+        return ()
+
+    def _combiner(self) -> str:
+        return f"basic:{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<MPI_{self.name}>"
+
+
+class BoundsMarker(Datatype):
+    """``MPI_LB`` / ``MPI_UB``: zero-size markers that pin a bound.
+
+    A marker occupies no data bytes; placing it in a ``struct`` at
+    displacement *d* forces the containing type's lb (or ub) to *d* (the
+    minimum over LB markers / maximum over UB markers when several occur).
+    """
+
+    __slots__ = ("name", "is_lb")
+
+    def __init__(self, name: str, is_lb: bool):
+        super().__init__(
+            size=0,
+            true_lb=0,
+            true_ub=0,
+            explicit_lb=0 if is_lb else None,
+            explicit_ub=None if is_lb else 0,
+            depth=1,
+            num_blocks=0,
+            contiguous=False,
+            monotonic=True,
+        )
+        self.name = name
+        self.is_lb = is_lb
+
+    def typemap(self) -> Iterator[Tuple[int, int]]:
+        return iter(())
+
+    def children(self) -> Sequence[Datatype]:
+        return ()
+
+    def _combiner(self) -> str:
+        return f"marker:{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<MPI_{self.name}>"
+
+
+#: Predefined types with conventional ILP64-ish widths.
+BYTE = BasicType("BYTE", 1, "uint8")
+CHAR = BasicType("CHAR", 1, "int8")
+SHORT = BasicType("SHORT", 2, "int16")
+INT = BasicType("INT", 4, "int32")
+LONG = BasicType("LONG", 8, "int64")
+LONG_LONG = BasicType("LONG_LONG", 8, "int64")
+FLOAT = BasicType("FLOAT", 4, "float32")
+DOUBLE = BasicType("DOUBLE", 8, "float64")
+LONG_DOUBLE = BasicType("LONG_DOUBLE", 16, None)
+COMPLEX = BasicType("COMPLEX", 8, "complex64")
+DOUBLE_COMPLEX = BasicType("DOUBLE_COMPLEX", 16, "complex128")
+PACKED = BasicType("PACKED", 1, "uint8")
+
+LB = BoundsMarker("LB", is_lb=True)
+UB = BoundsMarker("UB", is_lb=False)
+
+_BY_NAME: Dict[str, Datatype] = {
+    t.name: t
+    for t in (
+        BYTE,
+        CHAR,
+        SHORT,
+        INT,
+        LONG,
+        LONG_LONG,
+        FLOAT,
+        DOUBLE,
+        LONG_DOUBLE,
+        COMPLEX,
+        DOUBLE_COMPLEX,
+        PACKED,
+        LB,
+        UB,
+    )
+}
+
+
+def basic_by_name(name: str) -> Datatype:
+    """Look up a predefined type by its MPI-style name (e.g. ``"DOUBLE"``).
+
+    Raises :class:`~repro.errors.DatatypeError` for unknown names.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise DatatypeError(f"unknown basic type {name!r}") from None

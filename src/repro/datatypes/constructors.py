@@ -1,0 +1,342 @@
+"""MPI datatype constructors.
+
+Implements the constructor set used by MPI-IO applications:
+
+==================  =====================================================
+:func:`contiguous`   ``MPI_Type_contiguous``
+:func:`vector`       ``MPI_Type_vector`` (stride in elements)
+:func:`hvector`      ``MPI_Type_create_hvector`` (stride in bytes)
+:func:`indexed`      ``MPI_Type_indexed`` (displacements in elements)
+:func:`hindexed`     ``MPI_Type_create_hindexed`` (displacements in bytes)
+:func:`indexed_block`/:func:`hindexed_block`
+                     ``MPI_Type_create_indexed_block`` and friends
+:func:`struct`       ``MPI_Type_create_struct``
+:func:`resized`      ``MPI_Type_create_resized``
+:func:`at_offset`    convenience: one instance placed at a displacement
+:func:`dup`          ``MPI_Type_dup``
+==================  =====================================================
+
+All constructors run in time proportional to the *descriptor* length (the
+argument arrays), never to the number of contiguous blocks the type
+describes — the distinction at the heart of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.datatypes._agg import Agg, agg_of, seq_concat, shift, tile
+from repro.datatypes.base import Datatype
+from repro.errors import DatatypeError
+
+__all__ = [
+    "ContiguousType",
+    "HVectorType",
+    "HIndexedType",
+    "StructType",
+    "ResizedType",
+    "contiguous",
+    "vector",
+    "hvector",
+    "indexed",
+    "hindexed",
+    "indexed_block",
+    "hindexed_block",
+    "struct",
+    "resized",
+    "at_offset",
+    "dup",
+]
+
+
+def _check_count(name: str, value: int) -> None:
+    if value < 0:
+        raise DatatypeError(f"{name} must be non-negative, got {value}")
+
+
+def _init_from_agg(dt: Datatype, agg: Agg) -> None:
+    """Finish construction of a derived type from its aggregate record."""
+    lb = agg.true_lb if agg.explicit_lb is None else agg.explicit_lb
+    ub = agg.true_ub if agg.explicit_ub is None else agg.explicit_ub
+    contiguous_ = (
+        agg.size > 0
+        and agg.num_blocks == 1
+        and lb == agg.true_lb
+        and ub == agg.true_ub
+        and agg.size == ub - lb
+    )
+    Datatype.__init__(
+        dt,
+        size=agg.size,
+        true_lb=agg.true_lb,
+        true_ub=agg.true_ub,
+        explicit_lb=agg.explicit_lb,
+        explicit_ub=agg.explicit_ub,
+        depth=agg.depth,
+        num_blocks=agg.num_blocks,
+        contiguous=contiguous_,
+        monotonic=agg.monotonic,
+        seq_first=agg.seq_first,
+        seq_last_end=agg.seq_last_end,
+    )
+
+
+class ContiguousType(Datatype):
+    """``count`` back-to-back instances of ``base`` (stride = base extent)."""
+
+    __slots__ = ("count", "base")
+
+    def __init__(self, count: int, base: Datatype):
+        _check_count("count", count)
+        self.count = count
+        self.base = base
+        _init_from_agg(self, tile(agg_of(base), count, base.extent))
+
+    def typemap(self) -> Iterator[Tuple[int, int]]:
+        ext = self.base.extent
+        for i in range(self.count):
+            off = i * ext
+            for o, n in self.base.typemap():
+                yield (off + o, n)
+
+    def children(self) -> Sequence[Datatype]:
+        return (self.base,)
+
+    def _combiner(self) -> str:
+        return "contiguous"
+
+
+class HVectorType(Datatype):
+    """``count`` blocks of ``blocklen`` base elements, ``stride`` bytes apart."""
+
+    __slots__ = ("count", "blocklen", "stride", "base")
+
+    def __init__(self, count: int, blocklen: int, stride: int, base: Datatype):
+        _check_count("count", count)
+        _check_count("blocklen", blocklen)
+        self.count = count
+        self.blocklen = blocklen
+        self.stride = stride
+        self.base = base
+        block = tile(agg_of(base), blocklen, base.extent)
+        _init_from_agg(self, tile(block, count, stride))
+
+    def typemap(self) -> Iterator[Tuple[int, int]]:
+        ext = self.base.extent
+        for i in range(self.count):
+            start = i * self.stride
+            for j in range(self.blocklen):
+                off = start + j * ext
+                for o, n in self.base.typemap():
+                    yield (off + o, n)
+
+    def children(self) -> Sequence[Datatype]:
+        return (self.base,)
+
+    def _combiner(self) -> str:
+        return "hvector"
+
+
+class HIndexedType(Datatype):
+    """Blocks of base elements at explicit byte displacements."""
+
+    __slots__ = ("blocklens", "displs", "base")
+
+    def __init__(
+        self, blocklens: Sequence[int], displs: Sequence[int], base: Datatype
+    ):
+        if len(blocklens) != len(displs):
+            raise DatatypeError(
+                f"blocklens ({len(blocklens)}) and displs ({len(displs)}) "
+                "must have equal length"
+            )
+        for b in blocklens:
+            _check_count("blocklen", b)
+        self.blocklens = tuple(int(b) for b in blocklens)
+        self.displs = tuple(int(d) for d in displs)
+        self.base = base
+        base_agg = agg_of(base)
+        ext = base.extent
+        parts = [
+            shift(tile(base_agg, b, ext), d)
+            for b, d in zip(self.blocklens, self.displs)
+        ]
+        _init_from_agg(self, seq_concat(parts, depth_bump=0))
+
+    def typemap(self) -> Iterator[Tuple[int, int]]:
+        ext = self.base.extent
+        for b, d in zip(self.blocklens, self.displs):
+            for j in range(b):
+                off = d + j * ext
+                for o, n in self.base.typemap():
+                    yield (off + o, n)
+
+    def children(self) -> Sequence[Datatype]:
+        return (self.base,)
+
+    def _combiner(self) -> str:
+        return "hindexed"
+
+
+class StructType(Datatype):
+    """General sequence of ``(blocklen, byte displacement, type)`` fields."""
+
+    __slots__ = ("blocklens", "displs", "types")
+
+    def __init__(
+        self,
+        blocklens: Sequence[int],
+        displs: Sequence[int],
+        types: Sequence[Datatype],
+    ):
+        if not (len(blocklens) == len(displs) == len(types)):
+            raise DatatypeError(
+                "struct requires equal-length blocklens, displs and types"
+            )
+        for b in blocklens:
+            _check_count("blocklen", b)
+        self.blocklens = tuple(int(b) for b in blocklens)
+        self.displs = tuple(int(d) for d in displs)
+        self.types = tuple(types)
+        parts = [
+            shift(tile(agg_of(t), b, t.extent), d)
+            for b, d, t in zip(self.blocklens, self.displs, self.types)
+        ]
+        _init_from_agg(self, seq_concat(parts, depth_bump=0))
+
+    def typemap(self) -> Iterator[Tuple[int, int]]:
+        for b, d, t in zip(self.blocklens, self.displs, self.types):
+            ext = t.extent
+            for j in range(b):
+                off = d + j * ext
+                for o, n in t.typemap():
+                    yield (off + o, n)
+
+    def children(self) -> Sequence[Datatype]:
+        return self.types
+
+    def _combiner(self) -> str:
+        return "struct"
+
+
+class ResizedType(Datatype):
+    """``base`` with overridden lower bound and extent."""
+
+    __slots__ = ("base", "new_lb", "new_extent")
+
+    def __init__(self, base: Datatype, new_lb: int, new_extent: int):
+        self.base = base
+        self.new_lb = int(new_lb)
+        self.new_extent = int(new_extent)
+        a = agg_of(base)
+        _init_from_agg(
+            self,
+            Agg(
+                size=a.size,
+                true_lb=a.true_lb,
+                true_ub=a.true_ub,
+                explicit_lb=self.new_lb,
+                explicit_ub=self.new_lb + self.new_extent,
+                depth=a.depth,  # resizing adds no traversal depth
+                num_blocks=a.num_blocks,
+                monotonic=a.monotonic,
+                seq_first=a.seq_first,
+                seq_last_end=a.seq_last_end,
+            ),
+        )
+
+    def typemap(self) -> Iterator[Tuple[int, int]]:
+        return self.base.typemap()
+
+    def children(self) -> Sequence[Datatype]:
+        return (self.base,)
+
+    def _combiner(self) -> str:
+        return "resized"
+
+
+# ----------------------------------------------------------------------
+# Factory functions (the public constructor API)
+# ----------------------------------------------------------------------
+def contiguous(count: int, base: Datatype) -> Datatype:
+    """``MPI_Type_contiguous``: ``count`` back-to-back copies of ``base``."""
+    return ContiguousType(count, base)
+
+
+def vector(count: int, blocklen: int, stride: int, base: Datatype) -> Datatype:
+    """``MPI_Type_vector``: stride counted in *elements* of ``base``."""
+    return HVectorType(count, blocklen, stride * base.extent, base)
+
+
+def hvector(count: int, blocklen: int, stride: int, base: Datatype) -> Datatype:
+    """``MPI_Type_create_hvector``: stride counted in *bytes*."""
+    return HVectorType(count, blocklen, stride, base)
+
+
+def indexed(
+    blocklens: Sequence[int], displs: Sequence[int], base: Datatype
+) -> Datatype:
+    """``MPI_Type_indexed``: displacements counted in elements of ``base``."""
+    ext = base.extent
+    return HIndexedType(blocklens, [d * ext for d in displs], base)
+
+
+def hindexed(
+    blocklens: Sequence[int], displs: Sequence[int], base: Datatype
+) -> Datatype:
+    """``MPI_Type_create_hindexed``: displacements counted in bytes."""
+    return HIndexedType(blocklens, displs, base)
+
+
+def indexed_block(
+    blocklen: int, displs: Sequence[int], base: Datatype
+) -> Datatype:
+    """``MPI_Type_create_indexed_block``: equal blocklen, element displs."""
+    ext = base.extent
+    return HIndexedType(
+        [blocklen] * len(displs), [d * ext for d in displs], base
+    )
+
+
+def hindexed_block(
+    blocklen: int, displs: Sequence[int], base: Datatype
+) -> Datatype:
+    """``MPI_Type_create_hindexed_block``: equal blocklen, byte displs."""
+    return HIndexedType([blocklen] * len(displs), displs, base)
+
+
+def struct(
+    blocklens: Sequence[int],
+    displs: Sequence[int],
+    types: Sequence[Datatype],
+) -> Datatype:
+    """``MPI_Type_create_struct`` (also accepts MPI-1 LB/UB markers)."""
+    return StructType(blocklens, displs, types)
+
+
+def resized(base: Datatype, lb: int, extent: int) -> Datatype:
+    """``MPI_Type_create_resized``: override lower bound and extent."""
+    return ResizedType(base, lb, extent)
+
+
+def at_offset(base: Datatype, disp: int) -> Datatype:
+    """One instance of ``base`` placed at byte displacement ``disp``.
+
+    Convenience wrapper equal to ``struct([1], [disp], [base])``; used by
+    :func:`repro.datatypes.subarray.subarray` to position the sub-block
+    inside the full-array extent.
+    """
+    return StructType([1], [disp], [base])
+
+
+def dup(base: Datatype) -> Datatype:
+    """``MPI_Type_dup``: a distinct handle with identical behaviour.
+
+    Datatypes here are immutable, so duplication wraps the base in a
+    1-element contiguous, which has the exact same type map and bounds.
+    """
+    if base.explicit_lb is None and base.explicit_ub is None:
+        return ContiguousType(1, base)
+    # contiguous(1, t) preserves markers through the aggregate algebra too,
+    # but keep the original node to preserve combiner introspection depth.
+    return ResizedType(base, base.lb, base.extent)

@@ -1,0 +1,102 @@
+"""Human-readable rendering of datatype trees.
+
+``describe(dt)`` produces an indented tree with per-node geometry —
+useful when debugging fileviews and in the CLI's ``inspect`` command:
+
+>>> from repro import datatypes as dt
+>>> print(describe(dt.vector(4, 2, 5, dt.DOUBLE)))  # doctest: +SKIP
+hvector(count=4, blocklen=2, stride=40B)  [size=64B extent=136B blocks=4]
+└─ DOUBLE  [8B]
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datatypes.base import Datatype
+from repro.datatypes.basic import BasicType, BoundsMarker
+from repro.datatypes.constructors import (
+    ContiguousType,
+    HIndexedType,
+    HVectorType,
+    ResizedType,
+    StructType,
+)
+
+__all__ = ["describe"]
+
+
+def _fmt_seq(values, limit: int = 6) -> str:
+    vals = list(values)
+    if len(vals) <= limit:
+        return str(vals)
+    head = ", ".join(str(v) for v in vals[: limit - 1])
+    return f"[{head}, ... {len(vals)} total]"
+
+
+def _header(t: Datatype) -> str:
+    if isinstance(t, BasicType):
+        return f"{t.name}  [{t.nbytes}B]"
+    if isinstance(t, BoundsMarker):
+        return f"{t.name} marker"
+    geom = (
+        f"[size={t.size}B extent={t.extent}B blocks={t.num_blocks}"
+        f"{'' if t.is_monotonic else ' non-monotonic'}]"
+    )
+    if isinstance(t, ContiguousType):
+        return f"contiguous(count={t.count})  {geom}"
+    if isinstance(t, HVectorType):
+        return (
+            f"hvector(count={t.count}, blocklen={t.blocklen}, "
+            f"stride={t.stride}B)  {geom}"
+        )
+    if isinstance(t, HIndexedType):
+        return (
+            f"hindexed(blocklens={_fmt_seq(t.blocklens)}, "
+            f"displs={_fmt_seq(t.displs)})  {geom}"
+        )
+    if isinstance(t, StructType):
+        return (
+            f"struct(blocklens={_fmt_seq(t.blocklens)}, "
+            f"displs={_fmt_seq(t.displs)})  {geom}"
+        )
+    if isinstance(t, ResizedType):
+        return f"resized(lb={t.new_lb}, extent={t.new_extent})  {geom}"
+    return f"{type(t).__name__}  {geom}"
+
+
+def _describe(t: Datatype, prefix: str, is_last: bool,
+              out: List[str], top: bool) -> None:
+    connector = "" if top else ("└─ " if is_last else "├─ ")
+    out.append(prefix + connector + _header(t))
+    children = list(t.children())
+    child_prefix = prefix if top else prefix + ("   " if is_last
+                                                else "│  ")
+    # Deduplicate repeated identical children (struct of N same types).
+    seen_ids = []
+    uniq = []
+    for c in children:
+        if id(c) not in seen_ids:
+            seen_ids.append(id(c))
+            uniq.append(c)
+    for i, c in enumerate(uniq):
+        reps = sum(1 for x in children if x is c)
+        if reps > 1:
+            out.append(
+                child_prefix
+                + ("└─ " if i == len(uniq) - 1 else "├─ ")
+                + f"(x{reps} identical children)"
+            )
+            _describe(c, child_prefix + ("   " if i == len(uniq) - 1
+                                         else "│  "),
+                      True, out, top=False)
+        else:
+            _describe(c, child_prefix, i == len(uniq) - 1, out,
+                      top=False)
+
+
+def describe(t: Datatype) -> str:
+    """Render the constructor tree of ``t`` as indented text."""
+    out: List[str] = []
+    _describe(t, "", True, out, top=True)
+    return "\n".join(out)

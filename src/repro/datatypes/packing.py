@@ -1,0 +1,107 @@
+"""Reference (oracle) pack/unpack built directly on the type map.
+
+These functions walk the full type map element by element.  They are
+deliberately simple and slow — O(number of basic elements) Python-level
+work — and serve two purposes:
+
+* the *semantic oracle* for the test suite: both the list-based engine and
+  the flattening-on-the-fly engine must move exactly the bytes these
+  functions move;
+* the behaviour of ``MPI_Pack`` / ``MPI_Unpack`` for whole-type operations
+  in examples.
+
+They must never appear on a benchmarked code path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.datatypes.base import Datatype
+from repro.errors import DatatypeError
+
+__all__ = ["typemap_blocks", "pack_typemap", "unpack_typemap", "packed_size"]
+
+
+def typemap_blocks(dt: Datatype, count: int = 1) -> List[Tuple[int, int]]:
+    """Materialize the coalesced ``(offset, length)`` runs of ``count``
+    tiled instances of ``dt`` (type-map order, adjacent runs merged).
+
+    Small-type/test use only: cost and memory are O(Nblock * count).
+    """
+    out: List[Tuple[int, int]] = []
+    ext = dt.extent
+    for i in range(count):
+        base = i * ext
+        for off, ln in dt.flat_blocks():
+            o = base + off
+            if out and out[-1][0] + out[-1][1] == o:
+                out[-1] = (out[-1][0], out[-1][1] + ln)
+            else:
+                out.append((o, ln))
+    return out
+
+
+def packed_size(dt: Datatype, count: int = 1) -> int:
+    """Total data bytes of ``count`` instances (``MPI_Pack_size``)."""
+    return dt.size * count
+
+
+def pack_typemap(
+    src: np.ndarray, count: int, dt: Datatype, origin: int = 0
+) -> np.ndarray:
+    """Pack ``count`` instances of ``dt`` read from ``src`` at byte offset
+    ``origin`` into a new contiguous uint8 array.
+
+    ``origin`` plays the role of the buffer base address: offsets in the
+    type map are relative to it, and ``dt.lb`` may be negative for
+    marker-adjusted types.
+    """
+    src = np.ascontiguousarray(src).view(np.uint8).reshape(-1)
+    out = np.empty(dt.size * count, dtype=np.uint8)
+    pos = 0
+    ext = dt.extent
+    for i in range(count):
+        base = origin + i * ext
+        for off, ln in dt.typemap():
+            start = base + off
+            if start < 0 or start + ln > src.size:
+                raise DatatypeError(
+                    f"pack reads [{start}, {start + ln}) outside source "
+                    f"buffer of {src.size} bytes"
+                )
+            out[pos : pos + ln] = src[start : start + ln]
+            pos += ln
+    return out
+
+
+def unpack_typemap(
+    packed: np.ndarray,
+    dst: np.ndarray,
+    count: int,
+    dt: Datatype,
+    origin: int = 0,
+) -> None:
+    """Unpack ``count`` instances of ``dt`` from contiguous ``packed`` into
+    ``dst`` (written in place) at byte offset ``origin``."""
+    packed = np.ascontiguousarray(packed).view(np.uint8).reshape(-1)
+    if packed.size < dt.size * count:
+        raise DatatypeError(
+            f"packed buffer has {packed.size} bytes, need {dt.size * count}"
+        )
+    dstb = dst.view(np.uint8).reshape(-1)
+    pos = 0
+    ext = dt.extent
+    for i in range(count):
+        base = origin + i * ext
+        for off, ln in dt.typemap():
+            start = base + off
+            if start < 0 or start + ln > dstb.size:
+                raise DatatypeError(
+                    f"unpack writes [{start}, {start + ln}) outside "
+                    f"destination buffer of {dstb.size} bytes"
+                )
+            dstb[start : start + ln] = packed[pos : pos + ln]
+            pos += ln

@@ -1,0 +1,90 @@
+"""``MPI_Type_create_subarray``.
+
+Builds the datatype describing an n-dimensional sub-block of an
+n-dimensional array, as used by BTIO to describe both the memory layout of
+a process' cells and the fileview of the shared solution file.
+
+The resulting type has lower bound 0 and extent equal to the *full* array
+(so tiling the filetype across the file advances by whole arrays), with the
+sub-block's data placed at the correct interior offsets — exactly the
+semantics of the MPI standard.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datatypes.base import Datatype
+from repro.datatypes.constructors import at_offset, contiguous, hvector, resized
+from repro.errors import DatatypeError
+
+__all__ = ["subarray", "ORDER_C", "ORDER_FORTRAN"]
+
+#: Row-major ordering (last dimension contiguous), like C arrays.
+ORDER_C = "C"
+#: Column-major ordering (first dimension contiguous), like Fortran arrays.
+ORDER_FORTRAN = "F"
+
+
+def subarray(
+    sizes: Sequence[int],
+    subsizes: Sequence[int],
+    starts: Sequence[int],
+    base: Datatype,
+    order: str = ORDER_C,
+) -> Datatype:
+    """Create the datatype for a sub-block of an n-D array of ``base``.
+
+    Parameters
+    ----------
+    sizes
+        full array shape (elements of ``base`` per dimension).
+    subsizes
+        shape of the sub-block.
+    starts
+        index of the sub-block's first element in each dimension.
+    base
+        element datatype.
+    order
+        :data:`ORDER_C` or :data:`ORDER_FORTRAN`.
+    """
+    ndims = len(sizes)
+    if not (len(subsizes) == len(starts) == ndims):
+        raise DatatypeError("sizes, subsizes and starts must have equal rank")
+    if ndims == 0:
+        raise DatatypeError("subarray requires at least one dimension")
+    if order not in (ORDER_C, ORDER_FORTRAN):
+        raise DatatypeError(f"unknown order {order!r}")
+    for d in range(ndims):
+        if sizes[d] <= 0:
+            raise DatatypeError(f"sizes[{d}] must be positive")
+        if subsizes[d] <= 0:
+            raise DatatypeError(f"subsizes[{d}] must be positive")
+        if starts[d] < 0 or starts[d] + subsizes[d] > sizes[d]:
+            raise DatatypeError(
+                f"sub-block [{starts[d]}, {starts[d] + subsizes[d]}) exceeds "
+                f"dimension {d} of size {sizes[d]}"
+            )
+
+    if order == ORDER_FORTRAN:
+        # Treat as C order on reversed dimensions.
+        sizes = list(reversed(sizes))
+        subsizes = list(reversed(subsizes))
+        starts = list(reversed(starts))
+
+    esize = base.extent
+    # Byte stride of one index step in each (C-ordered) dimension.
+    strides = [esize] * ndims
+    for d in range(ndims - 2, -1, -1):
+        strides[d] = strides[d + 1] * sizes[d + 1]
+
+    # Innermost (fastest-varying) dimension is contiguous in base elements.
+    t: Datatype = contiguous(subsizes[-1], base)
+    for d in range(ndims - 2, -1, -1):
+        t = hvector(subsizes[d], 1, strides[d], t)
+
+    offset = sum(starts[d] * strides[d] for d in range(ndims))
+    if offset != 0:
+        t = at_offset(t, offset)
+    full_extent = strides[0] * sizes[0]
+    return resized(t, 0, full_extent)

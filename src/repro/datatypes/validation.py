@@ -1,0 +1,67 @@
+"""Validation of MPI-IO restrictions on etypes and filetypes.
+
+The MPI standard constrains the datatypes usable in a fileview
+(MPI-2 §9.1.1 / the paper's §3.2.3): displacements must be non-negative
+and, for indexed/struct-built types, monotonically non-decreasing; a byte
+of the file may be accessed at most once per instance.  The mergeview
+contiguity shortcut of listless I/O (paper §3.2.3) is *only* correct under
+these restrictions, so the I/O layer enforces them at ``set_view`` time.
+"""
+
+from __future__ import annotations
+
+from repro.datatypes.base import Datatype
+from repro.errors import DatatypeError
+
+__all__ = ["validate_etype", "validate_filetype", "is_monotonic_nonoverlapping"]
+
+
+def is_monotonic_nonoverlapping(dt: Datatype) -> bool:
+    """True if the type map is offset-sorted and visits each byte at most
+    once.  Computed structurally at construction time (O(1) here)."""
+    return dt.is_monotonic
+
+
+def validate_etype(etype: Datatype) -> None:
+    """Check that ``etype`` is a legal elementary type for a fileview.
+
+    An etype must be non-empty, have non-negative displacements and a
+    non-negative, monotonic layout, and its extent must cover its data so
+    repeated etypes do not interleave.
+    """
+    if etype.size <= 0:
+        raise DatatypeError("etype must contain data")
+    if etype.true_lb < 0 or etype.lb < 0:
+        raise DatatypeError("etype has negative displacements")
+    if not etype.is_monotonic:
+        raise DatatypeError("etype type map must be monotonic")
+    if etype.extent < etype.true_ub - etype.lb:
+        raise DatatypeError("etype extent must cover its data")
+
+
+def validate_filetype(filetype: Datatype, etype: Datatype) -> None:
+    """Check that ``filetype`` is legal for a fileview over ``etype``.
+
+    Beyond the monotonicity/non-negativity rules, a filetype must be built
+    from whole etypes: its size must be a multiple of the etype size so
+    that file offsets in etype units always land on a data boundary.
+    """
+    if filetype.size <= 0:
+        raise DatatypeError("filetype must contain data")
+    if filetype.true_lb < 0 or filetype.lb < 0:
+        raise DatatypeError("filetype has negative displacements")
+    if not filetype.is_monotonic:
+        raise DatatypeError(
+            "filetype type map must be monotonically non-decreasing and "
+            "must not access any file byte twice"
+        )
+    if filetype.size % etype.size != 0:
+        raise DatatypeError(
+            f"filetype size {filetype.size} is not a multiple of etype "
+            f"size {etype.size}"
+        )
+    if filetype.extent < filetype.true_ub - filetype.lb:
+        raise DatatypeError(
+            "filetype extent must cover its data (tiled instances would "
+            "otherwise overlap)"
+        )

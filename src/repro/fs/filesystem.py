@@ -1,0 +1,93 @@
+"""File-system namespace.
+
+A :class:`SimFileSystem` maps paths to :class:`~repro.fs.simfile.SimFile`
+objects and carries the shared device model and striping configuration.
+It is the object a benchmark constructs once and hands to every rank.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from repro.errors import FileSystemError
+from repro.fs.simfile import SimFile
+from repro.fs.stats import DeviceModel
+from repro.fs.striping import StripingConfig
+
+__all__ = ["SimFileSystem"]
+
+
+class SimFileSystem:
+    """An in-memory namespace of simulated files."""
+
+    def __init__(
+        self,
+        device: DeviceModel | None = None,
+        striping: StripingConfig | None = None,
+        requires_ol_lists: bool = False,
+    ) -> None:
+        self.device = device or DeviceModel()
+        self.striping = striping or StripingConfig()
+        #: Paper footnote 4: file systems like NFS and PVFS use their own
+        #: (list-based) access functions for independent I/O, so even the
+        #: listless implementation must still *create* the ol-lists on
+        #: such file systems — it just never uses them in the generic
+        #: access functions.  Setting this reproduces that residual cost.
+        self.requires_ol_lists = requires_ol_lists
+        self._files: Dict[str, SimFile] = {}
+        self._mu = threading.Lock()
+
+    def create(
+        self,
+        path: str,
+        exist_ok: bool = True,
+        striping: StripingConfig | None = None,
+    ) -> SimFile:
+        """Create (or reuse) the file at ``path``.
+
+        ``striping`` overrides the file-system default layout for the new
+        file (ignored when the file already exists — striping is fixed at
+        creation, as on real parallel file systems).
+        """
+        with self._mu:
+            f = self._files.get(path)
+            if f is not None:
+                if not exist_ok:
+                    raise FileSystemError(f"file exists: {path!r}")
+                return f
+            f = SimFile(path, self.device, striping or self.striping)
+            self._files[path] = f
+            return f
+
+    def lookup(self, path: str) -> SimFile:
+        """Return the existing file at ``path``."""
+        with self._mu:
+            try:
+                return self._files[path]
+            except KeyError:
+                raise FileSystemError(f"no such file: {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        with self._mu:
+            return path in self._files
+
+    def unlink(self, path: str) -> None:
+        with self._mu:
+            if path not in self._files:
+                raise FileSystemError(f"no such file: {path!r}")
+            del self._files[path]
+
+    def listdir(self) -> list[str]:
+        with self._mu:
+            return sorted(self._files)
+
+    def total_sim_time(self) -> float:
+        """Accumulated simulated device seconds across all files."""
+        with self._mu:
+            return sum(f.stats.sim_time for f in self._files.values())
+
+    def reset_stats(self) -> None:
+        with self._mu:
+            for f in self._files.values():
+                f.stats.reset()

@@ -1,0 +1,71 @@
+"""Advisory byte-range locks.
+
+Data-sieving writes must lock the file region they read-modify-write so
+that the gaps in the file buffer do not clobber concurrent writers (paper
+§2.2).  ROMIO uses ``fcntl`` range locks; this manager provides the same
+semantics for the in-memory file system: exclusive locks over ``[lo, hi)``
+ranges, blocking on conflict, with deadlock-free FIFO wakeup.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+from repro.errors import LockError
+
+__all__ = ["RangeLockManager"]
+
+
+class RangeLockManager:
+    """Exclusive byte-range locks over one file."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        # owner (thread ident) -> list of held (lo, hi) ranges
+        self._held: Dict[int, List[Tuple[int, int]]] = {}
+
+    @staticmethod
+    def _overlaps(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+        return a[0] < b[1] and b[0] < a[1]
+
+    def _conflicts(self, me: int, rng: Tuple[int, int]) -> bool:
+        for owner, ranges in self._held.items():
+            if owner == me:
+                continue
+            for r in ranges:
+                if self._overlaps(r, rng):
+                    return True
+        return False
+
+    def lock(self, lo: int, hi: int) -> None:
+        """Acquire an exclusive lock on ``[lo, hi)``; blocks on conflict."""
+        if hi <= lo:
+            raise LockError(f"empty lock range [{lo}, {hi})")
+        me = threading.get_ident()
+        rng = (lo, hi)
+        with self._cond:
+            while self._conflicts(me, rng):
+                self._cond.wait()
+            self._held.setdefault(me, []).append(rng)
+
+    def unlock(self, lo: int, hi: int) -> None:
+        """Release a previously acquired lock on exactly ``[lo, hi)``."""
+        me = threading.get_ident()
+        with self._cond:
+            ranges = self._held.get(me, [])
+            try:
+                ranges.remove((lo, hi))
+            except ValueError:
+                raise LockError(
+                    f"thread does not hold lock [{lo}, {hi})"
+                ) from None
+            if not ranges:
+                del self._held[me]
+            self._cond.notify_all()
+
+    def held_by_me(self) -> List[Tuple[int, int]]:
+        """Ranges currently held by the calling thread (for tests)."""
+        me = threading.get_ident()
+        with self._cond:
+            return list(self._held.get(me, []))

@@ -1,0 +1,93 @@
+"""POSIX-style per-open file handle.
+
+The paper contrasts MPI-IO's rich access model with "the standard POSIX
+I/O interface available at the operating system level".  This module
+provides that baseline interface over the simulated file system — a
+cursor-based ``read``/``write``/``lseek`` handle — used by the examples
+to demonstrate what non-contiguous access costs when each block needs its
+own seek+read/write pair, and by tests as a second, independent access
+path to the same bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FileSystemError
+from repro.fs.simfile import SimFile
+
+__all__ = ["PosixFile", "SEEK_SET", "SEEK_CUR", "SEEK_END"]
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+
+class PosixFile:
+    """A per-open cursor over a :class:`SimFile`."""
+
+    def __init__(self, simfile: SimFile) -> None:
+        self._file = simfile
+        self._pos = 0
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise FileSystemError("I/O on closed file")
+
+    def lseek(self, offset: int, whence: int = SEEK_SET) -> int:
+        """Move the cursor; returns the new absolute position."""
+        self._check_open()
+        if whence == SEEK_SET:
+            pos = offset
+        elif whence == SEEK_CUR:
+            pos = self._pos + offset
+        elif whence == SEEK_END:
+            pos = self._file.size + offset
+        else:
+            raise FileSystemError(f"bad whence {whence}")
+        if pos < 0:
+            raise FileSystemError(f"seek to negative offset {pos}")
+        self._pos = pos
+        return pos
+
+    def tell(self) -> int:
+        self._check_open()
+        return self._pos
+
+    def read(self, nbytes: int) -> np.ndarray:
+        """Read up to ``nbytes`` at the cursor, advancing it."""
+        self._check_open()
+        out = self._file.pread(self._pos, nbytes)
+        self._pos += out.size
+        return out
+
+    def write(self, data: np.ndarray) -> int:
+        """Write at the cursor, advancing it."""
+        self._check_open()
+        n = self._file.pwrite(self._pos, data)
+        self._pos += n
+        return n
+
+    def pread(self, offset: int, nbytes: int) -> np.ndarray:
+        """Positional read (does not move the cursor)."""
+        self._check_open()
+        return self._file.pread(offset, nbytes)
+
+    def pwrite(self, offset: int, data: np.ndarray) -> int:
+        """Positional write (does not move the cursor)."""
+        self._check_open()
+        return self._file.pwrite(offset, data)
+
+    def ftruncate(self, length: int) -> None:
+        self._check_open()
+        self._file.truncate(length)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "PosixFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

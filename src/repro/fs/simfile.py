@@ -1,0 +1,139 @@
+"""The shared in-memory file object.
+
+A :class:`SimFile` stores bytes in a growable NumPy array, supports
+absolute-offset reads/writes (``pread``/``pwrite`` semantics), is safe for
+concurrent access from the rank threads, and charges every operation to
+its :class:`~repro.fs.stats.FileStats` via the owning file system's
+:class:`~repro.fs.stats.DeviceModel`.
+
+Reads beyond end-of-file return the available prefix (POSIX semantics);
+writes beyond end-of-file extend the file, zero-filling any gap.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import FileSystemError
+from repro.fs.locks import RangeLockManager
+from repro.fs.stats import DeviceModel, FileStats
+from repro.fs.striping import StripingConfig
+
+__all__ = ["SimFile"]
+
+
+class SimFile:
+    """One file: bytes, size, locks and statistics."""
+
+    def __init__(
+        self,
+        name: str,
+        device: DeviceModel,
+        striping: StripingConfig,
+        initial_capacity: int = 4096,
+    ) -> None:
+        self.name = name
+        self.device = device
+        self.striping = striping
+        self.stats = FileStats()
+        self.locks = RangeLockManager()
+        self._data = np.zeros(max(initial_capacity, 16), dtype=np.uint8)
+        self._size = 0
+        self._mu = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Current file size in bytes."""
+        with self._mu:
+            return self._size
+
+    def _ensure_capacity(self, needed: int) -> None:
+        if needed <= self._data.size:
+            return
+        cap = self._data.size
+        while cap < needed:
+            cap *= 2
+        grown = np.zeros(cap, dtype=np.uint8)
+        grown[: self._size] = self._data[: self._size]
+        self._data = grown
+
+    # ------------------------------------------------------------------
+    def pread(self, offset: int, nbytes: int) -> np.ndarray:
+        """Read up to ``nbytes`` at absolute ``offset``; returns a copy
+        (possibly shorter at end-of-file)."""
+        if offset < 0 or nbytes < 0:
+            raise FileSystemError(
+                f"invalid read [{offset}, {offset + nbytes})"
+            )
+        with self._mu:
+            end = min(offset + nbytes, self._size)
+            if end <= offset:
+                out = np.empty(0, dtype=np.uint8)
+            else:
+                out = self._data[offset:end].copy()
+        streams = self.striping.streams_for(offset, out.size)
+        self.stats.record_read(out.size, self.device.read_time(out.size, streams))
+        return out
+
+    def pread_into(self, offset: int, out: np.ndarray) -> int:
+        """Read into a caller buffer; returns bytes read."""
+        if offset < 0:
+            raise FileSystemError(f"invalid read offset {offset}")
+        with self._mu:
+            end = min(offset + out.size, self._size)
+            n = max(end - offset, 0)
+            if n:
+                out[:n] = self._data[offset:end]
+        streams = self.striping.streams_for(offset, n)
+        self.stats.record_read(n, self.device.read_time(n, streams))
+        return n
+
+    def pwrite(self, offset: int, data: np.ndarray) -> int:
+        """Write ``data`` at absolute ``offset``, extending the file as
+        needed; returns bytes written."""
+        if offset < 0:
+            raise FileSystemError(f"invalid write offset {offset}")
+        buf = data.view(np.uint8).reshape(-1)
+        n = buf.size
+        with self._mu:
+            self._ensure_capacity(offset + n)
+            if offset > self._size:
+                # POSIX hole: zero-fill (capacity array is already zeroed
+                # only on first growth, so clear explicitly).
+                self._data[self._size : offset] = 0
+            self._data[offset : offset + n] = buf
+            self._size = max(self._size, offset + n)
+        streams = self.striping.streams_for(offset, n)
+        self.stats.record_write(n, self.device.write_time(n, streams))
+        return n
+
+    def truncate(self, length: int) -> None:
+        """Set the file size (extend with zeros or cut)."""
+        if length < 0:
+            raise FileSystemError(f"negative truncate length {length}")
+        with self._mu:
+            self._ensure_capacity(length)
+            if length > self._size:
+                self._data[self._size : length] = 0
+            self._size = length
+
+    # ------------------------------------------------------------------
+    def lock_range(self, lo: int, hi: int) -> None:
+        """Acquire the advisory lock for a read-modify-write region."""
+        self.locks.lock(lo, hi)
+        self.stats.record_lock()
+
+    def unlock_range(self, lo: int, hi: int) -> None:
+        self.locks.unlock(lo, hi)
+
+    # ------------------------------------------------------------------
+    def contents(self) -> np.ndarray:
+        """A copy of the whole file (tests and examples)."""
+        with self._mu:
+            return self._data[: self._size].copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimFile {self.name!r} size={self.size}>"

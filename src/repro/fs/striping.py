@@ -1,0 +1,40 @@
+"""Striping configuration for the simulated storage.
+
+A file's bytes are distributed round-robin over ``ndisks`` simulated
+devices in units of ``stripe_size``.  The device model charges an access
+according to how many devices it engages: a large access striped over all
+disks enjoys the aggregated bandwidth, a small one pays single-disk
+bandwidth — reproducing the "suitable striping configuration" effect the
+paper notes for parallel file access (§4.2, "Number of processes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StripingConfig"]
+
+
+@dataclass(frozen=True)
+class StripingConfig:
+    """Round-robin striping over simulated disks."""
+
+    ndisks: int = 1
+    stripe_size: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.ndisks < 1:
+            raise ValueError(f"ndisks must be >= 1, got {self.ndisks}")
+        if self.stripe_size < 1:
+            raise ValueError(
+                f"stripe_size must be >= 1, got {self.stripe_size}"
+            )
+
+    def streams_for(self, offset: int, nbytes: int) -> int:
+        """Number of distinct disks an access ``[offset, offset+nbytes)``
+        touches (bounds the bandwidth aggregation)."""
+        if nbytes <= 0:
+            return 1
+        first = offset // self.stripe_size
+        last = (offset + nbytes - 1) // self.stripe_size
+        return min(self.ndisks, last - first + 1)

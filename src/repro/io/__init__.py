@@ -1,0 +1,57 @@
+"""MPI-IO layer: file handles, fileviews, independent and collective I/O.
+
+The public entry point is :class:`repro.io.file_handle.File`:
+
+>>> fh = File.open(comm, fs, "/data", MODE_CREATE | MODE_RDWR,
+...                engine="listless")          # or "list_based"
+>>> fh.set_view(disp, etype, filetype)          # collective
+>>> fh.write_at_all(offset_in_etypes, buffer, count, memtype)
+>>> fh.close()
+
+Two interchangeable engines implement the non-contiguous machinery:
+
+* ``list_based`` (:mod:`repro.io.engines.list_based`) — the conventional
+  ROMIO approach the paper's §2 describes: explicit ol-lists, linear list
+  traversal for positioning, per-tuple copy loops, per-access ol-list
+  exchange for collective I/O and ol-list merging for the collective-write
+  optimization.
+* ``listless`` (:mod:`repro.io.engines.listless`) — the paper's §3:
+  flattening-on-the-fly pack/unpack, O(depth) navigation, fileview
+  caching, and the mergeview contiguity check.
+
+Both engines share the same data sieving and two-phase drivers
+(:mod:`repro.io.sieving`, :mod:`repro.io.two_phase`), so measured
+differences isolate exactly what the paper changed.
+"""
+
+from repro.io.hints import Hints
+from repro.io.fileview import FileView
+from repro.io.file_handle import (
+    File,
+    MODE_RDONLY,
+    MODE_WRONLY,
+    MODE_RDWR,
+    MODE_CREATE,
+    MODE_EXCL,
+    MODE_DELETE_ON_CLOSE,
+    MODE_APPEND,
+    SEEK_SET,
+    SEEK_CUR,
+    SEEK_END,
+)
+
+__all__ = [
+    "File",
+    "FileView",
+    "Hints",
+    "MODE_RDONLY",
+    "MODE_WRONLY",
+    "MODE_RDWR",
+    "MODE_CREATE",
+    "MODE_EXCL",
+    "MODE_DELETE_ON_CLOSE",
+    "MODE_APPEND",
+    "SEEK_SET",
+    "SEEK_CUR",
+    "SEEK_END",
+]

@@ -1,0 +1,25 @@
+"""I/O engines: the conventional list-based baseline and listless I/O."""
+
+from repro.io.engines.base import IOEngine
+from repro.io.engines.list_based import ListBasedEngine
+from repro.io.engines.listless import ListlessEngine
+
+ENGINES = {
+    ListBasedEngine.name: ListBasedEngine,
+    ListlessEngine.name: ListlessEngine,
+}
+
+
+def make_engine(name: str, fh) -> IOEngine:
+    """Instantiate the engine ``name`` ("list_based" or "listless")."""
+    try:
+        cls = ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; choose from {sorted(ENGINES)}"
+        ) from None
+    return cls(fh)
+
+
+__all__ = ["IOEngine", "ListBasedEngine", "ListlessEngine", "make_engine",
+           "ENGINES"]

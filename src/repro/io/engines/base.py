@@ -1,0 +1,215 @@
+"""Engine interface and the logic both engines share.
+
+An engine translates *view-relative data offsets* into file accesses.  The
+file handle drives it through five operations: ``setup_view`` (collective,
+once per ``set_view``) and the four access kinds (independent/collective ×
+read/write), each given a :class:`~repro.io.fileview.MemDescriptor` and
+the starting data offset through the view.
+
+The base class implements everything that does not depend on the datatype
+representation: the contiguous-view fast paths (c-c and nc-c in the
+paper's Fig. 1 taxonomy), collective orchestration order, and common
+geometry.  Subclasses supply navigation, the pack/unpack kernels, the
+collective metadata exchange, and the contiguity check — precisely the
+pieces the paper replaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+import numpy as np
+
+from repro.errors import IOEngineError
+from repro.io.fileview import MemDescriptor
+from repro.io.two_phase import (
+    AccessRange,
+    aggregate_ranges,
+    partition_domains,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.io.file_handle import File
+
+__all__ = ["IOEngine", "EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Counters quantifying the paper's §2.4 overheads per rank.
+
+    The list-based engine increments the ``list_*`` family; the listless
+    engine increments ``ff_*``.  Tests and benchmarks read these to
+    verify, for example, that the listless engine builds zero tuples, or
+    how many tuples a collective access shipped.
+    """
+
+    #: ol-list tuples materialized (flattening + per-access expansions)
+    list_tuples_built: int = 0
+    #: ol-list tuples serialized to other ranks (16 B each on the wire)
+    list_tuples_sent: int = 0
+    #: tuples fed through the O(Σ Nblock) collective-write merge
+    list_tuples_merged: int = 0
+    #: linear list scans performed for navigation
+    list_scans: int = 0
+    #: O(depth) dataloop navigations performed
+    ff_navigations: int = 0
+    #: ff_pack/ff_unpack invocations on the memory side of accesses
+    ff_kernel_calls: int = 0
+    #: compact fileview bytes exchanged (one-time, at set_view)
+    ff_view_bytes_exchanged: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "list_tuples_built": self.list_tuples_built,
+            "list_tuples_sent": self.list_tuples_sent,
+            "list_tuples_merged": self.list_tuples_merged,
+            "list_scans": self.list_scans,
+            "ff_navigations": self.ff_navigations,
+            "ff_kernel_calls": self.ff_kernel_calls,
+            "ff_view_bytes_exchanged": self.ff_view_bytes_exchanged,
+        }
+
+
+class IOEngine:
+    """Abstract engine; one instance per (rank, open file)."""
+
+    name = "abstract"
+
+    def __init__(self, fh: "File") -> None:
+        self.fh = fh
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    def setup_view(self) -> None:
+        """Collective per-``set_view`` preparation."""
+        raise NotImplementedError
+
+    def abs_of_data(self, data_off: int, end: bool = False) -> int:
+        """Absolute file offset of view data byte ``data_off``."""
+        raise NotImplementedError
+
+    def data_of_abs(self, abs_off: int) -> int:
+        """View data bytes strictly before absolute offset ``abs_off``."""
+        raise NotImplementedError
+
+    def pack_mem(self, mem: MemDescriptor, d_lo: int, d_hi: int,
+                 out: np.ndarray) -> None:
+        """Pack memory data bytes ``[d_lo, d_hi)`` into ``out``."""
+        raise NotImplementedError
+
+    def unpack_mem(self, mem: MemDescriptor, d_lo: int, d_hi: int,
+                   data: np.ndarray) -> None:
+        """Unpack contiguous ``data`` into memory data bytes
+        ``[d_lo, d_hi)``."""
+        raise NotImplementedError
+
+    def _sieve_write(self, mem: MemDescriptor, d0: int, lo: int,
+                     hi: int) -> None:
+        raise NotImplementedError
+
+    def _sieve_read(self, mem: MemDescriptor, d0: int, lo: int,
+                    hi: int) -> None:
+        raise NotImplementedError
+
+    def _collective_write(self, mem: MemDescriptor, rng: AccessRange,
+                          ranges: List[AccessRange],
+                          domains: List[Tuple[int, int]]) -> None:
+        raise NotImplementedError
+
+    def _collective_read(self, mem: MemDescriptor, rng: AccessRange,
+                         ranges: List[AccessRange],
+                         domains: List[Tuple[int, int]]) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared geometry
+    # ------------------------------------------------------------------
+    def access_range(self, mem: MemDescriptor, d0: int) -> AccessRange:
+        """Absolute file range of an access of ``mem.nbytes`` data bytes
+        starting at view data offset ``d0``."""
+        n = mem.nbytes
+        if n == 0:
+            return AccessRange(None, None, d0, d0)
+        return AccessRange(
+            self.abs_of_data(d0),
+            self.abs_of_data(d0 + n, end=True),
+            d0,
+            d0 + n,
+        )
+
+    # ------------------------------------------------------------------
+    # Independent access (fast paths shared; sieving in subclasses)
+    # ------------------------------------------------------------------
+    def write_independent(self, mem: MemDescriptor, d0: int) -> None:
+        n = mem.nbytes
+        if n == 0:
+            return
+        view = self.fh.view
+        simfile = self.fh.simfile
+        if view.is_contiguous:
+            abs_lo = view.disp + d0
+            if mem.is_contiguous:
+                # c-c: one plain write.
+                simfile.pwrite(abs_lo, mem.contiguous_slice(0, n))
+            else:
+                # nc-c: pack to a staging buffer, one plain write.
+                stage = np.empty(n, dtype=np.uint8)
+                self.pack_mem(mem, 0, n, stage)
+                simfile.pwrite(abs_lo, stage)
+            return
+        lo = self.abs_of_data(d0)
+        hi = self.abs_of_data(d0 + n, end=True)
+        self._sieve_write(mem, d0, lo, hi)
+
+    def read_independent(self, mem: MemDescriptor, d0: int) -> None:
+        n = mem.nbytes
+        if n == 0:
+            return
+        view = self.fh.view
+        simfile = self.fh.simfile
+        if view.is_contiguous:
+            abs_lo = view.disp + d0
+            if mem.is_contiguous:
+                got = simfile.pread_into(abs_lo, mem.contiguous_slice(0, n))
+                if got < n:
+                    raise IOEngineError(
+                        f"short read: {got} of {n} bytes at {abs_lo}"
+                    )
+            else:
+                stage = np.empty(n, dtype=np.uint8)
+                got = simfile.pread_into(abs_lo, stage)
+                if got < n:
+                    raise IOEngineError(
+                        f"short read: {got} of {n} bytes at {abs_lo}"
+                    )
+                self.unpack_mem(mem, 0, n, stage)
+            return
+        lo = self.abs_of_data(d0)
+        hi = self.abs_of_data(d0 + n, end=True)
+        self._sieve_read(mem, d0, lo, hi)
+
+    # ------------------------------------------------------------------
+    # Collective access (orchestration shared; phases in subclasses)
+    # ------------------------------------------------------------------
+    def _collective(self, mem: MemDescriptor, d0: int, write: bool) -> None:
+        comm = self.fh.comm
+        rng = self.access_range(mem, d0)
+        ranges, agg_lo, agg_hi = aggregate_ranges(comm, rng)
+        if agg_lo is None:
+            return  # nobody accesses anything
+        niops = self.fh.hints.effective_cb_nodes(comm.size)
+        domains = partition_domains(agg_lo, agg_hi, niops)
+        if write:
+            self._collective_write(mem, rng, ranges, domains)
+        else:
+            self._collective_read(mem, rng, ranges, domains)
+
+    def write_collective(self, mem: MemDescriptor, d0: int) -> None:
+        self._collective(mem, d0, write=True)
+
+    def read_collective(self, mem: MemDescriptor, d0: int) -> None:
+        self._collective(mem, d0, write=False)

@@ -1,0 +1,425 @@
+"""The list-based I/O engine — a faithful re-implementation of the
+conventional (ROMIO) approach the paper's §2 analyzes.
+
+Every cost the paper attributes to ol-lists is really paid here:
+
+* the filetype is explicitly flattened at ``set_view`` (O(Nblock) time and
+  16 bytes/tuple of memory, cached per datatype as ROMIO caches it);
+* a fresh ol-list is built for the memtype on *every* access and dropped
+  afterwards (paper §2.1, last paragraph);
+* positioning the file pointer walks the list linearly — O(Nblock/2) list
+  elements per navigation on average (§2.2);
+* data sieving copies one ``(offset, length)`` tuple at a time in an
+  interpreted loop, reading the tuple before each copy (§2.1 "Copy time");
+* collective access expands each AP's view over every IOP's file domain
+  into per-pair ol-lists that are *sent along with the data* (16 bytes per
+  tuple of wire volume, §2.3), and the collective-write contiguity
+  optimization merges all received lists per window (§2.3, last
+  paragraph).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.flatten.flattener import flatten_cached, flatten_datatype
+from repro.flatten.list_ops import expand_range, merge_lists
+from repro.flatten.ol_list import OLList
+from repro.io.engines.base import IOEngine
+from repro.io.fileview import MemDescriptor
+from repro.io.sieving import read_window, windows
+from repro.io.two_phase import AccessRange
+
+__all__ = ["ListBasedEngine"]
+
+
+def _clip(x: int, lo: int, hi: int) -> int:
+    return lo if x < lo else hi if x > hi else x
+
+
+class ListBasedEngine(IOEngine):
+    """Conventional ol-list I/O engine."""
+
+    name = "list_based"
+
+    def __init__(self, fh) -> None:
+        super().__init__(fh)
+        self.flat: Optional[OLList] = None
+
+    # ------------------------------------------------------------------
+    def setup_view(self) -> None:
+        """Explicitly flatten the filetype (no exchange happens here —
+        the conventional implementation ships lists per access)."""
+        cold = getattr(self.fh.view.filetype, "_ollist_cache", None) is None
+        self.flat = flatten_cached(self.fh.view.filetype)
+        if cold:
+            self.stats.list_tuples_built += len(self.flat)
+        # Collective call contract: everyone still synchronizes.
+        self.fh.comm.barrier()
+
+    # ------------------------------------------------------------------
+    # Navigation by linear list traversal (the paper's §2.2 overhead)
+    # ------------------------------------------------------------------
+    def abs_of_data(self, data_off: int, end: bool = False) -> int:
+        assert self.flat is not None
+        view = self.fh.view
+        self.stats.list_scans += 1
+        if end and data_off > 0:
+            q, r = divmod(data_off - 1, view.ft_size)
+            i, within = self.flat.find_position(r)  # linear scan
+            return (
+                view.disp
+                + q * view.ft_extent
+                + self.flat.offsets[i]
+                + within
+                + 1
+            )
+        q, r = divmod(data_off, view.ft_size)
+        i, within = self.flat.find_position(r)  # linear scan
+        if i == len(self.flat):
+            return view.disp + (q + 1) * view.ft_extent + self.flat.offsets[0]
+        return view.disp + q * view.ft_extent + self.flat.offsets[i] + within
+
+    def data_of_abs(self, abs_off: int) -> int:
+        assert self.flat is not None
+        view = self.fh.view
+        rel = abs_off - view.disp
+        if rel <= 0:
+            return 0
+        self.stats.list_scans += 1
+        q, r = divmod(rel, view.ft_extent)
+        return q * view.ft_size + self.flat.data_before(r)  # linear scan
+
+    # ------------------------------------------------------------------
+    # Memory side: per-access flattening, per-tuple copy loops
+    # ------------------------------------------------------------------
+    def _mem_blocks(
+        self, mem: MemDescriptor, d_lo: int, d_hi: int
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(buffer_offset, length, data_offset)`` per contiguous
+        memory block overlapping data range ``[d_lo, d_hi)``.
+
+        The memtype ol-list is built fresh for the access — exactly as
+        ROMIO does — and traversed linearly from the start.
+        """
+        flat = flatten_datatype(mem.memtype)  # fresh list, per access
+        self.stats.list_tuples_built += len(flat)
+        ext = mem.memtype.extent
+        base = mem.origin
+        dpos = 0
+        for inst in range(mem.count):
+            ioff = base + inst * ext
+            for off, ln in zip(flat.offsets, flat.lengths):
+                if dpos + ln > d_lo and dpos < d_hi:
+                    a = max(d_lo - dpos, 0)
+                    b = min(d_hi - dpos, ln)
+                    yield (ioff + off + a, b - a, dpos + a)
+                dpos += ln
+                if dpos >= d_hi:
+                    return
+
+    def pack_mem(self, mem: MemDescriptor, d_lo: int, d_hi: int,
+                 out: np.ndarray) -> None:
+        if mem.is_contiguous:
+            out[: d_hi - d_lo] = mem.contiguous_slice(d_lo, d_hi - d_lo)
+            return
+        buf = mem.as_bytes
+        for boff, ln, doff in self._mem_blocks(mem, d_lo, d_hi):
+            out[doff - d_lo : doff - d_lo + ln] = buf[boff : boff + ln]
+
+    def unpack_mem(self, mem: MemDescriptor, d_lo: int, d_hi: int,
+                   data: np.ndarray) -> None:
+        if mem.is_contiguous:
+            mem.contiguous_slice(d_lo, d_hi - d_lo)[...] = data[: d_hi - d_lo]
+            return
+        buf = mem.as_bytes
+        for boff, ln, doff in self._mem_blocks(mem, d_lo, d_hi):
+            buf[boff : boff + ln] = data[doff - d_lo : doff - d_lo + ln]
+
+    # ------------------------------------------------------------------
+    # View-side block walk (linear, with running state as in ROMIO)
+    # ------------------------------------------------------------------
+    def _view_blocks(
+        self, lo: int, hi: int
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(abs_offset, length, data_offset)`` per view block
+        clipped to absolute range ``[lo, hi)``, walking the flattened list
+        one tuple at a time."""
+        assert self.flat is not None
+        view = self.fh.view
+        flat = self.flat
+        if len(flat) == 0:
+            return
+        ext = view.ft_extent
+        fsize = view.ft_size
+        rel = lo - view.disp
+        inst = max(rel - flat.end_offset(), 0) // ext if ext else 0
+        while True:
+            base = view.disp + inst * ext
+            if base + flat.offsets[0] >= hi:
+                return
+            dbase = inst * fsize
+            dpos = 0
+            for off, ln in zip(flat.offsets, flat.lengths):
+                a = base + off
+                b = a + ln
+                if b > lo and a < hi:
+                    s = max(lo - a, 0)
+                    e = min(hi - a, ln)
+                    yield (a + s, e - s, dbase + dpos + s)
+                dpos += ln
+                if a >= hi:
+                    break
+            inst += 1
+
+    # ------------------------------------------------------------------
+    # Independent access: data sieving with per-tuple copies
+    # ------------------------------------------------------------------
+    def _sieve_write(self, mem: MemDescriptor, d0: int, lo: int,
+                     hi: int) -> None:
+        fh = self.fh
+        simfile = fh.simfile
+        d1 = d0 + mem.nbytes
+        if not fh.hints.ds_write:
+            self._blockwise_write(mem, d0, lo, hi)
+            return
+        # ROMIO packs a non-contiguous user buffer once, up front.
+        stage = self._stage_pack(mem)
+        bufsize = fh.hints.ind_wr_buffer_size
+        for wlo, whi in windows(lo, hi, bufsize):
+            simfile.lock_range(wlo, whi)
+            try:
+                fb = read_window(simfile, wlo, whi)
+                wrote = False
+                for a, ln, doff in self._view_blocks(wlo, whi):
+                    if doff >= d1:
+                        break
+                    fb[a - wlo : a - wlo + ln] = stage[
+                        doff - d0 : doff - d0 + ln
+                    ]
+                    wrote = True
+                if wrote:
+                    simfile.pwrite(wlo, fb)
+            finally:
+                simfile.unlock_range(wlo, whi)
+
+    def _sieve_read(self, mem: MemDescriptor, d0: int, lo: int,
+                    hi: int) -> None:
+        fh = self.fh
+        simfile = fh.simfile
+        d1 = d0 + mem.nbytes
+        if not fh.hints.ds_read:
+            self._blockwise_read(mem, d0, lo, hi)
+            return
+        stage = np.empty(mem.nbytes, dtype=np.uint8)
+        bufsize = fh.hints.ind_rd_buffer_size
+        for wlo, whi in windows(lo, hi, bufsize):
+            fb = read_window(simfile, wlo, whi)
+            for a, ln, doff in self._view_blocks(wlo, whi):
+                if doff >= d1:
+                    break
+                stage[doff - d0 : doff - d0 + ln] = fb[a - wlo : a - wlo + ln]
+        self.unpack_mem(mem, 0, mem.nbytes, stage)
+
+    def _stage_pack(self, mem: MemDescriptor) -> np.ndarray:
+        """Contiguous staging copy of the whole access (per-tuple loop)."""
+        if mem.is_contiguous:
+            return mem.contiguous_slice(0, mem.nbytes)
+        stage = np.empty(mem.nbytes, dtype=np.uint8)
+        self.pack_mem(mem, 0, mem.nbytes, stage)
+        return stage
+
+    def _blockwise_write(self, mem: MemDescriptor, d0: int, lo: int,
+                         hi: int) -> None:
+        """Sieving disabled: one file write per view block (per tuple)."""
+        stage = self._stage_pack(mem)
+        simfile = self.fh.simfile
+        for a, ln, doff in self._view_blocks(lo, hi):
+            simfile.pwrite(a, stage[doff - d0 : doff - d0 + ln])
+
+    def _blockwise_read(self, mem: MemDescriptor, d0: int, lo: int,
+                        hi: int) -> None:
+        """Sieving disabled: one file read per view block (per tuple)."""
+        stage = np.empty(mem.nbytes, dtype=np.uint8)
+        simfile = self.fh.simfile
+        for a, ln, doff in self._view_blocks(lo, hi):
+            simfile.pread_into(a, stage[doff - d0 : doff - d0 + ln])
+        self.unpack_mem(mem, 0, mem.nbytes, stage)
+
+    # ------------------------------------------------------------------
+    # Collective access: per-access ol-list exchange + list merging
+    # ------------------------------------------------------------------
+    def _collective_write(self, mem, rng: AccessRange, ranges, domains):
+        assert self.flat is not None
+        fh = self.fh
+        comm = fh.comm
+        view = fh.view
+        niops = len(domains)
+        stage = self._stage_pack(mem) if not rng.empty else None
+        # --- AP phase: build and send one expanded ol-list (plus the
+        # matching data bytes) per IOP whose domain I touch.
+        outbound: List[Optional[Tuple[OLList, np.ndarray, int]]]
+        outbound = [None] * comm.size
+        if not rng.empty:
+            for iop, (dlo, dhi) in enumerate(domains):
+                a_lo = max(dlo, rng.abs_lo)
+                a_hi = min(dhi, rng.abs_hi)
+                if a_hi <= a_lo:
+                    continue
+                ol = expand_range(
+                    self.flat, view.ft_extent, view.disp, a_lo, a_hi
+                )
+                if len(ol) == 0:
+                    continue
+                self.stats.list_tuples_built += len(ol)
+                self.stats.list_tuples_sent += len(ol)
+                dl = self.data_of_abs(ol.offsets[0])
+                data = stage[dl - rng.data_lo : dl - rng.data_lo + ol.size]
+                outbound[iop] = (ol, data, dl)
+        inbound = comm.alltoall(outbound)
+        # --- IOP phase.
+        if comm.rank >= niops:
+            return
+        dlo, dhi = domains[comm.rank]
+        if dhi <= dlo:
+            return
+        contribs = [
+            (item[0], item[1])
+            for item in inbound
+            if item is not None and len(item[0]) > 0
+        ]
+        if not contribs:
+            return
+        simfile = fh.simfile
+        cursors = [[0, 0] for _ in contribs]  # [block index, data pos]
+        for wlo, whi in windows(dlo, dhi, fh.hints.cb_buffer_size):
+            # Collect each AP's tuples inside the window (linear cursors).
+            window_parts: List[Tuple[OLList, np.ndarray]] = []
+            for ci, (ol, data) in enumerate(contribs):
+                idx, dpos = cursors[ci]
+                picked: List[Tuple[int, int]] = []
+                dstart = dpos
+                while idx < len(ol):
+                    o, ln = ol.offsets[idx], ol.lengths[idx]
+                    if o >= whi:
+                        break
+                    if o + ln <= wlo:
+                        idx += 1
+                        dpos += ln
+                        continue
+                    s = max(wlo - o, 0)
+                    e = min(whi - o, ln)
+                    if not picked:
+                        dstart = dpos + s
+                    picked.append((o + s, e - s))
+                    if o + ln <= whi:
+                        idx += 1
+                        dpos += ln
+                    else:
+                        break  # block continues into the next window
+                cursors[ci] = [idx, dpos]
+                if picked:
+                    total = sum(ln for _, ln in picked)
+                    window_parts.append(
+                        (OLList(picked), data[dstart : dstart + total])
+                    )
+            if not window_parts:
+                continue
+            # ROMIO's contiguity optimization: merge all lists; skip the
+            # pre-read iff they form one block covering the window.
+            self.stats.list_tuples_merged += sum(
+                len(p) for p, _ in window_parts
+            )
+            merged = merge_lists([p for p, _ in window_parts])
+            covered = (
+                len(merged) == 1
+                and merged[0][0] <= wlo
+                and merged[0][0] + merged[0][1] >= whi
+            )
+            if covered:
+                fb = np.empty(whi - wlo, dtype=np.uint8)
+            else:
+                fb = read_window(simfile, wlo, whi)
+            for ol, data in window_parts:
+                pos = 0
+                for o, ln in zip(ol.offsets, ol.lengths):
+                    fb[o - wlo : o - wlo + ln] = data[pos : pos + ln]
+                    pos += ln
+            simfile.pwrite(wlo, fb)
+
+    def _collective_read(self, mem, rng: AccessRange, ranges, domains):
+        assert self.flat is not None
+        fh = self.fh
+        comm = fh.comm
+        view = fh.view
+        niops = len(domains)
+        # --- AP phase 1: request lists go to the IOPs.
+        requests: List[Optional[Tuple[OLList, int]]] = [None] * comm.size
+        if not rng.empty:
+            for iop, (dlo, dhi) in enumerate(domains):
+                a_lo = max(dlo, rng.abs_lo)
+                a_hi = min(dhi, rng.abs_hi)
+                if a_hi <= a_lo:
+                    continue
+                ol = expand_range(
+                    self.flat, view.ft_extent, view.disp, a_lo, a_hi
+                )
+                if len(ol) == 0:
+                    continue
+                self.stats.list_tuples_built += len(ol)
+                self.stats.list_tuples_sent += len(ol)
+                dl = self.data_of_abs(ol.offsets[0])
+                requests[iop] = (ol, dl)
+        incoming = comm.alltoall(requests)
+        # --- IOP phase: read windows and serve each request per tuple.
+        replies: List[Optional[Tuple[np.ndarray, int]]] = [None] * comm.size
+        if comm.rank < niops:
+            dlo, dhi = domains[comm.rank]
+            reqs = [
+                (src, item[0], item[1], np.empty(item[0].size, np.uint8))
+                for src, item in enumerate(incoming)
+                if item is not None
+            ]
+            if reqs and dhi > dlo:
+                simfile = fh.simfile
+                cursors = {src: [0, 0] for src, *_ in reqs}
+                for wlo, whi in windows(dlo, dhi, fh.hints.cb_buffer_size):
+                    fb = None
+                    for src, ol, _dl, buf in reqs:
+                        idx, dpos = cursors[src]
+                        while idx < len(ol):
+                            o, ln = ol.offsets[idx], ol.lengths[idx]
+                            if o >= whi:
+                                break
+                            if o + ln <= wlo:
+                                idx += 1
+                                dpos += ln
+                                continue
+                            if fb is None:
+                                fb = read_window(simfile, wlo, whi)
+                            s = max(wlo - o, 0)
+                            e = min(whi - o, ln)
+                            buf[dpos + s : dpos + e] = fb[
+                                o + s - wlo : o + e - wlo
+                            ]
+                            if o + ln <= whi:
+                                idx += 1
+                                dpos += ln
+                            else:
+                                break
+                        cursors[src] = [idx, dpos]
+                for src, _ol, dl, buf in reqs:
+                    replies[src] = (buf, dl)
+        returned = comm.alltoall(replies)
+        # --- AP phase 2: place the returned segments, then unpack.
+        if rng.empty:
+            return
+        stage = np.empty(mem.nbytes, dtype=np.uint8)
+        for item in returned:
+            if item is None:
+                continue
+            buf, dl = item
+            stage[dl - rng.data_lo : dl - rng.data_lo + buf.size] = buf
+        self.unpack_mem(mem, 0, mem.nbytes, stage)

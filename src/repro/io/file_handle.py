@@ -1,0 +1,691 @@
+"""The MPI-IO file handle.
+
+:class:`File` mirrors the ``MPI_File`` API surface that the paper's
+workloads use: collective open/close, ``set_view``, independent and
+collective reads/writes at explicit offsets or via individual/shared file
+pointers, size management, and atomicity control.
+
+Offsets and file pointers count in *etype units* of the current view; a
+buffer is described by ``(buf, count, memtype)`` exactly as in MPI.  All
+byte movement is delegated to the configured engine (``"listless"`` or
+``"list_based"``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+from repro.core.fileview_cache import FileviewCache
+from repro.datatypes.base import Datatype
+from repro.datatypes.basic import BYTE
+from repro.errors import IOEngineError
+from repro.fs.filesystem import SimFileSystem
+from repro.fs.simfile import SimFile
+from repro.io.fileview import FileView, MemDescriptor, default_view
+from repro.io.hints import Hints
+from repro.io.request import Request
+from repro.mpi.communicator import Comm
+
+__all__ = [
+    "File",
+    "SharedFileState",
+    "MODE_RDONLY",
+    "MODE_WRONLY",
+    "MODE_RDWR",
+    "MODE_CREATE",
+    "MODE_EXCL",
+    "MODE_DELETE_ON_CLOSE",
+    "MODE_APPEND",
+    "SEEK_SET",
+    "SEEK_CUR",
+    "SEEK_END",
+]
+
+MODE_RDONLY = 0x01
+MODE_WRONLY = 0x02
+MODE_RDWR = 0x04
+MODE_CREATE = 0x08
+MODE_EXCL = 0x10
+MODE_DELETE_ON_CLOSE = 0x20
+MODE_APPEND = 0x40
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+
+class SharedFileState:
+    """State shared by all ranks that opened the same file."""
+
+    def __init__(self, simfile: SimFile, path: str,
+                 requires_ol_lists: bool = False) -> None:
+        self.simfile = simfile
+        self.path = path
+        self.shared_ptr = 0  # etype units
+        self.shared_ptr_lock = threading.Lock()
+        self.fileview_cache = FileviewCache()
+        self.atomicity = False
+        #: NFS/PVFS-like file system (paper footnote 4): ol-lists must
+        #: still be created even by the listless engine.
+        self.requires_ol_lists = requires_ol_lists
+
+
+def _validate_amode(amode: int) -> None:
+    access = [
+        m for m in (MODE_RDONLY, MODE_WRONLY, MODE_RDWR) if amode & m
+    ]
+    if len(access) != 1:
+        raise IOEngineError(
+            "amode must contain exactly one of MODE_RDONLY, MODE_WRONLY, "
+            "MODE_RDWR"
+        )
+    if amode & MODE_RDONLY and amode & (MODE_CREATE | MODE_EXCL):
+        raise IOEngineError("MODE_RDONLY cannot combine with CREATE/EXCL")
+
+
+class File:
+    """Per-rank handle on a collectively opened file."""
+
+    def __init__(
+        self,
+        comm: Comm,
+        shared: SharedFileState,
+        amode: int,
+        engine_name: str,
+        hints: Hints,
+    ) -> None:
+        self.comm = comm
+        self.shared = shared
+        self.amode = amode
+        self.hints = hints
+        self.view: FileView = default_view()
+        self._ind_ptr = 0  # etype units
+        self._closed = False
+        self._split_pending = None  # outstanding split collective, if any
+        from repro.io.engines import make_engine
+
+        self.engine_name = engine_name
+        self.engine = make_engine(engine_name, self)
+        # Views must be installed collectively even for the default view,
+        # so collective accesses before any set_view work out of the box.
+        self.engine.setup_view()
+
+    # ------------------------------------------------------------------
+    # Open / close
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        comm: Comm,
+        fs: SimFileSystem,
+        path: str,
+        amode: int,
+        engine: str = "listless",
+        info: Optional[dict] = None,
+        hints: Optional[Hints] = None,
+    ) -> "File":
+        """Collectively open ``path`` on ``fs``.
+
+        ``engine`` picks the non-contiguous machinery (``"listless"`` or
+        ``"list_based"``); ``info`` takes ``MPI_Info``-style hint strings,
+        or pass a ready :class:`~repro.io.hints.Hints` as ``hints``.
+        """
+        _validate_amode(amode)
+        if hints is None:
+            hints = Hints.from_mapping(info)
+        elif info:
+            raise IOEngineError("pass either info or hints, not both")
+
+        if comm.rank == 0:
+            if amode & MODE_CREATE:
+                striping = None
+                if hints.striping_factor or hints.striping_unit:
+                    from repro.fs.striping import StripingConfig
+
+                    base = fs.striping
+                    striping = StripingConfig(
+                        ndisks=hints.striping_factor or base.ndisks,
+                        stripe_size=hints.striping_unit
+                        or base.stripe_size,
+                    )
+                simfile = fs.create(
+                    path, exist_ok=not (amode & MODE_EXCL),
+                    striping=striping,
+                )
+            else:
+                simfile = fs.lookup(path)
+            state = SharedFileState(
+                simfile, path,
+                requires_ol_lists=getattr(fs, "requires_ol_lists", False),
+            )
+        else:
+            state = None  # type: ignore[assignment]
+        state = comm.bcast(state, root=0)
+        fh = cls(comm, state, amode, engine, hints)
+        fh._fs = fs  # for DELETE_ON_CLOSE
+        if amode & MODE_APPEND:
+            fh.seek(fh._etypes_in_file(), SEEK_SET)
+        return fh
+
+    def close(self) -> None:
+        """Collectively close the handle."""
+        self._check_open()
+        if self._split_pending is not None:
+            raise IOEngineError(
+                "cannot close with an outstanding split collective "
+                f"({self._split_pending[0]}_begin without _end)"
+            )
+        self.comm.barrier()
+        if self.amode & MODE_DELETE_ON_CLOSE and self.comm.rank == 0:
+            fs = getattr(self, "_fs", None)
+            if fs is not None and fs.exists(self.shared.path):
+                fs.unlink(self.shared.path)
+        self.comm.barrier()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise IOEngineError("I/O on closed file handle")
+
+    def _check_readable(self) -> None:
+        if not self.amode & (MODE_RDONLY | MODE_RDWR):
+            raise IOEngineError("file not opened for reading")
+
+    def _check_writable(self) -> None:
+        if not self.amode & (MODE_WRONLY | MODE_RDWR):
+            raise IOEngineError("file not opened for writing")
+
+    # ------------------------------------------------------------------
+    # Views and pointers
+    # ------------------------------------------------------------------
+    @property
+    def simfile(self) -> SimFile:
+        return self.shared.simfile
+
+    def set_view(
+        self,
+        disp: int,
+        etype: Datatype,
+        filetype: Optional[Datatype] = None,
+        info: Optional[dict] = None,
+    ) -> None:
+        """Collectively establish a new fileview.
+
+        Resets the individual and shared file pointers to zero, as MPI
+        requires.  The listless engine exchanges compact fileviews here —
+        its one-time communication; the list-based engine only flattens.
+        """
+        self._check_open()
+        if info:
+            self.hints = Hints.from_mapping(info)
+        self.view = FileView(disp, etype, filetype or etype)
+        self._ind_ptr = 0
+        if self.comm.rank == 0:
+            self.shared.shared_ptr = 0
+        self.engine.setup_view()
+
+    def get_view(self):
+        """Return ``(disp, etype, filetype)`` of the current view."""
+        return (self.view.disp, self.view.etype, self.view.filetype)
+
+    def seek(self, offset: int, whence: int = SEEK_SET) -> None:
+        """Move the individual file pointer (etype units)."""
+        self._check_open()
+        if whence == SEEK_SET:
+            pos = offset
+        elif whence == SEEK_CUR:
+            pos = self._ind_ptr + offset
+        elif whence == SEEK_END:
+            pos = self._etypes_in_file() + offset
+        else:
+            raise IOEngineError(f"bad whence {whence}")
+        if pos < 0:
+            raise IOEngineError(f"seek to negative etype offset {pos}")
+        self._ind_ptr = pos
+
+    def tell(self) -> int:
+        """Individual file pointer in etype units."""
+        return self._ind_ptr
+
+    def _etypes_in_file(self) -> int:
+        """Etype units visible through the view up to end-of-file."""
+        return self.engine.data_of_abs(self.simfile.size) // self.view.esize
+
+    def get_byte_offset(self, offset: int) -> int:
+        """Absolute byte offset of etype offset ``offset``
+        (``MPI_File_get_byte_offset``)."""
+        self._check_open()
+        return self.engine.abs_of_data(offset * self.view.esize)
+
+    def get_position(self) -> int:
+        """Individual file pointer in etype units
+        (``MPI_File_get_position``)."""
+        self._check_open()
+        return self._ind_ptr
+
+    def get_position_shared(self) -> int:
+        """Shared file pointer in etype units
+        (``MPI_File_get_position_shared``)."""
+        self._check_open()
+        with self.shared.shared_ptr_lock:
+            return self.shared.shared_ptr
+
+    def get_amode(self) -> int:
+        """The access mode the file was opened with."""
+        self._check_open()
+        return self.amode
+
+    def get_info(self) -> Hints:
+        """The hints in effect (``MPI_File_get_info``)."""
+        self._check_open()
+        return self.hints
+
+    def set_info(self, info: Optional[dict] = None,
+                 hints: Optional[Hints] = None) -> None:
+        """Replace the hints (``MPI_File_set_info``; collective)."""
+        self._check_open()
+        if hints is not None and info:
+            raise IOEngineError("pass either info or hints, not both")
+        self.comm.barrier()
+        self.hints = hints if hints is not None else Hints.from_mapping(
+            info
+        )
+        self.comm.barrier()
+
+    def get_type_extent(self, datatype: Datatype) -> int:
+        """Extent of ``datatype`` in this file's data representation
+        (``MPI_File_get_type_extent``; the native representation here)."""
+        self._check_open()
+        return datatype.extent
+
+    # ------------------------------------------------------------------
+    # Size management
+    # ------------------------------------------------------------------
+    def get_size(self) -> int:
+        """File size in bytes."""
+        self._check_open()
+        return self.simfile.size
+
+    def set_size(self, nbytes: int) -> None:
+        """Collectively truncate/extend the file."""
+        self._check_open()
+        self._check_writable()
+        self.comm.barrier()
+        if self.comm.rank == 0:
+            self.simfile.truncate(nbytes)
+        self.comm.barrier()
+
+    def preallocate(self, nbytes: int) -> None:
+        """Collectively ensure the file is at least ``nbytes`` long."""
+        self._check_open()
+        self._check_writable()
+        self.comm.barrier()
+        if self.comm.rank == 0 and self.simfile.size < nbytes:
+            self.simfile.truncate(nbytes)
+        self.comm.barrier()
+
+    def sync(self) -> None:
+        """Flush (a no-op for the in-memory store, kept for API parity)."""
+        self._check_open()
+
+    # ------------------------------------------------------------------
+    # Atomicity
+    # ------------------------------------------------------------------
+    def set_atomicity(self, flag: bool) -> None:
+        """Collectively toggle atomic mode (whole-access locking)."""
+        self._check_open()
+        self.comm.barrier()
+        self.shared.atomicity = bool(flag)
+        self.comm.barrier()
+
+    def get_atomicity(self) -> bool:
+        return self.shared.atomicity
+
+    # ------------------------------------------------------------------
+    # Access plumbing
+    # ------------------------------------------------------------------
+    def _mem(
+        self, buf: np.ndarray, count: Optional[int], memtype: Optional[Datatype]
+    ) -> MemDescriptor:
+        if memtype is None:
+            memtype = BYTE
+            if count is None:
+                count = buf.nbytes
+        elif count is None:
+            count = 1
+        return MemDescriptor(buf, count, memtype)
+
+    def _advance(self, mem: MemDescriptor, ptr: int) -> int:
+        nbytes = mem.nbytes
+        esize = self.view.esize
+        if nbytes % esize:
+            raise IOEngineError(
+                f"access of {nbytes} bytes is not a whole number of etypes "
+                f"(etype size {esize})"
+            )
+        return ptr + nbytes // esize
+
+    def _atomic_guard(self, mem: MemDescriptor, d0: int):
+        """Whole-access range lock under atomic mode."""
+        if not self.shared.atomicity or mem.nbytes == 0:
+            return None
+        lo = self.engine.abs_of_data(d0)
+        hi = self.engine.abs_of_data(d0 + mem.nbytes, end=True)
+        self.simfile.lock_range(lo, hi)
+        return (lo, hi)
+
+    # ------------------------------------------------------------------
+    # Independent access, explicit offsets
+    # ------------------------------------------------------------------
+    def write_at(
+        self,
+        offset: int,
+        buf: np.ndarray,
+        count: Optional[int] = None,
+        memtype: Optional[Datatype] = None,
+    ) -> None:
+        """Independent write at etype offset ``offset``."""
+        self._check_open()
+        self._check_writable()
+        mem = self._mem(buf, count, memtype)
+        d0 = offset * self.view.esize
+        guard = self._atomic_guard(mem, d0)
+        try:
+            self.engine.write_independent(mem, d0)
+        finally:
+            if guard:
+                self.simfile.unlock_range(*guard)
+
+    def read_at(
+        self,
+        offset: int,
+        buf: np.ndarray,
+        count: Optional[int] = None,
+        memtype: Optional[Datatype] = None,
+    ) -> None:
+        """Independent read at etype offset ``offset``."""
+        self._check_open()
+        self._check_readable()
+        mem = self._mem(buf, count, memtype)
+        d0 = offset * self.view.esize
+        guard = self._atomic_guard(mem, d0)
+        try:
+            self.engine.read_independent(mem, d0)
+        finally:
+            if guard:
+                self.simfile.unlock_range(*guard)
+
+    # ------------------------------------------------------------------
+    # Independent access, individual file pointer
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        buf: np.ndarray,
+        count: Optional[int] = None,
+        memtype: Optional[Datatype] = None,
+    ) -> None:
+        """Independent write at the individual file pointer."""
+        mem = self._mem(buf, count, memtype)
+        self.write_at(self._ind_ptr, buf, mem.count, mem.memtype)
+        self._ind_ptr = self._advance(mem, self._ind_ptr)
+
+    def read(
+        self,
+        buf: np.ndarray,
+        count: Optional[int] = None,
+        memtype: Optional[Datatype] = None,
+    ) -> None:
+        """Independent read at the individual file pointer."""
+        mem = self._mem(buf, count, memtype)
+        self.read_at(self._ind_ptr, buf, mem.count, mem.memtype)
+        self._ind_ptr = self._advance(mem, self._ind_ptr)
+
+    # ------------------------------------------------------------------
+    # Independent access, shared file pointer
+    # ------------------------------------------------------------------
+    def _bump_shared(self, mem: MemDescriptor) -> int:
+        with self.shared.shared_ptr_lock:
+            pos = self.shared.shared_ptr
+            self.shared.shared_ptr = self._advance(mem, pos)
+            return pos
+
+    def write_shared(
+        self,
+        buf: np.ndarray,
+        count: Optional[int] = None,
+        memtype: Optional[Datatype] = None,
+    ) -> None:
+        """Independent write at the shared file pointer."""
+        self._check_open()
+        self._check_writable()
+        mem = self._mem(buf, count, memtype)
+        pos = self._bump_shared(mem)
+        self.write_at(pos, buf, mem.count, mem.memtype)
+
+    def read_shared(
+        self,
+        buf: np.ndarray,
+        count: Optional[int] = None,
+        memtype: Optional[Datatype] = None,
+    ) -> None:
+        """Independent read at the shared file pointer."""
+        self._check_open()
+        self._check_readable()
+        mem = self._mem(buf, count, memtype)
+        pos = self._bump_shared(mem)
+        self.read_at(pos, buf, mem.count, mem.memtype)
+
+    def seek_shared(self, offset: int, whence: int = SEEK_SET) -> None:
+        """Collectively move the shared file pointer."""
+        self._check_open()
+        self.comm.barrier()
+        if self.comm.rank == 0:
+            if whence == SEEK_SET:
+                pos = offset
+            elif whence == SEEK_CUR:
+                pos = self.shared.shared_ptr + offset
+            elif whence == SEEK_END:
+                pos = self._etypes_in_file() + offset
+            else:
+                raise IOEngineError(f"bad whence {whence}")
+            if pos < 0:
+                raise IOEngineError(f"seek to negative etype offset {pos}")
+            self.shared.shared_ptr = pos
+        self.comm.barrier()
+
+    # ------------------------------------------------------------------
+    # Collective access
+    # ------------------------------------------------------------------
+    def write_at_all(
+        self,
+        offset: int,
+        buf: np.ndarray,
+        count: Optional[int] = None,
+        memtype: Optional[Datatype] = None,
+    ) -> None:
+        """Collective write at etype offset ``offset``."""
+        self._check_open()
+        self._check_writable()
+        mem = self._mem(buf, count, memtype)
+        self.engine.write_collective(mem, offset * self.view.esize)
+
+    def read_at_all(
+        self,
+        offset: int,
+        buf: np.ndarray,
+        count: Optional[int] = None,
+        memtype: Optional[Datatype] = None,
+    ) -> None:
+        """Collective read at etype offset ``offset``."""
+        self._check_open()
+        self._check_readable()
+        mem = self._mem(buf, count, memtype)
+        self.engine.read_collective(mem, offset * self.view.esize)
+
+    def write_all(
+        self,
+        buf: np.ndarray,
+        count: Optional[int] = None,
+        memtype: Optional[Datatype] = None,
+    ) -> None:
+        """Collective write at the individual file pointer."""
+        mem = self._mem(buf, count, memtype)
+        self.write_at_all(self._ind_ptr, buf, mem.count, mem.memtype)
+        self._ind_ptr = self._advance(mem, self._ind_ptr)
+
+    def read_all(
+        self,
+        buf: np.ndarray,
+        count: Optional[int] = None,
+        memtype: Optional[Datatype] = None,
+    ) -> None:
+        """Collective read at the individual file pointer."""
+        mem = self._mem(buf, count, memtype)
+        self.read_at_all(self._ind_ptr, buf, mem.count, mem.memtype)
+        self._ind_ptr = self._advance(mem, self._ind_ptr)
+
+    # ------------------------------------------------------------------
+    # Ordered-mode collectives (shared file pointer, rank order)
+    # ------------------------------------------------------------------
+    def _ordered_offsets(self, mem: MemDescriptor) -> int:
+        """Collectively compute this rank's etype offset for an ordered
+        access and advance the shared pointer past all of them."""
+        esize = self.view.esize
+        if mem.nbytes % esize:
+            raise IOEngineError(
+                f"ordered access of {mem.nbytes} bytes is not a whole "
+                f"number of etypes (etype size {esize})"
+            )
+        my_etypes = mem.nbytes // esize
+        # Read the base BEFORE the allgather: the allgather then orders
+        # every rank's read before rank 0's update below, and the
+        # engine's own collectives order the update before any rank's
+        # next ordered access.
+        base = self.shared.shared_ptr
+        sizes = self.comm.allgather(my_etypes)
+        my_off = base + sum(sizes[: self.comm.rank])
+        if self.comm.rank == 0:
+            self.shared.shared_ptr = base + sum(sizes)
+        return my_off
+
+    def write_ordered(
+        self,
+        buf: np.ndarray,
+        count: Optional[int] = None,
+        memtype: Optional[Datatype] = None,
+    ) -> None:
+        """Collective write in rank order at the shared file pointer
+        (``MPI_File_write_ordered``): rank r's data lands immediately
+        after ranks 0..r-1's, and the shared pointer ends past all of
+        it."""
+        self._check_open()
+        self._check_writable()
+        mem = self._mem(buf, count, memtype)
+        my_off = self._ordered_offsets(mem)
+        self.engine.write_collective(mem, my_off * self.view.esize)
+
+    def read_ordered(
+        self,
+        buf: np.ndarray,
+        count: Optional[int] = None,
+        memtype: Optional[Datatype] = None,
+    ) -> None:
+        """Collective read in rank order at the shared file pointer
+        (``MPI_File_read_ordered``)."""
+        self._check_open()
+        self._check_readable()
+        mem = self._mem(buf, count, memtype)
+        my_off = self._ordered_offsets(mem)
+        self.engine.read_collective(mem, my_off * self.view.esize)
+
+    # ------------------------------------------------------------------
+    # Split collectives (MPI_File_write_at_all_begin / _end)
+    # ------------------------------------------------------------------
+    def _begin_split(self, kind: str, buf: np.ndarray) -> None:
+        if getattr(self, "_split_pending", None) is not None:
+            raise IOEngineError(
+                "a split collective is already outstanding on this handle"
+            )
+        self._split_pending = (kind, id(buf))
+
+    def _end_split(self, kind: str, buf: np.ndarray) -> None:
+        pending = getattr(self, "_split_pending", None)
+        if pending is None:
+            raise IOEngineError(f"{kind}_end without matching _begin")
+        if pending[0] != kind:
+            raise IOEngineError(
+                f"{kind}_end does not match outstanding {pending[0]}_begin"
+            )
+        if pending[1] != id(buf):
+            raise IOEngineError(
+                f"{kind}_end called with a different buffer than _begin"
+            )
+        self._split_pending = None
+
+    def write_at_all_begin(self, offset, buf, count=None, memtype=None):
+        """Begin a split collective write (completes the I/O eagerly;
+        ``write_at_all_end`` finishes the operation)."""
+        self._begin_split("write_at_all", buf)
+        self.write_at_all(offset, buf, count, memtype)
+
+    def write_at_all_end(self, buf) -> None:
+        """Complete a split collective write."""
+        self._end_split("write_at_all", buf)
+
+    def read_at_all_begin(self, offset, buf, count=None, memtype=None):
+        """Begin a split collective read."""
+        self._begin_split("read_at_all", buf)
+        self.read_at_all(offset, buf, count, memtype)
+
+    def read_at_all_end(self, buf) -> None:
+        """Complete a split collective read; ``buf`` holds the data."""
+        self._end_split("read_at_all", buf)
+
+    def write_all_begin(self, buf, count=None, memtype=None):
+        """Begin a split collective write at the individual pointer."""
+        self._begin_split("write_all", buf)
+        self.write_all(buf, count, memtype)
+
+    def write_all_end(self, buf) -> None:
+        self._end_split("write_all", buf)
+
+    def read_all_begin(self, buf, count=None, memtype=None):
+        """Begin a split collective read at the individual pointer."""
+        self._begin_split("read_all", buf)
+        self.read_all(buf, count, memtype)
+
+    def read_all_end(self, buf) -> None:
+        self._end_split("read_all", buf)
+
+    # ------------------------------------------------------------------
+    # Nonblocking variants (immediate completion, API parity)
+    # ------------------------------------------------------------------
+    def iwrite_at(self, offset, buf, count=None, memtype=None) -> Request:
+        """Nonblocking independent write (completes immediately)."""
+        self.write_at(offset, buf, count, memtype)
+        return Request.completed()
+
+    def iread_at(self, offset, buf, count=None, memtype=None) -> Request:
+        """Nonblocking independent read (completes immediately)."""
+        self.read_at(offset, buf, count, memtype)
+        return Request.completed()
+
+    def iwrite(self, buf, count=None, memtype=None) -> Request:
+        """Nonblocking write at the individual pointer."""
+        self.write(buf, count, memtype)
+        return Request.completed()
+
+    def iread(self, buf, count=None, memtype=None) -> Request:
+        """Nonblocking read at the individual pointer."""
+        self.read(buf, count, memtype)
+        return Request.completed()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "closed" if self._closed else "open"
+        return (
+            f"<File {self.shared.path!r} rank={self.comm.rank} "
+            f"engine={self.engine_name} {state}>"
+        )

@@ -1,0 +1,95 @@
+"""MPI-IO hints (the ``MPI_Info`` knobs ROMIO honors).
+
+Both engines obey the same buffer-size hints, so a hint change affects
+them identically and measured differences stay attributable to the
+datatype handling:
+
+``ind_rd_buffer_size`` / ``ind_wr_buffer_size``
+    file-buffer sizes for independent data sieving (ROMIO defaults:
+    4 MB read, 512 kB write — writes sieve in smaller blocks because the
+    region must be locked).
+``cb_buffer_size``
+    file-buffer size per IOP window in two-phase collective I/O (4 MB).
+``cb_nodes``
+    number of I/O processes (IOPs); default: every rank (the usual
+    configuration on the paper's single-node SX runs).
+``ds_read`` / ``ds_write``
+    enable data sieving for independent reads/writes; disabling falls
+    back to one file access per contiguous block (the "multiple file
+    accesses" alternative the paper's outlook discusses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional
+
+from repro.errors import HintError
+
+__all__ = ["Hints"]
+
+
+@dataclass(frozen=True)
+class Hints:
+    """Validated hint set for one open file."""
+
+    ind_rd_buffer_size: int = 4 * 1024 * 1024
+    ind_wr_buffer_size: int = 512 * 1024
+    cb_buffer_size: int = 4 * 1024 * 1024
+    cb_nodes: Optional[int] = None  # None → all ranks
+    ds_read: bool = True
+    ds_write: bool = True
+    #: Striping hints, honored only at file creation (as in ROMIO/Lustre):
+    #: number of simulated disks and stripe width.  None → file-system
+    #: defaults.
+    striping_factor: Optional[int] = None
+    striping_unit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("ind_rd_buffer_size", "ind_wr_buffer_size",
+                     "cb_buffer_size"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v <= 0:
+                raise HintError(f"{name} must be a positive int, got {v!r}")
+        if self.cb_nodes is not None and self.cb_nodes < 1:
+            raise HintError(f"cb_nodes must be >= 1, got {self.cb_nodes}")
+        if self.striping_factor is not None and self.striping_factor < 1:
+            raise HintError(
+                f"striping_factor must be >= 1, got {self.striping_factor}"
+            )
+        if self.striping_unit is not None and self.striping_unit < 1:
+            raise HintError(
+                f"striping_unit must be >= 1, got {self.striping_unit}"
+            )
+
+    @classmethod
+    def from_mapping(cls, info: Optional[Mapping[str, object]]) -> "Hints":
+        """Build hints from an ``MPI_Info``-style string mapping.
+
+        Unknown keys raise (silently ignoring typos hides performance
+        bugs; real ROMIO ignores them, but a library should not).
+        """
+        if not info:
+            return cls()
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        kwargs = {}
+        for key, value in info.items():
+            if key not in known:
+                raise HintError(f"unknown hint {key!r}")
+            field_type = cls.__dataclass_fields__[key].type  # type: ignore[attr-defined]
+            if "int" in str(field_type) and isinstance(value, str):
+                value = int(value)
+            if "bool" in str(field_type) and isinstance(value, str):
+                value = value.lower() in ("true", "1", "enable", "yes")
+            kwargs[key] = value
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def effective_cb_nodes(self, comm_size: int) -> int:
+        """IOP count clamped to the communicator size."""
+        if self.cb_nodes is None:
+            return comm_size
+        return min(self.cb_nodes, comm_size)
+
+    def with_(self, **kwargs) -> "Hints":
+        """A copy with selected fields replaced."""
+        return replace(self, **kwargs)

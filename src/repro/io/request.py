@@ -1,0 +1,35 @@
+"""Nonblocking request objects.
+
+The in-process runtime performs I/O synchronously, so nonblocking calls
+complete immediately; the :class:`Request` exists for API parity with
+MPI-IO (``MPI_File_iwrite``/``iread`` + ``MPI_Wait``) so application code
+written against the split style runs unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IOEngineError
+
+__all__ = ["Request"]
+
+
+class Request:
+    """Handle for a (possibly already finished) nonblocking operation."""
+
+    def __init__(self) -> None:
+        self._done = False
+
+    @classmethod
+    def completed(cls) -> "Request":
+        r = cls()
+        r._done = True
+        return r
+
+    def test(self) -> bool:
+        """True when the operation has completed."""
+        return self._done
+
+    def wait(self) -> None:
+        """Block until completion (immediate here)."""
+        if not self._done:
+            raise IOEngineError("waiting on an unstarted request")

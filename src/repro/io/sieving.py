@@ -1,0 +1,59 @@
+"""Data-sieving helpers shared by both engines.
+
+Data sieving (Thakur et al., the paper's [11]) turns many small
+non-contiguous file accesses into few large contiguous ones: a *file
+buffer* is read covering a whole window of the file, the useful pieces
+are copied between it and the user buffer, and — for writes — the window
+is written back under a byte-range lock so the untouched gap bytes do not
+clobber concurrent writers.
+
+The engines differ only in how the "copy the useful pieces" step works,
+so this module provides just the window geometry and the file-buffer
+read/write operations with their locking discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.fs.simfile import SimFile
+
+__all__ = ["windows", "read_window", "write_window_locked"]
+
+
+def windows(lo: int, hi: int, bufsize: int) -> Iterator[Tuple[int, int]]:
+    """Yield file-buffer windows ``(wlo, whi)`` covering ``[lo, hi)``."""
+    pos = lo
+    while pos < hi:
+        end = min(pos + bufsize, hi)
+        yield (pos, end)
+        pos = end
+
+
+def read_window(simfile: SimFile, wlo: int, whi: int) -> np.ndarray:
+    """Read ``[wlo, whi)`` into a fresh file buffer (zero-padded past EOF,
+    so sieved writes extend files deterministically)."""
+    fb = np.zeros(whi - wlo, dtype=np.uint8)
+    simfile.pread_into(wlo, fb)
+    return fb
+
+
+def write_window_locked(
+    simfile: SimFile,
+    wlo: int,
+    fb: np.ndarray,
+    already_locked: bool = False,
+) -> None:
+    """Write a file buffer back (lock already held by caller when
+    ``already_locked``)."""
+    if already_locked:
+        simfile.pwrite(wlo, fb)
+        return
+    whi = wlo + fb.size
+    simfile.lock_range(wlo, whi)
+    try:
+        simfile.pwrite(wlo, fb)
+    finally:
+        simfile.unlock_range(wlo, whi)

@@ -1,0 +1,78 @@
+"""Shared scaffolding for two-phase collective I/O.
+
+Both engines perform collective access the same way (paper §2.3): the
+aggregate file range of all processes is partitioned into contiguous *file
+domains*, each owned by an I/O process (IOP); access processes (APs) ship
+their data for a domain to its IOP, which performs the actual file access
+window by window.  What differs between the engines is only the
+*metadata*: list-based I/O must build and send expanded ol-lists per
+AP×IOP pair for every access, listless I/O navigates cached fileviews.
+
+This module holds the engine-independent pieces: range aggregation over
+the communicator, domain partitioning, and the access-range record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["AccessRange", "aggregate_ranges", "partition_domains"]
+
+
+@dataclass(frozen=True)
+class AccessRange:
+    """One process' access in absolute file bytes and view-data bytes.
+
+    ``None`` bounds denote a zero-size access (the process still takes
+    part in the collective calls).
+    """
+
+    abs_lo: Optional[int]
+    abs_hi: Optional[int]
+    data_lo: int
+    data_hi: int
+
+    @property
+    def empty(self) -> bool:
+        return self.abs_lo is None or self.abs_hi is None or (
+            self.abs_hi <= self.abs_lo
+        )
+
+
+def aggregate_ranges(
+    comm, mine: AccessRange
+) -> Tuple[List[AccessRange], Optional[int], Optional[int]]:
+    """Allgather everyone's access range; returns (ranges, agg_lo, agg_hi).
+
+    ``agg_lo``/``agg_hi`` are None when nobody accesses anything.
+    """
+    ranges = comm.allgather(mine)
+    agg_lo: Optional[int] = None
+    agg_hi: Optional[int] = None
+    for r in ranges:
+        if r.empty:
+            continue
+        agg_lo = r.abs_lo if agg_lo is None else min(agg_lo, r.abs_lo)
+        agg_hi = r.abs_hi if agg_hi is None else max(agg_hi, r.abs_hi)
+    return ranges, agg_lo, agg_hi
+
+
+def partition_domains(
+    agg_lo: int, agg_hi: int, niops: int
+) -> List[Tuple[int, int]]:
+    """Split ``[agg_lo, agg_hi)`` into ``niops`` contiguous file domains.
+
+    Domain *i* is served by IOP rank *i*.  The split is balanced to the
+    byte (first ``rem`` domains one byte longer), matching ROMIO's
+    even-division aggregation.
+    """
+    total = agg_hi - agg_lo
+    base, rem = divmod(total, niops)
+    out: List[Tuple[int, int]] = []
+    pos = agg_lo
+    for i in range(niops):
+        n = base + (1 if i < rem else 0)
+        out.append((pos, pos + n))
+        pos += n
+    return out

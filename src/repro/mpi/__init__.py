@@ -1,0 +1,44 @@
+"""In-process SPMD MPI runtime.
+
+Runs *P* ranks as OS threads sharing one address space, with tagged
+point-to-point messaging, barriers and the collectives the MPI-IO layer
+needs (bcast, gather/allgather, alltoall, allreduce).  A
+:class:`~repro.mpi.cost_model.NetworkModel` charges every message with
+simulated wire time and counts payload bytes, so the benchmark harness can
+attribute the communication volume difference between ol-list exchange
+(list-based collective I/O) and data-only exchange (listless I/O with
+fileview caching).
+
+Entry point::
+
+    from repro.mpi import run_spmd
+
+    def worker(comm):
+        ...
+
+    results = run_spmd(nprocs, worker)
+"""
+
+from repro.mpi.cost_model import NetworkModel, payload_nbytes
+from repro.mpi.status import Status
+from repro.mpi.reduce_ops import MAX, MIN, SUM, PROD, LAND, LOR
+from repro.mpi.communicator import ANY_TAG, Comm, GroupComm, PendingOp
+from repro.mpi.runtime import World, run_spmd
+
+__all__ = [
+    "NetworkModel",
+    "payload_nbytes",
+    "Status",
+    "Comm",
+    "GroupComm",
+    "PendingOp",
+    "World",
+    "run_spmd",
+    "ANY_TAG",
+    "MAX",
+    "MIN",
+    "SUM",
+    "PROD",
+    "LAND",
+    "LOR",
+]

@@ -1,0 +1,471 @@
+"""The communicator: point-to-point and collective operations.
+
+Point-to-point messages are matched by ``(source, tag)`` in FIFO order per
+pair, as MPI requires.  Collectives use a shared exchange board guarded by
+a generation barrier — semantically equivalent to the tree algorithms of a
+real MPI but without their Python-level overhead, so the *accounted* cost
+(payload bytes × network model) remains the meaningful quantity.
+
+Every operation aborts promptly when another rank has failed (the runtime
+sets a world-wide failure flag), so a crashing rank cannot deadlock the
+test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import MPIRuntimeError
+from repro.mpi.cost_model import payload_nbytes
+from repro.mpi.status import Status
+
+__all__ = ["Comm", "ANY_TAG", "PendingOp"]
+
+#: Wildcard tag for :meth:`Comm.recv`.
+ANY_TAG = -1
+
+_POLL_INTERVAL = 0.05  # seconds between failure-flag checks while blocked
+
+
+class PendingOp:
+    """Request handle for nonblocking point-to-point operations.
+
+    ``test()`` polls without blocking; ``wait()`` blocks until
+    completion and returns the payload (None for sends).
+    """
+
+    def __init__(self, poll=None, result=None, done=False) -> None:
+        self._poll = poll
+        self._result = result
+        self._done = done
+
+    def test(self) -> bool:
+        """Try to complete; True when done (payload via :meth:`wait`)."""
+        if self._done:
+            return True
+        ok, payload = self._poll(block=False)
+        if ok:
+            self._result = payload
+            self._done = True
+        return self._done
+
+    def wait(self):
+        """Block until completion; returns the payload."""
+        if not self._done:
+            ok, payload = self._poll(block=True)
+            assert ok
+            self._result = payload
+            self._done = True
+        return self._result
+
+
+class _Mailbox:
+    """Per-rank incoming message store with (source, tag) matching."""
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.queues: Dict[Tuple[int, int], deque] = {}
+
+    def put(self, source: int, tag: int, payload: Any) -> None:
+        with self.cond:
+            self.queues.setdefault((source, tag), deque()).append(payload)
+            self.cond.notify_all()
+
+    def get(
+        self, source: int, tag: int, failed: Callable[[], bool]
+    ) -> Tuple[Any, int]:
+        """Blocking matched receive; returns (payload, matched_tag)."""
+        with self.cond:
+            while True:
+                if tag == ANY_TAG:
+                    for (src, t), q in self.queues.items():
+                        if src == source and q:
+                            return q.popleft(), t
+                else:
+                    q = self.queues.get((source, tag))
+                    if q:
+                        return q.popleft(), tag
+                if failed():
+                    raise MPIRuntimeError(
+                        "world failed while waiting for a message"
+                    )
+                self.cond.wait(timeout=_POLL_INTERVAL)
+
+
+class Comm:
+    """Rank-local facade over the shared :class:`~repro.mpi.runtime.World`."""
+
+    def __init__(self, world, rank: int) -> None:
+        self._world = world
+        self.rank = rank
+
+    @property
+    def world_rank(self) -> int:
+        """This rank's identity in the world (== rank for the world
+        communicator; overridden by sub-communicators)."""
+        return self.rank
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world."""
+        return self._world.size
+
+    def _check(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise MPIRuntimeError(
+                f"rank {peer} outside world of size {self.size}"
+            )
+
+    def _charge(self, nbytes: int, dst: Optional[int] = None) -> None:
+        self._world.account(self.rank, nbytes, dst)
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+        """Send ``payload`` to ``dest`` with ``tag`` (buffered, non-
+        blocking in the eager sense)."""
+        self._check(dest)
+        self._charge(payload_nbytes(payload), dest)
+        self._world.mailbox(dest).put(self.rank, tag, payload)
+
+    def recv(
+        self, source: int, tag: int = 0, status: Optional[Status] = None
+    ) -> Any:
+        """Blocking matched receive from ``source``."""
+        self._check(source)
+        payload, mtag = self._world.mailbox(self.rank).get(
+            source, tag, self._world.has_failed
+        )
+        if status is not None:
+            status.source = source
+            status.tag = mtag
+            status.nbytes = payload_nbytes(payload)
+        return payload
+
+    def sendrecv(
+        self,
+        dest: int,
+        payload: Any,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = 0,
+    ) -> Any:
+        """Combined send and receive (deadlock-free here: sends buffer)."""
+        self.send(dest, payload, sendtag)
+        return self.recv(source, recvtag)
+
+    # ------------------------------------------------------------------
+    # Nonblocking point-to-point
+    # ------------------------------------------------------------------
+    def isend(self, dest: int, payload: Any, tag: int = 0) -> "PendingOp":
+        """Nonblocking send.  Sends here buffer eagerly, so the request
+        completes immediately; returned for MPI-style code shape."""
+        self.send(dest, payload, tag)
+        return PendingOp(result=None, done=True)
+
+    def irecv(self, source: int, tag: int = 0) -> "PendingOp":
+        """Nonblocking receive: returns a request whose ``wait()`` (or a
+        successful ``test()``) yields the payload."""
+        self._check(source)
+        return PendingOp(
+            poll=lambda block: self._try_recv(source, tag, block)
+        )
+
+    def _try_recv(self, source: int, tag: int, block: bool):
+        mb = self._world.mailbox(self.rank)
+        if block:
+            payload, _tag = mb.get(source, tag, self._world.has_failed)
+            return True, payload
+        with mb.cond:
+            if tag == ANY_TAG:
+                for (src, t), q in mb.queues.items():
+                    if src == source and q:
+                        return True, q.popleft()
+                return False, None
+            q = mb.queues.get((source, tag))
+            if q:
+                return True, q.popleft()
+            return False, None
+
+    def probe(self, source: int, tag: int = 0,
+              status: Optional[Status] = None) -> None:
+        """Block until a matching message is available (not consumed)."""
+        self._check(source)
+        mb = self._world.mailbox(self.rank)
+        with mb.cond:
+            while True:
+                q = mb.queues.get((source, tag))
+                if q:
+                    if status is not None:
+                        status.source = source
+                        status.tag = tag
+                        status.nbytes = payload_nbytes(q[0])
+                    return
+                if self._world.has_failed():
+                    raise MPIRuntimeError(
+                        "world failed while probing for a message"
+                    )
+                mb.cond.wait(timeout=_POLL_INTERVAL)
+
+    def iprobe(self, source: int, tag: int = 0) -> bool:
+        """True if a matching message is waiting (not consumed)."""
+        self._check(source)
+        mb = self._world.mailbox(self.rank)
+        with mb.cond:
+            q = mb.queues.get((source, tag))
+            return bool(q)
+
+    # ------------------------------------------------------------------
+    # Communicator management
+    # ------------------------------------------------------------------
+    def dup(self) -> "Comm":
+        """A new communicator over the same group (``MPI_Comm_dup``).
+
+        Collective.  The duplicate has its own barrier and exchange
+        board, so collectives on it cannot interfere with the parent's.
+        """
+        return self.split(color=0, key=self.rank)
+
+    def split(self, color, key: int = 0) -> "GroupComm | None":
+        """Partition ranks by ``color`` into sub-communicators
+        (``MPI_Comm_split``); ``key`` orders ranks within each group.
+        Collective; returns None for ``color=None`` (MPI_UNDEFINED).
+        """
+        # Members are identified by WORLD rank so nested splits work.
+        info = self.allgather((color, key, self.world_rank))
+        if color is None:
+            # Still participate in the group-object distribution below.
+            self.allgather(None)
+            return None
+        members = [
+            r for _c, _k, r in sorted(
+                (e for e in info if e[0] == color),
+                key=lambda e: (e[1], e[2]),
+            )
+        ]
+        leader = members[0]
+        group = _Group(self._world, members) \
+            if self.world_rank == leader else None
+        groups = self.allgather(group)
+        # groups is indexed by *this communicator's* ranks; find the
+        # deposit of whichever local rank is the leader.
+        gobj = next(g for g in groups if g is not None
+                    and g.members == members)
+        return GroupComm(self._world, self.world_rank, gobj)
+
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+        self._world.barrier_wait()
+
+    def _board_exchange(self, item: Any) -> List[Any]:
+        """Deposit ``item``, wait, and return every rank's deposit."""
+        w = self._world
+        w.board[self.rank] = item
+        w.barrier_wait()
+        out = list(w.board)
+        w.barrier_wait()
+        return out
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        """Broadcast from ``root``; every rank returns the root's value."""
+        self._check(root)
+        items = self._board_exchange(payload if self.rank == root else None)
+        value = items[root]
+        if self.rank == root:
+            n = payload_nbytes(value)
+            for dst in range(self.size):
+                if dst != root:
+                    self._charge(n, dst)
+        return value
+
+    def gather(self, payload: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather to ``root``; non-roots return None."""
+        self._check(root)
+        if self.rank != root:
+            self._charge(payload_nbytes(payload), root)
+        items = self._board_exchange(payload)
+        return items if self.rank == root else None
+
+    def allgather(self, payload: Any) -> List[Any]:
+        """Gather every rank's value at every rank."""
+        n = payload_nbytes(payload)
+        for dst in range(self.size):
+            if dst != self.rank:
+                self._charge(n, dst)
+        return self._board_exchange(payload)
+
+    def alltoall(self, payloads: Sequence[Any]) -> List[Any]:
+        """Personalized all-to-all: ``payloads[d]`` goes to rank ``d``;
+        returns the items addressed to this rank."""
+        if len(payloads) != self.size:
+            raise MPIRuntimeError(
+                f"alltoall needs {self.size} payloads, got {len(payloads)}"
+            )
+        for d, p in enumerate(payloads):
+            if d != self.rank:
+                self._charge(payload_nbytes(p), d)
+        items = self._board_exchange(list(payloads))
+        return [items[src][self.rank] for src in range(self.size)]
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        """Reduce every rank's value with ``op``; all ranks get the result."""
+        n = payload_nbytes(value)
+        for dst in range(self.size):
+            if dst != self.rank:
+                self._charge(n, dst)
+        items = self._board_exchange(value)
+        acc = items[0]
+        for v in items[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def reduce(
+        self, value: Any, op: Callable[[Any, Any], Any], root: int = 0
+    ) -> Any:
+        """Reduce to ``root``; non-roots return None."""
+        result = self.allreduce(value, op)
+        return result if self.rank == root else None
+
+    def scatter(self, payloads: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Scatter ``payloads`` (significant at root) to all ranks."""
+        self._check(root)
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                raise MPIRuntimeError(
+                    f"scatter at root needs {self.size} payloads"
+                )
+            for d, p in enumerate(payloads):
+                if d != root:
+                    self._charge(payload_nbytes(p), d)
+        items = self._board_exchange(
+            list(payloads) if self.rank == root else None
+        )
+        return items[root][self.rank]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Comm rank={self.rank}/{self.size}>"
+
+
+class _Group:
+    """Shared synchronization state of one sub-communicator."""
+
+    def __init__(self, world, members) -> None:
+        self.members = list(members)
+        self.barrier = threading.Barrier(len(members))
+        self.board: List[Any] = [None] * len(members)
+        # Failures anywhere in the world must break group barriers too.
+        world.register_barrier(self.barrier)
+
+
+class GroupComm(Comm):
+    """A communicator over a subset of world ranks.
+
+    ``rank``/``size`` are group-local; messages and accounting translate
+    to world ranks.  Tags share the world's matching space, so code that
+    mixes world-level and group-level point-to-point traffic between the
+    same pair of ranks should use distinct tags (as it must in MPI when
+    sharing a communicator).
+    """
+
+    def __init__(self, world, world_rank: int, group: _Group) -> None:
+        self._world = world
+        self._group = group
+        self._wrank = world_rank
+        self.rank = group.members.index(world_rank)
+
+    @property
+    def world_rank(self) -> int:
+        return self._wrank
+
+    @property
+    def size(self) -> int:
+        return len(self._group.members)
+
+    def _to_world(self, peer: int) -> int:
+        self._check(peer)
+        return self._group.members[peer]
+
+    # -- point-to-point: translate ranks -------------------------------
+    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+        wdest = self._to_world(dest)
+        self._world.account(self._wrank, payload_nbytes(payload),
+                            wdest)
+        self._world.mailbox(wdest).put(self._wrank, tag, payload)
+
+    def recv(self, source: int, tag: int = 0,
+             status: Optional[Status] = None) -> Any:
+        wsrc = self._to_world(source)
+        payload, mtag = self._world.mailbox(self._wrank).get(
+            wsrc, tag, self._world.has_failed
+        )
+        if status is not None:
+            status.source = source
+            status.tag = mtag
+            status.nbytes = payload_nbytes(payload)
+        return payload
+
+    def _charge(self, nbytes: int, dst: Optional[int] = None) -> None:
+        wdst = None if dst is None else self._group.members[dst]
+        self._world.account(self._wrank, nbytes, wdst)
+
+    def _try_recv(self, source: int, tag: int, block: bool):
+        wsrc = self._to_world(source)
+        mb = self._world.mailbox(self._wrank)
+        if block:
+            payload, _t = mb.get(wsrc, tag, self._world.has_failed)
+            return True, payload
+        with mb.cond:
+            q = mb.queues.get((wsrc, tag))
+            if q:
+                return True, q.popleft()
+            return False, None
+
+    def probe(self, source: int, tag: int = 0,
+              status: Optional[Status] = None) -> None:
+        wsrc = self._to_world(source)
+        mb = self._world.mailbox(self._wrank)
+        with mb.cond:
+            while True:
+                q = mb.queues.get((wsrc, tag))
+                if q:
+                    if status is not None:
+                        status.source = source
+                        status.tag = tag
+                        status.nbytes = payload_nbytes(q[0])
+                    return
+                if self._world.has_failed():
+                    raise MPIRuntimeError(
+                        "world failed while probing for a message"
+                    )
+                mb.cond.wait(timeout=_POLL_INTERVAL)
+
+    def iprobe(self, source: int, tag: int = 0) -> bool:
+        wsrc = self._to_world(source)
+        mb = self._world.mailbox(self._wrank)
+        with mb.cond:
+            return bool(mb.queues.get((wsrc, tag)))
+
+    # -- collectives: group-local barrier and board ---------------------
+    def barrier(self) -> None:
+        try:
+            self._group.barrier.wait()
+        except threading.BrokenBarrierError:
+            raise MPIRuntimeError(
+                "group barrier broken (another rank failed)"
+            ) from None
+
+    def _board_exchange(self, item: Any) -> List[Any]:
+        g = self._group
+        g.board[self.rank] = item
+        self.barrier()
+        out = list(g.board)
+        self.barrier()
+        return out

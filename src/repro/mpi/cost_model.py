@@ -1,0 +1,84 @@
+"""Communication cost accounting.
+
+Payload sizes are measured the way the paper counts them: 16 bytes per
+ol-list tuple, 8 bytes per integer of a compact representation, the raw
+``nbytes`` of data arrays.  Each rank accumulates its own wire time from a
+latency+bandwidth :class:`NetworkModel`; since ranks communicate in
+parallel, the harness adds the *maximum* per-rank wire time to the
+measured CPU time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NetworkModel", "payload_nbytes"]
+
+
+def payload_nbytes(obj) -> int:
+    """Wire size of a message payload in bytes.
+
+    Honors objects that know their own wire size (``wire_bytes`` for
+    compact fileviews, ``nbytes_repr`` for ol-lists — 16 bytes/tuple as in
+    the paper's accounting), NumPy buffers, and plain Python containers
+    (8 bytes per scalar).
+    """
+    if obj is None:
+        return 0
+    wire = getattr(obj, "wire_bytes", None)
+    if wire is not None:
+        return int(wire)
+    rep = getattr(obj, "nbytes_repr", None)
+    if rep is not None:
+        return int(rep)
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (int, float, bool)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, dict):
+        return sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
+        )
+    if isinstance(obj, (list, tuple, set)):
+        return sum(payload_nbytes(x) for x in obj)
+    return 64  # unknown object: flat charge
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth model of the message-passing interconnect.
+
+    Defaults approximate the intra-node MPI of the paper's SX-6 (shared
+    memory transport: microsecond latency, multi-GB/s bandwidth).
+
+    A multi-node topology — the "different communication topologies" of
+    the paper's outlook — is modelled by ``ranks_per_node``: messages
+    between ranks on different nodes use the ``inter_*`` parameters
+    (defaults approximate the SX IXS crossbar: higher latency, lower
+    per-link bandwidth than shared memory).
+    """
+
+    latency: float = 3e-6  # seconds per message (intra-node)
+    bandwidth: float = 8.0e9  # bytes/second (intra-node)
+    ranks_per_node: int = 0  # 0 → single node / uniform network
+    inter_latency: float = 12e-6
+    inter_bandwidth: float = 2.0e9
+
+    def is_inter_node(self, src: int, dst: int) -> bool:
+        """True when ``src`` and ``dst`` live on different nodes."""
+        if self.ranks_per_node <= 0:
+            return False
+        return src // self.ranks_per_node != dst // self.ranks_per_node
+
+    def transfer_time(self, nbytes: int, src: int = 0,
+                      dst: int = 0) -> float:
+        """Simulated wire seconds for one message of ``nbytes``."""
+        if self.is_inter_node(src, dst):
+            return self.inter_latency + nbytes / self.inter_bandwidth
+        return self.latency + nbytes / self.bandwidth

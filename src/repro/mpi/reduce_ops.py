@@ -1,0 +1,41 @@
+"""Reduction operators for ``allreduce``/``reduce``.
+
+Operators work elementwise on NumPy arrays and directly on scalars, the
+two payload kinds the I/O layer reduces (access bounds, flags).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SUM", "MAX", "MIN", "PROD", "LAND", "LOR"]
+
+
+def SUM(a, b):
+    """Elementwise / scalar sum."""
+    return np.add(a, b) if isinstance(a, np.ndarray) else a + b
+
+
+def MAX(a, b):
+    """Elementwise / scalar maximum."""
+    return np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)
+
+
+def MIN(a, b):
+    """Elementwise / scalar minimum."""
+    return np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)
+
+
+def PROD(a, b):
+    """Elementwise / scalar product."""
+    return np.multiply(a, b) if isinstance(a, np.ndarray) else a * b
+
+
+def LAND(a, b):
+    """Logical and."""
+    return np.logical_and(a, b) if isinstance(a, np.ndarray) else (a and b)
+
+
+def LOR(a, b):
+    """Logical or."""
+    return np.logical_or(a, b) if isinstance(a, np.ndarray) else (a or b)

@@ -1,0 +1,139 @@
+"""The SPMD world and thread harness.
+
+:func:`run_spmd` launches one thread per rank, runs the worker function
+SPMD-style, propagates the first failure (aborting barriers and waking
+blocked receivers so no rank deadlocks), and returns the per-rank results.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional
+
+from repro.errors import MPIRuntimeError
+from repro.mpi.communicator import Comm, _Mailbox
+from repro.mpi.cost_model import NetworkModel
+
+__all__ = ["World", "run_spmd"]
+
+
+class World:
+    """Shared state of one SPMD execution."""
+
+    def __init__(self, size: int, network: NetworkModel | None = None):
+        if size < 1:
+            raise MPIRuntimeError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.network = network or NetworkModel()
+        self._mailboxes = [_Mailbox() for _ in range(size)]
+        self._barrier = threading.Barrier(size)
+        self.board: List[Any] = [None] * size
+        self._failure: Optional[BaseException] = None
+        self._failure_mu = threading.Lock()
+        self._extra_barriers: List[threading.Barrier] = []
+        # Per-rank accounting (no locks needed: each rank owns its slot).
+        self.bytes_sent = [0] * size
+        self.messages_sent = [0] * size
+        self.net_time = [0.0] * size
+
+    # ------------------------------------------------------------------
+    def mailbox(self, rank: int) -> _Mailbox:
+        return self._mailboxes[rank]
+
+    def account(self, rank: int, nbytes: int, dst: int | None = None) -> None:
+        """Charge rank for one message of ``nbytes`` (to ``dst`` when the
+        topology matters)."""
+        self.bytes_sent[rank] += nbytes
+        self.messages_sent[rank] += 1
+        self.net_time[rank] += self.network.transfer_time(
+            nbytes, rank, rank if dst is None else dst
+        )
+
+    def barrier_wait(self) -> None:
+        try:
+            self._barrier.wait()
+        except threading.BrokenBarrierError:
+            raise MPIRuntimeError(
+                "barrier broken (another rank failed)"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def register_barrier(self, barrier: threading.Barrier) -> None:
+        """Track a sub-communicator barrier so failures break it too."""
+        with self._failure_mu:
+            self._extra_barriers.append(barrier)
+            failed = self._failure is not None
+        if failed:
+            barrier.abort()
+
+    def fail(self, exc: BaseException) -> None:
+        """Record the first failure and unblock everyone."""
+        with self._failure_mu:
+            if self._failure is None:
+                self._failure = exc
+            extras = list(self._extra_barriers)
+        self._barrier.abort()
+        for b in extras:
+            b.abort()
+        for mb in self._mailboxes:
+            with mb.cond:
+                mb.cond.notify_all()
+
+    def has_failed(self) -> bool:
+        return self._failure is not None
+
+    @property
+    def failure(self) -> Optional[BaseException]:
+        return self._failure
+
+    # ------------------------------------------------------------------
+    def comm(self, rank: int) -> Comm:
+        return Comm(self, rank)
+
+    def max_net_time(self) -> float:
+        """Wire time of the busiest rank (ranks communicate in parallel)."""
+        return max(self.net_time)
+
+    def total_bytes_sent(self) -> int:
+        return sum(self.bytes_sent)
+
+
+def run_spmd(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    network: NetworkModel | None = None,
+    world_out: Optional[list] = None,
+) -> List[Any]:
+    """Run ``fn(comm, *args)`` on ``size`` ranks; returns per-rank results.
+
+    The first exception raised by any rank is re-raised in the caller
+    (other ranks are unblocked and terminated).  Pass a list as
+    ``world_out`` to receive the :class:`World` (for cost inspection).
+    """
+    world = World(size, network=network)
+    if world_out is not None:
+        world_out.append(world)
+    results: List[Any] = [None] * size
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = fn(world.comm(rank), *args)
+        except MPIRuntimeError as exc:
+            # Secondary failures (broken barrier after another rank died)
+            # still mark the world, but the primary failure wins.
+            world.fail(exc)
+        except BaseException as exc:  # noqa: BLE001 - must propagate all
+            world.fail(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"rank-{r}")
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if world.failure is not None:
+        raise world.failure
+    return results

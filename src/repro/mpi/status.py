@@ -1,0 +1,16 @@
+"""Receive status object (source, tag, payload size)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Status"]
+
+
+@dataclass
+class Status:
+    """Filled in by :meth:`repro.mpi.communicator.Comm.recv`."""
+
+    source: int = -1
+    tag: int = -1
+    nbytes: int = 0

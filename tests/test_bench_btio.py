@@ -1,0 +1,166 @@
+"""BTIO: decomposition invariants, paper Tables 1–2 exactness, runs."""
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.bench import BTIOConfig, BTIO_CLASSES, btio_characterize, run_btio
+from repro.bench.btio import (
+    GHOST,
+    NCOMP,
+    POINT_BYTES,
+    build_process_filetype,
+    build_process_memtype,
+    btio_exact_pattern,
+    cell_coords,
+    cell_splits,
+    max_cell_size,
+)
+from repro.flatten import flatten_datatype
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("P", [1, 4, 9, 16, 25])
+    def test_cells_partition_every_slab(self, P):
+        q = int(P ** 0.5)
+        for c in range(q):  # each k-slab
+            seen = set()
+            for rank in range(P):
+                for kc, jc, ic in cell_coords(rank, q):
+                    if kc == c:
+                        seen.add((jc, ic))
+            assert seen == {(j, i) for j in range(q) for i in range(q)}
+
+    def test_each_rank_owns_q_cells(self):
+        q = 3
+        for rank in range(q * q):
+            coords = cell_coords(rank, q)
+            assert len(coords) == q
+            assert len({kc for kc, _, _ in coords}) == q
+
+    def test_cell_splits_cover(self):
+        for n, q in [(12, 2), (102, 4), (7, 3)]:
+            sizes, starts = cell_splits(n, q)
+            assert sum(sizes) == n
+            assert starts[0] == 0
+            for s, sz, s2 in zip(starts, sizes, starts[1:] + [n]):
+                assert s + sz == s2
+
+    def test_square_process_count_required(self):
+        with pytest.raises(ValueError):
+            btio_characterize("A", 5)
+
+
+class TestFiletypes:
+    @pytest.mark.parametrize("n,P", [(12, 4), (12, 9), (24, 4)])
+    def test_fileviews_partition_grid(self, n, P):
+        """The P fileviews must tile the n^3 x 5-double file exactly."""
+        total = n ** 3 * POINT_BYTES
+        covered = np.zeros(total // 8, dtype=int)  # per double
+        for rank in range(P):
+            ft = build_process_filetype(n, P, rank)
+            assert ft.extent == total
+            for off, ln in flatten_datatype(ft):
+                assert off % 8 == 0 and ln % 8 == 0
+                covered[off // 8 : (off + ln) // 8] += 1
+        assert (covered == 1).all()
+
+    def test_exact_nblock_divisible_case(self):
+        # class S = 12, P = 4 -> q=2, cells 6^3: Nblock = 2*36 = 72.
+        pat = btio_exact_pattern("S", 4, 0)
+        assert pat["nblock"] == 2 * 36
+        ft = build_process_filetype(12, 4, 0)
+        assert len(flatten_datatype(ft)) == pat["nblock"]
+
+    def test_exact_nblock_uneven_case(self):
+        # 102 over q=4: uneven cells still partition; exact block count
+        # equals the flattened count.
+        n, P = 14, 16  # q=4, 14 = 4+4+3+3
+        for rank in (0, 5, 15):
+            ft = build_process_filetype(n, P, rank)
+            per_cell = 0
+            sizes, _ = cell_splits(n, 4)
+            for kc, jc, ic in cell_coords(rank, 4):
+                per_cell += sizes[kc] * sizes[jc]
+            flat = flatten_datatype(ft)
+            # Adjacent cells of one rank may share a seam (merged into one
+            # block); at most q-1 seams can merge.
+            assert per_cell - 3 <= len(flat) <= per_cell
+            # The structural Nblock always matches the flattened count.
+            assert ft.num_blocks == len(flat)
+
+    def test_memtype_selects_interiors(self):
+        n, P = 12, 4
+        q = 2
+        mt = build_process_memtype(n, P, 0)
+        m = max_cell_size(n, q) + 2 * GHOST
+        cell_bytes = m ** 3 * POINT_BYTES
+        assert mt.extent == q * cell_bytes
+        assert mt.size == build_process_filetype(n, P, 0).size
+
+
+class TestCharacterization:
+    @pytest.mark.parametrize(
+        "cls,P,nblock,sblock",
+        [
+            ("B", 4, 5202, 2040),
+            ("B", 9, 3468, 1360),
+            ("B", 16, 2601, 1020),
+            ("B", 25, 2080, 816),
+            ("C", 4, 13122, 3240),
+            ("C", 9, 8748, 2160),
+            ("C", 16, 6561, 1620),
+            ("C", 25, 5248, 1296),
+        ],
+    )
+    def test_table2_matches_paper(self, cls, P, nblock, sblock):
+        c = btio_characterize(cls, P)
+        assert c["nblock"] == nblock
+        assert c["sblock"] == sblock
+
+    def test_table1_matches_paper(self):
+        b = btio_characterize("B", 4, nsteps=40)
+        c = btio_characterize("C", 4, nsteps=40)
+        # Paper: Dstep 42 MB / 170 MB; Drun 1.7 GB / 6.8 GB.
+        assert round(b["dstep"] / 1e6) == 42
+        assert round(c["dstep"] / 1e6) == 170
+        assert abs(b["drun"] / 1e9 - 1.7) < 0.05
+        assert abs(c["drun"] / 1e9 - 6.8) < 0.05
+
+    def test_dstep_equals_p_nblock_sblock_when_divisible(self):
+        # The paper's identity Dstep = P * Sblock * Nblock (exact when
+        # q | N).
+        c = btio_characterize("A", 16)  # 64 / 4 divides
+        assert c["dstep"] == 16 * c["nblock"] * c["sblock"]
+
+
+class TestRuns:
+    @pytest.mark.parametrize("engine", ["listless", "list_based"])
+    def test_verified_run(self, engine):
+        r = run_btio(engine, BTIOConfig(cls="S", nprocs=4, nsteps=2,
+                                        verify=True))
+        assert r.io_time.total > 0
+        assert r.drun == 2 * 12 ** 3 * 40
+        assert r.fs_stats["bytes_written"] >= r.drun
+
+    def test_single_process(self):
+        r = run_btio("listless", BTIOConfig(cls="S", nprocs=1, nsteps=1,
+                                            verify=True))
+        assert r.io_time.total > 0
+
+    def test_uneven_class_runs(self):
+        # W=24 over q=5 -> uneven 5/5/5/5/4 cells.
+        r = run_btio("listless", BTIOConfig(cls="W", nprocs=25, nsteps=1,
+                                            verify=True, compute_sweeps=0))
+        assert r.io_time.total > 0
+
+    def test_file_identical_across_engines(self):
+        from repro.fs import SimFileSystem
+
+        imgs = {}
+        for engine in ("listless", "list_based"):
+            fs = SimFileSystem()
+            run_btio(engine, BTIOConfig(cls="S", nprocs=9, nsteps=2,
+                                        compute_sweeps=0), fs=fs)
+            imgs[engine] = fs.lookup("/btio.out").contents()
+        assert (imgs["listless"] == imgs["list_based"]).all()

@@ -1,0 +1,71 @@
+"""Reporting and timing helpers."""
+
+import pytest
+
+from repro.bench.reporting import (
+    fmt_bytes,
+    format_series,
+    format_table,
+    mb_per_s,
+)
+from repro.bench.timing import PhaseClock, PhaseTime
+from repro.fs import SimFileSystem
+from repro.mpi.runtime import World
+
+
+class TestFormatting:
+    def test_mb_per_s(self):
+        assert mb_per_s(2_000_000) == 2.0
+
+    @pytest.mark.parametrize(
+        "n,expect",
+        [(10, "10 B"), (2048, "2.05 kB"), (3.2e6, "3.2 MB"),
+         (1.7e9, "1.7 GB")],
+    )
+    def test_fmt_bytes(self, n, expect):
+        assert fmt_bytes(n) == expect
+
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [(1, 2.5), (33, 4.0)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_format_series(self):
+        out = format_series("x", [1, 2], [("c1", [10, 20]),
+                                          ("c2", [30, 40])])
+        assert "c1" in out and "40" in out
+        assert out.splitlines()[2].split()[0] == "1"
+
+
+class TestPhaseClock:
+    def test_combines_components(self):
+        import numpy as np
+
+        fs = SimFileSystem()
+        world = World(1)
+        clk = PhaseClock(fs, world)
+        clk.start()
+        fs.create("/x").pwrite(0, np.zeros(1000, dtype=np.uint8))
+        world.account(0, 500)
+        t = clk.stop()
+        assert t.wall > 0
+        assert t.fs_sim > 0
+        assert t.net_sim > 0
+        assert t.total == pytest.approx(t.wall + t.fs_sim + t.net_sim)
+
+    def test_bandwidth(self):
+        t = PhaseTime(wall=1.0, fs_sim=0.5, net_sim=0.5)
+        assert t.bandwidth(4_000_000) == pytest.approx(2_000_000)
+
+    def test_excludes_prior_activity(self):
+        import numpy as np
+
+        fs = SimFileSystem()
+        world = World(1)
+        fs.create("/x").pwrite(0, np.zeros(10_000, "u1"))
+        clk = PhaseClock(fs, world)
+        clk.start()
+        t = clk.stop()
+        assert t.fs_sim == 0
+        assert t.net_sim == 0

@@ -1,0 +1,72 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_exist(self):
+        p = build_parser()
+        for argv in (
+            ["noncontig"],
+            ["btio"],
+            ["characterize"],
+            ["inspect", "DOUBLE"],
+        ):
+            args = p.parse_args(argv)
+            assert callable(args.fn)
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["noncontig", "--pattern", "zz"])
+
+
+class TestCommands:
+    def test_characterize(self, capsys):
+        assert main(["characterize", "--cls", "B", "--nprocs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "5202" in out and "2040" in out
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "vector(64, 1, 2, DOUBLE)"]) == 0
+        out = capsys.readouterr().out
+        assert "Nblock" in out and "64" in out
+
+    def test_inspect_bad_expression(self):
+        with pytest.raises(SystemExit):
+            main(["inspect", "import os"])
+
+    def test_noncontig_small(self, capsys):
+        assert main([
+            "noncontig", "--nblock", "32", "--nreps", "1",
+            "--repeats", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "listless" in out and "list_based" in out
+
+    def test_btio_small(self, capsys):
+        assert main([
+            "btio", "--cls", "S", "--nsteps", "1", "--repeats", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "r_io" in out
+
+
+class TestWorkloadsCommand:
+    def test_single_workload(self, capsys):
+        assert main([
+            "workloads", "--only", "tiled_matrix", "--repeats", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tiled_matrix" in out and "speedup" in out
+
+    def test_unknown_workload_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            main(["workloads", "--only", "nope", "--repeats", "1"])

@@ -1,0 +1,197 @@
+"""Dataloop compilation and its block/navigation primitives.
+
+Every dataloop answer is checked against the flattened type map (the
+oracle), over exhaustive small ranges and hypothesis-generated trees.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import datatypes as dt
+from repro.core.dataloop import (
+    DLBlocks,
+    DLContig,
+    DLSeq,
+    DLVector,
+    compile_dataloop,
+)
+from repro.datatypes.packing import typemap_blocks
+from tests.conftest import datatype_trees
+
+
+def ref_blocks_range(t, s_lo, s_hi):
+    """Reference: clip the coalesced type map to a data range."""
+    out = []
+    pos = 0
+    for off, ln in typemap_blocks(t, 1):
+        a = max(s_lo - pos, 0)
+        b = min(s_hi - pos, ln)
+        if b > a:
+            out.append((off + a, b - a))
+        pos += ln
+    return out
+
+
+def got_blocks_range(t, s_lo, s_hi):
+    loop = compile_dataloop(t)
+    offs, lens = loop.blocks_range(s_lo, s_hi)
+    return list(zip(offs.tolist(), lens.tolist()))
+
+
+def merge(pairs):
+    out = []
+    for o, ln in pairs:
+        if out and out[-1][0] + out[-1][1] == o:
+            out[-1] = (out[-1][0], out[-1][1] + ln)
+        else:
+            out.append((o, ln))
+    return out
+
+
+class TestCompilation:
+    def test_basic_compiles_to_contig(self):
+        assert isinstance(compile_dataloop(dt.DOUBLE), DLContig)
+
+    def test_contiguous_collapses(self):
+        loop = compile_dataloop(dt.contiguous(8, dt.INT))
+        assert isinstance(loop, DLContig)
+        assert loop.size == 32
+
+    def test_vector_compiles_to_vector(self):
+        loop = compile_dataloop(dt.vector(4, 2, 5, dt.DOUBLE))
+        assert isinstance(loop, DLVector)
+        assert isinstance(loop.child, DLContig)
+
+    def test_perfect_nesting_fuses(self):
+        inner = dt.vector(4, 1, 2, dt.INT)  # span = 4*8 = extent 28?
+        outer = dt.hvector(3, 1, 4 * 8, inner)
+        loop = compile_dataloop(outer)
+        # outer stride (32) == inner count * inner stride (4*8) -> fused
+        assert isinstance(loop, DLVector)
+        assert loop.count == 12
+
+    def test_marker_only_type_compiles_to_none(self):
+        t = dt.struct([1], [0], [dt.LB])
+        assert compile_dataloop(t) is None
+
+    def test_indexed_compiles_to_blocks(self):
+        loop = compile_dataloop(dt.indexed([3, 1, 2], [0, 5, 9], dt.INT))
+        assert isinstance(loop, DLBlocks)
+
+    def test_cache_reused(self):
+        t = dt.vector(4, 2, 5, dt.DOUBLE)
+        assert compile_dataloop(t) is compile_dataloop(t)
+
+    def test_compile_cost_independent_of_count(self):
+        import time
+
+        t0 = time.perf_counter()
+        compile_dataloop(dt.vector(10**7, 1, 2, dt.DOUBLE))
+        assert time.perf_counter() - t0 < 0.05
+
+    def test_depth_bounded_by_tree(self):
+        t = dt.DOUBLE
+        for _ in range(5):
+            t = dt.hvector(3, 1, 100, t)
+        loop = compile_dataloop(t)
+        assert loop.depth <= t.depth + 1
+
+
+class TestBlocksRange:
+    def test_full_range_matches_flatten(self, sample_types):
+        for name, t in sample_types.items():
+            if t.size == 0:
+                continue
+            got = merge(got_blocks_range(t, 0, t.size))
+            assert got == typemap_blocks(t, 1), name
+
+    def test_exhaustive_subranges_vector(self):
+        t = dt.vector(3, 2, 4, dt.INT)
+        for lo in range(t.size + 1):
+            for hi in range(lo, t.size + 1):
+                assert merge(got_blocks_range(t, lo, hi)) == merge(
+                    ref_blocks_range(t, lo, hi)
+                ), (lo, hi)
+
+    def test_exhaustive_subranges_indexed(self):
+        t = dt.indexed([3, 1, 2], [0, 5, 9], dt.INT)
+        for lo in range(0, t.size + 1, 3):
+            for hi in range(lo, t.size + 1, 3):
+                assert merge(got_blocks_range(t, lo, hi)) == merge(
+                    ref_blocks_range(t, lo, hi)
+                ), (lo, hi)
+
+    @settings(max_examples=80, deadline=None)
+    @given(datatype_trees(), st.data())
+    def test_random_trees_random_ranges(self, t, data):
+        lo = data.draw(st.integers(0, t.size))
+        hi = data.draw(st.integers(lo, t.size))
+        assert merge(got_blocks_range(t, lo, hi)) == merge(
+            ref_blocks_range(t, lo, hi)
+        )
+
+    def test_empty_range(self):
+        loop = compile_dataloop(dt.vector(3, 2, 4, dt.INT))
+        offs, lens = loop.blocks_range(5, 5)
+        assert offs.size == 0 and lens.size == 0
+
+
+class TestNavigationOnLoops:
+    def oracle_size_of_ext(self, t, e):
+        return sum(
+            max(0, min(e - off, ln)) for off, ln in typemap_blocks(t, 1)
+        )
+
+    def test_size_of_ext_exhaustive(self, sample_types):
+        for name, t in sample_types.items():
+            if t.size == 0 or not t.is_monotonic:
+                continue
+            loop = compile_dataloop(t)
+            for e in range(0, t.true_ub + 3):
+                assert loop.size_of_ext(e) == self.oracle_size_of_ext(
+                    t, e
+                ), (name, e)
+
+    def test_ext_of_size_start_semantics(self):
+        t = dt.vector(4, 2, 5, dt.DOUBLE)
+        loop = compile_dataloop(t)
+        blocks = typemap_blocks(t, 1)
+        pos = 0
+        for off, ln in blocks:
+            for i in range(ln):
+                assert loop.ext_of_size(pos + i, False) == off + i
+            pos += ln
+
+    def test_ext_of_size_end_semantics(self):
+        t = dt.vector(4, 2, 5, dt.DOUBLE)
+        loop = compile_dataloop(t)
+        blocks = typemap_blocks(t, 1)
+        pos = 0
+        for off, ln in blocks:
+            # end of the s bytes ending inside/at end of this block
+            for i in range(1, ln + 1):
+                assert loop.ext_of_size(pos + i, True) == off + i
+            pos += ln
+
+    def test_ext_size_are_inverse_on_block_interiors(self, sample_types):
+        for name, t in sample_types.items():
+            if t.size == 0 or not t.is_monotonic:
+                continue
+            loop = compile_dataloop(t)
+            for s in range(t.size):
+                e = loop.ext_of_size(s, False)
+                assert loop.size_of_ext(e) == s, (name, s)
+
+    def test_overlapping_struct_subarrays_nav(self):
+        # Children placed at identical offsets but data-disjoint (the
+        # BTIO filetype shape) - the regression that motivated data-start
+        # navigation.
+        a = dt.subarray([4, 4], [2, 4], [0, 0], dt.DOUBLE)
+        b = dt.subarray([4, 4], [2, 4], [2, 0], dt.DOUBLE)
+        t = dt.struct([1, 1], [0, 0], [a, b])
+        assert t.is_monotonic
+        loop = compile_dataloop(t)
+        for e in range(0, t.true_ub + 1, 4):
+            assert loop.size_of_ext(e) == self.oracle_size_of_ext(t, e), e

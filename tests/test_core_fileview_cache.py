@@ -1,0 +1,123 @@
+"""Compact fileviews: navigation through a tiled view, cache mechanics."""
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.core.fileview_cache import CompactFileview, FileviewCache
+from repro.datatypes.packing import typemap_blocks
+from repro.errors import FFError
+
+
+def brute_view_blocks(ft, disp, ninst):
+    """Absolute (offset, length) blocks of `ninst` tiled instances."""
+    out = []
+    for inst in range(ninst):
+        base = disp + inst * ft.extent
+        for off, ln in typemap_blocks(ft, 1):
+            out.append((base + off, ln))
+    return out
+
+
+@pytest.fixture
+def cv():
+    ft = dt.vector(4, 2, 5, dt.DOUBLE)  # blocks of 16B at 0/40/80/120
+    return CompactFileview.from_view(100, dt.DOUBLE, ft)
+
+
+class TestNavigation:
+    def test_abs_of_data_start(self, cv):
+        assert cv.abs_of_data(0) == 100
+        assert cv.abs_of_data(16) == 140
+        assert cv.abs_of_data(64) == 100 + 136  # next instance start
+
+    def test_abs_of_data_end(self, cv):
+        assert cv.abs_of_data(16, end=True) == 116
+        assert cv.abs_of_data(64, end=True) == 236
+        assert cv.abs_of_data(0, end=True) == 100
+
+    def test_data_of_abs_roundtrip(self, cv):
+        for d in range(0, 200, 7):
+            a = cv.abs_of_data(d)
+            assert cv.data_of_abs(a) == d
+
+    def test_data_of_abs_before_disp(self, cv):
+        assert cv.data_of_abs(0) == 0
+        assert cv.data_of_abs(100) == 0
+
+    def test_data_in_range_brute_force(self, cv):
+        blocks = brute_view_blocks(cv.filetype, 100, 4)
+        for lo in range(90, 500, 13):
+            for span in (1, 10, 100):
+                hi = lo + span
+                want = sum(
+                    max(0, min(hi, b + ln) - max(lo, b))
+                    for b, ln in blocks
+                )
+                assert cv.data_in_range(lo, hi) == want, (lo, hi)
+
+    def test_blocks_for_data_match_brute(self, cv):
+        offs, lens = cv.blocks_for_data(0, 64 * 2)  # two instances
+        got = list(zip(offs.tolist(), lens.tolist()))
+        assert got == brute_view_blocks(cv.filetype, 100, 2)
+
+    def test_blocks_for_data_partial(self, cv):
+        offs, lens = cv.blocks_for_data(8, 24)
+        assert list(zip(offs.tolist(), lens.tolist())) == [
+            (108, 8), (140, 8),
+        ]
+
+
+class TestCompactness:
+    def test_wire_size_independent_of_nblock(self):
+        small = CompactFileview.from_view(
+            0, dt.BYTE, dt.vector(4, 1, 2, dt.BYTE)
+        )
+        huge = CompactFileview.from_view(
+            0, dt.BYTE, dt.vector(4 * 10**6, 1, 2, dt.BYTE)
+        )
+        assert small.wire_bytes == huge.wire_bytes
+
+    def test_receiver_rebuilds_lazily(self):
+        src = CompactFileview.from_view(
+            8, dt.DOUBLE, dt.vector(3, 1, 2, dt.DOUBLE)
+        )
+        # Simulate the wire: only the trees travel.
+        dst = CompactFileview(
+            disp=src.disp,
+            etype_tree=src.etype_tree,
+            filetype_tree=src.filetype_tree,
+        )
+        assert dst.filetype.size == src.filetype.size
+        assert dst.abs_of_data(8) == src.abs_of_data(8)
+
+
+class TestCache:
+    def test_install_and_lookup(self):
+        cache = FileviewCache()
+        views = {
+            r: CompactFileview.from_view(
+                r, dt.BYTE, dt.vector(2, 1, 2, dt.BYTE)
+            )
+            for r in range(3)
+        }
+        cache.install(views)
+        assert len(cache) == 3
+        assert cache.view_of(1).disp == 1
+        assert cache.exchange_bytes == sum(
+            v.wire_bytes for v in views.values()
+        )
+
+    def test_missing_rank_raises(self):
+        cache = FileviewCache()
+        cache.install({})
+        with pytest.raises(FFError):
+            cache.view_of(0)
+
+    def test_reinstall_replaces(self):
+        cache = FileviewCache()
+        v0 = CompactFileview.from_view(0, dt.BYTE, dt.BYTE)
+        v1 = CompactFileview.from_view(64, dt.BYTE, dt.BYTE)
+        cache.install({0: v0})
+        cache.install({0: v1})
+        assert cache.view_of(0).disp == 64

@@ -1,0 +1,75 @@
+"""Mergeview: the list-free collective-write contiguity check."""
+
+import pytest
+
+from repro import datatypes as dt
+from repro.core.fileview_cache import CompactFileview
+from repro.core.mergeview import build_mergeview
+
+
+def noncontig_views(P, blocklen, blockcount, disp=0):
+    """The P interleaving Fig.-4 views (complete tiling, no overlap)."""
+    from repro.bench.noncontig import build_noncontig_filetype
+
+    return [
+        CompactFileview.from_view(
+            disp, dt.BYTE, build_noncontig_filetype(P, r, blocklen,
+                                                    blockcount)
+        )
+        for r in range(P)
+    ]
+
+
+class TestBuild:
+    def test_identical_disps_required(self):
+        views = noncontig_views(2, 4, 3)
+        views[1].disp = 8
+        assert build_mergeview(views) is None
+
+    def test_empty(self):
+        assert build_mergeview([]) is None
+
+    def test_period_is_lcm(self):
+        views = noncontig_views(3, 4, 5)
+        mv = build_mergeview(views)
+        assert mv.period == views[0].filetype.extent
+
+    def test_fully_dense_when_views_tile(self):
+        mv = build_mergeview(noncontig_views(4, 8, 6))
+        assert mv.is_fully_dense
+
+    def test_not_dense_with_holes(self):
+        # Two of four interleave positions unused.
+        views = noncontig_views(4, 8, 6)[:2]
+        mv = build_mergeview(views)
+        assert not mv.is_fully_dense
+
+
+class TestCoverage:
+    def test_complete_tiling_covers_everything(self):
+        mv = build_mergeview(noncontig_views(4, 8, 6))
+        assert mv.covers(0, 4 * 8 * 6)
+        assert mv.covers(13, 77)
+
+    def test_partial_views_do_not_cover(self):
+        views = noncontig_views(2, 8, 4)[:1]  # only rank 0's view
+        mv = build_mergeview(views)
+        assert not mv.covers(0, 2 * 8 * 4)
+        # ...but rank 0's own blocks are covered.
+        assert mv.covers(0, 8)
+
+    def test_data_in_range_additive(self):
+        views = noncontig_views(2, 4, 4)
+        mv = build_mergeview(views)
+        lo, hi = 0, views[0].filetype.extent
+        assert mv.data_in_range(lo, hi) == sum(
+            v.data_in_range(lo, hi) for v in views
+        )
+
+    def test_covers_respects_disp(self):
+        mv = build_mergeview(noncontig_views(2, 4, 4, disp=64))
+        assert mv.covers(64, 64 + 32)
+
+    def test_empty_range_covered(self):
+        mv = build_mergeview(noncontig_views(2, 4, 4))
+        assert mv.covers(10, 10)

@@ -1,0 +1,136 @@
+"""``ff_size``/``ff_extent`` navigation functions (paper §3.2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import datatypes as dt
+from repro.core import ext_of_size, ff_extent, ff_size, size_of_ext
+from repro.datatypes.packing import typemap_blocks
+from repro.errors import FFError
+from tests.conftest import datatype_trees
+
+
+def oracle_size_of_ext(t, e, count=1):
+    total = 0
+    for off, ln in typemap_blocks(t, count):
+        total += max(0, min(e - off, ln))
+    return total
+
+
+class TestExtOfSize:
+    def test_block_starts(self):
+        v = dt.vector(4, 2, 5, dt.DOUBLE)
+        assert ext_of_size(v, 0) == 0
+        assert ext_of_size(v, 16) == 40
+        assert ext_of_size(v, 32) == 80
+
+    def test_end_vs_start_at_boundary(self):
+        v = dt.vector(4, 2, 5, dt.DOUBLE)
+        assert ext_of_size(v, 16, end=True) == 16
+        assert ext_of_size(v, 16, end=False) == 40
+
+    def test_size_boundary(self):
+        v = dt.vector(4, 2, 5, dt.DOUBLE)
+        assert ext_of_size(v, 64, end=True) == 136
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(FFError):
+            ext_of_size(dt.DOUBLE, 9)
+
+    def test_multi_count(self):
+        v = dt.vector(2, 1, 2, dt.INT)  # size 8, extent 12
+        assert ext_of_size(v, 8, count=2) == 12
+        assert ext_of_size(v, 12, count=2) == 20
+
+
+class TestSizeOfExt:
+    def test_matches_oracle(self, sample_types):
+        for name, t in sample_types.items():
+            if t.size == 0 or not t.is_monotonic:
+                continue
+            for e in range(0, t.true_ub + 2):
+                assert size_of_ext(t, e) == oracle_size_of_ext(t, e), (
+                    name, e,
+                )
+
+    def test_clamps_beyond_extent(self):
+        v = dt.vector(4, 2, 5, dt.DOUBLE)
+        assert size_of_ext(v, 10**6) == 64
+
+    def test_negative_is_zero(self):
+        assert size_of_ext(dt.DOUBLE, -5) == 0
+
+    def test_multi_count(self):
+        v = dt.vector(2, 1, 2, dt.INT)
+        for e in range(0, 30):
+            assert size_of_ext(v, e, count=2) == oracle_size_of_ext(
+                v, e, count=2
+            ), e
+
+
+class TestFFExtentAndSize:
+    def test_ff_extent_whole_type(self):
+        v = dt.vector(4, 2, 5, dt.DOUBLE)
+        assert ff_extent(v, 0, 64) == 136
+
+    def test_ff_extent_interior(self):
+        v = dt.vector(4, 2, 5, dt.DOUBLE)
+        assert ff_extent(v, 16, 16) == 16
+        assert ff_extent(v, 8, 16) == 40
+
+    def test_ff_extent_zero_size(self):
+        assert ff_extent(dt.vector(4, 2, 5, dt.DOUBLE), 10, 0) == 0
+
+    def test_ff_size_whole_extent(self):
+        v = dt.vector(4, 2, 5, dt.DOUBLE)
+        assert ff_size(v, 0, 136) == 64
+
+    def test_ff_size_window(self):
+        v = dt.vector(4, 2, 5, dt.DOUBLE)
+        assert ff_size(v, 8, 40) == 16
+
+    def test_ff_size_non_positive_extent(self):
+        assert ff_size(dt.DOUBLE, 0, 0) == 0
+        assert ff_size(dt.DOUBLE, 0, -4) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        datatype_trees().filter(lambda t: t.is_monotonic),
+        st.data(),
+    )
+    def test_inverse_relation(self, t, data):
+        """ff_size(skip, ff_extent(skip, n)) == n for any valid (skip, n):
+        the extent spanned by n bytes contains exactly those n bytes."""
+        skip = data.draw(st.integers(0, max(t.size - 1, 0)))
+        n = data.draw(st.integers(1, t.size - skip))
+        ext = ff_extent(t, skip, n)
+        assert ff_size(t, skip, ext) == n
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        datatype_trees().filter(lambda t: t.is_monotonic),
+        st.data(),
+    )
+    def test_ff_size_monotone_in_extent(self, t, data):
+        skip = data.draw(st.integers(0, max(t.size - 1, 0)))
+        e1 = data.draw(st.integers(0, t.extent))
+        e2 = data.draw(st.integers(e1, t.extent + 8))
+        assert ff_size(t, skip, e1) <= ff_size(t, skip, e2)
+
+    def test_independent_of_skip_magnitude(self):
+        """Navigation cost must not grow with skipbytes (O(depth) claim);
+        smoke-check via timing on a huge vector."""
+        import time
+
+        v = dt.vector(10**6, 1, 2, dt.DOUBLE)
+        t0 = time.perf_counter()
+        for _ in range(200):
+            ff_extent(v, 7_900_000, 64)
+        dt_hi = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(200):
+            ff_extent(v, 0, 64)
+        dt_lo = time.perf_counter() - t0
+        # Allow generous noise; a linear scan would differ by ~10^6x.
+        assert dt_hi < dt_lo * 50 + 0.05

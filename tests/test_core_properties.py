@@ -1,0 +1,137 @@
+"""Cross-cutting property tests of the listless core (hypothesis).
+
+These tie the compact machinery (dataloops, compact fileviews,
+mergeview) to brute-force oracles over random datatype trees and random
+view ensembles.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import datatypes as dt
+from repro.core.fileview_cache import CompactFileview
+from repro.core.mergeview import build_mergeview
+from repro.datatypes.packing import typemap_blocks
+from repro.datatypes.validation import validate_filetype
+from repro.errors import DatatypeError
+from tests.conftest import datatype_trees
+
+COMMON = dict(max_examples=50, deadline=None)
+
+
+def _legal_filetype(t) -> bool:
+    try:
+        validate_filetype(t, dt.BYTE)
+    except DatatypeError:
+        return False
+    return True
+
+
+def brute_view_data_in_range(ft, disp, lo, hi, ninst=None):
+    """Oracle: data bytes of the tiled view within [lo, hi)."""
+    if hi <= lo:
+        return 0
+    ninst = ninst or ((hi - disp) // ft.extent + 2)
+    total = 0
+    for inst in range(ninst):
+        base = disp + inst * ft.extent
+        for off, ln in typemap_blocks(ft, 1):
+            a, b = base + off, base + off + ln
+            total += max(0, min(b, hi) - max(a, lo))
+    return total
+
+
+class TestCompactFileviewProperties:
+    @settings(**COMMON)
+    @given(datatype_trees().filter(_legal_filetype), st.data())
+    def test_data_in_range_matches_brute_force(self, ft, data):
+        disp = data.draw(st.integers(0, 32))
+        cv = CompactFileview.from_view(disp, dt.BYTE, ft)
+        span = 3 * ft.extent
+        lo = data.draw(st.integers(0, disp + span))
+        hi = data.draw(st.integers(lo, disp + span))
+        assert cv.data_in_range(lo, hi) == brute_view_data_in_range(
+            ft, disp, lo, hi
+        )
+
+    @settings(**COMMON)
+    @given(datatype_trees().filter(_legal_filetype), st.data())
+    def test_abs_data_roundtrip(self, ft, data):
+        disp = data.draw(st.integers(0, 16))
+        cv = CompactFileview.from_view(disp, dt.BYTE, ft)
+        d = data.draw(st.integers(0, 3 * ft.size))
+        a = cv.abs_of_data(d)
+        assert cv.data_of_abs(a) == d
+
+    @settings(**COMMON)
+    @given(datatype_trees().filter(_legal_filetype), st.data())
+    def test_blocks_for_data_cover_exactly_the_range(self, ft, data):
+        cv = CompactFileview.from_view(0, dt.BYTE, ft)
+        d_lo = data.draw(st.integers(0, 2 * ft.size))
+        d_hi = data.draw(st.integers(d_lo, 2 * ft.size + ft.size))
+        offs, lens = cv.blocks_for_data(d_lo, d_hi)
+        assert int(lens.sum()) == d_hi - d_lo
+        # Monotone, non-overlapping, within the view's data positions.
+        ends = offs + lens
+        assert (offs[1:] >= ends[:-1]).all()
+
+    @settings(**COMMON)
+    @given(datatype_trees().filter(_legal_filetype))
+    def test_end_vs_start_bracket_data(self, ft):
+        cv = CompactFileview.from_view(0, dt.BYTE, ft)
+        for d in range(0, min(ft.size, 64) + 1):
+            if 0 < d:
+                assert cv.abs_of_data(d, end=True) <= cv.abs_of_data(d)
+
+
+class TestMergeviewProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(2, 4),
+        st.integers(1, 6),
+        st.integers(1, 12),
+        st.data(),
+    )
+    def test_coverage_matches_brute_force(self, P, blocklen, blockcount,
+                                          data):
+        from repro.bench.noncontig import build_noncontig_filetype
+
+        views = [
+            CompactFileview.from_view(
+                0, dt.BYTE,
+                build_noncontig_filetype(P, r, blocklen, blockcount),
+            )
+            for r in range(P)
+        ]
+        # Drop a random subset of views to create holes.
+        keep = data.draw(
+            st.lists(st.booleans(), min_size=P, max_size=P)
+        )
+        assume(any(keep))
+        kept = [v for v, k in zip(views, keep) if k]
+        mv = build_mergeview(kept)
+        span = views[0].filetype.extent
+        lo = data.draw(st.integers(0, span))
+        hi = data.draw(st.integers(lo, span))
+        brute = sum(
+            brute_view_data_in_range(v.filetype, 0, lo, hi) for v in kept
+        )
+        assert mv.data_in_range(lo, hi) == brute
+        assert mv.covers(lo, hi) == (brute >= hi - lo)
+
+    def test_full_ensemble_always_covers(self):
+        from repro.bench.noncontig import build_noncontig_filetype
+
+        for P in (2, 3, 5):
+            views = [
+                CompactFileview.from_view(
+                    0, dt.BYTE, build_noncontig_filetype(P, r, 4, 6)
+                )
+                for r in range(P)
+            ]
+            mv = build_mergeview(views)
+            span = views[0].filetype.extent
+            for lo in range(0, span, 7):
+                assert mv.covers(lo, span)

@@ -1,0 +1,99 @@
+"""Basic (predefined) datatypes and bounds markers."""
+
+import pytest
+
+from repro import datatypes as dt
+from repro.errors import DatatypeError
+
+
+class TestBasicTypes:
+    def test_byte_properties(self):
+        assert dt.BYTE.size == 1
+        assert dt.BYTE.extent == 1
+        assert dt.BYTE.lb == 0 and dt.BYTE.ub == 1
+        assert dt.BYTE.is_contiguous
+        assert dt.BYTE.is_monotonic
+        assert dt.BYTE.num_blocks == 1
+        assert dt.BYTE.depth == 1
+
+    @pytest.mark.parametrize(
+        "t,size",
+        [
+            (dt.CHAR, 1),
+            (dt.SHORT, 2),
+            (dt.INT, 4),
+            (dt.LONG, 8),
+            (dt.LONG_LONG, 8),
+            (dt.FLOAT, 4),
+            (dt.DOUBLE, 8),
+            (dt.LONG_DOUBLE, 16),
+            (dt.COMPLEX, 8),
+            (dt.DOUBLE_COMPLEX, 16),
+            (dt.PACKED, 1),
+        ],
+    )
+    def test_sizes(self, t, size):
+        assert t.size == size
+        assert t.extent == size
+        assert t.true_extent == size
+
+    def test_typemap_single_entry(self):
+        assert list(dt.DOUBLE.typemap()) == [(0, 8)]
+
+    def test_no_children(self):
+        assert dt.INT.children() == ()
+
+    def test_lookup_by_name(self):
+        assert dt.basic_by_name("DOUBLE") is dt.DOUBLE
+        assert dt.basic_by_name("LB") is dt.LB
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(DatatypeError):
+            dt.basic_by_name("QUADRUPLE")
+
+    def test_invalid_width_rejected(self):
+        from repro.datatypes.basic import BasicType
+
+        with pytest.raises(DatatypeError):
+            BasicType("BAD", 0)
+
+
+class TestBoundsMarkers:
+    def test_lb_is_empty(self):
+        assert dt.LB.size == 0
+        assert dt.LB.extent == 0
+        assert dt.LB.num_blocks == 0
+        assert list(dt.LB.typemap()) == []
+
+    def test_lb_sets_explicit_bound(self):
+        assert dt.LB.explicit_lb == 0
+        assert dt.LB.explicit_ub is None
+
+    def test_ub_sets_explicit_bound(self):
+        assert dt.UB.explicit_ub == 0
+        assert dt.UB.explicit_lb is None
+
+    def test_marker_in_struct_controls_extent(self):
+        t = dt.struct([1, 1, 1], [0, 8, 100], [dt.LB, dt.DOUBLE, dt.UB])
+        assert t.lb == 0
+        assert t.ub == 100
+        assert t.extent == 100
+        assert t.size == 8
+        assert t.true_lb == 8 and t.true_ub == 16
+
+    def test_marker_only_lb(self):
+        t = dt.struct([1, 1], [4, 10], [dt.LB, dt.INT])
+        assert t.lb == 4
+        assert t.ub == 14  # data upper bound (no UB marker)
+
+    def test_multiple_lb_markers_take_minimum(self):
+        t = dt.struct([1, 1, 1], [12, 4, 8], [dt.LB, dt.LB, dt.INT])
+        assert t.lb == 4
+
+    def test_marker_survives_nesting(self):
+        inner = dt.struct([1, 1], [0, 64], [dt.DOUBLE, dt.UB])
+        assert inner.extent == 64
+        outer = dt.contiguous(3, inner)
+        # UB markers tile with the repetitions: max over placements.
+        assert outer.ub == 2 * 64 + 64
+        assert outer.extent == 3 * 64

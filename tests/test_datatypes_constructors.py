@@ -1,0 +1,207 @@
+"""Derived-type constructors: sizes, extents, Nblock, monotonicity."""
+
+import pytest
+
+from repro import datatypes as dt
+from repro.errors import DatatypeError
+
+
+class TestContiguous:
+    def test_basic(self):
+        t = dt.contiguous(5, dt.INT)
+        assert t.size == 20
+        assert t.extent == 20
+        assert t.is_contiguous
+        assert t.num_blocks == 1
+        assert t.is_monotonic
+
+    def test_zero_count(self):
+        t = dt.contiguous(0, dt.INT)
+        assert t.size == 0
+        assert t.extent == 0
+        assert t.num_blocks == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DatatypeError):
+            dt.contiguous(-1, dt.INT)
+
+    def test_of_noncontiguous_base_merges_at_seams(self):
+        # A vector's extent ends flush with its last block, so tiling
+        # merges the seam blocks: 2*3 - 2 = 4 maximal blocks.
+        v = dt.vector(2, 1, 2, dt.INT)
+        t = dt.contiguous(3, v)
+        assert t.size == 3 * v.size
+        assert t.num_blocks == 4
+        assert t.extent == 3 * v.extent
+        assert list(t.flat_blocks()) == [(0, 4), (8, 8), (20, 8), (32, 4)]
+
+    def test_of_noncontiguous_base_with_trailing_gap(self):
+        # With a trailing gap (resized extent) no seam merge happens.
+        v = dt.resized(dt.vector(2, 1, 2, dt.INT), 0, 16)
+        t = dt.contiguous(3, v)
+        assert t.num_blocks == 6
+        assert t.extent == 48
+
+    def test_typemap(self):
+        t = dt.contiguous(3, dt.SHORT)
+        assert list(t.typemap()) == [(0, 2), (2, 2), (4, 2)]
+
+
+class TestVector:
+    def test_gapped(self):
+        t = dt.vector(4, 2, 5, dt.DOUBLE)
+        assert t.size == 64
+        assert t.num_blocks == 4
+        assert t.extent == (3 * 5 + 2) * 8
+        assert not t.is_contiguous
+        assert t.is_monotonic
+
+    def test_dense_vector_collapses_to_one_block(self):
+        t = dt.vector(4, 2, 2, dt.DOUBLE)
+        assert t.num_blocks == 1
+        assert t.is_contiguous
+        assert t.size == t.extent == 64
+
+    def test_hvector_bytes_stride(self):
+        t = dt.hvector(3, 1, 100, dt.INT)
+        assert t.size == 12
+        assert t.extent == 204
+        assert t.num_blocks == 3
+
+    def test_overlapping_stride_not_monotonic(self):
+        t = dt.hvector(3, 2, 4, dt.INT)  # 8-byte blocks, 4-byte stride
+        assert not t.is_monotonic
+
+    def test_negative_stride_not_monotonic(self):
+        t = dt.hvector(3, 1, -16, dt.DOUBLE)
+        assert not t.is_monotonic
+        assert t.true_lb == -32
+        assert t.size == 24
+
+    def test_vector_nblock_large_is_O1(self):
+        # Constructing a million-block vector must be instant - the whole
+        # point of avoiding explicit flattening at construction time.
+        t = dt.vector(10**6, 1, 2, dt.DOUBLE)
+        assert t.num_blocks == 10**6
+        assert t.size == 8 * 10**6
+
+
+class TestIndexed:
+    def test_element_displacements(self):
+        t = dt.indexed([2, 1], [0, 4], dt.INT)
+        assert list(t.flat_blocks()) == [(0, 8), (16, 4)]
+        assert t.num_blocks == 2
+
+    def test_hindexed_byte_displacements(self):
+        t = dt.hindexed([2, 1], [0, 16], dt.INT)
+        assert list(t.flat_blocks()) == [(0, 8), (16, 8 - 4)]
+        assert t.size == 12
+
+    def test_adjacent_blocks_merge_in_nblock(self):
+        t = dt.indexed([2, 2], [0, 2], dt.INT)
+        assert t.num_blocks == 1
+        assert t.is_contiguous
+
+    def test_indexed_block(self):
+        t = dt.indexed_block(2, [0, 3, 6], dt.INT)
+        assert t.size == 24
+        assert t.num_blocks == 3
+
+    def test_hindexed_block(self):
+        t = dt.hindexed_block(1, [0, 100], dt.DOUBLE)
+        assert list(t.flat_blocks()) == [(0, 8), (100, 8)]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DatatypeError):
+            dt.indexed([1, 2], [0], dt.INT)
+
+    def test_unsorted_displacements_not_monotonic(self):
+        t = dt.indexed([1, 1], [5, 0], dt.INT)
+        assert not t.is_monotonic
+        assert t.size == 8
+
+    def test_seq_first_last_for_unsorted(self):
+        t = dt.indexed([1, 1], [5, 0], dt.INT)
+        # Type-map order starts at element 5, ends after element 0.
+        assert t.seq_first == 20
+        assert t.seq_last_end == 4
+
+
+class TestStruct:
+    def test_mixed_types(self):
+        t = dt.struct([2, 1], [0, 12], [dt.INT, dt.DOUBLE])
+        assert t.size == 16
+        assert t.true_ub == 20
+        assert t.num_blocks == 2
+
+    def test_adjacent_fields_merge(self):
+        t = dt.struct([1, 1], [0, 4], [dt.INT, dt.INT])
+        assert t.num_blocks == 1
+        assert t.is_contiguous
+
+    def test_empty_field_skipped(self):
+        t = dt.struct([0, 1], [0, 8], [dt.DOUBLE, dt.INT])
+        assert t.size == 4
+        assert t.num_blocks == 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DatatypeError):
+            dt.struct([1], [0, 1], [dt.INT])
+
+
+class TestResized:
+    def test_extends_extent(self):
+        t = dt.resized(dt.INT, 0, 16)
+        assert t.size == 4
+        assert t.extent == 16
+        assert not t.is_contiguous  # data does not fill the extent
+
+    def test_shrinks_extent(self):
+        v = dt.vector(2, 1, 2, dt.INT)
+        t = dt.resized(v, 0, 8)
+        assert t.extent == 8
+        assert t.size == 8
+
+    def test_negative_lb(self):
+        t = dt.resized(dt.INT, -4, 12)
+        assert t.lb == -4
+        assert t.ub == 8
+        assert t.true_lb == 0
+
+    def test_tiling_uses_resized_extent(self):
+        t = dt.resized(dt.INT, 0, 10)
+        c = dt.contiguous(3, t)
+        assert list(c.flat_blocks()) == [(0, 4), (10, 4), (20, 4)]
+
+
+class TestAtOffsetAndDup:
+    def test_at_offset(self):
+        t = dt.at_offset(dt.DOUBLE, 24)
+        assert list(t.flat_blocks()) == [(24, 8)]
+        assert t.true_lb == 24
+
+    def test_dup_same_typemap(self, sample_types):
+        for name, t in sample_types.items():
+            d = dt.dup(t)
+            assert list(d.typemap()) == list(t.typemap()), name
+            assert d.extent == t.extent, name
+            assert d.lb == t.lb, name
+
+    def test_dup_is_new_object(self):
+        t = dt.vector(2, 1, 2, dt.INT)
+        assert dt.dup(t) is not t
+
+
+class TestDepth:
+    def test_depth_grows_with_nesting(self):
+        t = dt.DOUBLE
+        prev = t.depth
+        for _ in range(4):
+            t = dt.vector(2, 1, 2, t)
+            assert t.depth > prev
+            prev = t.depth
+
+    def test_depth_independent_of_counts(self):
+        small = dt.vector(2, 1, 2, dt.DOUBLE)
+        big = dt.vector(10**5, 1, 2, dt.DOUBLE)
+        assert small.depth == big.depth

@@ -1,0 +1,108 @@
+"""``darray``: block/cyclic distributions partition the global array."""
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.datatypes.packing import pack_typemap
+from repro.errors import DatatypeError
+
+
+def _owned_elements(t, total):
+    """Element indices selected by a darray type over an INT array."""
+    arr = np.arange(total, dtype=np.int32)
+    return set(pack_typemap(arr, 1, t).view(np.int32).tolist())
+
+
+class TestDarrayBlock:
+    def test_1d_block_partitions(self):
+        owned = []
+        for r in range(4):
+            t = dt.darray(
+                4, r, [16], [dt.DISTRIBUTE_BLOCK],
+                [dt.DISTRIBUTE_DFLT_DARG], [4], dt.INT,
+            )
+            owned.append(_owned_elements(t, 16))
+            assert t.extent == 64
+        assert set().union(*owned) == set(range(16))
+        assert sum(len(o) for o in owned) == 16
+
+    def test_2d_block_partitions(self):
+        owned = []
+        for r in range(4):
+            t = dt.darray(
+                4, r, [4, 4], [dt.DISTRIBUTE_BLOCK] * 2,
+                [dt.DISTRIBUTE_DFLT_DARG] * 2, [2, 2], dt.DOUBLE,
+            )
+            vals = pack_typemap(
+                np.arange(16, dtype=np.float64), 1, t
+            ).view(np.float64)
+            owned.append(set(int(v) for v in vals))
+        assert set().union(*owned) == set(range(16))
+        assert sum(len(o) for o in owned) == 16
+
+    def test_rank0_gets_top_left(self):
+        t = dt.darray(
+            4, 0, [4, 4], [dt.DISTRIBUTE_BLOCK] * 2,
+            [dt.DISTRIBUTE_DFLT_DARG] * 2, [2, 2], dt.INT,
+        )
+        assert _owned_elements(t, 16) == {0, 1, 4, 5}
+
+    def test_uneven_block(self):
+        # 10 elements over 3 procs: blocks of 4, 4, 2.
+        lens = []
+        for r in range(3):
+            t = dt.darray(
+                3, r, [10], [dt.DISTRIBUTE_BLOCK],
+                [dt.DISTRIBUTE_DFLT_DARG], [3], dt.INT,
+            )
+            lens.append(t.size // 4)
+        assert lens == [4, 4, 2]
+
+
+class TestDarrayCyclic:
+    def test_1d_cyclic(self):
+        t = dt.darray(
+            2, 0, [8], [dt.DISTRIBUTE_CYCLIC],
+            [dt.DISTRIBUTE_DFLT_DARG], [2], dt.INT,
+        )
+        assert _owned_elements(t, 8) == {0, 2, 4, 6}
+
+    def test_1d_cyclic_k(self):
+        t = dt.darray(2, 1, [12], [dt.DISTRIBUTE_CYCLIC], [2], [2], dt.INT)
+        assert _owned_elements(t, 12) == {2, 3, 6, 7, 10, 11}
+
+    def test_cyclic_partition_complete(self):
+        owned = []
+        for r in range(3):
+            t = dt.darray(
+                3, r, [10], [dt.DISTRIBUTE_CYCLIC], [2], [3], dt.INT
+            )
+            owned.append(_owned_elements(t, 10))
+        assert set().union(*owned) == set(range(10))
+
+
+class TestDarrayNone:
+    def test_none_dimension_fully_owned(self):
+        t = dt.darray(
+            2, 0, [2, 4],
+            [dt.DISTRIBUTE_BLOCK, dt.DISTRIBUTE_NONE],
+            [dt.DISTRIBUTE_DFLT_DARG] * 2, [2, 1], dt.INT,
+        )
+        assert _owned_elements(t, 8) == {0, 1, 2, 3}
+
+
+class TestDarrayValidation:
+    def test_psizes_product_mismatch(self):
+        with pytest.raises(DatatypeError):
+            dt.darray(4, 0, [8], [dt.DISTRIBUTE_BLOCK],
+                      [dt.DISTRIBUTE_DFLT_DARG], [2], dt.INT)
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(DatatypeError):
+            dt.darray(2, 2, [8], [dt.DISTRIBUTE_BLOCK],
+                      [dt.DISTRIBUTE_DFLT_DARG], [2], dt.INT)
+
+    def test_block_too_small(self):
+        with pytest.raises(DatatypeError):
+            dt.darray(2, 0, [8], [dt.DISTRIBUTE_BLOCK], [2], [2], dt.INT)

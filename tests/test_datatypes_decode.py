@@ -1,0 +1,67 @@
+"""Datatype introspection and the compact tree serialization."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import datatypes as dt
+from repro.datatypes import decode
+from tests.conftest import datatype_trees
+
+
+class TestEnvelope:
+    def test_combiner_names(self, sample_types):
+        assert decode.get_envelope(sample_types["basic"]) == "basic:DOUBLE"
+        assert decode.get_envelope(sample_types["contig"]) == "contiguous"
+        assert decode.get_envelope(sample_types["vector"]) == "hvector"
+        assert decode.get_envelope(sample_types["indexed"]) == "hindexed"
+        assert decode.get_envelope(sample_types["struct"]) == "struct"
+        assert decode.get_envelope(sample_types["resized"]) == "resized"
+
+    def test_contents_roundtrip_vector(self):
+        v = dt.vector(4, 2, 5, dt.DOUBLE)
+        c = decode.get_contents(v)
+        rebuilt = dt.hvector(c["count"], c["blocklen"] // 1, 0, dt.DOUBLE)
+        assert c["count"] == 4
+        assert c["stride"] == 40
+        assert c["base"] is dt.DOUBLE
+        assert rebuilt.size == v.size
+
+
+class TestTreeSerialization:
+    def test_roundtrip_preserves_typemap(self, sample_types):
+        for name, t in sample_types.items():
+            t2 = decode.from_tree(decode.to_tree(t))
+            assert list(t2.typemap()) == list(t.typemap()), name
+            assert t2.extent == t.extent, name
+            assert t2.lb == t.lb, name
+            assert t2.num_blocks == t.num_blocks, name
+
+    def test_tree_is_hashable(self, sample_types):
+        for t in sample_types.values():
+            hash(decode.to_tree(t))
+
+    @settings(max_examples=60, deadline=None)
+    @given(datatype_trees())
+    def test_roundtrip_random_trees(self, t):
+        t2 = decode.from_tree(decode.to_tree(t))
+        assert t2.size == t.size
+        assert t2.extent == t.extent
+        assert list(t2.typemap()) == list(t.typemap())
+
+    def test_wire_size_independent_of_nblock(self):
+        small = dt.vector(4, 1, 2, dt.DOUBLE)
+        huge = dt.vector(4 * 10**5, 1, 2, dt.DOUBLE)
+        assert decode.tree_nbytes(decode.to_tree(small)) == \
+            decode.tree_nbytes(decode.to_tree(huge))
+
+    def test_wire_size_proportional_to_descriptor(self):
+        ix_small = dt.indexed([1] * 4, list(range(0, 8, 2)), dt.INT)
+        ix_big = dt.indexed([1] * 64, list(range(0, 128, 2)), dt.INT)
+        assert decode.tree_nbytes(decode.to_tree(ix_big)) > \
+            decode.tree_nbytes(decode.to_tree(ix_small))
+
+    def test_unknown_node_kind_rejected(self):
+        from repro.errors import DatatypeError
+
+        with pytest.raises(DatatypeError):
+            decode.from_tree(("mystery", 1))

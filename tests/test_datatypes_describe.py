@@ -1,0 +1,45 @@
+"""The datatype tree pretty-printer."""
+
+from repro import datatypes as dt
+from repro.datatypes.describe import describe
+
+
+class TestDescribe:
+    def test_basic(self):
+        assert describe(dt.DOUBLE) == "DOUBLE  [8B]"
+
+    def test_vector_tree(self):
+        out = describe(dt.vector(4, 2, 5, dt.DOUBLE))
+        assert "hvector(count=4, blocklen=2, stride=40B)" in out
+        assert "size=64B" in out
+        assert "blocks=4" in out
+        assert "DOUBLE" in out
+
+    def test_markers_shown(self):
+        t = dt.struct([1, 1, 1], [0, 8, 100], [dt.LB, dt.INT, dt.UB])
+        out = describe(t)
+        assert "LB marker" in out and "UB marker" in out
+
+    def test_non_monotonic_flagged(self):
+        out = describe(dt.indexed([1, 1], [5, 0], dt.INT))
+        assert "non-monotonic" in out
+
+    def test_long_descriptor_truncated(self):
+        t = dt.indexed([1] * 50, list(range(0, 200, 4)), dt.INT)
+        out = describe(t)
+        assert "... 50 total" in out
+
+    def test_renders_every_sample_type(self, sample_types):
+        for name, t in sample_types.items():
+            out = describe(t)
+            assert out, name
+            # The leaf basic type always appears somewhere in the tree.
+            assert "DOUBLE" in out or "INT" in out or "BYTE" in out, name
+
+    def test_repeated_children_deduplicated(self):
+        from repro.bench.btio import build_process_filetype
+
+        ft = build_process_filetype(12, 4, 0)
+        out = describe(ft)
+        # Two cells, but differing starts: both subtrees rendered.
+        assert out.count("resized") >= 1

@@ -1,0 +1,96 @@
+"""The typemap-based pack/unpack oracle itself."""
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.datatypes.packing import (
+    pack_typemap,
+    packed_size,
+    typemap_blocks,
+    unpack_typemap,
+)
+from repro.errors import DatatypeError
+from tests.conftest import fill_pattern
+
+
+class TestPackTypemap:
+    def test_contiguous_is_identity(self):
+        src = fill_pattern(32)
+        out = pack_typemap(src, 1, dt.contiguous(32, dt.BYTE))
+        assert (out == src).all()
+
+    def test_vector_selects_blocks(self):
+        src = np.arange(20, dtype=np.float64)
+        out = pack_typemap(src, 1, dt.vector(4, 2, 5, dt.DOUBLE))
+        expect = np.concatenate([src[i * 5 : i * 5 + 2] for i in range(4)])
+        assert (out.view(np.float64) == expect).all()
+
+    def test_count_tiles_by_extent(self):
+        src = np.arange(8, dtype=np.int32)
+        t = dt.contiguous(2, dt.INT)
+        out = pack_typemap(src, 4, t)
+        assert (out.view(np.int32) == src).all()
+
+    def test_origin_shifts_reads(self):
+        src = fill_pattern(24)
+        t = dt.contiguous(8, dt.BYTE)
+        out = pack_typemap(src, 1, t, origin=16)
+        assert (out == src[16:24]).all()
+
+    def test_out_of_bounds_rejected(self):
+        src = np.zeros(8, dtype=np.uint8)
+        with pytest.raises(DatatypeError):
+            pack_typemap(src, 1, dt.contiguous(16, dt.BYTE))
+
+    def test_non_monotonic_order_respected(self):
+        # indexed([1,1],[5,0]) reads element 5 first, element 0 second.
+        src = np.arange(8, dtype=np.int32)
+        out = pack_typemap(src, 1, dt.indexed([1, 1], [5, 0], dt.INT))
+        assert list(out.view(np.int32)) == [5, 0]
+
+
+class TestUnpackTypemap:
+    def test_roundtrip(self, sample_types):
+        for name, t in sample_types.items():
+            if t.size == 0:
+                continue
+            span = t.true_ub - min(t.true_lb, 0)
+            src = fill_pattern(span + 8, seed=3)
+            packed = pack_typemap(src, 1, t, origin=-min(t.true_lb, 0))
+            dst = np.zeros_like(src)
+            unpack_typemap(packed, dst, 1, t, origin=-min(t.true_lb, 0))
+            repacked = pack_typemap(dst, 1, t, origin=-min(t.true_lb, 0))
+            assert (repacked == packed).all(), name
+
+    def test_short_packed_buffer_rejected(self):
+        dst = np.zeros(16, dtype=np.uint8)
+        with pytest.raises(DatatypeError):
+            unpack_typemap(
+                np.zeros(4, dtype=np.uint8), dst, 1,
+                dt.contiguous(8, dt.BYTE),
+            )
+
+    def test_unpack_out_of_bounds_rejected(self):
+        dst = np.zeros(4, dtype=np.uint8)
+        with pytest.raises(DatatypeError):
+            unpack_typemap(
+                np.zeros(8, dtype=np.uint8), dst, 1,
+                dt.contiguous(8, dt.BYTE),
+            )
+
+
+class TestHelpers:
+    def test_packed_size(self):
+        assert packed_size(dt.DOUBLE, 7) == 56
+
+    def test_typemap_blocks_merges_adjacent(self):
+        t = dt.contiguous(4, dt.INT)
+        assert typemap_blocks(t, 2) == [(0, 32)]
+
+    def test_typemap_blocks_matches_num_blocks(self, sample_types):
+        for name, t in sample_types.items():
+            if t.size == 0:
+                continue
+            blocks = typemap_blocks(t, 1)
+            assert len(blocks) == t.num_blocks, name

@@ -1,0 +1,103 @@
+"""Property-based invariants of the datatype engine (hypothesis).
+
+These tie the compositional aggregates (computed in O(descriptor) at
+construction) to the ground-truth type map (materialized only here, in
+tests): sizes, bounds, Nblock, monotonicity, and contiguity must all
+agree with what the type map says.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro import datatypes as dt
+from repro.datatypes.packing import pack_typemap, typemap_blocks
+from tests.conftest import datatype_trees, fill_pattern
+
+COMMON = dict(max_examples=80, deadline=None)
+
+
+@settings(**COMMON)
+@given(datatype_trees())
+def test_size_equals_typemap_total(t):
+    assert t.size == sum(ln for _, ln in t.typemap())
+
+
+@settings(**COMMON)
+@given(datatype_trees())
+def test_true_bounds_match_typemap(t):
+    entries = list(t.typemap())
+    assert t.true_lb == min(off for off, _ in entries)
+    assert t.true_ub == max(off + ln for off, ln in entries)
+
+
+@settings(**COMMON)
+@given(datatype_trees())
+def test_num_blocks_matches_coalesced_typemap(t):
+    assert t.num_blocks == len(typemap_blocks(t, 1))
+
+
+@settings(**COMMON)
+@given(datatype_trees())
+def test_monotonic_flag_matches_typemap_order(t):
+    entries = list(t.typemap())
+    sorted_nonoverlap = all(
+        a_off + a_len <= b_off
+        for (a_off, a_len), (b_off, b_len) in zip(entries, entries[1:])
+    )
+    if t.is_monotonic:
+        assert sorted_nonoverlap
+    else:
+        assert not sorted_nonoverlap
+
+
+@settings(**COMMON)
+@given(datatype_trees())
+def test_contiguous_flag_means_single_full_run(t):
+    if t.is_contiguous:
+        assert t.num_blocks == 1
+        assert t.size == t.extent
+        assert t.lb == t.true_lb
+
+
+@settings(**COMMON)
+@given(datatype_trees())
+def test_seq_first_last_match_typemap(t):
+    entries = list(t.typemap())
+    assert t.seq_first == entries[0][0]
+    assert t.seq_last_end == entries[-1][0] + entries[-1][1]
+
+
+@settings(**COMMON)
+@given(datatype_trees())
+def test_tiling_two_instances_matches_shifted_typemap(t):
+    """contiguous(2, t) must place instance 1 at offset t.extent."""
+    c = dt.contiguous(2, t)
+    one = list(t.typemap())
+    two = list(c.typemap())
+    assert two[: len(one)] == one
+    shifted = [(off + t.extent, ln) for off, ln in one]
+    assert two[len(one):] == shifted
+
+
+@settings(**COMMON)
+@given(datatype_trees())
+def test_pack_unpack_roundtrip(t):
+    span = t.true_ub + 8
+    src = fill_pattern(span, seed=11)
+    packed = pack_typemap(src, 1, t)
+    dst = np.zeros(span, dtype=np.uint8)
+    from repro.datatypes.packing import unpack_typemap
+
+    unpack_typemap(packed, dst, 1, t)
+    assert (pack_typemap(dst, 1, t) == packed).all()
+
+
+@settings(**COMMON)
+@given(datatype_trees())
+def test_resized_changes_only_bounds(t):
+    r = dt.resized(t, -8, t.extent + 16)
+    assert r.size == t.size
+    assert list(r.typemap()) == list(t.typemap())
+    assert r.lb == -8
+    assert r.extent == t.extent + 16
+    assert r.num_blocks == t.num_blocks

@@ -1,0 +1,100 @@
+"""``subarray``: layout, orders, bounds, and pack equivalence with NumPy."""
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.datatypes.packing import pack_typemap
+from repro.errors import DatatypeError
+
+
+class TestSubarray2D:
+    def test_blocks_match_numpy_slicing(self):
+        sizes, subsizes, starts = [6, 6], [3, 2], [2, 1]
+        t = dt.subarray(sizes, subsizes, starts, dt.DOUBLE)
+        arr = np.arange(36, dtype=np.float64)
+        packed = pack_typemap(arr, 1, t).view(np.float64)
+        expect = arr.reshape(6, 6)[2:5, 1:3].reshape(-1)
+        assert (packed == expect).all()
+
+    def test_extent_covers_full_array(self):
+        t = dt.subarray([6, 6], [3, 2], [2, 1], dt.DOUBLE)
+        assert t.extent == 36 * 8
+        assert t.lb == 0
+
+    def test_size(self):
+        t = dt.subarray([6, 6], [3, 2], [2, 1], dt.DOUBLE)
+        assert t.size == 6 * 8
+
+    def test_num_blocks_is_rows(self):
+        t = dt.subarray([6, 6], [3, 2], [2, 1], dt.DOUBLE)
+        assert t.num_blocks == 3
+
+    def test_full_row_selection_merges(self):
+        t = dt.subarray([4, 4], [2, 4], [1, 0], dt.INT)
+        # Two full rows are contiguous in the array.
+        assert t.num_blocks == 1
+
+    def test_monotonic(self):
+        t = dt.subarray([6, 6], [3, 2], [2, 1], dt.DOUBLE)
+        assert t.is_monotonic
+
+
+class TestSubarray3D:
+    @pytest.mark.parametrize("starts", [[0, 0, 0], [1, 2, 3], [2, 0, 1]])
+    def test_blocks_match_numpy(self, starts):
+        sizes, subsizes = [5, 6, 7], [3, 2, 4]
+        t = dt.subarray(sizes, subsizes, starts, dt.INT)
+        arr = np.arange(5 * 6 * 7, dtype=np.int32)
+        packed = pack_typemap(arr, 1, t).view(np.int32)
+        a, b, c = starts
+        expect = arr.reshape(5, 6, 7)[
+            a : a + 3, b : b + 2, c : c + 4
+        ].reshape(-1)
+        assert (packed == expect).all()
+
+    def test_derived_base_type(self):
+        # 5-component points, as BTIO uses.
+        point = dt.contiguous(5, dt.DOUBLE)
+        t = dt.subarray([4, 4, 4], [2, 2, 2], [1, 1, 1], point)
+        assert t.size == 8 * 5 * 8
+        assert t.extent == 64 * 40
+
+
+class TestSubarrayFortranOrder:
+    def test_fortran_equals_c_on_reversed_dims(self):
+        tf = dt.subarray(
+            [6, 4], [2, 3], [1, 0], dt.INT, order=dt.ORDER_FORTRAN
+        )
+        tc = dt.subarray([4, 6], [3, 2], [0, 1], dt.INT, order=dt.ORDER_C)
+        assert list(tf.typemap()) == list(tc.typemap())
+        assert tf.extent == tc.extent
+
+    def test_fortran_first_dim_contiguous(self):
+        t = dt.subarray(
+            [8, 8], [8, 1], [0, 3], dt.DOUBLE, order=dt.ORDER_FORTRAN
+        )
+        # Selecting a full first-dim column is one contiguous run.
+        assert t.num_blocks == 1
+
+
+class TestSubarrayValidation:
+    def test_rank_mismatch(self):
+        with pytest.raises(DatatypeError):
+            dt.subarray([4, 4], [2], [0, 0], dt.INT)
+
+    def test_block_outside_array(self):
+        with pytest.raises(DatatypeError):
+            dt.subarray([4], [3], [2], dt.INT)
+
+    def test_zero_subsize_rejected(self):
+        with pytest.raises(DatatypeError):
+            dt.subarray([4], [0], [0], dt.INT)
+
+    def test_bad_order(self):
+        with pytest.raises(DatatypeError):
+            dt.subarray([4], [2], [0], dt.INT, order="Z")
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(DatatypeError):
+            dt.subarray([], [], [], dt.INT)

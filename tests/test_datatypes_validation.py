@@ -1,0 +1,77 @@
+"""Etype/filetype legality checks (MPI-IO restrictions)."""
+
+import pytest
+
+from repro import datatypes as dt
+from repro.errors import DatatypeError
+
+
+class TestValidateEtype:
+    def test_basic_ok(self):
+        dt.validate_etype(dt.DOUBLE)
+
+    def test_contiguous_ok(self):
+        dt.validate_etype(dt.contiguous(5, dt.DOUBLE))
+
+    def test_marker_only_rejected(self):
+        with pytest.raises(DatatypeError):
+            dt.validate_etype(dt.struct([1], [0], [dt.LB]))
+
+    def test_negative_lb_rejected(self):
+        with pytest.raises(DatatypeError):
+            dt.validate_etype(dt.resized(dt.INT, -4, 8))
+
+    def test_non_monotonic_rejected(self):
+        with pytest.raises(DatatypeError):
+            dt.validate_etype(dt.indexed([1, 1], [5, 0], dt.INT))
+
+    def test_extent_must_cover_data(self):
+        # Shrunk extent would interleave repeated etypes.
+        with pytest.raises(DatatypeError):
+            dt.validate_etype(dt.resized(dt.contiguous(4, dt.INT), 0, 8))
+
+
+class TestValidateFiletype:
+    def test_vector_ok(self):
+        dt.validate_filetype(dt.vector(4, 2, 5, dt.DOUBLE), dt.DOUBLE)
+
+    def test_size_multiple_of_etype(self):
+        # 12 bytes of INT data is not a whole number of DOUBLEs.
+        with pytest.raises(DatatypeError):
+            dt.validate_filetype(dt.contiguous(3, dt.INT), dt.DOUBLE)
+
+    def test_overlapping_vector_rejected(self):
+        with pytest.raises(DatatypeError):
+            dt.validate_filetype(dt.hvector(2, 2, 4, dt.INT), dt.INT)
+
+    def test_unsorted_indexed_rejected(self):
+        with pytest.raises(DatatypeError):
+            dt.validate_filetype(dt.indexed([1, 1], [5, 0], dt.INT), dt.INT)
+
+    def test_negative_displacement_rejected(self):
+        with pytest.raises(DatatypeError):
+            dt.validate_filetype(
+                dt.resized(dt.INT, -4, 12), dt.INT
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatatypeError):
+            dt.validate_filetype(dt.contiguous(0, dt.INT), dt.INT)
+
+    def test_subarray_filetype_ok(self):
+        point = dt.contiguous(5, dt.DOUBLE)
+        t = dt.subarray([8, 8, 8], [4, 4, 4], [0, 4, 4], point)
+        dt.validate_filetype(t, dt.DOUBLE)
+
+    def test_btio_struct_of_subarrays_ok(self):
+        from repro.bench.btio import build_process_filetype
+
+        for rank in range(4):
+            ft = build_process_filetype(12, 4, rank)
+            dt.validate_filetype(ft, dt.DOUBLE)
+
+    def test_is_monotonic_helper(self):
+        assert dt.is_monotonic_nonoverlapping(dt.vector(3, 1, 2, dt.INT))
+        assert not dt.is_monotonic_nonoverlapping(
+            dt.indexed([1, 1], [5, 0], dt.INT)
+        )

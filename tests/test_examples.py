@@ -1,0 +1,63 @@
+"""Every example script must run cleanly (they are executable docs)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES / f"{name}.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "listless" in out and "list_based" in out
+        assert "bytes on the wire" in out
+
+    def test_matrix_checkpoint(self, capsys):
+        load_example("matrix_checkpoint").main()
+        out = capsys.readouterr().out
+        assert "verified" in out
+
+    def test_particle_io(self, capsys):
+        load_example("particle_io").main()
+        out = capsys.readouterr().out
+        assert "data sieving ON" in out
+        assert "data sieving OFF" in out
+
+    def test_posix_vs_mpiio(self, capsys):
+        load_example("posix_vs_mpiio").main()
+        out = capsys.readouterr().out
+        assert "POSIX seek+read loop" in out
+        assert "MPI-IO collective" in out
+
+    def test_btio_demo(self, capsys, monkeypatch):
+        mod = load_example("btio_demo")
+        monkeypatch.setattr(mod, "REPEATS", 1)
+        monkeypatch.setattr(mod, "NSTEPS", 2)
+        mod.main()
+        out = capsys.readouterr().out
+        assert "r_io" in out
+        assert "verified" in out
+
+    def test_all_examples_have_docstrings_and_main(self):
+        for path in sorted(EXAMPLES.glob("*.py")):
+            mod = load_example(path.stem)
+            assert mod.__doc__, path.name
+            assert hasattr(mod, "main"), path.name
+
+    def test_transpose(self, capsys):
+        load_example("transpose").main()
+        out = capsys.readouterr().out
+        assert "transposed" in out and "OK" in out

@@ -1,0 +1,171 @@
+"""Failure injection: a rank failing mid-I/O must never deadlock the
+world, locks must be released on error paths, and device faults must
+propagate as exceptions, not corruption."""
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.bench.noncontig import build_noncontig_filetype
+from repro.errors import FileSystemError, IOEngineError
+from repro.fs import DeviceModel, SimFileSystem, StripingConfig
+from repro.fs.simfile import SimFile
+from repro.io import File, MODE_CREATE, MODE_RDONLY, MODE_RDWR
+from repro.mpi import run_spmd
+
+ENGINES = ["listless", "list_based"]
+
+
+class FlakyFile(SimFile):
+    """A SimFile whose n-th write (or read) raises."""
+
+    def __init__(self, *a, fail_after_writes=None, fail_after_reads=None,
+                 **kw):
+        super().__init__(*a, **kw)
+        self._writes_left = fail_after_writes
+        self._reads_left = fail_after_reads
+
+    def pwrite(self, offset, data):
+        if self._writes_left is not None:
+            if self._writes_left == 0:
+                raise FileSystemError("injected write fault")
+            self._writes_left -= 1
+        return super().pwrite(offset, data)
+
+    def pread_into(self, offset, out):
+        if self._reads_left is not None:
+            if self._reads_left == 0:
+                raise FileSystemError("injected read fault")
+            self._reads_left -= 1
+        return super().pread_into(offset, out)
+
+
+def flaky_fs(path="/f", **kw) -> SimFileSystem:
+    fs = SimFileSystem()
+    f = FlakyFile(path, DeviceModel(), StripingConfig(), **kw)
+    fs._files[path] = f
+    return fs
+
+
+class TestDeviceFaults:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_write_fault_propagates_no_deadlock(self, engine):
+        fs = flaky_fs(fail_after_writes=0)
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_RDWR, engine=engine)
+            ft = build_noncontig_filetype(comm.size, comm.rank, 4, 8)
+            fh.set_view(0, dt.BYTE, ft)
+            fh.write_at_all(0, np.zeros(32, dtype=np.uint8))
+            fh.close()
+
+        with pytest.raises(FileSystemError, match="injected write fault"):
+            run_spmd(4, worker)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_read_fault_propagates_no_deadlock(self, engine):
+        fs = flaky_fs(fail_after_reads=1)
+        fs.lookup("/f").truncate(1024)
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_RDWR, engine=engine)
+            ft = build_noncontig_filetype(comm.size, comm.rank, 4, 16)
+            fh.set_view(0, dt.BYTE, ft)
+            out = np.zeros(64, dtype=np.uint8)
+            fh.read_at_all(0, out)
+            fh.close()
+
+        with pytest.raises(FileSystemError, match="injected read fault"):
+            run_spmd(4, worker)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_locks_released_after_write_fault(self, engine):
+        """The sieving write path holds a range lock when the device
+        faults; the lock must be released so later I/O proceeds."""
+        fs = flaky_fs(fail_after_writes=0)
+        f = fs.lookup("/f")
+
+        def broken(comm):
+            fh = File.open(comm, fs, "/f", MODE_RDWR, engine=engine)
+            fh.set_view(0, dt.BYTE, dt.vector(8, 1, 2, dt.BYTE))
+            fh.write_at(0, np.zeros(8, dtype=np.uint8))
+            fh.close()
+
+        with pytest.raises(FileSystemError):
+            run_spmd(1, broken)
+        # Device healed: nothing should block now.
+        f._writes_left = None
+
+        def healthy(comm):
+            fh = File.open(comm, fs, "/f", MODE_RDWR, engine=engine)
+            fh.set_view(0, dt.BYTE, dt.vector(8, 1, 2, dt.BYTE))
+            fh.write_at(0, np.full(8, 5, dtype=np.uint8))
+            fh.close()
+
+        run_spmd(1, healthy)
+        assert (f.contents()[::2] == 5).all()
+
+
+class TestRankFailures:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_one_rank_mode_error_unblocks_collective(self, engine):
+        """Rank 1 hits a local error before its collective call; the
+        others are already inside the collective and must be released."""
+        fs = SimFileSystem()
+        fs.create("/f")
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_RDONLY, engine=engine)
+            if comm.rank == 1:
+                # Erroneous local write on a read-only handle.
+                fh.write_at(0, np.zeros(4, dtype=np.uint8))
+            out = np.zeros(4, dtype=np.uint8)
+            fh.read_at_all(0, out)
+            fh.close()
+
+        with pytest.raises(IOEngineError, match="not opened for writing"):
+            run_spmd(3, worker)
+
+    def test_open_failure_on_root_reaches_all(self):
+        fs = SimFileSystem()  # no file, no MODE_CREATE
+
+        def worker(comm):
+            File.open(comm, fs, "/missing", MODE_RDWR)
+
+        with pytest.raises(FileSystemError):
+            run_spmd(4, worker)
+
+
+class TestShortReads:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_contiguous_read_past_eof_raises(self, engine):
+        fs = SimFileSystem()
+        fs.create("/f").pwrite(0, np.zeros(10, dtype=np.uint8))
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_RDONLY, engine=engine)
+            out = np.zeros(100, dtype=np.uint8)
+            fh.read_at(0, out)
+            fh.close()
+
+        with pytest.raises(IOEngineError, match="short read"):
+            run_spmd(1, worker)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_sieved_read_past_eof_zero_fills(self, engine):
+        """Non-contiguous reads use sieving windows; past-EOF regions
+        read as zero (MPI leaves them undefined; deterministic zeros make
+        the behaviour testable)."""
+        fs = SimFileSystem()
+        fs.create("/f").pwrite(0, np.full(4, 9, dtype=np.uint8))
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_RDONLY, engine=engine)
+            fh.set_view(0, dt.BYTE, dt.vector(8, 2, 4, dt.BYTE))
+            out = np.full(16, 7, dtype=np.uint8)
+            fh.read_at(0, out)
+            assert (out[:2] == 9).all()
+            assert (out[2:] == 0).all()
+            fh.close()
+
+        run_spmd(1, worker)

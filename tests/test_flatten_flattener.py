@@ -1,0 +1,59 @@
+"""Explicit flattening: equivalence with the type map, O(Nblock) output."""
+
+from hypothesis import given, settings
+
+from repro import datatypes as dt
+from repro.datatypes.packing import typemap_blocks
+from repro.flatten import flatten_count, flatten_datatype
+from tests.conftest import datatype_trees
+
+
+class TestFlattenDatatype:
+    def test_vector(self):
+        ol = flatten_datatype(dt.vector(4, 2, 5, dt.DOUBLE))
+        assert ol.to_pairs() == [(0, 16), (40, 16), (80, 16), (120, 16)]
+
+    def test_dense_vector_single_block(self):
+        ol = flatten_datatype(dt.vector(4, 2, 2, dt.DOUBLE))
+        assert ol.to_pairs() == [(0, 64)]
+
+    def test_marker_contributes_nothing(self):
+        t = dt.struct([1, 1, 1], [0, 8, 100], [dt.LB, dt.INT, dt.UB])
+        assert flatten_datatype(t).to_pairs() == [(8, 4)]
+
+    def test_subarray(self):
+        t = dt.subarray([4, 4], [2, 2], [1, 1], dt.DOUBLE)
+        assert flatten_datatype(t).to_pairs() == [(40, 16), (72, 16)]
+
+    def test_nested_vector_of_vectors(self):
+        inner = dt.vector(2, 1, 2, dt.INT)  # blocks at 0, 8 (4B each)
+        outer = dt.hvector(2, 1, 100, inner)
+        ol = flatten_datatype(outer)
+        assert ol.to_pairs() == [(0, 4), (8, 4), (100, 4), (108, 4)]
+
+    def test_matches_num_blocks(self, sample_types):
+        for name, t in sample_types.items():
+            if t.size == 0:
+                continue
+            assert len(flatten_datatype(t)) == t.num_blocks, name
+
+    @settings(max_examples=80, deadline=None)
+    @given(datatype_trees())
+    def test_matches_typemap_blocks(self, t):
+        assert flatten_datatype(t).to_pairs() == typemap_blocks(t, 1)
+
+
+class TestFlattenCount:
+    def test_tiles_by_extent(self):
+        t = dt.vector(2, 1, 2, dt.INT)
+        ol = flatten_count(t, 2)
+        # extent 12; seam merge at 12.
+        assert ol.to_pairs() == [(0, 4), (8, 8), (20, 4)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(datatype_trees())
+    def test_matches_typemap_blocks_counted(self, t):
+        assert flatten_count(t, 3).to_pairs() == typemap_blocks(t, 3)
+
+    def test_zero_count(self):
+        assert flatten_count(dt.INT, 0).to_pairs() == []

@@ -1,0 +1,88 @@
+"""The OLList structure: construction, navigation, accounting."""
+
+import pytest
+
+from repro.errors import FlattenError
+from repro.flatten import OLList
+
+
+class TestConstruction:
+    def test_drops_empty_blocks(self):
+        ol = OLList([(0, 4), (10, 0), (20, 4)])
+        assert len(ol) == 2
+        assert ol.to_pairs() == [(0, 4), (20, 4)]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(FlattenError):
+            OLList([(0, -1)])
+
+    def test_size(self):
+        ol = OLList([(0, 4), (20, 6)])
+        assert ol.size == 10
+
+    def test_nbytes_repr_is_16_per_tuple(self):
+        # The paper's accounting: sizeof(Aint) + sizeof(Offset) per block.
+        ol = OLList([(i * 10, 4) for i in range(7)])
+        assert ol.nbytes_repr == 7 * 16
+
+    def test_repr_exceeds_payload_for_small_blocks(self):
+        # Paper §2.1: for blocks < 16 bytes the representation outweighs
+        # the data.
+        ol = OLList([(i * 16, 8) for i in range(100)])
+        assert ol.nbytes_repr > ol.size
+
+    def test_end_offset(self):
+        assert OLList([(5, 5), (20, 10)]).end_offset() == 30
+        assert OLList(()).end_offset() == 0
+
+    def test_iteration_and_indexing(self):
+        ol = OLList([(0, 1), (2, 3)])
+        assert list(ol) == [(0, 1), (2, 3)]
+        assert ol[1] == (2, 3)
+
+
+class TestNavigation:
+    def make(self):
+        return OLList([(0, 16), (40, 16), (80, 16), (120, 16)])
+
+    def test_find_position_inside_block(self):
+        assert self.make().find_position(17) == (1, 1)
+
+    def test_find_position_block_boundary(self):
+        assert self.make().find_position(16) == (1, 0)
+
+    def test_find_position_at_end(self):
+        assert self.make().find_position(64) == (4, 0)
+
+    def test_find_position_beyond_end_raises(self):
+        with pytest.raises(FlattenError):
+            self.make().find_position(65)
+
+    def test_find_position_negative_raises(self):
+        with pytest.raises(FlattenError):
+            self.make().find_position(-1)
+
+    def test_find_block_linear(self):
+        ol = self.make()
+        assert ol.find_block_linear(0) == 0
+        assert ol.find_block_linear(15) == 0
+        assert ol.find_block_linear(16) == 1  # in the gap -> next block
+        assert ol.find_block_linear(80) == 2
+        assert ol.find_block_linear(200) == 4
+
+    def test_bisect_matches_linear(self):
+        ol = self.make()
+        for off in range(0, 150, 7):
+            assert ol.find_block_bisect(off) == ol.find_block_linear(off)
+
+    def test_data_before(self):
+        ol = self.make()
+        assert ol.data_before(0) == 0
+        assert ol.data_before(8) == 8
+        assert ol.data_before(41) == 17
+        assert ol.data_before(1000) == 64
+
+    def test_shifted(self):
+        ol = self.make().shifted(100)
+        assert ol.to_pairs()[0] == (100, 16)
+        assert ol.size == 64

@@ -1,0 +1,75 @@
+"""The POSIX-style cursor interface."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FileSystemError
+from repro.fs import PosixFile, SimFileSystem
+from repro.fs.posix import SEEK_CUR, SEEK_END, SEEK_SET
+from tests.conftest import fill_pattern
+
+
+@pytest.fixture
+def pf():
+    fs = SimFileSystem()
+    return PosixFile(fs.create("/p"))
+
+
+class TestCursor:
+    def test_sequential_write_read(self, pf):
+        a, b = fill_pattern(10, 1), fill_pattern(6, 2)
+        pf.write(a)
+        pf.write(b)
+        assert pf.tell() == 16
+        pf.lseek(0)
+        assert (pf.read(10) == a).all()
+        assert (pf.read(6) == b).all()
+
+    def test_seek_modes(self, pf):
+        pf.write(fill_pattern(100))
+        assert pf.lseek(10, SEEK_SET) == 10
+        assert pf.lseek(5, SEEK_CUR) == 15
+        assert pf.lseek(-20, SEEK_END) == 80
+
+    def test_seek_negative_rejected(self, pf):
+        with pytest.raises(FileSystemError):
+            pf.lseek(-1, SEEK_SET)
+
+    def test_bad_whence(self, pf):
+        with pytest.raises(FileSystemError):
+            pf.lseek(0, 9)
+
+    def test_positional_ops_dont_move_cursor(self, pf):
+        pf.write(fill_pattern(20))
+        pos = pf.tell()
+        pf.pwrite(0, np.zeros(4, np.uint8))
+        pf.pread(0, 4)
+        assert pf.tell() == pos
+
+    def test_ftruncate(self, pf):
+        pf.write(fill_pattern(20))
+        pf.ftruncate(5)
+        pf.lseek(0)
+        assert pf.read(100).size == 5
+
+    def test_closed_rejects_io(self, pf):
+        pf.close()
+        with pytest.raises(FileSystemError):
+            pf.read(1)
+        with pytest.raises(FileSystemError):
+            pf.write(np.zeros(1, np.uint8))
+
+    def test_context_manager(self):
+        fs = SimFileSystem()
+        with PosixFile(fs.create("/c")) as pf:
+            pf.write(fill_pattern(4))
+        with pytest.raises(FileSystemError):
+            pf.tell()
+
+    def test_two_handles_independent_cursors(self):
+        fs = SimFileSystem()
+        f = fs.create("/x")
+        h1, h2 = PosixFile(f), PosixFile(f)
+        h1.write(fill_pattern(8, 3))
+        assert h2.tell() == 0
+        assert (h2.read(8) == fill_pattern(8, 3)).all()

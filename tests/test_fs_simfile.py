@@ -1,0 +1,168 @@
+"""The in-memory file object: POSIX read/write semantics and stats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FileSystemError
+from repro.fs import DeviceModel, SimFile, SimFileSystem, StripingConfig
+from tests.conftest import fill_pattern
+
+
+@pytest.fixture
+def f():
+    return SimFile("/t", DeviceModel(), StripingConfig())
+
+
+class TestReadWrite:
+    def test_write_then_read(self, f):
+        data = fill_pattern(100)
+        assert f.pwrite(0, data) == 100
+        assert (f.pread(0, 100) == data).all()
+        assert f.size == 100
+
+    def test_read_past_eof_truncates(self, f):
+        f.pwrite(0, fill_pattern(10))
+        out = f.pread(5, 100)
+        assert out.size == 5
+
+    def test_read_at_eof_empty(self, f):
+        f.pwrite(0, fill_pattern(10))
+        assert f.pread(10, 4).size == 0
+        assert f.pread(50, 4).size == 0
+
+    def test_write_creates_hole(self, f):
+        f.pwrite(100, fill_pattern(4, seed=1))
+        assert f.size == 104
+        assert (f.pread(0, 100) == 0).all()
+
+    def test_sparse_overwrite(self, f):
+        f.pwrite(0, np.full(64, 7, np.uint8))
+        f.pwrite(16, np.full(8, 9, np.uint8))
+        out = f.pread(0, 64)
+        assert (out[:16] == 7).all()
+        assert (out[16:24] == 9).all()
+        assert (out[24:] == 7).all()
+
+    def test_pread_into(self, f):
+        data = fill_pattern(32)
+        f.pwrite(0, data)
+        buf = np.zeros(16, dtype=np.uint8)
+        assert f.pread_into(8, buf) == 16
+        assert (buf == data[8:24]).all()
+
+    def test_growth_across_capacity(self, f):
+        big = fill_pattern(100_000, seed=2)
+        f.pwrite(0, big)
+        assert (f.contents() == big).all()
+
+    def test_negative_offset_rejected(self, f):
+        with pytest.raises(FileSystemError):
+            f.pwrite(-1, np.zeros(4, np.uint8))
+        with pytest.raises(FileSystemError):
+            f.pread(-1, 4)
+
+    def test_non_byte_arrays_accepted(self, f):
+        data = np.arange(8, dtype=np.float64)
+        f.pwrite(0, data)
+        assert (f.pread(0, 64).view(np.float64) == data).all()
+
+
+class TestTruncate:
+    def test_shrink(self, f):
+        f.pwrite(0, fill_pattern(64))
+        f.truncate(16)
+        assert f.size == 16
+        assert f.pread(0, 64).size == 16
+
+    def test_shrink_then_regrow_zeroes(self, f):
+        f.pwrite(0, np.full(64, 5, np.uint8))
+        f.truncate(16)
+        f.pwrite(32, np.full(4, 6, np.uint8))
+        out = f.pread(0, 36)
+        assert (out[16:32] == 0).all()
+
+    def test_extend_zero_fills(self, f):
+        f.pwrite(0, np.full(8, 3, np.uint8))
+        f.truncate(32)
+        assert f.size == 32
+        assert (f.pread(8, 24) == 0).all()
+
+    def test_negative_rejected(self, f):
+        with pytest.raises(FileSystemError):
+            f.truncate(-1)
+
+
+class TestStats:
+    def test_counters(self, f):
+        f.pwrite(0, fill_pattern(100))
+        f.pread(0, 50)
+        s = f.stats.snapshot()
+        assert s["n_writes"] == 1
+        assert s["n_reads"] == 1
+        assert s["bytes_written"] == 100
+        assert s["bytes_read"] == 50
+        assert s["sim_time"] > 0
+
+    def test_device_model_time(self):
+        dm = DeviceModel(read_bandwidth=1e6, write_bandwidth=1e6,
+                         latency=1e-3)
+        assert dm.read_time(1000) == pytest.approx(1e-3 + 1e-3)
+        assert dm.write_time(0) == pytest.approx(1e-3)
+
+    def test_striping_aggregates_bandwidth(self):
+        dm = DeviceModel(latency=0.0, read_bandwidth=1e6)
+        assert dm.read_time(1000, nstreams=4) == pytest.approx(
+            dm.read_time(1000) / 4
+        )
+
+    def test_streams_for(self):
+        s = StripingConfig(ndisks=4, stripe_size=100)
+        assert s.streams_for(0, 50) == 1
+        assert s.streams_for(0, 250) == 3
+        assert s.streams_for(0, 10_000) == 4
+        assert s.streams_for(90, 20) == 2
+
+    def test_reset(self, f):
+        f.pwrite(0, fill_pattern(10))
+        f.stats.reset()
+        assert f.stats.snapshot()["n_writes"] == 0
+
+
+class TestFileSystem:
+    def test_create_lookup(self):
+        fs = SimFileSystem()
+        f = fs.create("/a")
+        assert fs.lookup("/a") is f
+        assert fs.exists("/a")
+
+    def test_create_exclusive(self):
+        fs = SimFileSystem()
+        fs.create("/a")
+        with pytest.raises(FileSystemError):
+            fs.create("/a", exist_ok=False)
+
+    def test_lookup_missing(self):
+        with pytest.raises(FileSystemError):
+            SimFileSystem().lookup("/nope")
+
+    def test_unlink(self):
+        fs = SimFileSystem()
+        fs.create("/a")
+        fs.unlink("/a")
+        assert not fs.exists("/a")
+        with pytest.raises(FileSystemError):
+            fs.unlink("/a")
+
+    def test_listdir_sorted(self):
+        fs = SimFileSystem()
+        fs.create("/b")
+        fs.create("/a")
+        assert fs.listdir() == ["/a", "/b"]
+
+    def test_total_sim_time(self):
+        fs = SimFileSystem()
+        fs.create("/a").pwrite(0, fill_pattern(10))
+        fs.create("/b").pwrite(0, fill_pattern(10))
+        assert fs.total_sim_time() > 0
+        fs.reset_stats()
+        assert fs.total_sim_time() == 0

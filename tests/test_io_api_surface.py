@@ -1,0 +1,145 @@
+"""Remaining MPI_File API surface and the footnote-4 file-system mode."""
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.errors import IOEngineError
+from repro.fs import SimFileSystem
+from repro.io import File, MODE_CREATE, MODE_RDWR
+from repro.io.hints import Hints
+from repro.mpi import run_spmd
+
+
+class TestPositionQueries:
+    def test_get_position_tracks_pointer(self):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR)
+            fh.set_view(0, dt.DOUBLE, dt.DOUBLE)
+            assert fh.get_position() == 0
+            fh.write(np.zeros(3, dtype=np.float64), 3, dt.DOUBLE)
+            assert fh.get_position() == 3
+            fh.close()
+
+        run_spmd(1, worker)
+
+    def test_get_position_shared(self):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR)
+            fh.write_shared(np.zeros(4, dtype=np.uint8))
+            comm.barrier()
+            assert fh.get_position_shared() == 8
+            fh.close()
+
+        run_spmd(2, worker)
+
+    def test_get_amode(self):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            amode = MODE_CREATE | MODE_RDWR
+            fh = File.open(comm, fs, "/f", amode)
+            assert fh.get_amode() == amode
+            fh.close()
+
+        run_spmd(1, worker)
+
+
+class TestInfo:
+    def test_get_info_returns_hints(self):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           hints=Hints(cb_nodes=2))
+            assert fh.get_info().cb_nodes == 2
+            fh.close()
+
+        run_spmd(1, worker)
+
+    def test_set_info_replaces(self):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR)
+            fh.set_info({"cb_buffer_size": 65536})
+            assert fh.get_info().cb_buffer_size == 65536
+            fh.set_info(hints=Hints(cb_nodes=1))
+            assert fh.get_info().cb_nodes == 1
+            with pytest.raises(IOEngineError):
+                fh.set_info({"cb_nodes": 1}, hints=Hints())
+            fh.close()
+
+        run_spmd(2, worker)
+
+    def test_get_type_extent(self):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR)
+            assert fh.get_type_extent(dt.vector(4, 2, 5, dt.DOUBLE)) == 136
+            fh.close()
+
+        run_spmd(1, worker)
+
+
+class TestFootnote4Mode:
+    """File systems that require ol-lists even under listless I/O."""
+
+    def test_listless_creates_lists_on_nfs_like_fs(self):
+        fs = SimFileSystem(requires_ol_lists=True)
+        ft_box = []
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine="listless")
+            ft = dt.vector(64, 1, 2, dt.DOUBLE)
+            if comm.rank == 0:
+                ft_box.append(ft)
+            fh.set_view(0, dt.DOUBLE, ft)
+            fh.write_at(0, np.zeros(64, dtype=np.float64), 64, dt.DOUBLE)
+            fh.close()
+
+        run_spmd(1, worker)
+        # The list was created (and cached on the type)...
+        assert getattr(ft_box[0], "_ollist_cache", None) is not None
+        assert len(ft_box[0]._ollist_cache) == 64
+
+    def test_listless_skips_lists_on_normal_fs(self):
+        fs = SimFileSystem()
+        ft_box = []
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine="listless")
+            ft = dt.vector(64, 1, 2, dt.DOUBLE)
+            if comm.rank == 0:
+                ft_box.append(ft)
+            fh.set_view(0, dt.DOUBLE, ft)
+            fh.write_at(0, np.zeros(64, dtype=np.float64), 64, dt.DOUBLE)
+            fh.close()
+
+        run_spmd(1, worker)
+        assert getattr(ft_box[0], "_ollist_cache", None) is None
+
+    def test_io_results_identical_either_way(self):
+        imgs = {}
+        for nfs in (False, True):
+            fs = SimFileSystem(requires_ol_lists=nfs)
+
+            def worker(comm):
+                fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                               engine="listless")
+                ft = dt.vector(8, 2, 4, dt.DOUBLE)
+                fh.set_view(0, dt.DOUBLE, ft)
+                fh.write_at(0, np.arange(16, dtype=np.float64), 16,
+                            dt.DOUBLE)
+                fh.close()
+
+            run_spmd(1, worker)
+            imgs[nfs] = fs.lookup("/f").contents()
+        assert (imgs[True] == imgs[False]).all()

@@ -1,0 +1,304 @@
+"""The File handle: modes, pointers, views, size management."""
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.errors import IOEngineError
+from repro.fs import SimFileSystem
+from repro.io import (
+    File,
+    MODE_APPEND,
+    MODE_CREATE,
+    MODE_DELETE_ON_CLOSE,
+    MODE_EXCL,
+    MODE_RDONLY,
+    MODE_RDWR,
+    MODE_WRONLY,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+)
+from repro.mpi import run_spmd
+from tests.conftest import fill_pattern
+
+ENGINES = ["listless", "list_based"]
+
+
+def spmd(n, fn):
+    return run_spmd(n, fn)
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request):
+    return request.param
+
+
+class TestOpenModes:
+    def test_create_and_write(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            fh.write_at(0, fill_pattern(16))
+            fh.close()
+
+        spmd(2, worker)
+        assert fs.lookup("/f").size == 16
+
+    def test_open_missing_without_create(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            File.open(comm, fs, "/missing", MODE_RDWR, engine=engine)
+
+        with pytest.raises(Exception):
+            spmd(1, worker)
+
+    def test_excl_on_existing(self, engine):
+        fs = SimFileSystem()
+        fs.create("/f")
+
+        def worker(comm):
+            File.open(comm, fs, "/f", MODE_CREATE | MODE_EXCL | MODE_RDWR,
+                      engine=engine)
+
+        with pytest.raises(Exception):
+            spmd(1, worker)
+
+    def test_rdonly_write_rejected(self, engine):
+        fs = SimFileSystem()
+        fs.create("/f")
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_RDONLY, engine=engine)
+            with pytest.raises(IOEngineError):
+                fh.write_at(0, np.zeros(4, np.uint8))
+            fh.close()
+
+        spmd(1, worker)
+
+    def test_wronly_read_rejected(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_WRONLY,
+                           engine=engine)
+            with pytest.raises(IOEngineError):
+                fh.read_at(0, np.zeros(4, np.uint8))
+            fh.close()
+
+        spmd(1, worker)
+
+    def test_two_access_modes_rejected(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            File.open(comm, fs, "/f",
+                      MODE_CREATE | MODE_RDONLY | MODE_RDWR, engine=engine)
+
+        with pytest.raises(Exception):
+            spmd(1, worker)
+
+    def test_delete_on_close(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(
+                comm, fs, "/tmpf",
+                MODE_CREATE | MODE_RDWR | MODE_DELETE_ON_CLOSE,
+                engine=engine,
+            )
+            fh.write_at(0, fill_pattern(4))
+            fh.close()
+
+        spmd(2, worker)
+        assert not fs.exists("/tmpf")
+
+    def test_append_positions_at_end(self, engine):
+        fs = SimFileSystem()
+        fs.create("/f").pwrite(0, fill_pattern(10))
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_RDWR | MODE_APPEND,
+                           engine=engine)
+            assert fh.tell() == 10
+            fh.close()
+
+        spmd(1, worker)
+
+    def test_closed_handle_rejects_io(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            fh.close()
+            with pytest.raises(IOEngineError):
+                fh.write_at(0, np.zeros(1, np.uint8))
+
+        spmd(1, worker)
+
+
+class TestPointers:
+    def test_individual_pointer_advances_in_etypes(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            fh.set_view(0, dt.DOUBLE, dt.DOUBLE)
+            fh.write(np.arange(4, dtype=np.float64), 4, dt.DOUBLE)
+            assert fh.tell() == 4
+            fh.write(np.arange(2, dtype=np.float64), 2, dt.DOUBLE)
+            assert fh.tell() == 6
+            fh.seek(0)
+            out = np.zeros(6, dtype=np.float64)
+            fh.read(out, 6, dt.DOUBLE)
+            assert list(out) == [0, 1, 2, 3, 0, 1]
+            fh.close()
+
+        spmd(1, worker)
+
+    def test_seek_modes(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            fh.set_view(0, dt.INT, dt.INT)
+            fh.write_at(0, np.zeros(10, dtype=np.int32), 10, dt.INT)
+            fh.seek(4, SEEK_SET)
+            assert fh.tell() == 4
+            fh.seek(2, SEEK_CUR)
+            assert fh.tell() == 6
+            fh.seek(-1, SEEK_END)
+            assert fh.tell() == 9
+            with pytest.raises(IOEngineError):
+                fh.seek(-100, SEEK_SET)
+            fh.close()
+
+        spmd(1, worker)
+
+    def test_set_view_resets_pointer(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            fh.write(fill_pattern(8))
+            assert fh.tell() == 8
+            fh.set_view(0, dt.DOUBLE, dt.DOUBLE)
+            assert fh.tell() == 0
+            fh.close()
+
+        spmd(1, worker)
+
+    def test_shared_pointer_partitions_offsets(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            buf = np.full(4, comm.rank, dtype=np.uint8)
+            fh.write_shared(buf)
+            fh.close()
+
+        spmd(4, worker)
+        data = fs.lookup("/f").contents()
+        assert data.size == 16
+        # Each rank's 4-byte chunk lands at a distinct offset.
+        chunks = sorted(data.reshape(4, 4)[:, 0].tolist())
+        assert chunks == [0, 1, 2, 3]
+
+    def test_seek_shared(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            fh.seek_shared(8)
+            if comm.rank == 0:
+                fh.write_shared(fill_pattern(4, 9))
+            fh.close()
+
+        spmd(2, worker)
+        assert fs.lookup("/f").size == 12
+
+    def test_get_byte_offset(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            ft = dt.vector(4, 1, 2, dt.DOUBLE)
+            fh.set_view(16, dt.DOUBLE, ft)
+            assert fh.get_byte_offset(0) == 16
+            assert fh.get_byte_offset(1) == 32
+            # etype 4 = start of the next filetype instance
+            # (extent = (3*2+1)*8 = 56 bytes)
+            assert fh.get_byte_offset(4) == 16 + 56
+            fh.close()
+
+        spmd(1, worker)
+
+
+class TestSizeManagement:
+    def test_get_set_size(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            fh.set_size(100)
+            assert fh.get_size() == 100
+            fh.set_size(10)
+            assert fh.get_size() == 10
+            fh.close()
+
+        spmd(2, worker)
+
+    def test_preallocate_never_shrinks(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            fh.set_size(100)
+            fh.preallocate(50)
+            assert fh.get_size() == 100
+            fh.preallocate(200)
+            assert fh.get_size() == 200
+            fh.close()
+
+        spmd(2, worker)
+
+    def test_nonblocking_requests_complete(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            req = fh.iwrite_at(0, fill_pattern(8))
+            assert req.test()
+            req.wait()
+            out = np.zeros(8, np.uint8)
+            fh.iread_at(0, out).wait()
+            assert (out == fill_pattern(8)).all()
+            fh.close()
+
+        spmd(1, worker)
+
+    def test_access_must_be_whole_etypes(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            fh.set_view(0, dt.DOUBLE, dt.DOUBLE)
+            with pytest.raises(IOEngineError):
+                fh.write(np.zeros(3, np.uint8), 3, dt.BYTE)
+            fh.close()
+
+        spmd(1, worker)

@@ -1,0 +1,69 @@
+"""FileView and MemDescriptor semantics."""
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.errors import DatatypeError, IOEngineError
+from repro.io.fileview import FileView, MemDescriptor, default_view
+
+
+class TestFileView:
+    def test_default_view_is_byte_stream(self):
+        v = default_view()
+        assert v.esize == 1
+        assert v.is_contiguous
+
+    def test_negative_disp_rejected(self):
+        with pytest.raises(IOEngineError):
+            FileView(-1, dt.BYTE, dt.BYTE)
+
+    def test_illegal_filetype_rejected(self):
+        with pytest.raises(DatatypeError):
+            FileView(0, dt.DOUBLE, dt.contiguous(3, dt.INT))
+
+    def test_noncontig_view_not_contiguous(self):
+        v = FileView(0, dt.BYTE, dt.vector(2, 1, 2, dt.BYTE))
+        assert not v.is_contiguous
+
+    def test_dense_filetype_contiguous(self):
+        v = FileView(8, dt.DOUBLE, dt.contiguous(4, dt.DOUBLE))
+        assert v.is_contiguous
+        assert v.ft_size == v.ft_extent == 32
+
+    def test_data_bytes_of_etypes(self):
+        v = FileView(0, dt.DOUBLE, dt.vector(2, 1, 2, dt.DOUBLE))
+        assert v.data_bytes_of_etypes(3) == 24
+
+
+class TestMemDescriptor:
+    def test_contiguous_bytes(self):
+        buf = np.arange(4, dtype=np.int32)
+        m = MemDescriptor(buf, 16, dt.BYTE)
+        assert m.nbytes == 16
+        assert m.is_contiguous
+        assert (m.contiguous_slice(4, 8) == buf.view(np.uint8)[4:12]).all()
+
+    def test_typed_count(self):
+        buf = np.zeros(8, dtype=np.float64)
+        m = MemDescriptor(buf, 8, dt.DOUBLE)
+        assert m.nbytes == 64
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(IOEngineError):
+            MemDescriptor(np.zeros(4, np.uint8), -1, dt.BYTE)
+
+    def test_origin_defaults_to_zero_for_plain_types(self):
+        m = MemDescriptor(np.zeros(8, np.uint8), 1, dt.BYTE)
+        assert m.origin == 0
+
+    def test_origin_compensates_negative_lb(self):
+        t = dt.resized(dt.INT, -4, 12)
+        m = MemDescriptor(np.zeros(16, np.uint8), 1, t)
+        assert m.origin == 4
+
+    def test_noncontig_memtype(self):
+        m = MemDescriptor(np.zeros(32, np.uint8), 1,
+                          dt.vector(2, 4, 8, dt.BYTE))
+        assert not m.is_contiguous
+        assert m.nbytes == 8

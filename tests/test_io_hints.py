@@ -1,0 +1,135 @@
+"""MPI-IO hints: parsing, validation, defaults."""
+
+import pytest
+
+from repro.errors import HintError
+from repro.io.hints import Hints
+
+
+class TestDefaults:
+    def test_romio_like_defaults(self):
+        h = Hints()
+        assert h.ind_rd_buffer_size == 4 * 1024 * 1024
+        assert h.ind_wr_buffer_size == 512 * 1024
+        assert h.cb_buffer_size == 4 * 1024 * 1024
+        assert h.cb_nodes is None
+        assert h.ds_read and h.ds_write
+
+    def test_effective_cb_nodes_default_all(self):
+        assert Hints().effective_cb_nodes(8) == 8
+
+    def test_effective_cb_nodes_clamped(self):
+        assert Hints(cb_nodes=4).effective_cb_nodes(2) == 2
+        assert Hints(cb_nodes=2).effective_cb_nodes(8) == 2
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field", ["ind_rd_buffer_size", "ind_wr_buffer_size",
+                  "cb_buffer_size"]
+    )
+    def test_positive_required(self, field):
+        with pytest.raises(HintError):
+            Hints(**{field: 0})
+
+    def test_cb_nodes_positive(self):
+        with pytest.raises(HintError):
+            Hints(cb_nodes=0)
+
+
+class TestFromMapping:
+    def test_none_gives_defaults(self):
+        assert Hints.from_mapping(None) == Hints()
+
+    def test_string_values_coerced(self):
+        h = Hints.from_mapping(
+            {"cb_buffer_size": "65536", "ds_write": "false"}
+        )
+        assert h.cb_buffer_size == 65536
+        assert h.ds_write is False
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(HintError):
+            Hints.from_mapping({"cb_buffr_size": 1})
+
+    def test_with_(self):
+        h = Hints().with_(cb_nodes=3)
+        assert h.cb_nodes == 3
+        assert h.cb_buffer_size == Hints().cb_buffer_size
+
+
+class TestStripingHints:
+    def test_defaults_none(self):
+        h = Hints()
+        assert h.striping_factor is None
+        assert h.striping_unit is None
+
+    def test_validation(self):
+        import pytest as _pytest
+
+        with _pytest.raises(HintError):
+            Hints(striping_factor=0)
+        with _pytest.raises(HintError):
+            Hints(striping_unit=0)
+
+    def test_applied_at_creation(self):
+        import numpy as np
+
+        from repro.fs import SimFileSystem
+        from repro.io import File, MODE_CREATE, MODE_RDWR
+        from repro.mpi import run_spmd
+
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(
+                comm, fs, "/striped", MODE_CREATE | MODE_RDWR,
+                hints=Hints(striping_factor=4, striping_unit=1024),
+            )
+            fh.write_at(0, np.zeros(8192, dtype=np.uint8))
+            fh.close()
+
+        run_spmd(2, worker)
+        f = fs.lookup("/striped")
+        assert f.striping.ndisks == 4
+        assert f.striping.stripe_size == 1024
+        # A large access engages all four stripes.
+        assert f.striping.streams_for(0, 8192) == 4
+
+    def test_ignored_for_existing_file(self):
+        import numpy as np
+
+        from repro.fs import SimFileSystem
+        from repro.io import File, MODE_CREATE, MODE_RDWR
+        from repro.mpi import run_spmd
+
+        fs = SimFileSystem()
+        fs.create("/old")
+
+        def worker(comm):
+            fh = File.open(
+                comm, fs, "/old", MODE_CREATE | MODE_RDWR,
+                hints=Hints(striping_factor=8),
+            )
+            fh.close()
+
+        run_spmd(1, worker)
+        assert fs.lookup("/old").striping.ndisks == 1
+
+    def test_striping_speeds_up_big_access(self):
+        """The device model must credit striped files with aggregated
+        bandwidth."""
+        import numpy as np
+
+        from repro.fs import DeviceModel, SimFileSystem, StripingConfig
+
+        fs = SimFileSystem(device=DeviceModel(latency=0.0))
+        plain = fs.create("/plain")
+        striped = fs.create(
+            "/striped", striping=StripingConfig(ndisks=8,
+                                                stripe_size=4096)
+        )
+        data = np.zeros(1 << 20, dtype=np.uint8)
+        plain.pwrite(0, data)
+        striped.pwrite(0, data)
+        assert striped.stats.sim_time < plain.stats.sim_time / 4

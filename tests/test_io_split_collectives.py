@@ -1,0 +1,133 @@
+"""Split collective I/O (begin/end pairs) and their misuse errors."""
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.bench.noncontig import build_noncontig_filetype
+from repro.errors import IOEngineError
+from repro.fs import SimFileSystem
+from repro.io import File, MODE_CREATE, MODE_RDWR
+from repro.mpi import run_spmd
+
+ENGINES = ["listless", "list_based"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_split_write_read_roundtrip(engine):
+    P, bl, bc = 2, 8, 16
+    A = bl * bc
+    fs = SimFileSystem()
+
+    def worker(comm):
+        r = comm.rank
+        fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                       engine=engine)
+        fh.set_view(0, dt.BYTE, build_noncontig_filetype(P, r, bl, bc))
+        buf = np.full(A, r + 1, dtype=np.uint8)
+        fh.write_at_all_begin(0, buf)
+        # ... overlap "computation" here ...
+        fh.write_at_all_end(buf)
+        out = np.zeros(A, dtype=np.uint8)
+        fh.read_at_all_begin(0, out)
+        fh.read_at_all_end(out)
+        assert (out == r + 1).all()
+        fh.close()
+
+    run_spmd(P, worker)
+    assert fs.lookup("/f").size == P * A
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_split_with_individual_pointer(engine):
+    fs = SimFileSystem()
+
+    def worker(comm):
+        fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                       engine=engine)
+        fh.set_view(comm.rank * 16, dt.BYTE, dt.BYTE)
+        buf = np.full(16, comm.rank, dtype=np.uint8)
+        fh.write_all_begin(buf)
+        fh.write_all_end(buf)
+        assert fh.tell() == 16
+        fh.seek(0)
+        out = np.zeros(16, dtype=np.uint8)
+        fh.read_all_begin(out)
+        fh.read_all_end(out)
+        assert (out == comm.rank).all()
+        fh.close()
+
+    run_spmd(2, worker)
+
+
+def test_nested_split_rejected():
+    fs = SimFileSystem()
+
+    def worker(comm):
+        fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR)
+        a = np.zeros(4, dtype=np.uint8)
+        fh.write_at_all_begin(0, a)
+        with pytest.raises(IOEngineError):
+            fh.write_at_all_begin(4, a)
+        fh.write_at_all_end(a)
+        fh.close()
+
+    run_spmd(1, worker)
+
+
+def test_end_without_begin_rejected():
+    fs = SimFileSystem()
+
+    def worker(comm):
+        fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR)
+        with pytest.raises(IOEngineError):
+            fh.write_at_all_end(np.zeros(4, np.uint8))
+        fh.close()
+
+    run_spmd(1, worker)
+
+
+def test_mismatched_kind_rejected():
+    fs = SimFileSystem()
+
+    def worker(comm):
+        fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR)
+        buf = np.zeros(4, dtype=np.uint8)
+        fh.write_at_all_begin(0, buf)
+        with pytest.raises(IOEngineError):
+            fh.read_at_all_end(buf)
+        fh.write_at_all_end(buf)
+        fh.close()
+
+    run_spmd(1, worker)
+
+
+def test_mismatched_buffer_rejected():
+    fs = SimFileSystem()
+
+    def worker(comm):
+        fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR)
+        a = np.zeros(4, dtype=np.uint8)
+        b = np.zeros(4, dtype=np.uint8)
+        fh.write_at_all_begin(0, a)
+        with pytest.raises(IOEngineError):
+            fh.write_at_all_end(b)
+        fh.write_at_all_end(a)
+        fh.close()
+
+    run_spmd(1, worker)
+
+
+def test_close_with_outstanding_split_rejected():
+    fs = SimFileSystem()
+
+    def worker(comm):
+        fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR)
+        buf = np.zeros(4, dtype=np.uint8)
+        fh.write_at_all_begin(0, buf)
+        with pytest.raises(IOEngineError):
+            fh.close()
+        fh.write_at_all_end(buf)
+        fh.close()
+
+    run_spmd(1, worker)

@@ -1,0 +1,119 @@
+"""Deterministic mini-fuzzer: long mixed operation sequences on one file.
+
+A seeded random program of writes/reads (independent, collective,
+ordered; varying views, offsets and engines across reopens) runs against
+a NumPy mirror of the expected file contents; every read must agree with
+the mirror and the final file must equal it byte for byte.
+"""
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.bench.noncontig import build_noncontig_filetype
+from repro.fs import SimFileSystem
+from repro.io import File, MODE_CREATE, MODE_RDWR
+from repro.io.hints import Hints
+from repro.mpi import run_spmd
+
+P = 2
+SBLOCKS = [1, 3, 8]
+NBLOCKS = [2, 5, 9]
+
+
+def apply_to_mirror(mirror, rank, blocklen, blockcount, d0, payload):
+    """Write `payload` through the Fig.-4 view of `rank` into the mirror."""
+    A = blocklen * blockcount
+    for i in range(len(payload)):
+        d = d0 + i
+        inst, rem = divmod(d, A)
+        b, w = divmod(rem, blocklen)
+        abs_off = inst * A * P + b * P * blocklen + rank * blocklen + w
+        if abs_off >= len(mirror):
+            mirror.extend(b"\0" * (abs_off + 1 - len(mirror)))
+        mirror[abs_off] = payload[i]
+
+
+def read_from_mirror(mirror, rank, blocklen, blockcount, d0, n):
+    A = blocklen * blockcount
+    out = np.zeros(n, dtype=np.uint8)
+    for i in range(n):
+        d = d0 + i
+        inst, rem = divmod(d, A)
+        b, w = divmod(rem, blocklen)
+        abs_off = inst * A * P + b * P * blocklen + rank * blocklen + w
+        out[i] = mirror[abs_off] if abs_off < len(mirror) else 0
+    return out
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_program(seed):
+    rng = np.random.default_rng(seed)
+    fs = SimFileSystem()
+    mirror = bytearray()
+    steps = 18
+
+    program = []
+    for _ in range(steps):
+        program.append(
+            dict(
+                engine=rng.choice(["listless", "list_based"]),
+                blocklen=int(rng.choice(SBLOCKS)),
+                blockcount=int(rng.choice(NBLOCKS)),
+                op=rng.choice(["write", "write_all", "read", "read_all"]),
+                offset=int(rng.integers(0, 30)),
+                length=int(rng.integers(1, 40)),
+                value=int(rng.integers(1, 255)),
+                bufsize=int(rng.choice([16, 512])),
+            )
+        )
+
+    for stepno, st in enumerate(program):
+        A = st["blocklen"] * st["blockcount"]
+        hints = Hints(
+            ind_rd_buffer_size=st["bufsize"],
+            ind_wr_buffer_size=st["bufsize"],
+            cb_buffer_size=st["bufsize"],
+        )
+        payloads = {
+            r: np.full(st["length"], (st["value"] + r) % 256,
+                       dtype=np.uint8)
+            for r in range(P)
+        }
+
+        def worker(comm):
+            r = comm.rank
+            fh = File.open(comm, fs, "/fuzz", MODE_CREATE | MODE_RDWR,
+                           engine=st["engine"], hints=hints)
+            ft = build_noncontig_filetype(
+                P, r, st["blocklen"], st["blockcount"]
+            )
+            fh.set_view(0, dt.BYTE, ft)
+            if st["op"] == "write":
+                fh.write_at(st["offset"], payloads[r])
+            elif st["op"] == "write_all":
+                fh.write_at_all(st["offset"], payloads[r])
+            else:
+                out = np.zeros(st["length"], dtype=np.uint8)
+                if st["op"] == "read":
+                    fh.read_at(st["offset"], out)
+                else:
+                    fh.read_at_all(st["offset"], out)
+                want = read_from_mirror(
+                    mirror, r, st["blocklen"], st["blockcount"],
+                    st["offset"], st["length"],
+                )
+                assert (out == want).all(), (stepno, st, r)
+            fh.close()
+
+        run_spmd(P, worker)
+        if st["op"].startswith("write"):
+            for r in range(P):
+                apply_to_mirror(
+                    mirror, r, st["blocklen"], st["blockcount"],
+                    st["offset"], payloads[r],
+                )
+
+    data = fs.lookup("/fuzz").contents()
+    assert bytes(data) == bytes(mirror[: data.size])
+    assert all(b == 0 for b in mirror[data.size :])

@@ -1,0 +1,238 @@
+"""SPMD runtime: point-to-point, collectives, failure handling, costs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIRuntimeError
+from repro.mpi import (
+    ANY_TAG,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    NetworkModel,
+    Status,
+    payload_nbytes,
+    run_spmd,
+)
+
+
+class TestPointToPoint:
+    def test_ring(self):
+        def worker(comm):
+            nxt = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            comm.send(nxt, comm.rank)
+            return comm.recv(prv)
+
+        assert run_spmd(4, worker) == [3, 0, 1, 2]
+
+    def test_tags_match_selectively(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, "a", tag=1)
+                comm.send(1, "b", tag=2)
+            elif comm.rank == 1:
+                # Receive in reverse tag order.
+                b = comm.recv(0, tag=2)
+                a = comm.recv(0, tag=1)
+                assert (a, b) == ("a", "b")
+
+        run_spmd(2, worker)
+
+    def test_fifo_per_tag(self):
+        def worker(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(1, i)
+            else:
+                got = [comm.recv(0) for _ in range(10)]
+                assert got == list(range(10))
+
+        run_spmd(2, worker)
+
+    def test_any_tag_and_status(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, np.zeros(16, np.uint8), tag=42)
+            else:
+                st = Status()
+                comm.recv(0, tag=ANY_TAG, status=st)
+                assert st.tag == 42
+                assert st.source == 0
+                assert st.nbytes == 16
+
+        run_spmd(2, worker)
+
+    def test_sendrecv(self):
+        def worker(comm):
+            other = 1 - comm.rank
+            return comm.sendrecv(other, comm.rank * 10, other)
+
+        assert run_spmd(2, worker) == [10, 0]
+
+    def test_bad_rank_rejected(self):
+        def worker(comm):
+            comm.send(99, "x")
+
+        with pytest.raises(MPIRuntimeError):
+            run_spmd(2, worker)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def worker(comm):
+            return comm.bcast("payload" if comm.rank == 1 else None, root=1)
+
+        assert run_spmd(3, worker) == ["payload"] * 3
+
+    def test_gather(self):
+        def worker(comm):
+            return comm.gather(comm.rank ** 2, root=2)
+
+        res = run_spmd(3, worker)
+        assert res[0] is None and res[1] is None
+        assert res[2] == [0, 1, 4]
+
+    def test_allgather(self):
+        def worker(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+
+        assert run_spmd(3, worker) == [["a", "b", "c"]] * 3
+
+    def test_alltoall(self):
+        def worker(comm):
+            out = [(comm.rank, d) for d in range(comm.size)]
+            return comm.alltoall(out)
+
+        res = run_spmd(3, worker)
+        for r, inbox in enumerate(res):
+            assert inbox == [(s, r) for s in range(3)]
+
+    def test_alltoall_wrong_length(self):
+        def worker(comm):
+            comm.alltoall([1])
+
+        with pytest.raises(MPIRuntimeError):
+            run_spmd(2, worker)
+
+    @pytest.mark.parametrize(
+        "op,expect", [(SUM, 6), (MAX, 3), (MIN, 0), (PROD, 0)]
+    )
+    def test_allreduce(self, op, expect):
+        def worker(comm):
+            return comm.allreduce(comm.rank, op)
+
+        assert run_spmd(4, worker) == [expect] * 4
+
+    def test_allreduce_arrays(self):
+        def worker(comm):
+            return comm.allreduce(np.full(3, comm.rank), SUM)
+
+        res = run_spmd(3, worker)
+        assert (res[0] == 3).all()
+
+    def test_reduce(self):
+        def worker(comm):
+            return comm.reduce(comm.rank, SUM, root=0)
+
+        assert run_spmd(3, worker) == [3, None, None]
+
+    def test_scatter(self):
+        def worker(comm):
+            data = [i * 2 for i in range(comm.size)] if comm.rank == 0 \
+                else None
+            return comm.scatter(data, root=0)
+
+        assert run_spmd(3, worker) == [0, 2, 4]
+
+    def test_barrier_order(self):
+        # All ranks must reach the barrier before any passes it.
+        hits = []
+
+        def worker(comm):
+            hits.append(("pre", comm.rank))
+            comm.barrier()
+            hits.append(("post", comm.rank))
+
+        run_spmd(3, worker)
+        pres = [i for i, h in enumerate(hits) if h[0] == "pre"]
+        posts = [i for i, h in enumerate(hits) if h[0] == "post"]
+        assert max(pres) < min(posts)
+
+    def test_consecutive_collectives(self):
+        def worker(comm):
+            a = comm.allgather(comm.rank)
+            b = comm.allgather(comm.rank * 10)
+            return (a, b)
+
+        res = run_spmd(2, worker)
+        assert res[0] == ([0, 1], [0, 10])
+
+
+class TestFailureHandling:
+    def test_exception_propagates(self):
+        def worker(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="boom"):
+            run_spmd(3, worker)
+
+    def test_blocked_recv_unblocks_on_failure(self):
+        def worker(comm):
+            if comm.rank == 0:
+                raise RuntimeError("dead sender")
+            comm.recv(0)
+
+        with pytest.raises(RuntimeError, match="dead sender"):
+            run_spmd(2, worker)
+
+    def test_world_size_validation(self):
+        with pytest.raises(MPIRuntimeError):
+            run_spmd(0, lambda c: None)
+
+
+class TestCostAccounting:
+    def test_bytes_counted(self):
+        worlds = []
+
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(1, np.zeros(1000, np.uint8))
+            else:
+                comm.recv(0)
+
+        run_spmd(2, worker, world_out=worlds)
+        w = worlds[0]
+        assert w.bytes_sent[0] == 1000
+        assert w.bytes_sent[1] == 0
+        assert w.net_time[0] > w.net_time[1]
+
+    def test_network_model(self):
+        nm = NetworkModel(latency=1e-6, bandwidth=1e9)
+        assert nm.transfer_time(0) == pytest.approx(1e-6)
+        assert nm.transfer_time(10**9) == pytest.approx(1 + 1e-6)
+
+    def test_payload_nbytes_kinds(self):
+        from repro.flatten import OLList
+
+        assert payload_nbytes(None) == 0
+        assert payload_nbytes(np.zeros(10, np.uint8)) == 10
+        assert payload_nbytes(b"abc") == 3
+        assert payload_nbytes(5) == 8
+        assert payload_nbytes([1, 2, 3]) == 24
+        assert payload_nbytes({"k": 1}) == 9
+        # The paper's 16-bytes-per-tuple accounting for ol-lists:
+        assert payload_nbytes(OLList([(0, 4), (8, 4)])) == 32
+
+    def test_ollist_exchange_dominates_small_payloads(self):
+        """Paper §2.3: for 8-byte blocks the shipped list is twice the
+        data volume."""
+        from repro.flatten import OLList
+
+        n = 100
+        ol = OLList([(i * 16, 8) for i in range(n)])
+        data = np.zeros(8 * n, np.uint8)
+        assert payload_nbytes(ol) == 2 * payload_nbytes(data)

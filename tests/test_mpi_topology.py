@@ -1,0 +1,71 @@
+"""Multi-node network topology model."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import NetworkModel, run_spmd
+
+
+class TestNetworkModel:
+    def test_uniform_by_default(self):
+        nm = NetworkModel()
+        assert not nm.is_inter_node(0, 7)
+        assert nm.transfer_time(1000, 0, 7) == nm.transfer_time(1000, 0, 0)
+
+    def test_node_boundaries(self):
+        nm = NetworkModel(ranks_per_node=4)
+        assert not nm.is_inter_node(0, 3)
+        assert nm.is_inter_node(3, 4)
+        assert nm.is_inter_node(0, 7)
+        assert not nm.is_inter_node(5, 6)
+
+    def test_inter_node_costs_more(self):
+        nm = NetworkModel(ranks_per_node=2)
+        intra = nm.transfer_time(10_000, 0, 1)
+        inter = nm.transfer_time(10_000, 0, 2)
+        assert inter > intra
+
+    def test_custom_inter_params(self):
+        nm = NetworkModel(
+            ranks_per_node=1, inter_latency=1e-3, inter_bandwidth=1e6
+        )
+        assert nm.transfer_time(1000, 0, 1) == pytest.approx(1e-3 + 1e-3)
+
+
+class TestWorldAccounting:
+    def test_inter_node_traffic_charged_more(self):
+        def worker(comm):
+            # Every rank sends the same payload to its intra-node peer
+            # and to a remote-node peer.
+            if comm.rank == 0:
+                comm.send(1, np.zeros(100_000, np.uint8))  # same node
+                comm.send(2, np.zeros(100_000, np.uint8))  # other node
+            elif comm.rank in (1, 2):
+                comm.recv(0)
+
+        w_uniform = []
+        run_spmd(4, worker, network=NetworkModel(), world_out=w_uniform)
+        w_multi = []
+        run_spmd(
+            4, worker,
+            network=NetworkModel(ranks_per_node=2),
+            world_out=w_multi,
+        )
+        assert w_multi[0].net_time[0] > w_uniform[0].net_time[0]
+
+    def test_collectives_use_topology(self):
+        def worker(comm):
+            comm.allgather(np.zeros(10_000, np.uint8))
+
+        w_uniform = []
+        run_spmd(4, worker, network=NetworkModel(), world_out=w_uniform)
+        w_multi = []
+        run_spmd(
+            4, worker,
+            network=NetworkModel(ranks_per_node=2),
+            world_out=w_multi,
+        )
+        # Same bytes, more expensive wire.
+        assert w_multi[0].total_bytes_sent() == \
+            w_uniform[0].total_bytes_sent()
+        assert w_multi[0].max_net_time() > w_uniform[0].max_net_time()

@@ -1,0 +1,95 @@
+"""The public pack/unpack API (MPI_Pack analogues)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import datatypes as dt
+from repro.datatypes.packing import pack_typemap
+from repro.errors import DatatypeError
+from repro.pack import PackBuffer, pack, pack_size, unpack
+from tests.conftest import datatype_trees, fill_pattern
+
+
+class TestPackSize:
+    def test_counts_data_bytes_only(self):
+        v = dt.vector(4, 2, 5, dt.DOUBLE)
+        assert pack_size(3, v) == 3 * 64
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DatatypeError):
+            pack_size(-1, dt.INT)
+
+
+class TestPackUnpack:
+    def test_matches_oracle(self, sample_types):
+        for name, t in sample_types.items():
+            if t.size == 0:
+                continue
+            src = fill_pattern(t.true_ub + 8, seed=21)
+            out = np.zeros(t.size + 16, dtype=np.uint8)
+            pos = pack(src, 1, t, out, 8)
+            assert pos == 8 + t.size
+            assert (out[8:pos] == pack_typemap(src, 1, t)).all(), name
+
+    def test_position_threading(self):
+        a = np.arange(4, dtype=np.int32)
+        b = np.arange(2, dtype=np.float64)
+        out = np.zeros(64, dtype=np.uint8)
+        pos = pack(a, 4, dt.INT, out, 0)
+        pos = pack(b, 2, dt.DOUBLE, out, pos)
+        assert pos == 32
+        a2 = np.zeros(4, dtype=np.int32)
+        b2 = np.zeros(2, dtype=np.float64)
+        p = unpack(out, 0, a2, 4, dt.INT)
+        p = unpack(out, p, b2, 2, dt.DOUBLE)
+        assert p == 32
+        assert (a2 == a).all() and (b2 == b).all()
+
+    def test_overflow_rejected(self):
+        out = np.zeros(8, dtype=np.uint8)
+        with pytest.raises(DatatypeError):
+            pack(np.zeros(4, np.int32), 4, dt.INT, out, 0)
+
+    def test_unpack_underflow_rejected(self):
+        with pytest.raises(DatatypeError):
+            unpack(np.zeros(4, np.uint8), 0, np.zeros(2, np.float64), 2,
+                   dt.DOUBLE)
+
+    @settings(max_examples=40, deadline=None)
+    @given(datatype_trees())
+    def test_roundtrip_random_types(self, t):
+        src = fill_pattern(t.true_ub + 8, seed=31)
+        out = np.zeros(t.size, dtype=np.uint8)
+        pack(src, 1, t, out, 0)
+        dst = np.zeros_like(src)
+        unpack(out, 0, dst, 1, t)
+        assert (pack_typemap(dst, 1, t) == out).all()
+
+
+class TestPackBuffer:
+    def test_incremental_roundtrip(self):
+        pb = PackBuffer(256)
+        header = np.array([42, 7], dtype=np.int32)
+        strided = np.arange(20, dtype=np.float64)
+        vec = dt.vector(4, 2, 5, dt.DOUBLE)
+        pb.add(header, 2, dt.INT)
+        pb.add(strided, 1, vec)
+        assert pb.position == 8 + 64
+
+        up = pb.unpacker()
+        h2 = np.zeros(2, dtype=np.int32)
+        s2 = np.zeros(20, dtype=np.float64)
+        up.take(h2, 2, dt.INT)
+        up.take(s2, 1, vec)
+        assert up.remaining == 0
+        assert (h2 == header).all()
+        mask = np.zeros(20, bool)
+        for i in range(4):
+            mask[i * 5 : i * 5 + 2] = True
+        assert (s2[mask] == strided[mask]).all()
+
+    def test_capacity_enforced(self):
+        pb = PackBuffer(4)
+        with pytest.raises(DatatypeError):
+            pb.add(np.zeros(2, np.float64), 2, dt.DOUBLE)
