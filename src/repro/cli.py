@@ -172,6 +172,41 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan_dump(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.dataloop import compile_dataloop, describe_dataloop
+    from repro.fs import SimFileSystem
+    from repro.io import File, MODE_CREATE, MODE_RDWR
+    from repro.datatypes import BYTE
+    from repro.mpi import run_spmd
+
+    ft = _parse_type(args.filetype)
+    out = {}
+
+    def worker(comm):
+        fh = File.open(comm, SimFileSystem(), "/plan",
+                       MODE_CREATE | MODE_RDWR, engine=args.engine,
+                       info={"ind_wr_buffer_size": str(args.bufsize),
+                             "ind_rd_buffer_size": str(args.bufsize)})
+        fh.set_view(args.disp, BYTE, ft)
+        mem = fh._mem(np.zeros(args.nbytes, dtype=np.uint8), None, None)
+        engine = fh.engine
+        if args.write:
+            out["plan"] = engine.plan_write_independent(mem, args.offset)
+        else:
+            out["plan"] = engine.plan_read_independent(mem, args.offset)
+        fh.close()
+
+    run_spmd(1, worker)
+    print(f"filetype: {args.filetype}")
+    print("\ndataloop program:")
+    print(describe_dataloop(compile_dataloop(ft)))
+    print("\nplan:")
+    print(out["plan"].describe())
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -273,6 +308,24 @@ def build_parser() -> argparse.ArgumentParser:
     ins = sub.add_parser("inspect", help="describe a datatype expression")
     ins.add_argument("expr", help='e.g. "vector(1024, 1, 2, DOUBLE)"')
     ins.set_defaults(fn=_cmd_inspect)
+
+    pd = sub.add_parser(
+        "plan-dump",
+        help="show the dataloop program and I/O plan for an access",
+    )
+    pd.add_argument("filetype", help='e.g. "vector(64, 8, 16, BYTE)"')
+    pd.add_argument("--nbytes", type=int, default=256,
+                    help="access size in data bytes")
+    pd.add_argument("--offset", type=int, default=0,
+                    help="starting data offset (etype units, etype=BYTE)")
+    pd.add_argument("--disp", type=int, default=0, help="view displacement")
+    pd.add_argument("--engine", choices=["listless", "list_based"],
+                    default="listless")
+    pd.add_argument("--write", action="store_true",
+                    help="plan a write (default: read)")
+    pd.add_argument("--bufsize", type=int, default=4 * 1024 * 1024,
+                    help="independent sieving buffer size hint")
+    pd.set_defaults(fn=_cmd_plan_dump)
 
     wl = sub.add_parser(
         "workloads", help="compare engines across application workloads"

@@ -53,6 +53,7 @@ __all__ = [
     "DLBlocks",
     "DLSeq",
     "compile_dataloop",
+    "describe_dataloop",
 ]
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
@@ -94,6 +95,12 @@ class Dataloop:
         are validated at ``set_view``).
         """
         raise NotImplementedError
+
+    def describe(self) -> str:
+        """Indented tree rendering of the loop program (one node per
+        line, annotated with size/span/depth) — see
+        :func:`describe_dataloop`."""
+        return describe_dataloop(self)
 
 
 class DLContig(Dataloop):
@@ -491,3 +498,57 @@ def compile_dataloop(dt: Datatype) -> Dataloop | None:
         loop = _compile(dt)
         dt._dataloop_cache = loop
     return loop  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Pretty-printing
+# ----------------------------------------------------------------------
+def _node_line(loop: Dataloop) -> str:
+    span = f"span=[{loop.data_start},{loop.data_end})"
+    if isinstance(loop, DLContig):
+        return f"DLContig nbytes={loop.size}"
+    if isinstance(loop, DLVector):
+        return (
+            f"DLVector count={loop.count} stride={loop.stride} "
+            f"size={loop.size} {span}"
+        )
+    if isinstance(loop, DLBlocks):
+        k = loop.offsets.size
+        shown = ", ".join(
+            f"({int(o)},{int(n)})"
+            for o, n in zip(loop.offsets[:4], loop.lengths[:4])
+        )
+        if k > 4:
+            shown += ", …"
+        return f"DLBlocks k={k} size={loop.size} {span} blocks=[{shown}]"
+    if isinstance(loop, DLSeq):
+        return f"DLSeq k={len(loop.children)} size={loop.size} {span}"
+    return repr(loop)
+
+
+def describe_dataloop(loop: Dataloop | None) -> str:
+    """Render a dataloop program as an indented tree, one node per line.
+
+    The rendering is the compiled program itself — for a
+    ``vector(10**7, 1, 2, DOUBLE)`` it is two lines, demonstrating the
+    paper's point that the representation is O(tree), never O(Nblock).
+    """
+    if loop is None:
+        return "(empty type: no dataloop)"
+    lines: List[str] = []
+
+    def walk(node: Dataloop, prefix: str, branch: str, cont: str,
+             label: str = "") -> None:
+        lines.append(prefix + branch + label + _node_line(node))
+        if isinstance(node, DLVector):
+            walk(node.child, prefix + cont, "└─ ", "   ")
+        elif isinstance(node, DLSeq):
+            last = len(node.children) - 1
+            for i, (off, child) in enumerate(
+                zip(node.offsets, node.children)
+            ):
+                b, c = ("└─ ", "   ") if i == last else ("├─ ", "│  ")
+                walk(child, prefix + cont, b, c, label=f"@{off} ")
+
+    walk(loop, "", "", "")
+    return "\n".join(lines)

@@ -169,11 +169,15 @@ class FileviewCache:
     def __init__(self) -> None:
         self._views: Dict[int, CompactFileview] = {}
         self.exchange_bytes = 0
+        #: bumped on every install; plan caches key on it so plans built
+        #: against a replaced view can never be replayed.
+        self.epoch = 0
 
     def install(self, views: Dict[int, CompactFileview]) -> None:
         """Install the allgathered views (replacing any previous epoch)."""
         self._views = dict(views)
         self.exchange_bytes = sum(v.wire_bytes for v in views.values())
+        self.epoch += 1
 
     def view_of(self, rank: int) -> CompactFileview:
         try:

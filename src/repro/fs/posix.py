@@ -74,10 +74,25 @@ class PosixFile:
         self._check_open()
         return self._file.pread(offset, nbytes)
 
+    def pread_into(self, offset: int, out: np.ndarray) -> int:
+        """Positional read into ``out``; returns the bytes read."""
+        self._check_open()
+        return self._file.pread_into(offset, out)
+
     def pwrite(self, offset: int, data: np.ndarray) -> int:
         """Positional write (does not move the cursor)."""
         self._check_open()
         return self._file.pwrite(offset, data)
+
+    # fcntl(F_SETLKW)-style advisory byte-range locks, so the POSIX
+    # handle can run plans containing read-modify-write windows.
+    def lock_range(self, lo: int, hi: int) -> None:
+        self._check_open()
+        self._file.lock_range(lo, hi)
+
+    def unlock_range(self, lo: int, hi: int) -> None:
+        self._check_open()
+        self._file.unlock_range(lo, hi)
 
     def ftruncate(self, length: int) -> None:
         self._check_open()

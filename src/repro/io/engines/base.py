@@ -6,31 +6,35 @@ once per ``set_view``) and the four access kinds (independent/collective ×
 read/write), each given a :class:`~repro.io.fileview.MemDescriptor` and
 the starting data offset through the view.
 
-The base class implements everything that does not depend on the datatype
-representation: the contiguous-view fast paths (c-c and nc-c in the
-paper's Fig. 1 taxonomy), collective orchestration order, and common
-geometry.  Subclasses supply navigation, the pack/unpack kernels, the
-collective metadata exchange, and the contiguity check — precisely the
-pieces the paper replaces.
+Every access is performed in two explicit steps (see ``docs/planning.md``):
+the engine's :class:`~repro.plan.planner.Planner` *plans* it — producing a
+declarative :class:`~repro.plan.plan.IOPlan` of typed ops — and its
+:class:`~repro.plan.executor.SimFileExecutor` *runs* the plan.  The base
+class owns that plumbing plus the collective orchestration order and the
+common geometry.  Subclasses supply navigation, the pack/unpack codec the
+executor copies memory with, the plan geometry (a navigable compact view,
+or nothing), and the collective phases — precisely the representational
+pieces the paper contrasts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import IOEngineError
 from repro.io.fileview import MemDescriptor
 from repro.io.two_phase import (
     AccessRange,
     aggregate_ranges,
     partition_domains,
 )
+from repro.plan.stats import PlanStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.io.file_handle import File
+    from repro.plan.plan import IOPlan
 
 __all__ = ["IOEngine", "EngineStats"]
 
@@ -42,7 +46,9 @@ class EngineStats:
     The list-based engine increments the ``list_*`` family; the listless
     engine increments ``ff_*``.  Tests and benchmarks read these to
     verify, for example, that the listless engine builds zero tuples, or
-    how many tuples a collective access shipped.
+    how many tuples a collective access shipped.  The nested ``plan``
+    counters describe the plan layer (windows planned, bytes coalesced,
+    cache hits, ops executed) and are flattened into :meth:`snapshot`.
     """
 
     #: ol-list tuples materialized (flattening + per-access expansions)
@@ -59,9 +65,11 @@ class EngineStats:
     ff_kernel_calls: int = 0
     #: compact fileview bytes exchanged (one-time, at set_view)
     ff_view_bytes_exchanged: int = 0
+    #: plan-layer counters (shared by this engine's planner and executor)
+    plan: PlanStats = field(default_factory=PlanStats)
 
     def snapshot(self) -> dict:
-        return {
+        out = {
             "list_tuples_built": self.list_tuples_built,
             "list_tuples_sent": self.list_tuples_sent,
             "list_tuples_merged": self.list_tuples_merged,
@@ -70,22 +78,41 @@ class EngineStats:
             "ff_kernel_calls": self.ff_kernel_calls,
             "ff_view_bytes_exchanged": self.ff_view_bytes_exchanged,
         }
+        out.update(self.plan.snapshot())
+        return out
 
 
 class IOEngine:
     """Abstract engine; one instance per (rank, open file)."""
 
     name = "abstract"
+    #: Whether this engine's plans may be served from the planner's LRU
+    #: cache.  Listless plans derive from the cached compact fileview and
+    #: are cacheable; the conventional engine re-expands ol-lists per
+    #: access, so caching its plans would erase the very cost it models.
+    cacheable_plans = True
 
     def __init__(self, fh: "File") -> None:
         self.fh = fh
         self.stats = EngineStats()
+        # Imported lazily: repro.plan pulls in repro.io helpers, and the
+        # engines themselves are imported lazily from the file handle.
+        from repro.plan.executor import SimFileExecutor
+        from repro.plan.planner import Planner
+
+        self.planner = Planner(
+            self, cacheable=self.cacheable_plans, stats=self.stats.plan
+        )
+        self.executor = SimFileExecutor(
+            fh.simfile, codec=self, comm=fh.comm, stats=self.stats.plan
+        )
 
     # ------------------------------------------------------------------
     # Subclass interface
     # ------------------------------------------------------------------
     def setup_view(self) -> None:
-        """Collective per-``set_view`` preparation."""
+        """Collective per-``set_view`` preparation.  Subclasses must call
+        ``self.planner.invalidate()`` — a new view voids cached plans."""
         raise NotImplementedError
 
     def abs_of_data(self, data_off: int, end: bool = False) -> int:
@@ -96,6 +123,16 @@ class IOEngine:
         """View data bytes strictly before absolute offset ``abs_off``."""
         raise NotImplementedError
 
+    def plan_geometry(self):
+        """Navigable view geometry for the planner, or ``None``.
+
+        Engines returning a :class:`~repro.core.fileview_cache.
+        CompactFileview` get materialized block lists and per-window
+        clipping in their plans; engines returning ``None`` get deferred
+        pieces streamed through their own view walk at execution time.
+        """
+        return None
+
     def pack_mem(self, mem: MemDescriptor, d_lo: int, d_hi: int,
                  out: np.ndarray) -> None:
         """Pack memory data bytes ``[d_lo, d_hi)`` into ``out``."""
@@ -105,14 +142,6 @@ class IOEngine:
                    data: np.ndarray) -> None:
         """Unpack contiguous ``data`` into memory data bytes
         ``[d_lo, d_hi)``."""
-        raise NotImplementedError
-
-    def _sieve_write(self, mem: MemDescriptor, d0: int, lo: int,
-                     hi: int) -> None:
-        raise NotImplementedError
-
-    def _sieve_read(self, mem: MemDescriptor, d0: int, lo: int,
-                    hi: int) -> None:
         raise NotImplementedError
 
     def _collective_write(self, mem: MemDescriptor, rng: AccessRange,
@@ -142,55 +171,30 @@ class IOEngine:
         )
 
     # ------------------------------------------------------------------
-    # Independent access (fast paths shared; sieving in subclasses)
+    # Independent access: plan, then run
     # ------------------------------------------------------------------
+    def plan_write_independent(self, mem: MemDescriptor,
+                               d0: int) -> "IOPlan":
+        return self.planner.plan_independent(d0, mem.nbytes, write=True)
+
+    def plan_read_independent(self, mem: MemDescriptor,
+                              d0: int) -> "IOPlan":
+        return self.planner.plan_independent(d0, mem.nbytes, write=False)
+
+    def run_plan(self, plan: "IOPlan",
+                 mem: Optional[MemDescriptor] = None,
+                 buffers: Optional[dict] = None) -> dict:
+        return self.executor.run(plan, mem, buffers)
+
     def write_independent(self, mem: MemDescriptor, d0: int) -> None:
-        n = mem.nbytes
-        if n == 0:
+        if mem.nbytes == 0:
             return
-        view = self.fh.view
-        simfile = self.fh.simfile
-        if view.is_contiguous:
-            abs_lo = view.disp + d0
-            if mem.is_contiguous:
-                # c-c: one plain write.
-                simfile.pwrite(abs_lo, mem.contiguous_slice(0, n))
-            else:
-                # nc-c: pack to a staging buffer, one plain write.
-                stage = np.empty(n, dtype=np.uint8)
-                self.pack_mem(mem, 0, n, stage)
-                simfile.pwrite(abs_lo, stage)
-            return
-        lo = self.abs_of_data(d0)
-        hi = self.abs_of_data(d0 + n, end=True)
-        self._sieve_write(mem, d0, lo, hi)
+        self.run_plan(self.plan_write_independent(mem, d0), mem)
 
     def read_independent(self, mem: MemDescriptor, d0: int) -> None:
-        n = mem.nbytes
-        if n == 0:
+        if mem.nbytes == 0:
             return
-        view = self.fh.view
-        simfile = self.fh.simfile
-        if view.is_contiguous:
-            abs_lo = view.disp + d0
-            if mem.is_contiguous:
-                got = simfile.pread_into(abs_lo, mem.contiguous_slice(0, n))
-                if got < n:
-                    raise IOEngineError(
-                        f"short read: {got} of {n} bytes at {abs_lo}"
-                    )
-            else:
-                stage = np.empty(n, dtype=np.uint8)
-                got = simfile.pread_into(abs_lo, stage)
-                if got < n:
-                    raise IOEngineError(
-                        f"short read: {got} of {n} bytes at {abs_lo}"
-                    )
-                self.unpack_mem(mem, 0, n, stage)
-            return
-        lo = self.abs_of_data(d0)
-        hi = self.abs_of_data(d0 + n, end=True)
-        self._sieve_read(mem, d0, lo, hi)
+        self.run_plan(self.plan_read_independent(mem, d0), mem)
 
     # ------------------------------------------------------------------
     # Collective access (orchestration shared; phases in subclasses)

@@ -16,6 +16,15 @@ Every cost the paper attributes to ol-lists is really paid here:
   tuple of wire volume, §2.3), and the collective-write contiguity
   optimization merges all received lists per window (§2.3, last
   paragraph).
+
+Accesses are planned like the listless engine's, but the plans preserve
+the conventional cost profile: the engine offers no plan geometry, so
+independent plans carry *deferred* pieces that the executor streams
+through :meth:`_view_blocks` (the linear tuple walk) at execution time;
+collective plans carry :class:`~repro.plan.ops.TupleBlocks` copied one
+tuple at a time; and no plan is ever cached — the conventional scheme
+re-derives its lists on every access, which is precisely the overhead
+the paper measures.
 """
 
 from __future__ import annotations
@@ -29,20 +38,31 @@ from repro.flatten.list_ops import expand_range, merge_lists
 from repro.flatten.ol_list import OLList
 from repro.io.engines.base import IOEngine
 from repro.io.fileview import MemDescriptor
-from repro.io.sieving import read_window, windows
+from repro.io.sieving import windows
 from repro.io.two_phase import AccessRange
+from repro.plan.ops import (
+    STAGE,
+    ExchangeOp,
+    FileReadOp,
+    FileWriteOp,
+    GatherOp,
+    Piece,
+    ScatterOp,
+    Send,
+    TupleBlocks,
+    in_slot,
+    out_slot,
+)
+from repro.plan.plan import IOPlan
 
 __all__ = ["ListBasedEngine"]
-
-
-def _clip(x: int, lo: int, hi: int) -> int:
-    return lo if x < lo else hi if x > hi else x
 
 
 class ListBasedEngine(IOEngine):
     """Conventional ol-list I/O engine."""
 
     name = "list_based"
+    cacheable_plans = False  # lists are re-expanded on every access
 
     def __init__(self, fh) -> None:
         super().__init__(fh)
@@ -56,6 +76,7 @@ class ListBasedEngine(IOEngine):
         self.flat = flatten_cached(self.fh.view.filetype)
         if cold:
             self.stats.list_tuples_built += len(self.flat)
+        self.planner.invalidate()
         # Collective call contract: everyone still synchronizes.
         self.fh.comm.barrier()
 
@@ -175,251 +196,251 @@ class ListBasedEngine(IOEngine):
             inst += 1
 
     # ------------------------------------------------------------------
-    # Independent access: data sieving with per-tuple copies
+    # Deferred-piece codec: the executor streams blocks through the
+    # engine's linear walk at execution time (independent access never
+    # materializes a per-access list — it re-walks instead).
     # ------------------------------------------------------------------
-    def _sieve_write(self, mem: MemDescriptor, d0: int, lo: int,
-                     hi: int) -> None:
-        fh = self.fh
-        simfile = fh.simfile
-        d1 = d0 + mem.nbytes
-        if not fh.hints.ds_write:
-            self._blockwise_write(mem, d0, lo, hi)
-            return
-        # ROMIO packs a non-contiguous user buffer once, up front.
-        stage = self._stage_pack(mem)
-        bufsize = fh.hints.ind_wr_buffer_size
-        for wlo, whi in windows(lo, hi, bufsize):
-            simfile.lock_range(wlo, whi)
-            try:
-                fb = read_window(simfile, wlo, whi)
-                wrote = False
-                for a, ln, doff in self._view_blocks(wlo, whi):
-                    if doff >= d1:
-                        break
-                    fb[a - wlo : a - wlo + ln] = stage[
-                        doff - d0 : doff - d0 + ln
-                    ]
-                    wrote = True
-                if wrote:
-                    simfile.pwrite(wlo, fb)
-            finally:
-                simfile.unlock_range(wlo, whi)
+    def stream_gather_window(self, fb: np.ndarray, wlo: int, whi: int,
+                             arr: np.ndarray, base_d: int,
+                             d_hi: int) -> int:
+        copied = 0
+        for a, ln, doff in self._view_blocks(wlo, whi):
+            if doff >= d_hi:
+                break
+            ln = min(ln, d_hi - doff)
+            arr[doff - base_d : doff - base_d + ln] = (
+                fb[a - wlo : a - wlo + ln]
+            )
+            copied += ln
+        return copied
 
-    def _sieve_read(self, mem: MemDescriptor, d0: int, lo: int,
-                    hi: int) -> None:
-        fh = self.fh
-        simfile = fh.simfile
-        d1 = d0 + mem.nbytes
-        if not fh.hints.ds_read:
-            self._blockwise_read(mem, d0, lo, hi)
-            return
-        stage = np.empty(mem.nbytes, dtype=np.uint8)
-        bufsize = fh.hints.ind_rd_buffer_size
-        for wlo, whi in windows(lo, hi, bufsize):
-            fb = read_window(simfile, wlo, whi)
-            for a, ln, doff in self._view_blocks(wlo, whi):
-                if doff >= d1:
-                    break
-                stage[doff - d0 : doff - d0 + ln] = fb[a - wlo : a - wlo + ln]
-        self.unpack_mem(mem, 0, mem.nbytes, stage)
+    def stream_scatter_window(self, fb: np.ndarray, wlo: int, whi: int,
+                              arr: np.ndarray, base_d: int,
+                              d_hi: int) -> int:
+        copied = 0
+        for a, ln, doff in self._view_blocks(wlo, whi):
+            if doff >= d_hi:
+                break
+            ln = min(ln, d_hi - doff)
+            fb[a - wlo : a - wlo + ln] = (
+                arr[doff - base_d : doff - base_d + ln]
+            )
+            copied += ln
+        return copied
 
-    def _stage_pack(self, mem: MemDescriptor) -> np.ndarray:
-        """Contiguous staging copy of the whole access (per-tuple loop)."""
-        if mem.is_contiguous:
-            return mem.contiguous_slice(0, mem.nbytes)
-        stage = np.empty(mem.nbytes, dtype=np.uint8)
-        self.pack_mem(mem, 0, mem.nbytes, stage)
-        return stage
-
-    def _blockwise_write(self, mem: MemDescriptor, d0: int, lo: int,
-                         hi: int) -> None:
-        """Sieving disabled: one file write per view block (per tuple)."""
-        stage = self._stage_pack(mem)
-        simfile = self.fh.simfile
+    def stream_read_blocks(self, file, lo: int, hi: int, arr: np.ndarray,
+                           base_d: int, d_hi: int) -> None:
         for a, ln, doff in self._view_blocks(lo, hi):
-            simfile.pwrite(a, stage[doff - d0 : doff - d0 + ln])
+            if doff >= d_hi:
+                break
+            ln = min(ln, d_hi - doff)
+            pos = doff - base_d
+            got = file.pread_into(a, arr[pos : pos + ln])
+            if got < ln:
+                arr[pos + got : pos + ln] = 0
+        return None
 
-    def _blockwise_read(self, mem: MemDescriptor, d0: int, lo: int,
-                        hi: int) -> None:
-        """Sieving disabled: one file read per view block (per tuple)."""
-        stage = np.empty(mem.nbytes, dtype=np.uint8)
-        simfile = self.fh.simfile
+    def stream_write_blocks(self, file, lo: int, hi: int, arr: np.ndarray,
+                            base_d: int, d_hi: int) -> None:
         for a, ln, doff in self._view_blocks(lo, hi):
-            simfile.pread_into(a, stage[doff - d0 : doff - d0 + ln])
-        self.unpack_mem(mem, 0, mem.nbytes, stage)
+            if doff >= d_hi:
+                break
+            ln = min(ln, d_hi - doff)
+            pos = doff - base_d
+            file.pwrite(a, arr[pos : pos + ln])
+        return None
 
     # ------------------------------------------------------------------
-    # Collective access: per-access ol-list exchange + list merging
+    # Collective access: per-access ol-list exchange + list merging.
+    # Each collective runs as two plans: plan A stages/ships the ol-list
+    # payloads, then — because the window schedule depends on the
+    # *received* lists, which the conventional scheme cannot know in
+    # advance — the IOP builds plan B from the inbound lists and runs it
+    # seeded with plan A's exchange buffers.
     # ------------------------------------------------------------------
+    def _expand_sends(self, rng: AccessRange, domains, take_stage: bool):
+        """AP side: one expanded ol-list per IOP whose domain I touch."""
+        assert self.flat is not None
+        view = self.fh.view
+        sends: List[Send] = []
+        for iop, (dlo, dhi) in enumerate(domains):
+            a_lo = max(dlo, rng.abs_lo)
+            a_hi = min(dhi, rng.abs_hi)
+            if a_hi <= a_lo:
+                continue
+            ol = expand_range(
+                self.flat, view.ft_extent, view.disp, a_lo, a_hi
+            )
+            if len(ol) == 0:
+                continue
+            self.stats.list_tuples_built += len(ol)
+            self.stats.list_tuples_sent += len(ol)
+            dl = self.data_of_abs(ol.offsets[0])
+            sends.append(Send(iop, ol=ol, d_lo=dl, take_stage=take_stage))
+        return sends
+
+    def _pick_window(self, ol: OLList, cursor: List[int], wlo: int,
+                     whi: int) -> Tuple[List[Tuple[int, int]], int]:
+        """Advance one contribution's linear cursor through a window;
+        returns the clipped tuples and their starting data position."""
+        idx, dpos = cursor
+        picked: List[Tuple[int, int]] = []
+        dstart = dpos
+        while idx < len(ol):
+            o, ln = ol.offsets[idx], ol.lengths[idx]
+            if o >= whi:
+                break
+            if o + ln <= wlo:
+                idx += 1
+                dpos += ln
+                continue
+            s = max(wlo - o, 0)
+            e = min(whi - o, ln)
+            if not picked:
+                dstart = dpos + s
+            picked.append((o + s, e - s))
+            if o + ln <= whi:
+                idx += 1
+                dpos += ln
+            else:
+                break  # block continues into the next window
+        cursor[0], cursor[1] = idx, dpos
+        return picked, dstart
+
     def _collective_write(self, mem, rng: AccessRange, ranges, domains):
         assert self.flat is not None
         fh = self.fh
         comm = fh.comm
-        view = fh.view
         niops = len(domains)
-        stage = self._stage_pack(mem) if not rng.empty else None
-        # --- AP phase: build and send one expanded ol-list (plus the
-        # matching data bytes) per IOP whose domain I touch.
-        outbound: List[Optional[Tuple[OLList, np.ndarray, int]]]
-        outbound = [None] * comm.size
+        d0, d1 = rng.data_lo, rng.data_hi
+        # --- Plan A: stage my data once, ship (list + data) per IOP.
+        ops_a: List[object] = []
+        slots_a = {}
         if not rng.empty:
-            for iop, (dlo, dhi) in enumerate(domains):
-                a_lo = max(dlo, rng.abs_lo)
-                a_hi = min(dhi, rng.abs_hi)
-                if a_hi <= a_lo:
-                    continue
-                ol = expand_range(
-                    self.flat, view.ft_extent, view.disp, a_lo, a_hi
-                )
-                if len(ol) == 0:
-                    continue
-                self.stats.list_tuples_built += len(ol)
-                self.stats.list_tuples_sent += len(ol)
-                dl = self.data_of_abs(ol.offsets[0])
-                data = stage[dl - rng.data_lo : dl - rng.data_lo + ol.size]
-                outbound[iop] = (ol, data, dl)
-        inbound = comm.alltoall(outbound)
-        # --- IOP phase.
+            ops_a.append(GatherOp(d0, d1))
+            slots_a[STAGE] = (d0, d1)
+            sends = self._expand_sends(rng, domains, take_stage=True)
+        else:
+            sends = []
+        ops_a.append(ExchangeOp(tuple(sends)))
+        plan_a = IOPlan("write-collective(exchange)", d0, max(0, d1 - d0),
+                        tuple(ops_a), slots=slots_a)
+        bufs = self.run_plan(plan_a, mem)
+        # --- IOP side: derive the window schedule from what arrived.
         if comm.rank >= niops:
             return
         dlo, dhi = domains[comm.rank]
         if dhi <= dlo:
             return
-        contribs = [
-            (item[0], item[1])
-            for item in inbound
-            if item is not None and len(item[0]) > 0
-        ]
+        contribs: List[Tuple[object, OLList]] = []
+        seed = {}
+        for src in range(comm.size):
+            item = bufs.get(in_slot(src))
+            if item is None:
+                continue
+            ol, data, dl = item
+            if len(ol) == 0:
+                continue
+            slot = in_slot(src)
+            contribs.append((slot, ol))
+            seed[slot] = (dl, dl + int(ol.size), data)
         if not contribs:
             return
-        simfile = fh.simfile
-        cursors = [[0, 0] for _ in contribs]  # [block index, data pos]
+        ops_b: List[object] = []
+        cursors = [[0, 0] for _ in contribs]
         for wlo, whi in windows(dlo, dhi, fh.hints.cb_buffer_size):
-            # Collect each AP's tuples inside the window (linear cursors).
-            window_parts: List[Tuple[OLList, np.ndarray]] = []
-            for ci, (ol, data) in enumerate(contribs):
-                idx, dpos = cursors[ci]
-                picked: List[Tuple[int, int]] = []
-                dstart = dpos
-                while idx < len(ol):
-                    o, ln = ol.offsets[idx], ol.lengths[idx]
-                    if o >= whi:
-                        break
-                    if o + ln <= wlo:
-                        idx += 1
-                        dpos += ln
-                        continue
-                    s = max(wlo - o, 0)
-                    e = min(whi - o, ln)
-                    if not picked:
-                        dstart = dpos + s
-                    picked.append((o + s, e - s))
-                    if o + ln <= whi:
-                        idx += 1
-                        dpos += ln
-                    else:
-                        break  # block continues into the next window
-                cursors[ci] = [idx, dpos]
+            parts = []  # (slot, picked tuples, data start within ol)
+            for ci, (slot, ol) in enumerate(contribs):
+                picked, dstart = self._pick_window(ol, cursors[ci],
+                                                   wlo, whi)
                 if picked:
-                    total = sum(ln for _, ln in picked)
-                    window_parts.append(
-                        (OLList(picked), data[dstart : dstart + total])
-                    )
-            if not window_parts:
+                    parts.append((slot, picked, dstart))
+            if not parts:
                 continue
             # ROMIO's contiguity optimization: merge all lists; skip the
             # pre-read iff they form one block covering the window.
             self.stats.list_tuples_merged += sum(
-                len(p) for p, _ in window_parts
+                len(p) for _, p, _ in parts
             )
-            merged = merge_lists([p for p, _ in window_parts])
+            merged = merge_lists([OLList(p) for _, p, _ in parts])
             covered = (
                 len(merged) == 1
                 and merged[0][0] <= wlo
                 and merged[0][0] + merged[0][1] >= whi
             )
-            if covered:
-                fb = np.empty(whi - wlo, dtype=np.uint8)
-            else:
-                fb = read_window(simfile, wlo, whi)
-            for ol, data in window_parts:
-                pos = 0
-                for o, ln in zip(ol.offsets, ol.lengths):
-                    fb[o - wlo : o - wlo + ln] = data[pos : pos + ln]
-                    pos += ln
-            simfile.pwrite(wlo, fb)
+            pieces = []
+            for slot, picked, dstart in parts:
+                total = sum(ln for _, ln in picked)
+                base = seed[slot][0]
+                pieces.append(Piece(slot, base + dstart,
+                                    base + dstart + total,
+                                    TupleBlocks(tuple(picked))))
+            ops_b.append(FileWriteOp(
+                wlo, whi, "assemble" if covered else "rmw", tuple(pieces)
+            ))
+        if ops_b:
+            plan_b = IOPlan("write-collective(iop)", dlo, 0, tuple(ops_b))
+            self.run_plan(plan_b, buffers=seed)
 
     def _collective_read(self, mem, rng: AccessRange, ranges, domains):
         assert self.flat is not None
         fh = self.fh
         comm = fh.comm
-        view = fh.view
         niops = len(domains)
-        # --- AP phase 1: request lists go to the IOPs.
-        requests: List[Optional[Tuple[OLList, int]]] = [None] * comm.size
+        d0 = rng.data_lo
+        # --- Plan A: ship request lists to the IOPs.
         if not rng.empty:
-            for iop, (dlo, dhi) in enumerate(domains):
-                a_lo = max(dlo, rng.abs_lo)
-                a_hi = min(dhi, rng.abs_hi)
-                if a_hi <= a_lo:
-                    continue
-                ol = expand_range(
-                    self.flat, view.ft_extent, view.disp, a_lo, a_hi
-                )
-                if len(ol) == 0:
-                    continue
-                self.stats.list_tuples_built += len(ol)
-                self.stats.list_tuples_sent += len(ol)
-                dl = self.data_of_abs(ol.offsets[0])
-                requests[iop] = (ol, dl)
-        incoming = comm.alltoall(requests)
-        # --- IOP phase: read windows and serve each request per tuple.
-        replies: List[Optional[Tuple[np.ndarray, int]]] = [None] * comm.size
+            sends = self._expand_sends(rng, domains, take_stage=False)
+        else:
+            sends = []
+        my_requests = [(s.rank, int(s.ol.size), s.d_lo) for s in sends]
+        plan_a = IOPlan("read-collective(request)", d0, 0,
+                        (ExchangeOp(tuple(sends)),))
+        bufs = self.run_plan(plan_a)
+        # --- Plan B: serve inbound requests window by window, exchange
+        # the replies, scatter my returned segments.
+        ops_b: List[object] = []
+        slots_b = {}
+        sends_b: List[Send] = []
         if comm.rank < niops:
             dlo, dhi = domains[comm.rank]
-            reqs = [
-                (src, item[0], item[1], np.empty(item[0].size, np.uint8))
-                for src, item in enumerate(incoming)
-                if item is not None
-            ]
-            if reqs and dhi > dlo:
-                simfile = fh.simfile
-                cursors = {src: [0, 0] for src, *_ in reqs}
-                for wlo, whi in windows(dlo, dhi, fh.hints.cb_buffer_size):
-                    fb = None
-                    for src, ol, _dl, buf in reqs:
-                        idx, dpos = cursors[src]
-                        while idx < len(ol):
-                            o, ln = ol.offsets[idx], ol.lengths[idx]
-                            if o >= whi:
-                                break
-                            if o + ln <= wlo:
-                                idx += 1
-                                dpos += ln
-                                continue
-                            if fb is None:
-                                fb = read_window(simfile, wlo, whi)
-                            s = max(wlo - o, 0)
-                            e = min(whi - o, ln)
-                            buf[dpos + s : dpos + e] = fb[
-                                o + s - wlo : o + e - wlo
-                            ]
-                            if o + ln <= whi:
-                                idx += 1
-                                dpos += ln
-                            else:
-                                break
-                        cursors[src] = [idx, dpos]
-                for src, _ol, dl, buf in reqs:
-                    replies[src] = (buf, dl)
-        returned = comm.alltoall(replies)
-        # --- AP phase 2: place the returned segments, then unpack.
-        if rng.empty:
-            return
-        stage = np.empty(mem.nbytes, dtype=np.uint8)
-        for item in returned:
-            if item is None:
-                continue
-            buf, dl = item
-            stage[dl - rng.data_lo : dl - rng.data_lo + buf.size] = buf
-        self.unpack_mem(mem, 0, mem.nbytes, stage)
+            incoming = []
+            for src in range(comm.size):
+                item = bufs.get(in_slot(src))
+                if item is None:
+                    continue
+                ol, dl = item
+                if len(ol) == 0:
+                    continue
+                incoming.append((src, ol, dl))
+            if incoming and dhi > dlo:
+                for src, ol, dl in incoming:
+                    slots_b[out_slot(src)] = (dl, dl + int(ol.size))
+                cursors = {src: [0, 0] for src, _, _ in incoming}
+                for wlo, whi in windows(dlo, dhi,
+                                        fh.hints.cb_buffer_size):
+                    pieces = []
+                    for src, ol, dl in incoming:
+                        picked, dstart = self._pick_window(
+                            ol, cursors[src], wlo, whi
+                        )
+                        if picked:
+                            total = sum(ln for _, ln in picked)
+                            pieces.append(Piece(
+                                out_slot(src), dl + dstart,
+                                dl + dstart + total,
+                                TupleBlocks(tuple(picked)),
+                            ))
+                    if pieces:
+                        ops_b.append(FileReadOp(wlo, whi, "window",
+                                                tuple(pieces)))
+                sends_b = [Send(src, slot=out_slot(src))
+                           for src, _, _ in incoming]
+        ops_b.append(ExchangeOp(tuple(sends_b)))
+        if not rng.empty:
+            for iop, size, dl in my_requests:
+                ops_b.append(ScatterOp(dl, dl + size, in_slot(iop)))
+        nbytes = rng.data_hi - d0 if not rng.empty else 0
+        plan_b = IOPlan("read-collective(serve)", d0, nbytes,
+                        tuple(ops_b), slots=slots_b)
+        self.run_plan(plan_b, mem)

@@ -13,11 +13,18 @@ No ol-list is ever built, stored, traversed or exchanged:
   coverage directly from the cached views (the mergeview evaluation of
   §3.2.3, generalized to accesses that cover the file range only
   partially), never by merging lists.
+
+All access paths are *planned*: the engine exposes its compact view as
+plan geometry, so the shared :class:`~repro.plan.planner.Planner` builds
+plans with materialized block lists — and, because those plans are pure
+functions of the cached views, it caches them across repeated accesses
+(plans for a collective access are built once per distinct access
+signature and replayed).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -26,20 +33,15 @@ from repro.core.ff_pack import ff_pack, ff_unpack
 from repro.core.mergeview import build_mergeview
 from repro.io.engines.base import IOEngine
 from repro.io.fileview import MemDescriptor
-from repro.io.sieving import read_window, windows
-from repro.io.two_phase import AccessRange
 
 __all__ = ["ListlessEngine"]
-
-
-def _clip(x: int, lo: int, hi: int) -> int:
-    return lo if x < lo else hi if x > hi else x
 
 
 class ListlessEngine(IOEngine):
     """Flattening-on-the-fly I/O engine."""
 
     name = "listless"
+    cacheable_plans = True
 
     def __init__(self, fh) -> None:
         super().__init__(fh)
@@ -69,6 +71,7 @@ class ListlessEngine(IOEngine):
         self.cache = cache
         self.mergeview = build_mergeview(gathered)
         self.stats.ff_view_bytes_exchanged += cache.exchange_bytes
+        self.planner.invalidate()
 
     # ------------------------------------------------------------------
     # Navigation — O(depth · log k), position-independent
@@ -82,6 +85,12 @@ class ListlessEngine(IOEngine):
         assert self.cview is not None
         self.stats.ff_navigations += 1
         return self.cview.data_of_abs(abs_off)
+
+    def plan_geometry(self) -> Optional[CompactFileview]:
+        """The compact view *is* the plan geometry: the planner clips
+        windows and materializes block lists by navigating it (the
+        list-based engine has no O(depth) way to offer this)."""
+        return self.cview
 
     # ------------------------------------------------------------------
     # Memory-side pack/unpack — one gather/scatter kernel call
@@ -109,241 +118,14 @@ class ListlessEngine(IOEngine):
         )
 
     # ------------------------------------------------------------------
-    # Independent access: data sieving with ff kernels
+    # Collective access: one cached plan covering both two-phase roles
     # ------------------------------------------------------------------
-    def _dense_range(self, lo: int, hi: int) -> bool:
-        """One ``ff_size``-style evaluation decides whether the access
-        range is fully dense through the view — i.e. the non-contiguous
-        *type* produces a contiguous *access* (e.g. a k-plane of a 3-D
-        subarray).  The list-based engine has no O(depth) way to ask
-        this and always runs its block walk."""
-        assert self.cview is not None
-        return self.cview.data_in_range(lo, hi) == hi - lo
-
-    def _sieve_write(self, mem: MemDescriptor, d0: int, lo: int,
-                     hi: int) -> None:
-        assert self.cview is not None
-        fh = self.fh
-        simfile = fh.simfile
-        d1 = d0 + mem.nbytes
-        cv = self.cview
-        if not fh.hints.ds_write:
-            self._blockwise_write(mem, d0, d1)
-            return
-        if self._dense_range(lo, hi):
-            # Contiguous access through a non-contiguous view: one plain
-            # write, no read-modify-write, no lock.
-            if mem.is_contiguous:
-                simfile.pwrite(lo, mem.contiguous_slice(0, d1 - d0))
-            else:
-                pack = np.empty(d1 - d0, dtype=np.uint8)
-                self.pack_mem(mem, 0, d1 - d0, pack)
-                simfile.pwrite(lo, pack)
-            return
-        bufsize = fh.hints.ind_wr_buffer_size
-        pack = np.empty(min(mem.nbytes, bufsize), dtype=np.uint8)
-        for wlo, whi in windows(lo, hi, bufsize):
-            dl = _clip(cv.data_of_abs(wlo), d0, d1)
-            dh = _clip(cv.data_of_abs(whi), d0, d1)
-            if dh <= dl:
-                continue
-            simfile.lock_range(wlo, whi)
-            try:
-                # Independent data sieving is always read-modify-write
-                # (as in ROMIO); only *collective* writes may skip the
-                # pre-read, via the mergeview decision.
-                fb = read_window(simfile, wlo, whi)
-                # user buffer → pack buffer → file buffer (paper Fig. 3)
-                self.pack_mem(mem, dl - d0, dh - d0, pack)
-                offs, lens = cv.blocks_for_data(dl, dh)
-                _scatter(fb, offs - wlo, lens, pack)
-                simfile.pwrite(wlo, fb)
-            finally:
-                simfile.unlock_range(wlo, whi)
-
-    def _sieve_read(self, mem: MemDescriptor, d0: int, lo: int,
-                    hi: int) -> None:
-        assert self.cview is not None
-        fh = self.fh
-        simfile = fh.simfile
-        d1 = d0 + mem.nbytes
-        cv = self.cview
-        if not fh.hints.ds_read:
-            self._blockwise_read(mem, d0, d1)
-            return
-        if self._dense_range(lo, hi):
-            if mem.is_contiguous:
-                simfile.pread_into(lo, mem.contiguous_slice(0, d1 - d0))
-            else:
-                pack = np.zeros(d1 - d0, dtype=np.uint8)
-                simfile.pread_into(lo, pack)
-                self.unpack_mem(mem, 0, d1 - d0, pack)
-            return
-        bufsize = fh.hints.ind_rd_buffer_size
-        pack = np.empty(min(mem.nbytes, bufsize), dtype=np.uint8)
-        for wlo, whi in windows(lo, hi, bufsize):
-            dl = _clip(cv.data_of_abs(wlo), d0, d1)
-            dh = _clip(cv.data_of_abs(whi), d0, d1)
-            if dh <= dl:
-                continue
-            fb = read_window(simfile, wlo, whi)
-            offs, lens = cv.blocks_for_data(dl, dh)
-            _gather(fb, offs - wlo, lens, pack)
-            self.unpack_mem(mem, dl - d0, dh - d0, pack)
-
-    def _blockwise_write(self, mem: MemDescriptor, d0: int, d1: int) -> None:
-        """Sieving disabled: one file write per contiguous view block."""
-        assert self.cview is not None
-        simfile = self.fh.simfile
-        pack = np.empty(d1 - d0, dtype=np.uint8)
-        self.pack_mem(mem, 0, d1 - d0, pack)
-        offs, lens = self.cview.blocks_for_data(d0, d1)
-        pos = 0
-        for o, ln in zip(offs.tolist(), lens.tolist()):
-            simfile.pwrite(o, pack[pos : pos + ln])
-            pos += ln
-
-    def _blockwise_read(self, mem: MemDescriptor, d0: int, d1: int) -> None:
-        """Sieving disabled: one file read per contiguous view block."""
-        assert self.cview is not None
-        simfile = self.fh.simfile
-        pack = np.empty(d1 - d0, dtype=np.uint8)
-        offs, lens = self.cview.blocks_for_data(d0, d1)
-        pos = 0
-        for o, ln in zip(offs.tolist(), lens.tolist()):
-            simfile.pread_into(o, pack[pos : pos + ln])
-            pos += ln
-        self.unpack_mem(mem, 0, d1 - d0, pack)
-
-    # ------------------------------------------------------------------
-    # Collective access: two-phase with fileview caching
-    # ------------------------------------------------------------------
-    def _ap_portion(
-        self, cv: CompactFileview, rng: AccessRange, dlo: int, dhi: int
-    ) -> Tuple[int, int]:
-        """Data range of an access falling inside file domain [dlo, dhi)."""
-        dl = _clip(cv.data_of_abs(dlo), rng.data_lo, rng.data_hi)
-        dh = _clip(cv.data_of_abs(dhi), rng.data_lo, rng.data_hi)
-        return dl, dh
-
     def _collective_write(self, mem, rng, ranges, domains) -> None:
         assert self.cview is not None and self.cache is not None
-        fh = self.fh
-        comm = fh.comm
-        niops = len(domains)
-        # --- AP phase: pack my contribution per IOP; only data moves.
-        outbound: List[Optional[Tuple[int, int, np.ndarray]]]
-        outbound = [None] * comm.size
-        if not rng.empty:
-            for iop, (dlo, dhi) in enumerate(domains):
-                dl, dh = self._ap_portion(self.cview, rng, dlo, dhi)
-                if dh <= dl:
-                    continue
-                data = np.empty(dh - dl, dtype=np.uint8)
-                self.pack_mem(mem, dl - rng.data_lo, dh - rng.data_lo, data)
-                outbound[iop] = (dl, dh, data)
-        inbound = comm.alltoall(outbound)
-        # --- IOP phase: scatter every AP's data into my file domain.
-        if comm.rank >= niops:
-            return
-        dlo, dhi = domains[comm.rank]
-        if dhi <= dlo:
-            return
-        contribs = [
-            (src, self.cache.view_of(src), dl, dh, data)
-            for src, item in enumerate(inbound)
-            if item is not None
-            for (dl, dh, data) in (item,)
-        ]
-        simfile = fh.simfile
-        for wlo, whi in windows(dlo, dhi, fh.hints.cb_buffer_size):
-            pieces = []
-            covered_bytes = 0
-            for src, cv, dl, dh, data in contribs:
-                sl = _clip(cv.data_of_abs(wlo), dl, dh)
-                sh = _clip(cv.data_of_abs(whi), dl, dh)
-                if sh <= sl:
-                    continue
-                pieces.append((cv, sl, sh, data, dl))
-                covered_bytes += sh - sl
-            if not pieces:
-                continue
-            # Mergeview-style contiguity decision: skip the pre-read iff
-            # the combined views cover every byte of the window.
-            covered = covered_bytes == whi - wlo
-            if covered:
-                fb = np.empty(whi - wlo, dtype=np.uint8)
-            else:
-                fb = read_window(simfile, wlo, whi)
-            for cv, sl, sh, data, dl in pieces:
-                offs, lens = cv.blocks_for_data(sl, sh)
-                _scatter(fb, offs - wlo, lens, data[sl - dl : sh - dl])
-            simfile.pwrite(wlo, fb)
+        plan = self.planner.plan_collective(True, rng, ranges, domains)
+        self.run_plan(plan, mem)
 
     def _collective_read(self, mem, rng, ranges, domains) -> None:
         assert self.cview is not None and self.cache is not None
-        fh = self.fh
-        comm = fh.comm
-        niops = len(domains)
-        simfile = fh.simfile
-        # --- IOP phase: read my domain and gather per-AP data.
-        outbound: List[Optional[Tuple[int, int, np.ndarray]]]
-        outbound = [None] * comm.size
-        if comm.rank < niops:
-            dlo, dhi = domains[comm.rank]
-            per_src: List[Optional[Tuple[int, int, np.ndarray]]] = []
-            for src, r in enumerate(ranges):
-                if r.empty:
-                    per_src.append(None)
-                    continue
-                cv = self.cache.view_of(src)
-                dl, dh = self._ap_portion(cv, r, dlo, dhi)
-                if dh <= dl:
-                    per_src.append(None)
-                    continue
-                per_src.append((dl, dh, np.empty(dh - dl, dtype=np.uint8)))
-            for wlo, whi in windows(dlo, dhi, fh.hints.cb_buffer_size):
-                fb = None
-                for src, item in enumerate(per_src):
-                    if item is None:
-                        continue
-                    dl, dh, buf = item
-                    cv = self.cache.view_of(src)
-                    sl = _clip(cv.data_of_abs(wlo), dl, dh)
-                    sh = _clip(cv.data_of_abs(whi), dl, dh)
-                    if sh <= sl:
-                        continue
-                    if fb is None:
-                        fb = read_window(simfile, wlo, whi)
-                    offs, lens = cv.blocks_for_data(sl, sh)
-                    _gather(fb, offs - wlo, lens, buf[sl - dl : sh - dl])
-            outbound = [
-                item if item is None else (item[0], item[1], item[2])
-                for item in per_src
-            ]
-        inbound = comm.alltoall(outbound)
-        # --- AP phase: unpack every IOP's segment into the user buffer.
-        if rng.empty:
-            return
-        for iop, item in enumerate(inbound):
-            if item is None:
-                continue
-            dl, dh, data = item
-            self.unpack_mem(mem, dl - rng.data_lo, dh - rng.data_lo, data)
-
-
-# ----------------------------------------------------------------------
-# Local gather/scatter aliases operating on window-relative offsets
-# ----------------------------------------------------------------------
-def _scatter(fb: np.ndarray, offs: np.ndarray, lens: np.ndarray,
-             data: np.ndarray) -> None:
-    from repro.core.gather import scatter_blocks
-
-    scatter_blocks(fb, offs, lens, data, 0)
-
-
-def _gather(fb: np.ndarray, offs: np.ndarray, lens: np.ndarray,
-            out: np.ndarray) -> None:
-    from repro.core.gather import gather_blocks
-
-    gather_blocks(fb, offs, lens, out, 0)
+        plan = self.planner.plan_collective(False, rng, ranges, domains)
+        self.run_plan(plan, mem)

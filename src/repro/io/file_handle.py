@@ -661,27 +661,64 @@ class File:
         self._end_split("read_all", buf)
 
     # ------------------------------------------------------------------
-    # Nonblocking variants (immediate completion, API parity)
+    # Nonblocking variants (plan eagerly, execute on wait/test)
     # ------------------------------------------------------------------
+    def _defer(self, mem: MemDescriptor, d0: int, write: bool) -> Request:
+        """Plan the access now, defer its execution into a Request.
+
+        Planning at post time pins the access to the current view (a
+        later ``set_view`` cannot retarget it) and pays navigation up
+        front; the file I/O itself runs on ``wait()``/``test()``.
+        """
+        if mem.nbytes == 0:
+            return Request.completed()
+        engine = self.engine
+        if write:
+            plan = engine.plan_write_independent(mem, d0)
+        else:
+            plan = engine.plan_read_independent(mem, d0)
+
+        def pending() -> None:
+            guard = self._atomic_guard(mem, d0)
+            try:
+                engine.run_plan(plan, mem)
+            finally:
+                if guard:
+                    self.simfile.unlock_range(*guard)
+
+        return Request(pending, plan=plan)
+
     def iwrite_at(self, offset, buf, count=None, memtype=None) -> Request:
-        """Nonblocking independent write (completes immediately)."""
-        self.write_at(offset, buf, count, memtype)
-        return Request.completed()
+        """Nonblocking independent write at etype offset ``offset``."""
+        self._check_open()
+        self._check_writable()
+        mem = self._mem(buf, count, memtype)
+        return self._defer(mem, offset * self.view.esize, write=True)
 
     def iread_at(self, offset, buf, count=None, memtype=None) -> Request:
-        """Nonblocking independent read (completes immediately)."""
-        self.read_at(offset, buf, count, memtype)
-        return Request.completed()
+        """Nonblocking independent read at etype offset ``offset``."""
+        self._check_open()
+        self._check_readable()
+        mem = self._mem(buf, count, memtype)
+        return self._defer(mem, offset * self.view.esize, write=False)
 
     def iwrite(self, buf, count=None, memtype=None) -> Request:
-        """Nonblocking write at the individual pointer."""
-        self.write(buf, count, memtype)
-        return Request.completed()
+        """Nonblocking write at the individual pointer (advances it)."""
+        self._check_open()
+        self._check_writable()
+        mem = self._mem(buf, count, memtype)
+        d0 = self._ind_ptr * self.view.esize
+        self._ind_ptr = self._advance(mem, self._ind_ptr)
+        return self._defer(mem, d0, write=True)
 
     def iread(self, buf, count=None, memtype=None) -> Request:
-        """Nonblocking read at the individual pointer."""
-        self.read(buf, count, memtype)
-        return Request.completed()
+        """Nonblocking read at the individual pointer (advances it)."""
+        self._check_open()
+        self._check_readable()
+        mem = self._mem(buf, count, memtype)
+        d0 = self._ind_ptr * self.view.esize
+        self._ind_ptr = self._advance(mem, self._ind_ptr)
+        return self._defer(mem, d0, write=False)
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "closed" if self._closed else "open"

@@ -1,12 +1,27 @@
 """Nonblocking request objects.
 
-The in-process runtime performs I/O synchronously, so nonblocking calls
-complete immediately; the :class:`Request` exists for API parity with
-MPI-IO (``MPI_File_iwrite``/``iread`` + ``MPI_Wait``) so application code
-written against the split style runs unchanged.
+A :class:`Request` is backed by a *pending plan*: the nonblocking entry
+points (``iwrite_at``/``iread_at``/``iwrite``/``iread``) plan the access
+eagerly — so navigation and plan caching happen at call time, like an
+MPI implementation posting the operation — and defer the execution into
+a completion closure the request runs on its first ``wait()`` or
+``test()``.
+
+Semantics (matching ``MPI_Wait``/``MPI_Test``):
+
+* completion is *lazy but exactly-once*: the closure runs on the first
+  ``wait()``/``test()``, never again;
+* errors raised by the deferred execution are captured and re-raised by
+  ``wait()`` (and every subsequent ``wait()``/``test()`` — the request
+  stays completed-with-error; it never re-executes);
+* double ``wait()`` / ``test()`` after ``wait()`` are harmless no-ops;
+* waiting on a request that was never started (a bare ``Request()``)
+  is a program error and raises.
 """
 
 from __future__ import annotations
+
+from typing import Callable, Optional
 
 from repro.errors import IOEngineError
 
@@ -14,10 +29,17 @@ __all__ = ["Request"]
 
 
 class Request:
-    """Handle for a (possibly already finished) nonblocking operation."""
+    """Handle for a (possibly deferred) nonblocking operation."""
 
-    def __init__(self) -> None:
+    def __init__(self, pending: Optional[Callable[[], None]] = None,
+                 plan=None) -> None:
+        #: The :class:`~repro.plan.plan.IOPlan` this request will run,
+        #: if any (``None`` for zero-byte accesses) — introspectable
+        #: until completion.
+        self.plan = plan
+        self._pending = pending
         self._done = False
+        self._error: Optional[BaseException] = None
 
     @classmethod
     def completed(cls) -> "Request":
@@ -25,11 +47,44 @@ class Request:
         r._done = True
         return r
 
+    def _run(self) -> None:
+        fn, self._pending = self._pending, None
+        try:
+            fn()
+        except BaseException as exc:
+            self._error = exc
+        finally:
+            self._done = True
+
     def test(self) -> bool:
-        """True when the operation has completed."""
-        return self._done
+        """Complete the operation if still pending; True when done.
+
+        A request that completed with an error re-raises it (as
+        ``MPI_Test`` reports the operation's error class).  A bare,
+        never-started request is simply not done yet.
+        """
+        if not self._done:
+            if self._pending is None:
+                return False
+            self._run()
+        if self._error is not None:
+            raise self._error
+        return True
 
     def wait(self) -> None:
-        """Block until completion (immediate here)."""
+        """Complete the operation (idempotent; re-raises its error)."""
         if not self._done:
-            raise IOEngineError("waiting on an unstarted request")
+            if self._pending is None:
+                raise IOEngineError("waiting on an unstarted request")
+            self._run()
+        if self._error is not None:
+            raise self._error
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if not self._done:
+            state = "pending" if self._pending else "unstarted"
+        elif self._error is not None:
+            state = f"error: {self._error!r}"
+        else:
+            state = "complete"
+        return f"<Request {state}>"

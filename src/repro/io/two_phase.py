@@ -17,7 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-__all__ = ["AccessRange", "aggregate_ranges", "partition_domains"]
+__all__ = [
+    "AccessRange",
+    "aggregate_ranges",
+    "partition_domains",
+    "domain_windows",
+]
 
 
 @dataclass(frozen=True)
@@ -75,4 +80,27 @@ def partition_domains(
         n = base + (1 if i < rem else 0)
         out.append((pos, pos + n))
         pos += n
+    return out
+
+
+def domain_windows(
+    domains: List[Tuple[int, int]], rank: int, cb_buffer_size: int
+) -> List[Tuple[int, int]]:
+    """File-buffer windows this rank serves as an IOP (possibly none).
+
+    The planner's collective schedule: rank *i* owns domain *i* and
+    covers it in ``cb_buffer_size`` windows; ranks beyond the IOP count
+    and empty domains get no windows.
+    """
+    if rank >= len(domains):
+        return []
+    dlo, dhi = domains[rank]
+    if dhi <= dlo:
+        return []
+    out = []
+    pos = dlo
+    while pos < dhi:
+        end = min(pos + cb_buffer_size, dhi)
+        out.append((pos, end))
+        pos = end
     return out

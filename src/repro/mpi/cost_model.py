@@ -14,7 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["NetworkModel", "payload_nbytes"]
+__all__ = [
+    "NetworkModel",
+    "StorageModel",
+    "choose_access_strategy",
+    "payload_nbytes",
+]
 
 
 def payload_nbytes(obj) -> int:
@@ -82,3 +87,46 @@ class NetworkModel:
         if self.is_inter_node(src, dst):
             return self.inter_latency + nbytes / self.inter_bandwidth
         return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class StorageModel:
+    """First-order file access cost: per-access latency plus bytes/bw.
+
+    Defaults approximate a parallel file system doing small-request I/O
+    (paper §2.2's motivation for data sieving): each access pays a high
+    fixed cost, so many small block accesses lose to a few large window
+    accesses even though the windows move extra gap bytes.
+    """
+
+    latency: float = 1.0e-4  # seconds per file access
+    bandwidth: float = 5.0e8  # bytes/second for contiguous transfer
+
+    def access_time(self, nbytes: int, naccesses: int = 1) -> float:
+        """Model seconds for ``naccesses`` accesses moving ``nbytes``."""
+        return naccesses * self.latency + nbytes / self.bandwidth
+
+
+def choose_access_strategy(
+    model: StorageModel,
+    *,
+    write: bool,
+    nbytes: int,
+    span: int,
+    est_blocks: int,
+    bufsize: int,
+) -> str:
+    """Sieve or go direct?  Returns ``"sieve"`` or ``"direct"``.
+
+    Compares the modelled cost of one file access per block against the
+    windowed alternative: a sieved write pays a pre-read *and* a
+    write-back per window (read-modify-write), a sieved read pays one
+    read per window, and both move the whole window span including gaps.
+    """
+    if nbytes <= 0 or span <= 0:
+        return "direct"
+    nwin = -(-span // max(1, bufsize))  # ceil
+    t_direct = model.access_time(nbytes, est_blocks)
+    per_window = 2 if write else 1
+    t_sieve = model.access_time(per_window * span, per_window * nwin)
+    return "sieve" if t_sieve <= t_direct else "direct"

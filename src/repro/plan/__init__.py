@@ -1,0 +1,63 @@
+"""The explicit I/O plan layer: plan → optimize → execute.
+
+Every access in the simulation is first *planned* — turned into a
+declarative :class:`~repro.plan.plan.IOPlan` of typed ops — then handed
+to an :class:`~repro.plan.executor.Executor` that runs it against a
+backend.  See ``docs/planning.md``.
+"""
+
+from repro.plan.executor import (
+    Executor,
+    KernelCodec,
+    MemCodec,
+    PlanExecutor,
+    PosixExecutor,
+    SimFileExecutor,
+)
+from repro.plan.ops import (
+    STAGE,
+    Blocks,
+    ExchangeOp,
+    FileReadOp,
+    FileWriteOp,
+    GatherOp,
+    LockOp,
+    Piece,
+    PlanOp,
+    ScatterOp,
+    Send,
+    TupleBlocks,
+    UnlockOp,
+    in_slot,
+    out_slot,
+)
+from repro.plan.plan import IOPlan
+from repro.plan.planner import Planner
+from repro.plan.stats import PlanStats
+
+__all__ = [
+    "IOPlan",
+    "Planner",
+    "PlanStats",
+    "Executor",
+    "PlanExecutor",
+    "SimFileExecutor",
+    "PosixExecutor",
+    "MemCodec",
+    "KernelCodec",
+    "PlanOp",
+    "GatherOp",
+    "ScatterOp",
+    "LockOp",
+    "UnlockOp",
+    "FileReadOp",
+    "FileWriteOp",
+    "ExchangeOp",
+    "Send",
+    "Piece",
+    "Blocks",
+    "TupleBlocks",
+    "STAGE",
+    "in_slot",
+    "out_slot",
+]

@@ -1,0 +1,462 @@
+"""Plan executors: run an :class:`~repro.plan.plan.IOPlan` against a file.
+
+The executor is the only place where plan ops touch bytes.  It is
+deliberately dumb — every decision (windows, coalescing, sieving, pre-read
+skipping, exchange schedule) was already taken by the planner and is
+encoded in the ops; the executor just dispatches them.
+
+Two backends are provided:
+
+:class:`SimFileExecutor`
+    runs plans against a :class:`~repro.fs.simfile.SimFile` (the
+    engines' backend);
+:class:`PosixExecutor`
+    runs the same plans against a :class:`~repro.fs.posix.PosixFile`
+    cursor handle — the paper's POSIX baseline — demonstrating that a
+    plan is backend-neutral.
+
+The *memory* side of gather/scatter ops is delegated to a ``codec``
+(normally the emitting engine), so each engine keeps its characteristic
+copy machinery: the listless engine's vectorized kernels, the list-based
+engine's per-tuple interpreted loops.  :class:`KernelCodec` is a
+standalone codec for executor use outside any engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.core.gather import gather_blocks, scatter_blocks
+from repro.errors import IOEngineError
+from repro.io.fileview import MemDescriptor
+from repro.io.sieving import read_window
+from repro.plan.ops import (
+    STAGE,
+    Blocks,
+    ExchangeOp,
+    FileReadOp,
+    FileWriteOp,
+    GatherOp,
+    LockOp,
+    Piece,
+    ScatterOp,
+    Send,
+    TupleBlocks,
+    UnlockOp,
+    in_slot,
+)
+from repro.plan.plan import IOPlan
+from repro.plan.stats import PlanStats
+
+__all__ = [
+    "Executor",
+    "MemCodec",
+    "KernelCodec",
+    "SimFileExecutor",
+    "PosixExecutor",
+]
+
+
+class MemCodec(Protocol):
+    """Memory-side pack/unpack used by gather/scatter ops.
+
+    Offsets are relative to the start of the access (the plan's ``d0``).
+    The four ``stream_*`` hooks back deferred (``blocks=None``) pieces;
+    only engines that emit such pieces need to provide them.
+    """
+
+    def pack_mem(self, mem: MemDescriptor, d_lo: int, d_hi: int,
+                 out: np.ndarray) -> None: ...
+
+    def unpack_mem(self, mem: MemDescriptor, d_lo: int, d_hi: int,
+                   data: np.ndarray) -> None: ...
+
+
+class KernelCodec:
+    """Standalone codec using the flattening-on-the-fly kernels."""
+
+    def pack_mem(self, mem, d_lo, d_hi, out):
+        if mem.is_contiguous:
+            out[: d_hi - d_lo] = mem.contiguous_slice(d_lo, d_hi - d_lo)
+            return
+        from repro.core.ff_pack import ff_pack
+
+        ff_pack(mem.buf, mem.count, mem.memtype, d_lo, out, d_hi - d_lo,
+                origin=mem.origin)
+
+    def unpack_mem(self, mem, d_lo, d_hi, data):
+        if mem.is_contiguous:
+            mem.contiguous_slice(d_lo, d_hi - d_lo)[...] = data[: d_hi - d_lo]
+            return
+        from repro.core.ff_pack import ff_unpack
+
+        ff_unpack(data, d_hi - d_lo, mem.buf, mem.count, mem.memtype, d_lo,
+                  origin=mem.origin)
+
+
+class _Buf:
+    """A staging buffer: ``arr`` holds data bytes ``[d_lo, d_hi)``.
+
+    ``zero_copy`` marks ``arr`` as a view of the user buffer itself, in
+    which case scatter ops are no-ops (the data is already in place).
+    """
+
+    __slots__ = ("d_lo", "d_hi", "arr", "zero_copy")
+
+    def __init__(self, d_lo: int, d_hi: int, arr: np.ndarray,
+                 zero_copy: bool = False) -> None:
+        self.d_lo = d_lo
+        self.d_hi = d_hi
+        self.arr = arr
+        self.zero_copy = zero_copy
+
+
+class Executor(Protocol):
+    """Anything that can run an :class:`IOPlan`."""
+
+    def run(self, plan: IOPlan, mem: Optional[MemDescriptor] = None,
+            buffers: Optional[dict] = None) -> dict: ...
+
+
+class PlanExecutor:
+    """Shared op dispatch; subclasses supply the file primitives."""
+
+    def __init__(self, codec=None, comm=None,
+                 stats: Optional[PlanStats] = None) -> None:
+        self.codec = codec if codec is not None else KernelCodec()
+        self.comm = comm
+        self.stats = stats if stats is not None else PlanStats()
+
+    # ------------------------------------------------------------------
+    # File primitives (backend-specific)
+    # ------------------------------------------------------------------
+    def _pread_into(self, offset: int, out: np.ndarray) -> int:
+        raise NotImplementedError
+
+    def _pwrite(self, offset: int, data: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _lock(self, lo: int, hi: int) -> None:
+        raise NotImplementedError
+
+    def _unlock(self, lo: int, hi: int) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def run(self, plan: IOPlan, mem: Optional[MemDescriptor] = None,
+            buffers: Optional[dict] = None) -> dict:
+        """Execute ``plan``; returns the final staging-buffer table.
+
+        ``mem`` is required when the plan contains gather/scatter ops.
+        ``buffers`` seeds the staging table (used to hand the inbound
+        payloads of one plan's exchange to a follow-up plan).
+        """
+        bufs: Dict[object, object] = dict(buffers) if buffers else {}
+        held = []
+        stats = self.stats
+        try:
+            for op in plan.ops:
+                if isinstance(op, GatherOp):
+                    self._do_gather(plan, op, mem, bufs)
+                elif isinstance(op, ScatterOp):
+                    self._do_scatter(plan, op, mem, bufs)
+                elif isinstance(op, FileReadOp):
+                    self._do_file_read(plan, op, mem, bufs)
+                elif isinstance(op, FileWriteOp):
+                    self._do_file_write(plan, op, bufs)
+                elif isinstance(op, LockOp):
+                    self._lock(op.lo, op.hi)
+                    held.append((op.lo, op.hi))
+                    stats.executed_locks += 1
+                elif isinstance(op, UnlockOp):
+                    self._unlock(op.lo, op.hi)
+                    held.remove((op.lo, op.hi))
+                elif isinstance(op, ExchangeOp):
+                    self._do_exchange(plan, op, bufs)
+                    stats.executed_exchanges += 1
+                else:
+                    raise IOEngineError(f"unknown plan op {op!r}")
+                stats.executed_ops += 1
+        finally:
+            # A failing op must never leave byte-range locks behind
+            # (other ranks would deadlock on their next sieved write).
+            for lo, hi in reversed(held):
+                self._unlock(lo, hi)
+        return bufs
+
+    # ------------------------------------------------------------------
+    # Buffer management
+    # ------------------------------------------------------------------
+    def _ensure_buf(self, plan, slot, d_lo, d_hi, mem, bufs) -> _Buf:
+        """Staging buffer covering ``[d_lo, d_hi)``, allocating if needed.
+
+        The default ``STAGE`` slot of a contiguous memory descriptor is
+        a zero-copy view of the user buffer itself.
+        """
+        buf = bufs.get(slot)
+        if isinstance(buf, _Buf) and buf.d_lo <= d_lo and buf.d_hi >= d_hi:
+            return buf
+        if slot in plan.slots:
+            d_lo, d_hi = plan.slots[slot]
+        n = d_hi - d_lo
+        if slot == STAGE and mem is not None and mem.is_contiguous:
+            arr = mem.contiguous_slice(d_lo - plan.d0, n)
+            buf = _Buf(d_lo, d_hi, arr, zero_copy=True)
+        else:
+            buf = _Buf(d_lo, d_hi, np.empty(n, dtype=np.uint8))
+        bufs[slot] = buf
+        return buf
+
+    @staticmethod
+    def _payload_view(bufs, piece: Piece) -> Tuple[np.ndarray, int, bool]:
+        """``(array, base_data_offset, zero_copy)`` of a piece's slot."""
+        buf = bufs.get(piece.slot)
+        if isinstance(buf, _Buf):
+            return buf.arr, buf.d_lo, buf.zero_copy
+        if isinstance(buf, tuple) and len(buf) == 3:
+            d_lo, _d_hi, arr = buf
+            return arr, d_lo, False
+        raise IOEngineError(
+            f"plan references slot {piece.slot!r} with no usable buffer"
+        )
+
+    # ------------------------------------------------------------------
+    # Op implementations
+    # ------------------------------------------------------------------
+    def _do_gather(self, plan, op: GatherOp, mem, bufs) -> None:
+        if mem is None:
+            raise IOEngineError("gather op in a plan run without memory")
+        n = op.d_hi - op.d_lo
+        rel = op.d_lo - plan.d0
+        if op.slot == STAGE and mem.is_contiguous:
+            bufs[op.slot] = _Buf(
+                op.d_lo, op.d_hi, mem.contiguous_slice(rel, n),
+                zero_copy=True,
+            )
+            return
+        arr = np.empty(n, dtype=np.uint8)
+        self.codec.pack_mem(mem, rel, rel + n, arr)
+        bufs[op.slot] = _Buf(op.d_lo, op.d_hi, arr)
+
+    def _do_scatter(self, plan, op: ScatterOp, mem, bufs) -> None:
+        if mem is None:
+            raise IOEngineError("scatter op in a plan run without memory")
+        buf = bufs.get(op.slot)
+        if isinstance(buf, _Buf):
+            if buf.zero_copy:
+                return  # data already landed in the user buffer
+            arr, base = buf.arr, buf.d_lo
+        elif isinstance(buf, tuple) and len(buf) == 3:
+            base, _d_hi, arr = buf
+        else:
+            raise IOEngineError(
+                f"scatter from slot {op.slot!r} with no usable buffer"
+            )
+        rel = op.d_lo - plan.d0
+        data = arr[op.d_lo - base : op.d_hi - base]
+        self.codec.unpack_mem(mem, rel, rel + (op.d_hi - op.d_lo), data)
+
+    # -- file reads ----------------------------------------------------
+    def _do_file_read(self, plan, op: FileReadOp, mem, bufs) -> None:
+        if op.mode == "direct":
+            for piece in op.pieces:
+                self._read_piece_direct(plan, op, piece, mem, bufs)
+            return
+        # Window mode: one file buffer per coalesced window.  A single
+        # piece whose blocks are one full-window run reads straight into
+        # its staging buffer (the dense fast path: no extra copy).
+        if (
+            len(op.pieces) == 1
+            and isinstance(op.pieces[0].blocks, Blocks)
+            and op.pieces[0].blocks.count == 1
+            and op.pieces[0].blocks.nbytes == op.hi - op.lo
+        ):
+            self._read_piece_direct(plan, op, op.pieces[0], mem, bufs)
+            return
+        fb = read_window(self, op.lo, op.hi)
+        for piece in op.pieces:
+            buf = self._ensure_buf(
+                plan, piece.slot, piece.d_lo, piece.d_hi, mem, bufs
+            )
+            pos = piece.d_lo - buf.d_lo
+            blocks = piece.blocks
+            if isinstance(blocks, Blocks):
+                gather_blocks(
+                    fb, blocks.offsets - op.lo, blocks.lengths, buf.arr, pos
+                )
+            elif isinstance(blocks, TupleBlocks):
+                # Conventional engine: one interpreted copy per tuple.
+                for o, ln in blocks.pairs:
+                    buf.arr[pos : pos + ln] = fb[o - op.lo : o - op.lo + ln]
+                    pos += ln
+            else:
+                self.codec.stream_gather_window(
+                    fb, op.lo, op.hi, buf.arr, buf.d_lo, buf.d_hi
+                )
+
+    def _read_piece_direct(self, plan, op, piece: Piece, mem, bufs) -> None:
+        buf = self._ensure_buf(
+            plan, piece.slot, piece.d_lo, piece.d_hi, mem, bufs
+        )
+        blocks = piece.blocks
+        if blocks is None:
+            self.codec.stream_read_blocks(
+                self, op.lo, op.hi, buf.arr, buf.d_lo, buf.d_hi
+            )
+            return
+        pos = piece.d_lo - buf.d_lo
+        if isinstance(blocks, Blocks):
+            offs, lens = blocks.offsets.tolist(), blocks.lengths.tolist()
+        else:
+            offs = [o for o, _ in blocks.pairs]
+            lens = [ln for _, ln in blocks.pairs]
+        for o, ln in zip(offs, lens):
+            got = self.pread_into(o, buf.arr[pos : pos + ln])
+            if got < ln:
+                if op.strict:
+                    raise IOEngineError(
+                        f"short read: {got} of {ln} bytes at {o}"
+                    )
+                buf.arr[pos + got : pos + ln] = 0
+            pos += ln
+
+    # -- file writes ---------------------------------------------------
+    def _do_file_write(self, plan, op: FileWriteOp, bufs) -> None:
+        if op.mode == "direct":
+            for piece in op.pieces:
+                self._write_piece_direct(op, piece, bufs)
+            return
+        if op.mode == "assemble":
+            fb = np.empty(op.hi - op.lo, dtype=np.uint8)
+        else:  # rmw: pre-read the window, overlay, write back
+            fb = read_window(self, op.lo, op.hi)
+        scattered = 0
+        for piece in op.pieces:
+            arr, base, _zc = self._payload_view(bufs, piece)
+            pos = piece.d_lo - base
+            blocks = piece.blocks
+            if isinstance(blocks, Blocks):
+                scattered += scatter_blocks(
+                    fb, blocks.offsets - op.lo, blocks.lengths, arr, pos
+                )
+            elif isinstance(blocks, TupleBlocks):
+                for o, ln in blocks.pairs:
+                    fb[o - op.lo : o - op.lo + ln] = arr[pos : pos + ln]
+                    pos += ln
+                    scattered += ln
+            else:
+                scattered += self.codec.stream_scatter_window(
+                    fb, op.lo, op.hi, arr, base, piece.d_hi
+                )
+        if scattered or op.mode == "assemble":
+            self.pwrite(op.lo, fb)
+
+    def _write_piece_direct(self, op, piece: Piece, bufs) -> None:
+        arr, base, _zc = self._payload_view(bufs, piece)
+        blocks = piece.blocks
+        if blocks is None:
+            self.codec.stream_write_blocks(
+                self, op.lo, op.hi, arr, base, piece.d_hi
+            )
+            return
+        pos = piece.d_lo - base
+        if isinstance(blocks, Blocks):
+            offs, lens = blocks.offsets.tolist(), blocks.lengths.tolist()
+        else:
+            offs = [o for o, _ in blocks.pairs]
+            lens = [ln for _, ln in blocks.pairs]
+        for o, ln in zip(offs, lens):
+            self.pwrite(o, arr[pos : pos + ln])
+            pos += ln
+
+    # -- exchange ------------------------------------------------------
+    def _do_exchange(self, plan, op: ExchangeOp, bufs) -> None:
+        if self.comm is None:
+            raise IOEngineError(
+                "plan contains an exchange op but the executor has no "
+                "communicator"
+            )
+        outbound = [None] * self.comm.size
+        for send in op.sends:
+            outbound[send.rank] = self._payload_for(send, bufs)
+        inbound = self.comm.alltoall(outbound)
+        for src, item in enumerate(inbound):
+            if item is not None:
+                bufs[in_slot(src)] = item
+
+    def _payload_for(self, send: Send, bufs):
+        if send.slot is not None:
+            buf = bufs.get(send.slot)
+            if isinstance(buf, _Buf):
+                return (buf.d_lo, buf.d_hi, buf.arr)
+            return buf
+        if send.take_stage:
+            stage = bufs.get(STAGE)
+            if not isinstance(stage, _Buf):
+                raise IOEngineError("send references an empty stage")
+            a = send.d_lo - stage.d_lo
+            return (send.ol, stage.arr[a : a + send.ol.size], send.d_lo)
+        return (send.ol, send.d_lo)
+
+    # ------------------------------------------------------------------
+    # Counted file access shims.  ``pread_into`` doubles as the SimFile
+    # interface expected by :func:`repro.io.sieving.read_window`, and
+    # deferred-piece codecs call them to stream blocks (``file.pwrite``
+    # in ``stream_write_blocks``, for example).
+    # ------------------------------------------------------------------
+    def pread_into(self, offset: int, out: np.ndarray) -> int:
+        n = self._pread_into(offset, out)
+        self.stats.executed_file_reads += 1
+        return n
+
+    def pwrite(self, offset: int, data: np.ndarray):
+        self.stats.executed_file_writes += 1
+        return self._pwrite(offset, data)
+
+
+class SimFileExecutor(PlanExecutor):
+    """Executor over the simulated parallel file system."""
+
+    def __init__(self, simfile, codec=None, comm=None, stats=None) -> None:
+        super().__init__(codec=codec, comm=comm, stats=stats)
+        self.simfile = simfile
+
+    def _pread_into(self, offset, out):
+        return self.simfile.pread_into(offset, out)
+
+    def _pwrite(self, offset, data):
+        return self.simfile.pwrite(offset, data)
+
+    def _lock(self, lo, hi):
+        self.simfile.lock_range(lo, hi)
+
+    def _unlock(self, lo, hi):
+        self.simfile.unlock_range(lo, hi)
+
+
+class PosixExecutor(PlanExecutor):
+    """Executor over a :class:`~repro.fs.posix.PosixFile` handle.
+
+    Demonstrates plan portability: the very ops an engine emits against
+    the simulated MPI-IO backend run unchanged against the cursor-based
+    POSIX baseline interface.
+    """
+
+    def __init__(self, posix_file, codec=None, comm=None,
+                 stats=None) -> None:
+        super().__init__(codec=codec, comm=comm, stats=stats)
+        self.file = posix_file
+
+    def _pread_into(self, offset, out):
+        return self.file.pread_into(offset, out)
+
+    def _pwrite(self, offset, data):
+        return self.file.pwrite(offset, data)
+
+    def _lock(self, lo, hi):
+        self.file.lock_range(lo, hi)
+
+    def _unlock(self, lo, hi):
+        self.file.unlock_range(lo, hi)

@@ -1,0 +1,288 @@
+"""Typed I/O plan operations.
+
+An :class:`~repro.plan.plan.IOPlan` is an ordered list of these ops — a
+*declarative* record of everything an access will do, produced by the
+:class:`~repro.plan.planner.Planner` before any byte moves and consumed
+by an :class:`~repro.plan.executor.Executor`.  The split mirrors the
+paper's core idea: the *description* of a non-contiguous access (which
+windows, which blocks, which exchanges) is separated from the *act* of
+performing it, so the description can be optimized, cached and replayed.
+
+Data coordinates are *absolute view-data bytes* (bytes through the
+fileview, counted from the view origin); file coordinates are absolute
+file bytes.  The memory side of an access is never baked into a plan —
+gather/scatter ops carry only data ranges and the executor applies them
+to whatever :class:`~repro.io.fileview.MemDescriptor` the access
+supplies, so one cached plan serves any memory layout of the same size.
+
+Block descriptions come in three flavors, preserving each engine's
+characteristic copy machinery:
+
+:class:`Blocks`
+    materialized ``(offsets, lengths)`` NumPy arrays, executed through
+    the vectorized gather/scatter kernels (the listless engine);
+:class:`TupleBlocks`
+    explicit Python tuple lists copied one tuple at a time in an
+    interpreted loop (the conventional list-based engine);
+``blocks=None``
+    deferred — the executor streams blocks through the emitting
+    engine's own view walk at execution time (list-based independent
+    access, which never materializes per-access lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "PlanOp",
+    "GatherOp",
+    "ScatterOp",
+    "LockOp",
+    "UnlockOp",
+    "FileReadOp",
+    "FileWriteOp",
+    "ExchangeOp",
+    "Piece",
+    "Blocks",
+    "TupleBlocks",
+    "Send",
+    "STAGE",
+]
+
+#: Default staging slot used by independent-access plans.
+STAGE = "stage"
+
+#: Slot key of the outbound exchange payload for a peer rank.
+def out_slot(rank: int) -> Tuple[str, int]:
+    return ("out", rank)
+
+
+#: Slot key under which the exchange stores the payload from a peer.
+def in_slot(rank: int) -> Tuple[str, int]:
+    return ("in", rank)
+
+
+@dataclass(frozen=True)
+class Blocks:
+    """Materialized contiguous file blocks (absolute offsets)."""
+
+    offsets: np.ndarray
+    lengths: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.lengths.sum()) if self.lengths.size else 0
+
+    @property
+    def count(self) -> int:
+        return int(self.offsets.size)
+
+    def __repr__(self) -> str:
+        return f"Blocks(k={self.count}, nbytes={self.nbytes})"
+
+
+@dataclass(frozen=True)
+class TupleBlocks:
+    """Explicit ``(offset, length)`` tuples, copied one at a time."""
+
+    pairs: Tuple[Tuple[int, int], ...]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(ln for _, ln in self.pairs)
+
+    @property
+    def count(self) -> int:
+        return len(self.pairs)
+
+    def __repr__(self) -> str:
+        return f"TupleBlocks(k={self.count}, nbytes={self.nbytes})"
+
+
+BlockSpec = Union[Blocks, TupleBlocks, None]
+
+
+@dataclass(frozen=True)
+class Piece:
+    """One buffer's contribution to a file op.
+
+    ``slot`` names the staging/exchange buffer holding (or receiving)
+    the data bytes ``[d_lo, d_hi)``; ``blocks`` are the file blocks they
+    occupy (``None`` → stream through the emitting engine's view walk).
+    """
+
+    slot: object
+    d_lo: int
+    d_hi: int
+    blocks: BlockSpec = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Piece(slot={self.slot!r}, data=[{self.d_lo}, {self.d_hi}), "
+            f"blocks={self.blocks!r})"
+        )
+
+
+class PlanOp:
+    """Base class for plan operations (pretty-printing only)."""
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        return repr(self)
+
+
+@dataclass(frozen=True, repr=False)
+class GatherOp(PlanOp):
+    """Pack user-memory data bytes ``[d_lo, d_hi)`` into ``slot``."""
+
+    d_lo: int
+    d_hi: int
+    slot: object = STAGE
+
+    def __repr__(self) -> str:
+        return (
+            f"GatherOp(mem[{self.d_lo}:{self.d_hi}] -> {self.slot!r})"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class ScatterOp(PlanOp):
+    """Unpack ``slot`` into user-memory data bytes ``[d_lo, d_hi)``."""
+
+    d_lo: int
+    d_hi: int
+    slot: object = STAGE
+
+    def __repr__(self) -> str:
+        return (
+            f"ScatterOp({self.slot!r} -> mem[{self.d_lo}:{self.d_hi}])"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class LockOp(PlanOp):
+    """Acquire the byte-range lock ``[lo, hi)`` (read-modify-write)."""
+
+    lo: int
+    hi: int
+
+    def __repr__(self) -> str:
+        return f"LockOp([{self.lo}, {self.hi}))"
+
+
+@dataclass(frozen=True, repr=False)
+class UnlockOp(PlanOp):
+    """Release the byte-range lock ``[lo, hi)``."""
+
+    lo: int
+    hi: int
+
+    def __repr__(self) -> str:
+        return f"UnlockOp([{self.lo}, {self.hi}))"
+
+
+@dataclass(frozen=True, repr=False)
+class FileReadOp(PlanOp):
+    """Read file data for one coalesced window ``[lo, hi)``.
+
+    ``mode``:
+
+    ``"window"``
+        read the whole window into a file buffer once, then gather each
+        piece's blocks out of it (data sieving);
+    ``"direct"``
+        read each block of each piece with its own file access (sieving
+        disabled, or the cost model found few/large blocks).
+
+    ``strict`` makes a short direct read an error (the contiguous-view
+    fast path); otherwise the unread tail is zero-filled, matching the
+    zeroed staging buffers of sieved reads.
+    """
+
+    lo: int
+    hi: int
+    mode: str = "window"
+    pieces: Tuple[Piece, ...] = ()
+    strict: bool = False
+
+    def __repr__(self) -> str:
+        return (
+            f"FileReadOp([{self.lo}, {self.hi}), mode={self.mode!r}, "
+            f"pieces={len(self.pieces)}"
+            f"{', strict' if self.strict else ''})"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class FileWriteOp(PlanOp):
+    """Write file data for one coalesced window ``[lo, hi)``.
+
+    ``mode``:
+
+    ``"rmw"``
+        read-modify-write: pre-read the window, scatter every piece's
+        blocks into it, write it back (the general sieved write — pair
+        with :class:`LockOp`/:class:`UnlockOp` when racing writers are
+        possible);
+    ``"assemble"``
+        the pieces together cover every byte of the window, so skip the
+        pre-read, assemble the window in memory and write once (the
+        mergeview coverage decision of paper §3.2.3);
+    ``"direct"``
+        write each block of each piece with its own file access.
+    """
+
+    lo: int
+    hi: int
+    mode: str = "rmw"
+    pieces: Tuple[Piece, ...] = ()
+
+    def __repr__(self) -> str:
+        return (
+            f"FileWriteOp([{self.lo}, {self.hi}), mode={self.mode!r}, "
+            f"pieces={len(self.pieces)})"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class Send(PlanOp):
+    """One outbound payload of an :class:`ExchangeOp`.
+
+    ``slot`` names a buffer prepared earlier in the plan (listless:
+    per-IOP :class:`GatherOp` output; replies of a collective read).
+    ``ol``/``d_lo``/``take_stage`` describe the conventional engine's
+    per-access ol-list shipment instead: the expanded list itself plus —
+    for writes — the matching slice of the staged user data.
+    """
+
+    rank: int
+    slot: object = None
+    ol: object = None
+    d_lo: int = 0
+    take_stage: bool = False
+
+    def __repr__(self) -> str:
+        if self.slot is not None:
+            return f"Send(rank={self.rank}, slot={self.slot!r})"
+        kind = "list+data" if self.take_stage else "list"
+        return f"Send(rank={self.rank}, {kind}, d_lo={self.d_lo})"
+
+
+@dataclass(frozen=True, repr=False)
+class ExchangeOp(PlanOp):
+    """All-to-all redistribution of the prepared payloads.
+
+    Executes one ``alltoall`` over the plan's communicator: every
+    :class:`Send` becomes the outbound payload for its rank, and each
+    inbound payload from rank *r* is stored under slot ``("in", r)``.
+    """
+
+    sends: Tuple[Send, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"ExchangeOp(sends={len(self.sends)})"

@@ -1,0 +1,107 @@
+"""The declarative I/O plan.
+
+An :class:`IOPlan` records everything one access will do — as data, not
+as control flow.  Plans are immutable once built, cheap to introspect
+(``describe()`` renders the full op list for ``repro.cli plan-dump``)
+and replayable: executing a plan twice against the same file and
+equivalent memory descriptors moves the same bytes twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.plan.ops import (
+    ExchangeOp,
+    FileReadOp,
+    FileWriteOp,
+    GatherOp,
+    LockOp,
+    PlanOp,
+    ScatterOp,
+)
+
+__all__ = ["IOPlan"]
+
+
+@dataclass(frozen=True)
+class IOPlan:
+    """An ordered, typed program for one I/O access.
+
+    ``kind``
+        ``"read"`` / ``"write"`` plus ``"independent"`` / ``"collective"``
+        — informational, used by pretty-printing and stats.
+    ``d0`` / ``nbytes``
+        the access' starting view-data offset and size; gather/scatter
+        ops translate their absolute data ranges to memory offsets
+        relative to ``d0``.
+    ``slots``
+        data ranges ``slot -> (d_lo, d_hi)`` of staging/exchange buffers
+        the executor may need to allocate before any op fills them
+        (collective-read reply buffers, for example).
+    ``signature``
+        the planner cache key this plan was stored under, or ``None``
+        for uncacheable plans.
+    """
+
+    kind: str
+    d0: int
+    nbytes: int
+    ops: Tuple[PlanOp, ...]
+    slots: Dict[object, Tuple[int, int]] = field(default_factory=dict)
+    signature: Optional[tuple] = None
+    planned_windows: int = 0
+    coalesced_bytes: int = 0
+
+    @property
+    def is_write(self) -> bool:
+        return "write" in self.kind
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Op counts by category (for stats and tests)."""
+        out = {
+            "gather": 0, "scatter": 0, "file_read": 0, "file_write": 0,
+            "lock": 0, "exchange": 0, "other": 0,
+        }
+        for op in self.ops:
+            if isinstance(op, GatherOp):
+                out["gather"] += 1
+            elif isinstance(op, ScatterOp):
+                out["scatter"] += 1
+            elif isinstance(op, FileReadOp):
+                out["file_read"] += 1
+            elif isinstance(op, FileWriteOp):
+                out["file_write"] += 1
+            elif isinstance(op, LockOp):
+                out["lock"] += 1
+            elif isinstance(op, ExchangeOp):
+                out["exchange"] += 1
+            else:
+                out["other"] += 1
+        return out
+
+    def describe(self) -> str:
+        """Multi-line rendering of the plan (``repro.cli plan-dump``)."""
+        head = (
+            f"IOPlan kind={self.kind} d0={self.d0} nbytes={self.nbytes} "
+            f"ops={len(self.ops)} windows={self.planned_windows} "
+            f"coalesced={self.coalesced_bytes}B "
+            f"cached={'yes' if self.signature is not None else 'no'}"
+        )
+        lines = [head]
+        for slot, (d_lo, d_hi) in self.slots.items():
+            lines.append(f"  slot {slot!r}: data [{d_lo}, {d_hi})")
+        for i, op in enumerate(self.ops):
+            lines.append(f"  [{i:3d}] {op.describe()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<IOPlan {self.kind} d0={self.d0} nbytes={self.nbytes} "
+            f"ops={len(self.ops)}>"
+        )

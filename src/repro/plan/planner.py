@@ -1,0 +1,413 @@
+"""The planner: build and optimize :class:`~repro.plan.plan.IOPlan`\\ s.
+
+One :class:`Planner` serves one engine instance.  It turns an access —
+``(view-data offset, size, direction)`` for independent I/O, the
+aggregated ranges and file domains for collective I/O — into an ordered
+op list, applying the optimizations the paper and its related work
+describe *as plan rewrites* rather than inline control flow:
+
+dense fast-path detection
+    an access whose file range contains no holes becomes one direct
+    file access, no staging window (paper §4.3's contiguous case);
+window coalescing
+    adjacent file blocks inside a sieving window are merged before the
+    copy kernels see them (:func:`repro.io.sieving.coalesce_blocks`);
+sieve-vs-direct decision
+    the :class:`~repro.mpi.cost_model.StorageModel` compares one access
+    per block against windowed read-modify-write (Thakur et al.'s data
+    sieving trade-off) — sieving hints still veto sieving outright;
+plan caching
+    an LRU keyed on (planner epoch, access signature).  The epoch is
+    bumped whenever ``set_view`` replaces the fileview, so cached plans
+    can never survive a view change.  Only the listless engine caches:
+    its plans derive from the *cached* compact fileview, which is
+    exactly the paper's point — the conventional engine re-expands
+    ol-lists per access, so its planner re-plans per access.
+
+Geometry comes from the engine: engines that can navigate a compact
+fileview expose it via ``plan_geometry()`` and get materialized
+:class:`~repro.plan.ops.Blocks`; engines that cannot (list-based
+independent access) get deferred pieces the executor streams through
+the engine's own view walk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.io.sieving import coalesce_blocks, windows
+from repro.io.two_phase import AccessRange, domain_windows
+from repro.mpi.cost_model import StorageModel, choose_access_strategy
+from repro.plan.ops import (
+    STAGE,
+    Blocks,
+    ExchangeOp,
+    FileReadOp,
+    FileWriteOp,
+    GatherOp,
+    LockOp,
+    Piece,
+    ScatterOp,
+    Send,
+    UnlockOp,
+    in_slot,
+    out_slot,
+)
+from repro.plan.plan import IOPlan
+from repro.plan.stats import PlanStats
+
+__all__ = ["Planner"]
+
+#: Plans holding more materialized block entries than this are built
+#: and run but never cached (memory guard for huge accesses).
+MAX_CACHED_BLOCKS = 1 << 18
+
+
+def _clip(v: int, lo: int, hi: int) -> int:
+    return min(max(v, lo), hi)
+
+
+class Planner:
+    """Builds, optimizes and caches I/O plans for one engine."""
+
+    def __init__(self, engine, cacheable: bool = True,
+                 stats: Optional[PlanStats] = None,
+                 storage: Optional[StorageModel] = None,
+                 maxsize: int = 32) -> None:
+        self.engine = engine
+        self.cacheable = cacheable
+        self.stats = stats if stats is not None else PlanStats()
+        self.storage = storage if storage is not None else StorageModel()
+        self.maxsize = maxsize
+        self.epoch = 0
+        self._cache: "OrderedDict[tuple, IOPlan]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached plan (the fileview changed)."""
+        self.epoch += 1
+        self._cache.clear()
+
+    def _lookup(self, sig: Optional[tuple]) -> Optional[IOPlan]:
+        if not self.cacheable or sig is None:
+            return None
+        plan = self._cache.get(sig)
+        if plan is not None:
+            self._cache.move_to_end(sig)
+            self.stats.plan_cache_hits += 1
+            return plan
+        self.stats.plan_cache_misses += 1
+        return None
+
+    def _finish(self, plan: IOPlan) -> IOPlan:
+        st = self.stats
+        st.plans_built += 1
+        st.planned_ops += len(plan.ops)
+        st.planned_windows += plan.planned_windows
+        st.coalesced_bytes += plan.coalesced_bytes
+        if self.cacheable and plan.signature is not None:
+            self._cache[plan.signature] = plan
+            while len(self._cache) > self.maxsize:
+                self._cache.popitem(last=False)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Independent access
+    # ------------------------------------------------------------------
+    def plan_independent(self, d0: int, nbytes: int,
+                         write: bool) -> IOPlan:
+        engine = self.engine
+        fh = engine.fh
+        view = fh.view
+        hints = fh.hints
+        kind = ("write" if write else "read") + "-independent"
+        d1 = d0 + nbytes
+        ds = hints.ds_write if write else hints.ds_read
+        bufsize = (hints.ind_wr_buffer_size if write
+                   else hints.ind_rd_buffer_size)
+
+        sig = None
+        if self.cacheable:
+            sig = (self.epoch, "ind", write, d0, nbytes, ds, bufsize)
+            hit = self._lookup(sig)
+            if hit is not None:
+                return hit
+
+        if nbytes <= 0:
+            return self._finish(IOPlan(kind, d0, 0, (), signature=sig))
+
+        # Contiguous view: plain offset arithmetic, no navigation, one
+        # strict file access (the c-c / nc-c fast path).
+        if view.is_contiguous:
+            lo = view.disp + d0
+            blocks = Blocks(np.array([lo], dtype=np.int64),
+                            np.array([nbytes], dtype=np.int64))
+            piece = Piece(STAGE, d0, d1, blocks)
+            if write:
+                ops = (GatherOp(d0, d1),
+                       FileWriteOp(lo, lo + nbytes, "direct", (piece,)))
+            else:
+                ops = (FileReadOp(lo, lo + nbytes, "direct", (piece,),
+                                  strict=True),
+                       ScatterOp(d0, d1))
+            return self._finish(IOPlan(kind, d0, nbytes, ops,
+                                       slots={STAGE: (d0, d1)},
+                                       signature=sig))
+
+        lo = engine.abs_of_data(d0)
+        hi = engine.abs_of_data(d1, end=True)
+        geom = engine.plan_geometry()
+
+        # Dense fast path: the file span equals the data volume, so there
+        # are no holes and the access is one contiguous file run
+        # regardless of the view's type tree.
+        if ds and geom is not None and hi - lo == nbytes:
+            blocks = Blocks(np.array([lo], dtype=np.int64),
+                            np.array([nbytes], dtype=np.int64))
+            piece = Piece(STAGE, d0, d1, blocks)
+            if write:
+                ops = (GatherOp(d0, d1),
+                       FileWriteOp(lo, hi, "direct", (piece,)))
+            else:
+                ops = (FileReadOp(lo, hi, "direct", (piece,)),
+                       ScatterOp(d0, d1))
+            return self._finish(IOPlan(kind, d0, nbytes, ops,
+                                       slots={STAGE: (d0, d1)},
+                                       signature=sig))
+
+        strategy = "direct"
+        if ds:
+            strategy = choose_access_strategy(
+                self.storage, write=write, nbytes=nbytes, span=hi - lo,
+                est_blocks=self._est_blocks(view, nbytes),
+                bufsize=bufsize,
+            )
+
+        if strategy == "direct":
+            return self._plan_direct(kind, d0, d1, lo, hi, geom, write,
+                                     sig, coalesce=ds)
+        return self._plan_sieved(kind, d0, d1, lo, hi, geom, write,
+                                 bufsize, sig)
+
+    # ------------------------------------------------------------------
+    def _est_blocks(self, view, nbytes: int) -> int:
+        """Block-count estimate for the cost model: filetype instances
+        needed for ``nbytes`` times blocks per instance."""
+        per = view.ft_size
+        if per <= 0:
+            return 1
+        nb = view.filetype.num_blocks or 1
+        insts = -(-nbytes // per)
+        return max(1, insts * nb)
+
+    def _plan_direct(self, kind, d0, d1, lo, hi, geom, write, sig,
+                     coalesce: bool) -> IOPlan:
+        """One file access per block (sieving off or not worth it)."""
+        coalesced = 0
+        if geom is not None:
+            offs, lens = geom.blocks_for_data(d0, d1)
+            if coalesce:
+                offs, lens, coalesced = coalesce_blocks(offs, lens)
+            if offs.size > MAX_CACHED_BLOCKS:
+                sig = None
+            blocks = Blocks(offs, lens)
+        else:
+            blocks = None  # executor streams the engine's view walk
+        piece = Piece(STAGE, d0, d1, blocks)
+        if write:
+            ops = (GatherOp(d0, d1),
+                   FileWriteOp(lo, hi, "direct", (piece,)))
+        else:
+            ops = (FileReadOp(lo, hi, "direct", (piece,)),
+                   ScatterOp(d0, d1))
+        return self._finish(IOPlan(kind, d0, d1 - d0, ops,
+                                   slots={STAGE: (d0, d1)}, signature=sig,
+                                   coalesced_bytes=coalesced))
+
+    def _plan_sieved(self, kind, d0, d1, lo, hi, geom, write, bufsize,
+                     sig) -> IOPlan:
+        """Windowed data sieving; writes lock their read-modify-write
+        windows, reads just gather out of the file buffer."""
+        ops: List[object] = []
+        nwin = 0
+        coalesced = 0
+        entries = 0
+        if geom is not None:
+            # Per-window staging keyed off the compact view: each window
+            # gathers/scatters exactly the data bytes it covers.
+            for wlo, whi in windows(lo, hi, bufsize):
+                dl = _clip(geom.data_of_abs(wlo), d0, d1)
+                dh = _clip(geom.data_of_abs(whi), d0, d1)
+                if dh <= dl:
+                    continue
+                offs, lens = geom.blocks_for_data(dl, dh)
+                offs, lens, merged = coalesce_blocks(offs, lens)
+                coalesced += merged
+                entries += int(offs.size)
+                piece = Piece(STAGE, dl, dh, Blocks(offs, lens))
+                if write:
+                    ops += [GatherOp(dl, dh), LockOp(wlo, whi),
+                            FileWriteOp(wlo, whi, "rmw", (piece,)),
+                            UnlockOp(wlo, whi)]
+                else:
+                    ops += [FileReadOp(wlo, whi, "window", (piece,)),
+                            ScatterOp(dl, dh)]
+                nwin += 1
+            slots = {}
+        else:
+            # No navigable geometry (conventional independent access):
+            # stage the whole access once and let the executor stream
+            # each window through the engine's sequential view walk.
+            piece = Piece(STAGE, d0, d1, None)
+            if write:
+                ops.append(GatherOp(d0, d1))
+                for wlo, whi in windows(lo, hi, bufsize):
+                    ops += [LockOp(wlo, whi),
+                            FileWriteOp(wlo, whi, "rmw", (piece,)),
+                            UnlockOp(wlo, whi)]
+                    nwin += 1
+            else:
+                for wlo, whi in windows(lo, hi, bufsize):
+                    ops.append(FileReadOp(wlo, whi, "window", (piece,)))
+                    nwin += 1
+                ops.append(ScatterOp(d0, d1))
+            slots = {STAGE: (d0, d1)}
+        if entries > MAX_CACHED_BLOCKS:
+            sig = None
+        return self._finish(IOPlan(kind, d0, d1 - d0, tuple(ops),
+                                   slots=slots, signature=sig,
+                                   planned_windows=nwin,
+                                   coalesced_bytes=coalesced))
+
+    # ------------------------------------------------------------------
+    # Collective access (listless: navigable cached views for all ranks)
+    # ------------------------------------------------------------------
+    def plan_collective(self, write: bool, rng: AccessRange,
+                        ranges: List[AccessRange],
+                        domains: List[Tuple[int, int]]) -> IOPlan:
+        """One plan covering both roles of a two-phase collective.
+
+        Built entirely from the fileview cache — every rank can compute
+        every other rank's block placement, so the whole exchange and
+        file schedule is known before a byte moves.  That makes the plan
+        a pure function of (views, ranges, domains) and therefore
+        cacheable across repeated accesses — the payoff of caching
+        compact fileviews instead of re-exchanging ol-lists.
+        """
+        engine = self.engine
+        fh = engine.fh
+        comm = fh.comm
+        cview = engine.cview
+        cache = engine.cache
+        cb = fh.hints.cb_buffer_size
+        rank = comm.rank
+        kind = ("write" if write else "read") + "-collective"
+        d0 = rng.data_lo
+
+        sig = None
+        if self.cacheable:
+            sig = (self.epoch, "coll", write, cache.epoch,
+                   tuple((r.abs_lo, r.abs_hi, r.data_lo, r.data_hi)
+                         for r in ranges),
+                   tuple(domains), cb)
+            hit = self._lookup(sig)
+            if hit is not None:
+                return hit
+
+        ops: List[object] = []
+        slots = {}
+        nwin = 0
+        coalesced = 0
+        entries = 0
+
+        # AP role: which slice of my access lands in each IOP's domain.
+        portions = []  # (iop, dl, dh) in my view-data bytes
+        if not rng.empty:
+            for iop, (dlo, dhi) in enumerate(domains):
+                if dhi <= dlo:
+                    continue
+                pl = _clip(cview.data_of_abs(dlo), rng.data_lo, rng.data_hi)
+                ph = _clip(cview.data_of_abs(dhi), rng.data_lo, rng.data_hi)
+                if ph > pl:
+                    portions.append((iop, pl, ph))
+
+        # IOP role: which ranks contribute to my domain, per their views.
+        my_windows = domain_windows(domains, rank, cb)
+        contribs = []  # (src, cv, dl, dh) in src's view-data bytes
+        if my_windows:
+            dlo, dhi = domains[rank]
+            for src, r in enumerate(ranges):
+                if r.empty:
+                    continue
+                cv = cache.view_of(src)
+                sl = _clip(cv.data_of_abs(dlo), r.data_lo, r.data_hi)
+                sh = _clip(cv.data_of_abs(dhi), r.data_lo, r.data_hi)
+                if sh > sl:
+                    contribs.append((src, cv, sl, sh))
+
+        if write:
+            sends = []
+            for iop, pl, ph in portions:
+                slot = out_slot(iop)
+                ops.append(GatherOp(pl, ph, slot))
+                slots[slot] = (pl, ph)
+                sends.append(Send(iop, slot=slot))
+            ops.append(ExchangeOp(tuple(sends)))
+            for wlo, whi in my_windows:
+                pieces = []
+                covered = 0
+                for src, cv, sl, sh in contribs:
+                    pl = _clip(cv.data_of_abs(wlo), sl, sh)
+                    ph = _clip(cv.data_of_abs(whi), sl, sh)
+                    if ph <= pl:
+                        continue
+                    offs, lens = cv.blocks_for_data(pl, ph)
+                    offs, lens, merged = coalesce_blocks(offs, lens)
+                    coalesced += merged
+                    entries += int(offs.size)
+                    pieces.append(Piece(in_slot(src), pl, ph,
+                                        Blocks(offs, lens)))
+                    covered += ph - pl
+                if not pieces:
+                    continue
+                # Mergeview coverage decision (§3.2.3): a fully covered
+                # window needs no pre-read.
+                mode = "assemble" if covered == whi - wlo else "rmw"
+                ops.append(FileWriteOp(wlo, whi, mode, tuple(pieces)))
+                nwin += 1
+        else:
+            for src, cv, sl, sh in contribs:
+                slots[out_slot(src)] = (sl, sh)
+            for wlo, whi in my_windows:
+                pieces = []
+                for src, cv, sl, sh in contribs:
+                    pl = _clip(cv.data_of_abs(wlo), sl, sh)
+                    ph = _clip(cv.data_of_abs(whi), sl, sh)
+                    if ph <= pl:
+                        continue
+                    offs, lens = cv.blocks_for_data(pl, ph)
+                    offs, lens, merged = coalesce_blocks(offs, lens)
+                    coalesced += merged
+                    entries += int(offs.size)
+                    pieces.append(Piece(out_slot(src), pl, ph,
+                                        Blocks(offs, lens)))
+                if pieces:
+                    ops.append(FileReadOp(wlo, whi, "window",
+                                          tuple(pieces)))
+                    nwin += 1
+            sends = tuple(Send(src, slot=out_slot(src))
+                          for src, _cv, _sl, _sh in contribs)
+            ops.append(ExchangeOp(sends))
+            for iop, pl, ph in portions:
+                ops.append(ScatterOp(pl, ph, in_slot(iop)))
+
+        if entries > MAX_CACHED_BLOCKS:
+            sig = None
+        nbytes = rng.data_hi - rng.data_lo if not rng.empty else 0
+        return self._finish(IOPlan(kind, d0, nbytes, tuple(ops),
+                                   slots=slots, signature=sig,
+                                   planned_windows=nwin,
+                                   coalesced_bytes=coalesced))

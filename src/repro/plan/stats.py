@@ -1,0 +1,56 @@
+"""Counters for the plan layer.
+
+One :class:`PlanStats` instance is shared by a planner/executor pair and
+surfaced through the owning engine's stats snapshot, so every access
+reports how it was planned (windows, coalescing, cache behavior) next to
+the engine's own §2.4 overhead counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PlanStats"]
+
+
+@dataclass
+class PlanStats:
+    """Plan-layer counters for one (rank, open file)."""
+
+    #: plans built from scratch (planner cache misses + uncacheable)
+    plans_built: int = 0
+    #: plans served from the LRU cache
+    plan_cache_hits: int = 0
+    #: cacheable plan lookups that missed
+    plan_cache_misses: int = 0
+    #: coalesced file windows planned (window-mode file ops)
+    planned_windows: int = 0
+    #: total ops across built plans
+    planned_ops: int = 0
+    #: bytes whose file accesses were merged by block coalescing
+    coalesced_bytes: int = 0
+    #: ops executed (every run, cached plans included)
+    executed_ops: int = 0
+    #: file read accesses issued by the executor
+    executed_file_reads: int = 0
+    #: file write accesses issued by the executor
+    executed_file_writes: int = 0
+    #: byte-range locks taken by the executor
+    executed_locks: int = 0
+    #: alltoall exchanges performed by the executor
+    executed_exchanges: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "plans_built": self.plans_built,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "planned_windows": self.planned_windows,
+            "planned_ops": self.planned_ops,
+            "coalesced_bytes": self.coalesced_bytes,
+            "executed_ops": self.executed_ops,
+            "executed_file_reads": self.executed_file_reads,
+            "executed_file_writes": self.executed_file_writes,
+            "executed_locks": self.executed_locks,
+            "executed_exchanges": self.executed_exchanges,
+        }

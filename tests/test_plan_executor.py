@@ -1,0 +1,200 @@
+"""Executor backends and nonblocking requests: plans running against
+the POSIX baseline handle, deferred execution, error propagation, and
+lock cleanup on failure."""
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.errors import FileSystemError, IOEngineError
+from repro.fs import DeviceModel, SimFileSystem, StripingConfig
+from repro.fs.posix import PosixFile
+from repro.fs.simfile import SimFile
+from repro.io import File, MODE_CREATE, MODE_RDWR
+from repro.io.fileview import MemDescriptor
+from repro.io.request import Request
+from repro.mpi import run_spmd
+from repro.plan import (
+    STAGE,
+    Blocks,
+    FileReadOp,
+    FileWriteOp,
+    GatherOp,
+    IOPlan,
+    KernelCodec,
+    Piece,
+    PosixExecutor,
+    ScatterOp,
+)
+
+
+class FlakyFile(SimFile):
+    """A SimFile whose n-th write raises; counts successful writes."""
+
+    def __init__(self, *a, fail_after_writes=None, **kw):
+        super().__init__(*a, **kw)
+        self._writes_left = fail_after_writes
+        self.writes_done = 0
+
+    def pwrite(self, offset, data):
+        if self._writes_left is not None:
+            if self._writes_left == 0:
+                raise FileSystemError("injected write fault")
+            self._writes_left -= 1
+        n = super().pwrite(offset, data)
+        self.writes_done += 1
+        return n
+
+
+def flaky_fs(path="/f", **kw):
+    fs = SimFileSystem()
+    fs._files[path] = FlakyFile(path, DeviceModel(), StripingConfig(), **kw)
+    return fs
+
+
+def strided_plan(write):
+    """Hand-built two-block plan: data bytes [0,8) to file [0,4)+[8,12)."""
+    blocks = Blocks(np.array([0, 8], dtype=np.int64),
+                    np.array([4, 4], dtype=np.int64))
+    piece = Piece(STAGE, 0, 8, blocks)
+    if write:
+        ops = (GatherOp(0, 8), FileWriteOp(0, 12, "direct", (piece,)))
+    else:
+        ops = (FileReadOp(0, 12, "direct", (piece,)), ScatterOp(0, 8))
+    kind = "write-independent" if write else "read-independent"
+    return IOPlan(kind, 0, 8, ops, slots={STAGE: (0, 8)})
+
+
+class TestPosixExecutor:
+    def test_plans_run_against_the_posix_baseline(self):
+        """The very ops engines emit for the simulated MPI-IO backend run
+        unchanged against the cursor-based POSIX handle."""
+        simfile = SimFile("/p", DeviceModel(), StripingConfig())
+        pf = PosixFile(simfile)
+        ex = PosixExecutor(pf, codec=KernelCodec())
+
+        w = np.arange(1, 9, dtype=np.uint8)
+        ex.run(strided_plan(write=True),
+               MemDescriptor(w, 8, dt.BYTE))
+        data = simfile.contents()
+        assert (data[0:4] == [1, 2, 3, 4]).all()
+        assert (data[4:8] == 0).all()
+        assert (data[8:12] == [5, 6, 7, 8]).all()
+
+        r = np.zeros(8, dtype=np.uint8)
+        ex.run(strided_plan(write=False),
+               MemDescriptor(r, 8, dt.BYTE))
+        assert (r == w).all()
+        assert ex.stats.executed_file_writes == 2
+        assert ex.stats.executed_file_reads == 2
+
+
+class TestRequests:
+    def test_bare_request_semantics(self):
+        r = Request()
+        assert r.test() is False
+        with pytest.raises(IOEngineError, match="unstarted request"):
+            r.wait()
+        done = Request.completed()
+        assert done.test() is True
+        done.wait()
+        done.wait()
+
+    def test_execution_deferred_until_wait(self):
+        """``iread_at`` plans eagerly but reads lazily: data written to
+        the file after posting is what the wait observes."""
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR)
+            fh.set_view(0, dt.BYTE, dt.contiguous(16, dt.BYTE))
+            buf = np.zeros(16, dtype=np.uint8)
+            req = fh.iread_at(0, buf)
+            assert req.plan is not None
+            assert (buf == 0).all()
+            fs.lookup("/f").pwrite(0, np.full(16, 7, dtype=np.uint8))
+            req.wait()
+            assert (buf == 7).all()
+            req.wait()  # idempotent
+            assert req.test() is True
+            fh.close()
+
+        run_spmd(1, worker)
+
+    def test_wait_completes_a_deferred_write_exactly_once(self):
+        fs = flaky_fs()
+        f = fs.lookup("/f")
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_RDWR)
+            fh.set_view(0, dt.BYTE, dt.contiguous(8, dt.BYTE))
+            req = fh.iwrite_at(0, np.full(8, 3, dtype=np.uint8))
+            assert f.writes_done == 0, "write must not happen at post time"
+            req.wait()
+            assert f.writes_done == 1
+            req.wait()
+            assert req.test() is True
+            assert f.writes_done == 1, "double wait must not re-execute"
+            fh.close()
+
+        run_spmd(1, worker)
+        assert (fs.lookup("/f").contents()[:8] == 3).all()
+
+    def test_pointer_advances_at_post_time(self):
+        """Back-to-back ``iwrite`` calls target consecutive regions even
+        though neither has executed yet (MPI nonblocking semantics)."""
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR)
+            fh.set_view(0, dt.BYTE, dt.contiguous(4, dt.BYTE))
+            r1 = fh.iwrite(np.full(4, 1, dtype=np.uint8))
+            r2 = fh.iwrite(np.full(4, 2, dtype=np.uint8))
+            r2.wait()
+            r1.wait()
+            fh.close()
+
+        run_spmd(1, worker)
+        data = fs.lookup("/f").contents()
+        assert (data[:4] == 1).all()
+        assert (data[4:8] == 2).all()
+
+    def test_error_propagates_on_wait_and_sticks(self):
+        fs = flaky_fs(fail_after_writes=0)
+        f = fs.lookup("/f")
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_RDWR)
+            fh.set_view(0, dt.BYTE, dt.contiguous(8, dt.BYTE))
+            req = fh.iwrite_at(0, np.ones(8, dtype=np.uint8))
+            with pytest.raises(FileSystemError, match="injected"):
+                req.wait()
+            # Device heals, but the request stays completed-with-error:
+            # it must never re-execute.
+            f._writes_left = None
+            with pytest.raises(FileSystemError, match="injected"):
+                req.wait()
+            with pytest.raises(FileSystemError, match="injected"):
+                req.test()
+            assert f.writes_done == 0
+            fh.close()
+
+        run_spmd(1, worker)
+
+
+class TestLockCleanup:
+    def test_executor_releases_locks_when_the_device_faults(self):
+        """A sieved write faults at writeback while holding its window
+        lock; the executor's cleanup must leave the lock table empty."""
+        fs = flaky_fs(fail_after_writes=0)
+        f = fs.lookup("/f")
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_RDWR)
+            fh.set_view(0, dt.BYTE, dt.vector(64, 1, 2, dt.BYTE))
+            fh.write_at(0, np.ones(64, dtype=np.uint8))
+            fh.close()
+
+        with pytest.raises(FileSystemError, match="injected"):
+            run_spmd(1, worker)
+        assert f.locks._held == {}

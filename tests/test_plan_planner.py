@@ -1,0 +1,211 @@
+"""Planner edge cases: degenerate types, optimization decisions, lock
+placement, and plan-cache behaviour across view changes."""
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.fs import SimFileSystem
+from repro.io import File, MODE_CREATE, MODE_RDWR
+from repro.mpi import run_spmd
+from repro.plan.ops import FileWriteOp, LockOp, UnlockOp
+
+ENGINES = ["listless", "list_based"]
+
+#: Fine-grained interleaved filetype: sieving clearly wins.
+FINE = dict(blockcount=64, blocklen=1, stride=2)
+
+
+def fine_vector():
+    return dt.vector(FINE["blockcount"], FINE["blocklen"], FINE["stride"],
+                     dt.BYTE)
+
+
+def open_one(fs, engine, info=None):
+    return lambda comm: File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                                  engine=engine, info=info)
+
+
+class TestDegenerateAccesses:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_zero_byte_access_is_an_empty_plan(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = open_one(fs, engine)(comm)
+            fh.set_view(0, dt.BYTE, fine_vector())
+            mem = fh._mem(np.zeros(0, dtype=np.uint8), None, None)
+            plan = fh.engine.plan_write_independent(mem, 0)
+            assert len(plan) == 0
+            fh.write_at(0, np.zeros(0, dtype=np.uint8))
+            fh.read_at(0, np.zeros(0, dtype=np.uint8))
+            fh.close()
+
+        run_spmd(1, worker)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_zero_length_blocks_in_filetype(self, engine):
+        """Zero blocklens in an indexed filetype contribute no data and
+        must be invisible to planning."""
+        fs = SimFileSystem()
+        ft = dt.indexed([0, 4, 0, 4, 0], [0, 8, 16, 24, 40], dt.BYTE)
+
+        def worker(comm):
+            fh = open_one(fs, engine)(comm)
+            fh.set_view(0, dt.BYTE, ft)
+            w = np.arange(1, 9, dtype=np.uint8)
+            fh.write_at(0, w)
+            r = np.zeros(8, dtype=np.uint8)
+            fh.read_at(0, r)
+            assert (r == w).all()
+            fh.close()
+
+        run_spmd(1, worker)
+        data = fs.lookup("/f").contents()
+        assert (data[8:12] == [1, 2, 3, 4]).all()
+        assert (data[24:28] == [5, 6, 7, 8]).all()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_skipbytes_mid_struct_with_tiny_windows(self, engine):
+        """A data-free gap inside a struct, accessed with sieving buffers
+        small enough that windows start and end inside the gap."""
+        fs = SimFileSystem()
+        ft = dt.resized(
+            dt.struct([8, 8], [0, 48], [dt.BYTE, dt.BYTE]), 0, 64
+        )
+        info = {"ind_wr_buffer_size": "16", "ind_rd_buffer_size": "16"}
+
+        def worker(comm):
+            fh = open_one(fs, engine, info)(comm)
+            fh.set_view(0, dt.BYTE, ft)
+            w = (np.arange(2 * ft.size) % 251 + 1).astype(np.uint8)
+            fh.write_at(0, w)
+            r = np.zeros_like(w)
+            fh.read_at(0, r)
+            assert (r == w).all()
+            fh.close()
+
+        run_spmd(1, worker)
+        # The skip bytes [8, 48) of each struct instance stay zero.
+        data = fs.lookup("/f").contents()
+        assert (data[8:48] == 0).all()
+        assert (data[72:112] == 0).all()
+
+
+class TestLockPlacement:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_sieved_write_locks_every_rmw_window(self, engine):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fh = open_one(fs, engine)(comm)
+            fh.set_view(0, dt.BYTE, fine_vector())
+            mem = fh._mem(np.zeros(FINE["blockcount"], dtype=np.uint8),
+                          None, None)
+            plan = fh.engine.plan_write_independent(mem, 0)
+            locked = set()
+            for op in plan.ops:
+                if isinstance(op, LockOp):
+                    locked.add((op.lo, op.hi))
+                elif isinstance(op, FileWriteOp) and op.mode == "rmw":
+                    assert (op.lo, op.hi) in locked, \
+                        "rmw window written without a preceding lock"
+                elif isinstance(op, UnlockOp):
+                    locked.discard((op.lo, op.hi))
+            assert any(isinstance(op, LockOp) for op in plan.ops)
+            fh.engine.run_plan(plan, mem)
+            snap = fh.engine.stats.snapshot()
+            assert snap["executed_locks"] >= 1
+            assert snap["planned_windows"] >= 1
+            fh.close()
+
+        run_spmd(1, worker)
+
+    def test_overlapping_rmw_windows_do_not_lose_updates(self):
+        """Two ranks sieve-write interleaved blocks of the same region;
+        the rmw windows overlap byte-for-byte, so only the planned locks
+        keep the concurrent read-modify-writes from clobbering."""
+        fs = SimFileSystem()
+        P, n = 2, 64
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR)
+            ft = dt.vector(n, 1, P, dt.BYTE)
+            fh.set_view(comm.rank, dt.BYTE, ft)
+            fh.write_at(0, np.full(n, comm.rank + 1, dtype=np.uint8))
+            fh.close()
+
+        run_spmd(P, worker)
+        data = fs.lookup("/f").contents()
+        assert (data[0 : P * n : P] == 1).all()
+        assert (data[1 : P * n : P] == 2).all()
+
+
+class TestPlanCache:
+    @staticmethod
+    def snap(fh):
+        return fh.engine.stats.snapshot()
+
+    def test_repeated_access_hits_cache_listless(self):
+        fs = SimFileSystem()
+        box = {}
+
+        def worker(comm):
+            fh = open_one(fs, "listless")(comm)
+            fh.set_view(0, dt.BYTE, fine_vector())
+            buf = np.zeros(FINE["blockcount"], dtype=np.uint8)
+            fh.write_at(0, buf)
+            for _ in range(3):
+                fh.read_at(0, buf)
+            box["mid"] = self.snap(fh)
+            # A new view must invalidate every cached plan, even an
+            # identical one: misses grow, hits stay flat.
+            fh.set_view(0, dt.BYTE, fine_vector())
+            fh.read_at(0, buf)
+            box["after"] = self.snap(fh)
+            fh.close()
+
+        run_spmd(1, worker)
+        mid, after = box["mid"], box["after"]
+        assert mid["plan_cache_hits"] >= 2
+        assert after["plan_cache_hits"] == mid["plan_cache_hits"]
+        assert after["plan_cache_misses"] > mid["plan_cache_misses"]
+        assert after["plans_built"] > mid["plans_built"]
+
+    def test_collective_plan_cached_listless(self):
+        fs = SimFileSystem()
+        P = 2
+        hits = [0] * P
+
+        def worker(comm):
+            fh = open_one(fs, "listless")(comm)
+            ft = dt.vector(32, 4, 4 * P, dt.BYTE)
+            fh.set_view(comm.rank * 4, dt.BYTE, ft)
+            buf = np.full(128, comm.rank + 1, dtype=np.uint8)
+            for _ in range(3):
+                fh.write_at_all(0, buf)
+            hits[comm.rank] = self.snap(fh)["plan_cache_hits"]
+            fh.close()
+
+        run_spmd(P, worker)
+        assert all(h >= 2 for h in hits)
+
+    def test_list_based_never_serves_cached_plans(self):
+        """The conventional engine re-expands its ol-lists per access;
+        its planner must rebuild every time."""
+        fs = SimFileSystem()
+        box = {}
+
+        def worker(comm):
+            fh = open_one(fs, "list_based")(comm)
+            fh.set_view(0, dt.BYTE, fine_vector())
+            buf = np.zeros(FINE["blockcount"], dtype=np.uint8)
+            fh.write_at(0, buf)
+            for _ in range(3):
+                fh.read_at(0, buf)
+            box["s"] = self.snap(fh)
+            fh.close()
+
+        run_spmd(1, worker)
+        assert box["s"]["plan_cache_hits"] == 0
+        assert box["s"]["plans_built"] >= 4
