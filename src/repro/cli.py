@@ -190,12 +190,22 @@ def _cmd_plan_dump(args: argparse.Namespace) -> int:
                        info={"ind_wr_buffer_size": str(args.bufsize),
                              "ind_rd_buffer_size": str(args.bufsize)})
         fh.set_view(args.disp, BYTE, ft)
-        mem = fh._mem(np.zeros(args.nbytes, dtype=np.uint8), None, None)
+        buf = np.zeros(args.nbytes, dtype=np.uint8)
+        mem = fh._mem(buf, None, None)
         engine = fh.engine
         if args.write:
             out["plan"] = engine.plan_write_independent(mem, args.offset)
         else:
             out["plan"] = engine.plan_read_independent(mem, args.offset)
+        # Execute the access twice so the steady-state cache behavior
+        # (plan LRU, compiled block programs, kernel paths) is visible.
+        fh.write_at(args.offset, buf)
+        for _ in range(2):
+            if args.write:
+                fh.write_at(args.offset, buf)
+            else:
+                fh.read_at(args.offset, buf)
+        out["stats"] = engine.stats.snapshot()
         fh.close()
 
     run_spmd(1, worker)
@@ -204,6 +214,13 @@ def _cmd_plan_dump(args: argparse.Namespace) -> int:
     print(describe_dataloop(compile_dataloop(ft)))
     print("\nplan:")
     print(out["plan"].describe())
+    s = out["stats"]
+    shown = [k for k in s
+             if k.startswith(("plan_cache", "blockprog_", "kernel_path_"))]
+    print("\ncache and kernel-path counters "
+          "(after planning + 1 priming write + 2 accesses):")
+    print(format_table(["counter", "value"],
+                       [(k, s[k]) for k in shown]))
     return 0
 
 

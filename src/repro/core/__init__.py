@@ -18,10 +18,21 @@ the paper) and the datatype-navigation machinery of listless I/O:
   exchanged once per ``set_view`` (paper §3.2.3, "fileview caching").
 * :mod:`repro.core.mergeview` — the merged view of all processes'
   filetypes and the single-call collective-write contiguity check.
+* :mod:`repro.core.blockprog` — compiled block programs: cached,
+  relocatable ``blocks_range`` results with precompiled gather/scatter
+  dispatch, reused across the periodic windows of sieving and two-phase
+  loops (see ``docs/kernels.md``).
 """
 
+from repro.core.blockprog import (
+    BlockProgram,
+    blockprog_stats,
+    blocks_range_cached,
+    program_for,
+)
 from repro.core.dataloop import Dataloop, compile_dataloop
 from repro.core.ff_pack import ff_pack, ff_unpack
+from repro.core.gather import kernel_path_counts
 from repro.core.navigation import (
     ff_extent,
     ff_size,
@@ -33,6 +44,11 @@ from repro.core.fileview_cache import FileviewCache, CompactFileview
 from repro.core.mergeview import build_mergeview, Mergeview
 
 __all__ = [
+    "BlockProgram",
+    "blockprog_stats",
+    "blocks_range_cached",
+    "program_for",
+    "kernel_path_counts",
     "Dataloop",
     "compile_dataloop",
     "ff_pack",

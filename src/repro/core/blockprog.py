@@ -1,0 +1,426 @@
+"""Compiled block programs: cached, relocatable traversal results.
+
+Flattening-on-the-fly never stores an O(Nblock) representation — but the
+original ``ff_pack``/``ff_unpack`` re-ran the full :meth:`Dataloop.
+blocks_range` traversal and rebuilt fresh ``(offsets, lengths)`` arrays
+on *every* call, even when the same range shape recurs on every window
+of a sieving or two-phase loop.  This module exploits the same datatype
+*periodicity* that makes listless navigation O(depth): a range query on
+a periodic loop depends on its absolute position only through a scalar
+translation.
+
+A :class:`BlockProgram` is the compiled form of one range query:
+
+* the **canonical descriptor** — ``(offsets, lengths)`` for the range
+  reduced to its residue class modulo the period (for a top-level
+  :class:`~repro.core.dataloop.DLVector`, ``skipbytes mod child.size``);
+* a **precompiled kernel dispatch** — which gather/scatter path fires
+  (single slice / small loop / strided view / big-block loop / index
+  gather), with the per-call derivations (``tolist`` conversions, the
+  flat byte-index array of the fancy paths) computed once and reused.
+
+Steady-state pack/unpack of a recurring window shape is then O(1)
+Python-level setup — translate the cached program by a scalar base —
+plus one bulk gather/scatter.  Programs are cached per loop object in a
+bounded LRU (the loop itself is held weakly, so dropping a datatype
+drops its programs); the cache is additionally cleared whenever a
+fileview is replaced (:meth:`~repro.plan.planner.Planner.invalidate`),
+mirroring the plan LRU's view-epoch rule.
+
+Toggling: the environment variable ``REPRO_BLOCKPROG=0`` (or ``false``/
+``off``) disables the layer process-wide, and :func:`set_enabled` flips
+it at runtime — benchmarks use this for A/B runs.  Per-file, the
+``ff_block_programs`` hint disables program use on the listless
+engine's pack/unpack path.  Counters (compiles, hits, misses,
+translations) are process-global, shared by all simulated ranks, and
+surfaced through engine stats and ``repro.cli plan-dump``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.dataloop import DLContig, DLVector, Dataloop
+from repro.core.gather import (
+    _BIG_BLOCK,
+    _SMALL_N,
+    KERNEL_PATHS,
+    block_index,
+)
+
+__all__ = [
+    "BlockProgram",
+    "BLOCKPROG_STATS",
+    "blockprog_stats",
+    "blocks_range_cached",
+    "clear",
+    "enabled",
+    "program_for",
+    "program_for_blocks",
+    "set_enabled",
+]
+
+#: Cached flat byte-index arrays cost 8 B per payload byte; above this
+#: payload size the index paths would not fire anyway (the big-block
+#: loop wins) and caching an index array would only burn memory.
+_IDX_CAP = 1 << 20
+
+#: Per-loop LRU bound: distinct (residue, length) shapes kept per loop.
+#: Sieving/two-phase loops cycle through a handful of window shapes;
+#: 64 covers them with room for boundary windows.
+_MAX_PROGRAMS_PER_LOOP = 64
+
+
+def _env_enabled() -> bool:
+    v = os.environ.get("REPRO_BLOCKPROG", "1").strip().lower()
+    return v not in ("0", "false", "off", "no", "disable", "disabled")
+
+
+_enabled = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether the block-program layer is active process-wide."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Enable/disable the layer; returns the previous setting."""
+    global _enabled
+    prev = _enabled
+    _enabled = bool(flag)
+    return prev
+
+
+class _Stats:
+    """Process-global block-program counters."""
+
+    __slots__ = ("compiled", "hits", "misses", "translations", "bypasses")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.compiled = 0
+        self.hits = 0
+        self.misses = 0
+        self.translations = 0
+        self.bypasses = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "blockprog_compiled": self.compiled,
+            "blockprog_hits": self.hits,
+            "blockprog_misses": self.misses,
+            "blockprog_translations": self.translations,
+            "blockprog_bypasses": self.bypasses,
+        }
+
+
+BLOCKPROG_STATS = _Stats()
+
+
+def blockprog_stats() -> dict:
+    """Snapshot of the process-global block-program counters."""
+    return BLOCKPROG_STATS.snapshot()
+
+
+# Kernel kinds, decided once at compile time (matching the dispatch
+# thresholds of repro.core.gather so a program fires the same kernel
+# the uncompiled path would).
+_K_SINGLE = 0
+_K_SMALL = 1
+_K_STRIDED = 2
+_K_BIG = 3
+_K_INDEX = 4
+
+
+class BlockProgram:
+    """One compiled range query: canonical blocks + kernel dispatch.
+
+    ``offsets``/``lengths`` are the canonical descriptor (read-only
+    arrays).  :meth:`gather`/:meth:`scatter` execute the program against
+    a buffer with all offsets translated by a scalar ``base`` — the
+    relocation that makes one program serve every period of a periodic
+    access.
+    """
+
+    __slots__ = (
+        "offsets",
+        "lengths",
+        "nbytes",
+        "count",
+        "_kind",
+        "_off_list",
+        "_len_list",
+        "_first",
+        "_step",
+        "_start",
+        "_idx",
+    )
+
+    def __init__(self, offsets: np.ndarray, lengths: np.ndarray) -> None:
+        # Own copies: programs outlive the call that compiled them, and
+        # the read-only flag must never leak onto a caller's arrays.
+        offsets = np.array(offsets, dtype=np.int64)
+        lengths = np.array(lengths, dtype=np.int64)
+        offsets.setflags(write=False)
+        lengths.setflags(write=False)
+        self.offsets = offsets
+        self.lengths = lengths
+        self.count = int(offsets.size)
+        self.nbytes = int(lengths.sum()) if self.count else 0
+        self._off_list = None
+        self._len_list = None
+        self._idx = None
+        self._first = 0
+        self._step = 0
+        self._start = 0
+        self._kind = self._compile()
+        BLOCKPROG_STATS.compiled += 1
+
+    # ------------------------------------------------------------------
+    def _compile(self) -> int:
+        """Pick the kernel path once; precompute what it needs."""
+        n = self.count
+        if n <= 1:
+            return _K_SINGLE
+        if n <= _SMALL_N:
+            self._off_list = self.offsets.tolist()
+            self._len_list = self.lengths.tolist()
+            return _K_SMALL
+        first = int(self.lengths[0])
+        if bool((self.lengths == first).all()):
+            d = np.diff(self.offsets)
+            step = int(d[0])
+            if bool((d == step).all()) and step >= first > 0:
+                self._first = first
+                self._step = step
+                self._start = int(self.offsets[0])
+                return _K_STRIDED
+        if self.nbytes >= n * _BIG_BLOCK or self.nbytes > _IDX_CAP:
+            self._off_list = self.offsets.tolist()
+            self._len_list = self.lengths.tolist()
+            return _K_BIG
+        # Index gather/scatter with the flat byte-index array built once
+        # (canonical — translated per call by the scalar base).
+        self._idx = block_index(self.offsets, self.lengths)
+        self._idx.setflags(write=False)
+        return _K_INDEX
+
+    # ------------------------------------------------------------------
+    def materialize(self, base: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(offsets + base, lengths)`` — the relocated descriptor."""
+        BLOCKPROG_STATS.translations += 1
+        if base == 0:
+            return self.offsets, self.lengths
+        return self.offsets + base, self.lengths
+
+    # ------------------------------------------------------------------
+    def gather(self, src: np.ndarray, base: int, out: np.ndarray,
+               out_pos: int = 0) -> int:
+        """Copy the program's blocks (translated by ``base``) of ``src``
+        into ``out`` at ``out_pos``; returns bytes copied."""
+        BLOCKPROG_STATS.translations += 1
+        kind = self._kind
+        if kind == _K_SINGLE:
+            KERNEL_PATHS.single += 1
+            if self.count == 0:
+                return 0
+            o = int(self.offsets[0]) + base
+            ln = int(self.lengths[0])
+            out[out_pos : out_pos + ln] = src[o : o + ln]
+            return ln
+        if kind == _K_STRIDED:
+            KERNEL_PATHS.strided_view += 1
+            view = np.lib.stride_tricks.as_strided(
+                src[self._start + base :],
+                shape=(self.count, self._first),
+                strides=(self._step, 1),
+                writeable=False,
+            )
+            out[out_pos : out_pos + self.nbytes] = view.reshape(-1)
+            return self.nbytes
+        if kind == _K_INDEX:
+            KERNEL_PATHS.fancy_index += 1
+            idx = self._idx if base == 0 else self._idx + base
+            out[out_pos : out_pos + self.nbytes] = src[idx]
+            return self.nbytes
+        KERNEL_PATHS.small_loop += 1 if kind == _K_SMALL else 0
+        KERNEL_PATHS.big_block += 1 if kind == _K_BIG else 0
+        pos = out_pos
+        for o, ln in zip(self._off_list, self._len_list):
+            o += base
+            out[pos : pos + ln] = src[o : o + ln]
+            pos += ln
+        return pos - out_pos
+
+    def scatter(self, dst: np.ndarray, base: int, src: np.ndarray,
+                src_pos: int = 0) -> int:
+        """Copy contiguous ``src`` bytes from ``src_pos`` into the
+        program's blocks of ``dst`` (translated by ``base``)."""
+        BLOCKPROG_STATS.translations += 1
+        kind = self._kind
+        if kind == _K_SINGLE:
+            KERNEL_PATHS.single += 1
+            if self.count == 0:
+                return 0
+            o = int(self.offsets[0]) + base
+            ln = int(self.lengths[0])
+            dst[o : o + ln] = src[src_pos : src_pos + ln]
+            return ln
+        if kind == _K_STRIDED:
+            KERNEL_PATHS.strided_view += 1
+            view = np.lib.stride_tricks.as_strided(
+                dst[self._start + base :],
+                shape=(self.count, self._first),
+                strides=(self._step, 1),
+            )
+            view[...] = src[src_pos : src_pos + self.nbytes].reshape(
+                self.count, self._first
+            )
+            return self.nbytes
+        if kind == _K_INDEX:
+            KERNEL_PATHS.fancy_index += 1
+            idx = self._idx if base == 0 else self._idx + base
+            dst[idx] = src[src_pos : src_pos + self.nbytes]
+            return self.nbytes
+        KERNEL_PATHS.small_loop += 1 if kind == _K_SMALL else 0
+        KERNEL_PATHS.big_block += 1 if kind == _K_BIG else 0
+        pos = src_pos
+        for o, ln in zip(self._off_list, self._len_list):
+            o += base
+            dst[o : o + ln] = src[pos : pos + ln]
+            pos += ln
+        return pos - src_pos
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kinds = {_K_SINGLE: "single", _K_SMALL: "small",
+                 _K_STRIDED: "strided", _K_BIG: "big", _K_INDEX: "index"}
+        return (
+            f"BlockProgram(k={self.count}, nbytes={self.nbytes}, "
+            f"kind={kinds[self._kind]})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+# loop -> OrderedDict[(residue, nbytes)] -> BlockProgram.  The loop key
+# is held weakly: dropping a datatype (and with it the cached dataloop)
+# drops every program compiled from it.  Guarded by a lock because
+# simulated ranks are threads sharing the process-global cache.
+_cache: "weakref.WeakKeyDictionary[Dataloop, OrderedDict]" = (
+    weakref.WeakKeyDictionary()
+)
+_lock = threading.Lock()
+
+
+def clear() -> None:
+    """Drop every compiled program (called on fileview replacement —
+    the same epoch rule the plan LRU follows)."""
+    with _lock:
+        _cache.clear()
+
+
+def _periodicity(loop: Dataloop, s_lo: int) -> Tuple[int, int]:
+    """Reduce ``s_lo`` to its residue class modulo the loop's period.
+
+    Returns ``(residue, base)`` with ``base`` the extent translation of
+    the dropped whole periods: for a top-level vector the period is one
+    child instance (``child.size`` data bytes spanning ``stride`` extent
+    bytes); aperiodic tops translate by nothing and key on the absolute
+    position.
+    """
+    if isinstance(loop, DLVector):
+        q, r = divmod(s_lo, loop.child.size)
+        return r, q * loop.stride
+    return s_lo, 0
+
+
+def program_for(
+    loop: Optional[Dataloop], s_lo: int, s_hi: int,
+    use_programs: Optional[bool] = None,
+) -> Optional[Tuple[BlockProgram, int]]:
+    """Compiled program and translation base for a range query.
+
+    Returns ``(program, base)`` such that ``program.materialize(base)``
+    equals ``loop.blocks_range(s_lo, s_hi)``, or ``None`` when the layer
+    is disabled or the query is not worth compiling (empty range,
+    contiguous loop — plain slice arithmetic beats any cache).
+    """
+    if use_programs is None:
+        use_programs = _enabled
+    if not use_programs or loop is None or s_hi <= s_lo:
+        if use_programs:
+            BLOCKPROG_STATS.bypasses += 1
+        return None
+    if isinstance(loop, DLContig) or (
+        isinstance(loop, DLVector) and isinstance(loop.child, DLContig)
+        and loop.stride == loop.child.size
+    ):
+        # Contiguous data: blocks_range is a two-array constant — the
+        # cache could only add overhead.
+        BLOCKPROG_STATS.bypasses += 1
+        return None
+    residue, base = _periodicity(loop, s_lo)
+    n = s_hi - s_lo
+    key = (residue, n)
+    with _lock:
+        progs = _cache.get(loop)
+        if progs is None:
+            progs = OrderedDict()
+            _cache[loop] = progs
+        prog = progs.get(key)
+        if prog is not None:
+            progs.move_to_end(key)
+            BLOCKPROG_STATS.hits += 1
+            return prog, base
+        BLOCKPROG_STATS.misses += 1
+    # Compile outside the lock: blocks_range is the expensive part and
+    # touches only the immutable loop.
+    offs, lens = loop.blocks_range(residue, residue + n)
+    prog = BlockProgram(offs, lens)
+    with _lock:
+        progs[key] = prog
+        while len(progs) > _MAX_PROGRAMS_PER_LOOP:
+            progs.popitem(last=False)
+    return prog, base
+
+
+def blocks_range_cached(
+    loop: Dataloop, s_lo: int, s_hi: int,
+    use_programs: Optional[bool] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Drop-in for ``loop.blocks_range`` that reuses compiled programs.
+
+    The returned offsets are freshly translated (never aliased to the
+    canonical arrays when a translation applies), so callers may mutate
+    them — except for ``base == 0`` hits, which return the read-only
+    canonical arrays themselves; callers that mutate must copy.
+    """
+    hit = program_for(loop, s_lo, s_hi, use_programs)
+    if hit is None:
+        return loop.blocks_range(s_lo, s_hi)
+    prog, base = hit
+    return prog.materialize(base)
+
+
+def program_for_blocks(blocks) -> BlockProgram:
+    """Compile (once) a program from a plan's materialized ``Blocks``.
+
+    The program is cached on the ``Blocks`` object itself, so replays
+    of a cached plan skip per-run ``tolist``/index-array derivation and
+    window-relative offset arithmetic.
+    """
+    prog = blocks.prog
+    if prog is None:
+        prog = BlockProgram(blocks.offsets, blocks.lengths)
+        object.__setattr__(blocks, "prog", prog)
+    return prog

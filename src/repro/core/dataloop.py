@@ -67,7 +67,9 @@ class Dataloop:
     past the last data byte; ``depth`` is the program nesting depth.
     """
 
-    __slots__ = ("size", "data_start", "data_end", "depth")
+    # __weakref__ lets repro.core.blockprog key its compiled-program
+    # cache on loop identity without pinning loops in memory.
+    __slots__ = ("size", "data_start", "data_end", "depth", "__weakref__")
 
     # ------------------------------------------------------------------
     def blocks_range(

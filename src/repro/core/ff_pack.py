@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import blockprog
 from repro.core.dataloop import Dataloop, _vector, compile_dataloop
 from repro.core.gather import gather_blocks, scatter_blocks
 from repro.datatypes.base import Datatype
@@ -37,17 +38,29 @@ def top_dataloop(dt: Datatype, count: int) -> Dataloop | None:
 
     The count dimension is one more vector level; for ``count == 1`` the
     instance loop is returned directly.  O(1) beyond the cached instance
-    compilation.
+    compilation.  Memoized per ``(datatype, count)``: the compiled
+    block-program cache keys on loop *identity*, so repeated calls must
+    return the same loop object, not a structurally equal rebuild.
     """
     loop = compile_dataloop(dt)
     if loop is None or count == 0:
         return None
     if count == 1:
         return loop
-    # _vector applies the standard normalizations (contiguous collapse,
-    # perfect-nesting fusion), so e.g. count x contiguous stays a single
-    # memcpy-able leaf.
-    return _vector(count, dt.extent, loop)
+    cache = getattr(dt, "_top_loop_cache", None)
+    if cache is None:
+        cache = {}
+        dt._top_loop_cache = cache
+    top = cache.get(count)
+    if top is None:
+        # _vector applies the standard normalizations (contiguous
+        # collapse, perfect-nesting fusion), so e.g. count x contiguous
+        # stays a single memcpy-able leaf.
+        top = _vector(count, dt.extent, loop)
+        if len(cache) >= 8:  # a handful of counts per type in practice
+            cache.clear()
+        cache[count] = top
+    return top
 
 
 def _as_bytes(buf: np.ndarray, writeable: bool) -> np.ndarray:
@@ -66,6 +79,7 @@ def ff_pack(
     packbuf: np.ndarray,
     packsize: int,
     origin: int = 0,
+    use_programs: bool | None = None,
 ) -> int:
     """Pack typed data from ``srcbuf`` into contiguous ``packbuf``.
 
@@ -81,6 +95,9 @@ def ff_pack(
     packbuf, packsize
         destination and its capacity; at most ``packsize`` bytes are
         written, starting at ``packbuf[0]``.
+    use_programs
+        override the process-wide block-program toggle for this call
+        (``None`` — follow :func:`repro.core.blockprog.enabled`).
 
     Returns the number of bytes actually copied (0 at end of data).
     """
@@ -93,11 +110,21 @@ def ff_pack(
     n = min(packsize, total - skipbytes)
     if n <= 0:
         return 0
-    offs, lens = loop.blocks_range(skipbytes, skipbytes + n)
     src = _as_bytes(srcbuf, writeable=False)
     dst = _as_bytes(packbuf, writeable=True)
-    copied = gather_blocks(src, offs + origin, lens, dst, 0)
-    assert copied == n
+    hit = blockprog.program_for(loop, skipbytes, skipbytes + n,
+                                use_programs)
+    if hit is not None:
+        prog, base = hit
+        copied = prog.gather(src, base + origin, dst, 0)
+    else:
+        offs, lens = loop.blocks_range(skipbytes, skipbytes + n)
+        copied = gather_blocks(src, offs + origin, lens, dst, 0)
+    if copied != n:
+        raise FFError(
+            f"ff_pack traversal corruption: copied {copied} of {n} bytes "
+            f"(skipbytes={skipbytes}, count={count})"
+        )
     return n
 
 
@@ -109,6 +136,7 @@ def ff_unpack(
     datatype: Datatype,
     skipbytes: int,
     origin: int = 0,
+    use_programs: bool | None = None,
 ) -> int:
     """Unpack contiguous ``packbuf`` into typed ``dstbuf``.
 
@@ -125,9 +153,19 @@ def ff_unpack(
     n = min(packsize, total - skipbytes)
     if n <= 0:
         return 0
-    offs, lens = loop.blocks_range(skipbytes, skipbytes + n)
     src = _as_bytes(packbuf, writeable=False)
     dst = _as_bytes(dstbuf, writeable=True)
-    copied = scatter_blocks(dst, offs + origin, lens, src, 0)
-    assert copied == n
+    hit = blockprog.program_for(loop, skipbytes, skipbytes + n,
+                                use_programs)
+    if hit is not None:
+        prog, base = hit
+        copied = prog.scatter(dst, base + origin, src, 0)
+    else:
+        offs, lens = loop.blocks_range(skipbytes, skipbytes + n)
+        copied = scatter_blocks(dst, offs + origin, lens, src, 0)
+    if copied != n:
+        raise FFError(
+            f"ff_unpack traversal corruption: copied {copied} of {n} "
+            f"bytes (skipbytes={skipbytes}, count={count})"
+        )
     return n

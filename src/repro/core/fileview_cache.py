@@ -23,6 +23,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core import blockprog
 from repro.core.dataloop import Dataloop, _vector, compile_dataloop
 from repro.datatypes import decode
 from repro.datatypes.base import Datatype
@@ -117,8 +118,16 @@ class CompactFileview:
         self, d_lo: int, d_hi: int
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Absolute-file-offset blocks holding view data bytes
-        ``[d_lo, d_hi)`` — one vectorized enumeration, no stored list."""
-        offs, lens = self.view_loop.blocks_range(d_lo, d_hi)
+        ``[d_lo, d_hi)`` — one vectorized enumeration, no stored list.
+
+        Routed through the compiled block-program cache: the tiled view
+        loop is periodic in the filetype, so a window shape that recurs
+        at a different period (a sieving or two-phase loop) reuses its
+        canonical descriptor, translated by a scalar base.
+        """
+        offs, lens = blockprog.blocks_range_cached(
+            self.view_loop, d_lo, d_hi
+        )
         return offs + self.disp, lens
 
     # ------------------------------------------------------------------

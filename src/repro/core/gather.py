@@ -20,7 +20,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["gather_blocks", "scatter_blocks", "block_index"]
+__all__ = [
+    "gather_blocks",
+    "scatter_blocks",
+    "block_index",
+    "KERNEL_PATHS",
+    "kernel_path_counts",
+]
 
 #: Below this many blocks a plain loop of slice copies beats building
 #: index arrays — the scalar-architecture adaptation of
@@ -37,12 +43,64 @@ _SMALL_N = 16
 _BIG_BLOCK = 256
 
 
+class _KernelPaths:
+    """Process-wide counters: which gather/scatter kernel path fired.
+
+    One counter per dispatch branch of :func:`gather_blocks` /
+    :func:`scatter_blocks` (shared by the compiled block programs of
+    :mod:`repro.core.blockprog`, which execute the same kernels from
+    precompiled dispatch).  Shared by every simulated rank in the
+    process; read through :func:`kernel_path_counts` and surfaced in
+    engine stats and ``repro.cli plan-dump``.
+    """
+
+    __slots__ = ("single", "small_loop", "strided_view", "big_block",
+                 "fancy_index", "ragged_index")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.single = 0
+        self.small_loop = 0
+        self.strided_view = 0
+        self.big_block = 0
+        self.fancy_index = 0
+        self.ragged_index = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "kernel_path_single": self.single,
+            "kernel_path_small_loop": self.small_loop,
+            "kernel_path_strided_view": self.strided_view,
+            "kernel_path_big_block": self.big_block,
+            "kernel_path_fancy_index": self.fancy_index,
+            "kernel_path_ragged_index": self.ragged_index,
+        }
+
+
+KERNEL_PATHS = _KernelPaths()
+
+
+def kernel_path_counts() -> dict:
+    """Snapshot of the process-wide kernel path counters."""
+    return KERNEL_PATHS.snapshot()
+
+
 def _uniform_stride(offsets: np.ndarray) -> int | None:
-    """Return the common difference of ``offsets``, or None if irregular."""
+    """Return the common difference of ``offsets``, or None if irregular.
+
+    The step may be negative (type-map order need not be file order);
+    callers must check sign and magnitude before taking a strided view.
+    """
     if offsets.size <= 1:
         return 0
+    step = int(offsets[1]) - int(offsets[0])
+    if offsets.size > 2 and int(offsets[2]) - int(offsets[1]) != step:
+        # Early exit: the first two differences already disagree — skip
+        # the O(n) diff of the whole array.
+        return None
     d = np.diff(offsets)
-    step = int(d[0])
     if (d == step).all():
         return step
     return None
@@ -80,10 +138,12 @@ def gather_blocks(
     if n == 0:
         return 0
     if n == 1:
+        KERNEL_PATHS.single += 1
         o, ln = int(offsets[0]), int(lengths[0])
         out[out_pos : out_pos + ln] = src[o : o + ln]
         return ln
     if n <= _SMALL_N:
+        KERNEL_PATHS.small_loop += 1
         pos = out_pos
         for o, ln in zip(offsets.tolist(), lengths.tolist()):
             out[pos : pos + ln] = src[o : o + ln]
@@ -94,7 +154,12 @@ def gather_blocks(
     uniform_len = bool((lengths == first).all())
     if uniform_len:
         step = _uniform_stride(offsets)
-        if step is not None and step >= first:
+        # A strided view needs a positive, non-overlapping forward step;
+        # negative steps (type-map order running backwards through the
+        # buffer) and overlapping strides fall through to the index
+        # paths, which handle arbitrary offsets.
+        if step is not None and step >= first > 0:
+            KERNEL_PATHS.strided_view += 1
             view = np.lib.stride_tricks.as_strided(
                 src[int(offsets[0]) :],
                 shape=(n, first),
@@ -105,17 +170,20 @@ def gather_blocks(
             return total
     if total >= n * _BIG_BLOCK:
         # Long blocks: per-block memcpy beats building index arrays.
+        KERNEL_PATHS.big_block += 1
         pos = out_pos
         for o, ln in zip(offsets.tolist(), lengths.tolist()):
             out[pos : pos + ln] = src[o : o + ln]
             pos += ln
         return pos - out_pos
     if uniform_len:
+        KERNEL_PATHS.fancy_index += 1
         idx = (
             offsets[:, None] + np.arange(first, dtype=np.int64)[None, :]
         ).reshape(-1)
         out[out_pos : out_pos + total] = src[idx]
         return total
+    KERNEL_PATHS.ragged_index += 1
     idx = block_index(offsets, lengths)
     out[out_pos : out_pos + total] = src[idx]
     return total
@@ -134,10 +202,12 @@ def scatter_blocks(
     if n == 0:
         return 0
     if n == 1:
+        KERNEL_PATHS.single += 1
         o, ln = int(offsets[0]), int(lengths[0])
         dst[o : o + ln] = src[src_pos : src_pos + ln]
         return ln
     if n <= _SMALL_N:
+        KERNEL_PATHS.small_loop += 1
         pos = src_pos
         for o, ln in zip(offsets.tolist(), lengths.tolist()):
             dst[o : o + ln] = src[pos : pos + ln]
@@ -148,7 +218,13 @@ def scatter_blocks(
     uniform_len = bool((lengths == first).all())
     if uniform_len:
         step = _uniform_stride(offsets)
-        if step is not None and step >= first:
+        # As in gather_blocks: negative or overlapping steps fall through.
+        # The index paths stay correct for overlapping scatters because
+        # NumPy fancy assignment applies repeated indices in order (the
+        # last block touching a byte wins, exactly like the per-block
+        # loops, which write blocks in type-map order).
+        if step is not None and step >= first > 0:
+            KERNEL_PATHS.strided_view += 1
             view = np.lib.stride_tricks.as_strided(
                 dst[int(offsets[0]) :],
                 shape=(n, first),
@@ -157,17 +233,20 @@ def scatter_blocks(
             view[...] = src[src_pos : src_pos + total].reshape(n, first)
             return total
     if total >= n * _BIG_BLOCK:
+        KERNEL_PATHS.big_block += 1
         pos = src_pos
         for o, ln in zip(offsets.tolist(), lengths.tolist()):
             dst[o : o + ln] = src[pos : pos + ln]
             pos += ln
         return pos - src_pos
     if uniform_len:
+        KERNEL_PATHS.fancy_index += 1
         idx = (
             offsets[:, None] + np.arange(first, dtype=np.int64)[None, :]
         ).reshape(-1)
         dst[idx] = src[src_pos : src_pos + total]
         return total
+    KERNEL_PATHS.ragged_index += 1
     idx = block_index(offsets, lengths)
     dst[idx] = src[src_pos : src_pos + total]
     return total

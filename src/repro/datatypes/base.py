@@ -68,6 +68,7 @@ class Datatype:
         # representations without global registries).
         "_dataloop_cache",
         "_ollist_cache",
+        "_top_loop_cache",
     )
 
     def __init__(

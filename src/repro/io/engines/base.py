@@ -79,6 +79,16 @@ class EngineStats:
             "ff_view_bytes_exchanged": self.ff_view_bytes_exchanged,
         }
         out.update(self.plan.snapshot())
+        # Kernel-path observability: compiled-block-program counters and
+        # which gather/scatter kernel fired.  These are process-global
+        # (one cache and one kernel layer shared by every simulated
+        # rank), reported here so every stats surface shows them next to
+        # the per-engine counters.
+        from repro.core.blockprog import blockprog_stats
+        from repro.core.gather import kernel_path_counts
+
+        out.update(blockprog_stats())
+        out.update(kernel_path_counts())
         return out
 
 

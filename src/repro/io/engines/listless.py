@@ -95,6 +95,12 @@ class ListlessEngine(IOEngine):
     # ------------------------------------------------------------------
     # Memory-side pack/unpack — one gather/scatter kernel call
     # ------------------------------------------------------------------
+    def _use_programs(self) -> Optional[bool]:
+        """Per-file A/B toggle: ``ff_block_programs=false`` forces the
+        cold traversal path; the default defers to the process-wide
+        switch (:func:`repro.core.blockprog.enabled`)."""
+        return None if self.fh.hints.ff_block_programs else False
+
     def pack_mem(self, mem: MemDescriptor, d_lo: int, d_hi: int,
                  out: np.ndarray) -> None:
         if mem.is_contiguous:
@@ -103,7 +109,7 @@ class ListlessEngine(IOEngine):
         self.stats.ff_kernel_calls += 1
         ff_pack(
             mem.buf, mem.count, mem.memtype, d_lo, out, d_hi - d_lo,
-            origin=mem.origin,
+            origin=mem.origin, use_programs=self._use_programs(),
         )
 
     def unpack_mem(self, mem: MemDescriptor, d_lo: int, d_hi: int,
@@ -114,7 +120,7 @@ class ListlessEngine(IOEngine):
         self.stats.ff_kernel_calls += 1
         ff_unpack(
             data, d_hi - d_lo, mem.buf, mem.count, mem.memtype, d_lo,
-            origin=mem.origin,
+            origin=mem.origin, use_programs=self._use_programs(),
         )
 
     # ------------------------------------------------------------------

@@ -17,6 +17,10 @@ datatype handling:
     enable data sieving for independent reads/writes; disabling falls
     back to one file access per contiguous block (the "multiple file
     accesses" alternative the paper's outlook discusses).
+``ff_block_programs``
+    use the compiled block-program cache (``repro.core.blockprog``) on
+    the listless engine's pack/unpack path (default on; see
+    ``docs/kernels.md``).
 """
 
 from __future__ import annotations
@@ -39,6 +43,10 @@ class Hints:
     cb_nodes: Optional[int] = None  # None → all ranks
     ds_read: bool = True
     ds_write: bool = True
+    #: Use the compiled block-program cache on the listless engine's
+    #: pack/unpack path (A/B toggle; the process-wide REPRO_BLOCKPROG
+    #: environment switch overrides it globally).
+    ff_block_programs: bool = True
     #: Striping hints, honored only at file creation (as in ROMIO/Lustre):
     #: number of simulated disks and stripe width.  None → file-system
     #: defaults.

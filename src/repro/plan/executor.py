@@ -28,6 +28,7 @@ from typing import Dict, Optional, Protocol, Tuple
 
 import numpy as np
 
+from repro.core import blockprog
 from repro.core.gather import gather_blocks, scatter_blocks
 from repro.errors import IOEngineError
 from repro.io.fileview import MemDescriptor
@@ -283,9 +284,17 @@ class PlanExecutor:
             pos = piece.d_lo - buf.d_lo
             blocks = piece.blocks
             if isinstance(blocks, Blocks):
-                gather_blocks(
-                    fb, blocks.offsets - op.lo, blocks.lengths, buf.arr, pos
-                )
+                if blockprog.enabled():
+                    # Compiled once per Blocks object: replays of a
+                    # cached plan skip the per-run offset arithmetic
+                    # and kernel-dispatch derivation.
+                    prog = blockprog.program_for_blocks(blocks)
+                    prog.gather(fb, -op.lo, buf.arr, pos)
+                else:
+                    gather_blocks(
+                        fb, blocks.offsets - op.lo, blocks.lengths,
+                        buf.arr, pos,
+                    )
             elif isinstance(blocks, TupleBlocks):
                 # Conventional engine: one interpreted copy per tuple.
                 for o, ln in blocks.pairs:
@@ -338,9 +347,14 @@ class PlanExecutor:
             pos = piece.d_lo - base
             blocks = piece.blocks
             if isinstance(blocks, Blocks):
-                scattered += scatter_blocks(
-                    fb, blocks.offsets - op.lo, blocks.lengths, arr, pos
-                )
+                if blockprog.enabled():
+                    prog = blockprog.program_for_blocks(blocks)
+                    scattered += prog.scatter(fb, -op.lo, arr, pos)
+                else:
+                    scattered += scatter_blocks(
+                        fb, blocks.offsets - op.lo, blocks.lengths, arr,
+                        pos,
+                    )
             elif isinstance(blocks, TupleBlocks):
                 for o, ln in blocks.pairs:
                     fb[o - op.lo : o - op.lo + ln] = arr[pos : pos + ln]

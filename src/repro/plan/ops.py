@@ -32,7 +32,7 @@ characteristic copy machinery:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Tuple, Union
 
 import numpy as np
@@ -68,10 +68,19 @@ def in_slot(rank: int) -> Tuple[str, int]:
 
 @dataclass(frozen=True)
 class Blocks:
-    """Materialized contiguous file blocks (absolute offsets)."""
+    """Materialized contiguous file blocks (absolute offsets).
+
+    ``prog`` memoizes the compiled :class:`~repro.core.blockprog.
+    BlockProgram` of these blocks (set lazily by the executor via
+    ``program_for_blocks``), so replaying a cached plan reuses the
+    one-time kernel dispatch instead of re-deriving it per run.  It is
+    a cache, not part of the block description — excluded from
+    comparison.
+    """
 
     offsets: np.ndarray
     lengths: np.ndarray
+    prog: object = field(default=None, compare=False)
 
     @property
     def nbytes(self) -> int:

@@ -87,9 +87,18 @@ class Planner:
 
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
-        """Drop every cached plan (the fileview changed)."""
+        """Drop every cached plan (the fileview changed).
+
+        Compiled block programs follow the same epoch rule: a replaced
+        view may retire the loops its programs were compiled from, so
+        the program cache is cleared alongside the plan LRU (programs
+        for still-live loops recompile on first miss).
+        """
         self.epoch += 1
         self._cache.clear()
+        from repro.core import blockprog
+
+        blockprog.clear()
 
     def _lookup(self, sig: Optional[tuple]) -> Optional[IOPlan]:
         if not self.cacheable or sig is None:

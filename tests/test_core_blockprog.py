@@ -1,0 +1,308 @@
+"""Compiled block programs: cache semantics, relocation, kernel parity.
+
+The invariant under test: for any loop and range, the compiled program
+translated by its base reproduces ``blocks_range`` exactly, and the
+gather/scatter it executes is byte-identical to the cold traversal path
+— including skipbytes landing mid-block at period boundaries, where the
+residue-class reduction is easiest to get wrong.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import datatypes as dt
+from repro.core import blockprog
+from repro.core.blockprog import (
+    _MAX_PROGRAMS_PER_LOOP,
+    BlockProgram,
+    BLOCKPROG_STATS,
+    program_for,
+)
+from repro.core.ff_pack import ff_pack, ff_unpack, top_dataloop
+from repro.core.gather import KERNEL_PATHS, gather_blocks, scatter_blocks
+from repro.errors import FFError
+from tests.conftest import datatype_trees, fill_pattern
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """Each test sees an empty cache, zeroed counters, layer enabled."""
+    prev = blockprog.set_enabled(True)
+    blockprog.clear()
+    BLOCKPROG_STATS.reset()
+    KERNEL_PATHS.reset()
+    yield
+    blockprog.set_enabled(prev)
+    blockprog.clear()
+
+
+def periodic_type():
+    """A ragged indexed type under a resized period — the worst case for
+    relocation (mid-block cuts at every residue)."""
+    lens = [3, 1, 7, 2]
+    displs = [0, 5, 9, 20]
+    return dt.resized(dt.indexed(lens, displs, dt.BYTE), 0, 32)
+
+
+# ----------------------------------------------------------------------
+# Translation equality: program + base == blocks_range
+# ----------------------------------------------------------------------
+class TestTranslation:
+    @pytest.mark.parametrize("skip", [0, 1, 3, 12, 13, 26, 32, 45, 400])
+    @pytest.mark.parametrize("n", [1, 5, 13, 40, 200])
+    def test_materialize_matches_blocks_range(self, skip, n):
+        t = periodic_type()
+        count = 64
+        loop = top_dataloop(t, count)
+        n = min(n, loop.size - skip)
+        if n <= 0:
+            pytest.skip("range beyond data")
+        ref_offs, ref_lens = loop.blocks_range(skip, skip + n)
+        hit = program_for(loop, skip, skip + n)
+        assert hit is not None
+        prog, base = hit
+        offs, lens = prog.materialize(base)
+        assert offs.tolist() == ref_offs.tolist()
+        assert lens.tolist() == ref_lens.tolist()
+
+    def test_same_residue_shares_one_program(self):
+        t = periodic_type()
+        loop = top_dataloop(t, 64)
+        progs = set()
+        for period in range(8):
+            hit = program_for(loop, 4 + period * t.size, 14 + period * t.size)
+            progs.add(id(hit[0]))
+        assert len(progs) == 1
+        assert BLOCKPROG_STATS.misses == 1
+        assert BLOCKPROG_STATS.hits == 7
+
+    def test_distinct_shapes_get_distinct_programs(self):
+        t = periodic_type()
+        loop = top_dataloop(t, 64)
+        a, _ = program_for(loop, 0, 10)
+        b, _ = program_for(loop, 1, 11)  # different residue
+        c, _ = program_for(loop, 0, 11)  # different length
+        assert len({id(a), id(b), id(c)}) == 3
+        assert BLOCKPROG_STATS.misses == 3
+
+
+# ----------------------------------------------------------------------
+# Cache behavior: toggles, bypasses, invalidation, LRU bound
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_disabled_returns_none(self):
+        loop = top_dataloop(periodic_type(), 8)
+        blockprog.set_enabled(False)
+        assert program_for(loop, 0, 10) is None
+        assert BLOCKPROG_STATS.misses == 0 and BLOCKPROG_STATS.hits == 0
+
+    def test_per_call_override_beats_global(self):
+        loop = top_dataloop(periodic_type(), 8)
+        assert program_for(loop, 0, 10, use_programs=False) is None
+        blockprog.set_enabled(False)
+        assert program_for(loop, 0, 10, use_programs=True) is not None
+
+    @pytest.mark.parametrize(
+        "value,expect",
+        [("0", False), ("false", False), ("off", False), ("", True),
+         ("1", True), ("yes", True)],
+    )
+    def test_env_parsing(self, monkeypatch, value, expect):
+        monkeypatch.setenv("REPRO_BLOCKPROG", value)
+        assert blockprog._env_enabled() is expect
+
+    def test_contiguous_loop_bypassed(self):
+        loop = top_dataloop(dt.contiguous(64, dt.BYTE), 4)
+        assert program_for(loop, 8, 40) is None
+        assert BLOCKPROG_STATS.bypasses == 1
+
+    def test_clear_forces_recompile(self):
+        loop = top_dataloop(periodic_type(), 8)
+        a, _ = program_for(loop, 0, 10)
+        blockprog.clear()
+        b, _ = program_for(loop, 0, 10)
+        assert a is not b
+        assert BLOCKPROG_STATS.misses == 2
+
+    def test_lru_bounded_per_loop(self):
+        t = periodic_type()
+        loop = top_dataloop(t, 512)
+        for n in range(1, _MAX_PROGRAMS_PER_LOOP + 20):
+            program_for(loop, 0, n)
+        progs = blockprog._cache.get(loop)
+        assert len(progs) == _MAX_PROGRAMS_PER_LOOP
+        # Oldest shapes were evicted: re-querying them misses again.
+        BLOCKPROG_STATS.reset()
+        program_for(loop, 0, 1)
+        assert BLOCKPROG_STATS.misses == 1
+
+    def test_planner_invalidate_clears_programs(self):
+        loop = top_dataloop(periodic_type(), 8)
+        program_for(loop, 0, 10)
+        assert len(blockprog._cache.get(loop)) == 1
+
+        class _Stub:  # minimal planner host
+            pass
+
+        from repro.plan.planner import Planner
+        from repro.plan.stats import PlanStats
+
+        planner = Planner(_Stub(), cacheable=True, stats=PlanStats())
+        planner.invalidate()
+        assert blockprog._cache.get(loop) is None
+
+
+# ----------------------------------------------------------------------
+# Kernel parity: every compiled dispatch kind vs the generic kernels
+# ----------------------------------------------------------------------
+class TestKernelParity:
+    CASES = {
+        "single": ([(3, 9)], 0),
+        "small": ([(0, 3), (9, 1), (30, 7)], 0),
+        "strided": ([(i * 8, 4) for i in range(24)], 0),
+        "index": ([(i * 8 + (i % 3), 4) for i in range(24)], 0),
+        "ragged_index": ([(i * 9, (i % 5) + 1) for i in range(24)], 0),
+        "big": ([(i * 600, 512) for i in range(20)], 0),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    @pytest.mark.parametrize("base", [0, 64])
+    def test_gather_scatter_match_generic(self, name, base):
+        pairs, _ = self.CASES[name]
+        offs = np.array([o for o, _ in pairs], dtype=np.int64)
+        lens = np.array([ln for _, ln in pairs], dtype=np.int64)
+        total = int(lens.sum())
+        span = int(offs.max() + lens.max()) + base + 8
+        src = fill_pattern(span, seed=3)
+        prog = BlockProgram(offs, lens)
+
+        got = np.zeros(total, dtype=np.uint8)
+        assert prog.gather(src, base, got, 0) == total
+        ref = np.zeros(total, dtype=np.uint8)
+        gather_blocks(src, offs + base, lens, ref, 0)
+        assert (got == ref).all()
+
+        data = fill_pattern(total, seed=4)
+        got_dst = np.zeros(span, dtype=np.uint8)
+        assert prog.scatter(got_dst, base, data, 0) == total
+        ref_dst = np.zeros(span, dtype=np.uint8)
+        scatter_blocks(ref_dst, offs + base, lens, data, 0)
+        assert (got_dst == ref_dst).all()
+
+    def test_program_arrays_are_frozen_copies(self):
+        offs = np.array([0, 10], dtype=np.int64)
+        lens = np.array([4, 4], dtype=np.int64)
+        prog = BlockProgram(offs, lens)
+        offs[0] = 99  # caller's array must stay writable and unshared
+        assert prog.offsets[0] == 0
+        assert not prog.offsets.flags.writeable
+        with pytest.raises(ValueError):
+            prog.offsets[0] = 1
+
+
+# ----------------------------------------------------------------------
+# ff_pack / ff_unpack through the program path
+# ----------------------------------------------------------------------
+class TestFFIntegration:
+    def test_counters_flow_through_ff_pack(self):
+        t = periodic_type()
+        src = fill_pattern(64 * t.extent + 8)
+        out = np.zeros(40, dtype=np.uint8)
+        for w in range(6):
+            ff_pack(src, 64, t, 4 + w * t.size, out, 40)
+        assert BLOCKPROG_STATS.misses == 1
+        assert BLOCKPROG_STATS.hits == 5
+        assert BLOCKPROG_STATS.translations == 6
+
+    def test_traversal_corruption_raises_fferror(self, monkeypatch):
+        import importlib
+
+        # "repro.core.ff_pack" as an attribute is the *function* (the
+        # package re-exports it); fetch the module itself to patch it.
+        ffmod = importlib.import_module("repro.core.ff_pack")
+
+        t = periodic_type()
+        src = fill_pattern(8 * t.extent + 8)
+        out = np.zeros(16, dtype=np.uint8)
+        monkeypatch.setattr(ffmod, "gather_blocks", lambda *a, **k: -1)
+        with pytest.raises(FFError, match="traversal corruption"):
+            ff_pack(src, 8, t, 0, out, 16, use_programs=False)
+        monkeypatch.setattr(ffmod, "scatter_blocks", lambda *a, **k: -1)
+        with pytest.raises(FFError, match="traversal corruption"):
+            ff_unpack(out, 16, np.zeros(src.size, np.uint8), 8, t, 0,
+                      use_programs=False)
+
+    # ------------------------------------------------------------------
+    # Satellite 3: property tests — skipbytes mid-block at period
+    # boundaries, hit path vs cold path, byte-identical.
+    # ------------------------------------------------------------------
+    @settings(max_examples=50, deadline=None)
+    @given(
+        tree=datatype_trees(),
+        period=st.integers(0, 5),
+        within=st.integers(-2, 2),
+        size=st.integers(1, 64),
+    )
+    def test_pack_hit_equals_cold_at_period_boundaries(
+        self, tree, period, within, size
+    ):
+        count = 8
+        if tree.size == 0 or tree.extent <= 0:
+            return
+        # Skip positions straddling a period boundary: a whole number of
+        # instances plus/minus a couple of bytes lands mid-block for most
+        # trees (the residue reduction must cut blocks, not copy them).
+        skip = period * tree.size + within
+        if skip < 0 or skip >= count * tree.size:
+            return
+        span = (count - 1) * tree.extent + tree.true_ub + 8
+        src = fill_pattern(span, seed=7)
+        n = min(size, count * tree.size - skip)
+
+        cold = np.zeros(n, dtype=np.uint8)
+        got = ff_pack(src, count, tree, skip, cold, n,
+                      use_programs=False)
+        blockprog.clear()
+        miss = np.zeros(n, dtype=np.uint8)
+        assert ff_pack(src, count, tree, skip, miss, n,
+                       use_programs=True) == got
+        hit = np.zeros(n, dtype=np.uint8)
+        assert ff_pack(src, count, tree, skip, hit, n,
+                       use_programs=True) == got
+        assert (miss == cold).all()
+        assert (hit == cold).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        tree=datatype_trees(),
+        period=st.integers(0, 5),
+        within=st.integers(-2, 2),
+        size=st.integers(1, 64),
+    )
+    def test_unpack_hit_equals_cold_at_period_boundaries(
+        self, tree, period, within, size
+    ):
+        count = 8
+        if tree.size == 0 or tree.extent <= 0:
+            return
+        skip = period * tree.size + within
+        if skip < 0 or skip >= count * tree.size:
+            return
+        span = (count - 1) * tree.extent + tree.true_ub + 8
+        n = min(size, count * tree.size - skip)
+        data = fill_pattern(n, seed=9)
+
+        cold = np.zeros(span, dtype=np.uint8)
+        got = ff_unpack(data, n, cold, count, tree, skip,
+                        use_programs=False)
+        blockprog.clear()
+        miss = np.zeros(span, dtype=np.uint8)
+        assert ff_unpack(data, n, miss, count, tree, skip,
+                         use_programs=True) == got
+        hit = np.zeros(span, dtype=np.uint8)
+        assert ff_unpack(data, n, hit, count, tree, skip,
+                         use_programs=True) == got
+        assert (miss == cold).all()
+        assert (hit == cold).all()

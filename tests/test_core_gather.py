@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.gather import block_index, gather_blocks, scatter_blocks
+from repro.core.gather import (
+    _SMALL_N,
+    _uniform_stride,
+    block_index,
+    gather_blocks,
+    scatter_blocks,
+)
 from tests.conftest import fill_pattern
 
 
@@ -102,3 +108,95 @@ class TestScatter:
         dst = np.zeros(4, dtype=np.uint8)
         scatter_blocks(dst, offs, lens, data, src_pos=8)
         assert (dst == data[8:12]).all()
+
+
+class TestUniformStride:
+    def test_uniform(self):
+        assert _uniform_stride(np.array([3, 8, 13, 18], np.int64)) == 5
+
+    def test_negative(self):
+        assert _uniform_stride(np.array([30, 20, 10, 0], np.int64)) == -10
+
+    def test_degenerate(self):
+        assert _uniform_stride(np.array([], np.int64)) == 0
+        assert _uniform_stride(np.array([7], np.int64)) == 0
+
+    def test_early_exit_on_first_mismatch(self):
+        # Third offset breaks the step: the O(n) diff must be skipped —
+        # feed an array whose tail would *also* match the step so only
+        # the early exit can return None here.
+        offs = np.array([0, 8, 17] + [17 + 8 * i for i in range(1, 50)],
+                        np.int64)
+        assert _uniform_stride(offs) is None
+
+    def test_late_mismatch_detected(self):
+        offs = np.arange(0, 400, 8, dtype=np.int64)
+        offs[-1] += 1
+        assert _uniform_stride(offs) is None
+
+
+class TestHardening:
+    """Negative-stride and overlapping-offset inputs above _SMALL_N.
+
+    Type-map order need not be buffer order (non-monotonic memtypes):
+    the strided-view fast path must refuse these and the index paths
+    must reproduce the per-block reference loop, including its
+    last-block-wins overwrite order for overlapping scatters.
+    """
+
+    N = _SMALL_N + 8  # force past the small-loop path
+
+    def _ref_scatter(self, span, offs, lens, data):
+        dst = np.zeros(span, dtype=np.uint8)
+        pos = 0
+        for o, ln in zip(offs.tolist(), lens.tolist()):
+            dst[o : o + ln] = data[pos : pos + ln]
+            pos += ln
+        return dst
+
+    def cases(self):
+        n = self.N
+        return {
+            # uniform lengths, offsets running backwards (fancy-index)
+            "negative_stride": arrs([((n - 1 - i) * 8, 4)
+                                     for i in range(n)]),
+            # uniform lengths, stride < length: blocks overlap
+            "overlapping_stride": arrs([(i * 2, 4) for i in range(n)]),
+            # backwards *and* overlapping
+            "negative_overlapping": arrs([((n - 1 - i) * 2, 4)
+                                          for i in range(n)]),
+            # ragged + duplicate offsets (ragged-index path)
+            "duplicate_offsets": arrs([(8 * (i // 2), (i % 3) + 1)
+                                       for i in range(n)]),
+            # long blocks backwards (big-block loop path)
+            "negative_big": arrs([((n - 1 - i) * 600, 512)
+                                  for i in range(n)]),
+            # long blocks overlapping
+            "overlapping_big": arrs([(i * 100, 512) for i in range(n)]),
+        }
+
+    @pytest.mark.parametrize("name", [
+        "negative_stride", "overlapping_stride", "negative_overlapping",
+        "duplicate_offsets", "negative_big", "overlapping_big",
+    ])
+    def test_gather_matches_reference(self, name):
+        offs, lens = self.cases()[name]
+        span = int(offs.max() + lens.max()) + 8
+        src = fill_pattern(span, seed=5)
+        total = int(lens.sum())
+        out = np.zeros(total, dtype=np.uint8)
+        assert gather_blocks(src, offs, lens, out) == total
+        assert (out == ref_gather(src, offs.tolist(), lens.tolist())).all()
+
+    @pytest.mark.parametrize("name", [
+        "negative_stride", "overlapping_stride", "negative_overlapping",
+        "duplicate_offsets", "negative_big", "overlapping_big",
+    ])
+    def test_scatter_matches_reference(self, name):
+        offs, lens = self.cases()[name]
+        span = int(offs.max() + lens.max()) + 8
+        total = int(lens.sum())
+        data = fill_pattern(total, seed=6)
+        dst = np.zeros(span, dtype=np.uint8)
+        assert scatter_blocks(dst, offs, lens, data) == total
+        assert (dst == self._ref_scatter(span, offs, lens, data)).all()
