@@ -17,7 +17,7 @@ thread scheduling.
 from __future__ import annotations
 
 import statistics
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench import (
     NoncontigConfig,
@@ -90,6 +90,69 @@ def speedup_row(curves: Dict[str, List[float]], pattern: str,
         curves[curve_name("listless", pattern)][i]
         / curves[curve_name("list_based", pattern)][i]
     )
+
+
+def probe_metric_schema() -> Dict:
+    """Metric schema (key structure, no values) of both engines.
+
+    Runs one tiny collective write per engine and snapshots the metrics
+    registry while the file handles are still open (engine entries are
+    weakly referenced, so the snapshot must happen inside the worker).
+    The result is what ``benchmarks/check_metrics_schema.py`` diffs
+    against the golden ``results/METRICS_SCHEMA.json``.
+    """
+    import numpy as np
+
+    from repro import datatypes as dt
+    from repro.fs import SimFileSystem
+    from repro.io import File, MODE_CREATE, MODE_RDWR
+    from repro.mpi import run_spmd
+    from repro.obs import metrics
+
+    box: Dict = {}
+
+    def run(engine: str) -> None:
+        fs = SimFileSystem()
+        ft_box = {}
+
+        def worker(comm):
+            ft = dt.vector(8, 2, 2 * comm.size, dt.DOUBLE)
+            fh = File.open(comm, fs, "/probe", MODE_CREATE | MODE_RDWR,
+                           engine=engine)
+            fh.set_view(comm.rank * 16, dt.DOUBLE, ft)
+            buf = np.arange(16, dtype=np.float64)
+            fh.write_at_all(0, buf)
+            if comm.rank == 0:
+                ft_box["snap"] = metrics.snapshot()
+            comm.barrier()
+            fh.close()
+
+        run_spmd(2, worker)
+        schema = metrics.metric_schema(ft_box["snap"])
+        box.setdefault("engines", {}).update(schema["engines"])
+        box["file_counters"] = schema["file_counters"]
+        box["global"] = schema["global"]
+
+    for engine in ENGINES:
+        run(engine)
+    return {
+        "engines": {k: box["engines"][k] for k in sorted(box["engines"])},
+        "file_counters": box["file_counters"],
+        "global": box["global"],
+    }
+
+
+def obs_record(phases: Optional[Dict[str, float]] = None) -> Dict:
+    """Observability block embedded in ``BENCH_*.json`` records.
+
+    Carries the live metric schema (so recorded runs document the
+    counter/phase key set they were produced under) and, when the
+    benchmark collected one, the per-phase time decomposition.
+    """
+    rec: Dict = {"metric_schema": probe_metric_schema()}
+    if phases is not None:
+        rec["phases"] = {k: float(phases[k]) for k in sorted(phases)}
+    return rec
 
 
 def print_figure(

@@ -158,6 +158,11 @@ def collect(quick: bool) -> dict:
         },
         "stats": blockprog.blockprog_stats(),
     }
+    try:
+        from benchmarks._common import obs_record
+    except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+        from _common import obs_record
+    record["observability"] = obs_record()
     record["acceptance"] = {
         "threshold": 3.0,
         "pack_speedup": record["cases"]["pack"]["speedup"],

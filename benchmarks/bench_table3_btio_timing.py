@@ -43,7 +43,7 @@ def timed(engine: str, cls: str, P: int, nsteps: int,
     stall-robust estimator and is what the engines' costs actually
     determine.
     """
-    times, bws = [], []
+    times, bws, runs = [], [], []
     for _ in range(repeats):
         r = run_btio(
             engine,
@@ -52,7 +52,9 @@ def timed(engine: str, cls: str, P: int, nsteps: int,
         )
         times.append(r.io_time.total)
         bws.append(r.io_bandwidth)
-    return min(times), max(bws)
+        runs.append(r)
+    best = min(runs, key=lambda r: r.io_time.total)
+    return min(times), max(bws), best.phases
 
 
 # ----------------------------------------------------------------------
@@ -71,8 +73,8 @@ def test_table3_shape_listless_not_slower():
     """The paper's r_io ≥ 1: at a class with realistic block sizes
     (A: ~1.3 kB blocks, ~10 MB/step) listless BTIO I/O clearly beats
     list-based; at toy classes (S/W) the engines tie within noise."""
-    t_lb, _ = timed("list_based", "A", 4, nsteps=2)
-    t_ll, _ = timed("listless", "A", 4, nsteps=2)
+    t_lb, _, _ = timed("list_based", "A", 4, nsteps=2)
+    t_ll, _, _ = timed("listless", "A", 4, nsteps=2)
     assert t_ll < t_lb, (t_ll, t_lb)
 
 
@@ -80,9 +82,12 @@ def main(paper_scale: bool = False) -> None:
     cases = PAPER_CASES if paper_scale else QUICK_CASES
     nsteps = 5 if paper_scale else 3
     rows = []
+    phase_cols = {}
     for cls, P in cases:
-        t_lb, bw_lb = timed("list_based", cls, P, nsteps)
-        t_ll, bw_ll = timed("listless", cls, P, nsteps)
+        t_lb, bw_lb, ph_lb = timed("list_based", cls, P, nsteps)
+        t_ll, bw_ll, ph_ll = timed("listless", cls, P, nsteps)
+        phase_cols[(cls, P)] = [("list-based", ph_lb),
+                                ("listless", ph_ll)]
         rows.append(
             (
                 cls,
@@ -111,6 +116,13 @@ def main(paper_scale: bool = False) -> None:
     )
     print("(paper, SX-7: r_io between 1.07 and 2.07; bandwidths in the "
           "GB/s range on real hardware)")
+
+    from repro.obs.phases import format_phase_table
+
+    cls, P = cases[-1]
+    print(f"\nper-phase decomposition, class {cls}, P={P} "
+          "(seconds summed over ranks, best repeat):")
+    print(format_phase_table(phase_cols[(cls, P)]))
 
 
 if __name__ == "__main__":

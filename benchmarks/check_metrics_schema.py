@@ -1,0 +1,98 @@
+"""Golden-key check of the unified metrics schema.
+
+The observability layer promises a fixed, deterministic key set: both
+engines expose the *same* counter and phase keys, file stats and the
+process-global counters (block programs, kernel paths) have stable
+names, and snapshots are sorted.  CI runs this script to catch
+accidental schema drift — a renamed counter silently breaks every
+dashboard and recorded ``BENCH_*.json``.
+
+Check against the golden record (exit 1 on drift)::
+
+    python benchmarks/check_metrics_schema.py
+
+Regenerate the golden after an *intentional* schema change::
+
+    python benchmarks/check_metrics_schema.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from benchmarks._common import probe_metric_schema
+
+GOLDEN = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "results", "METRICS_SCHEMA.json",
+)
+
+
+def _diff(want: dict, got: dict, path: str = "") -> list:
+    """Human-readable differences between two schema trees."""
+    out = []
+    if isinstance(want, dict) and isinstance(got, dict):
+        for k in sorted(set(want) | set(got)):
+            p = f"{path}.{k}" if path else k
+            if k not in got:
+                out.append(f"missing: {p}")
+            elif k not in want:
+                out.append(f"unexpected: {p}")
+            else:
+                out.extend(_diff(want[k], got[k], p))
+    elif want != got:
+        out.append(f"changed: {path}: {want!r} -> {got!r}")
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the golden record instead of checking")
+    ap.add_argument("--golden", default=GOLDEN,
+                    help="path of the golden schema JSON")
+    args = ap.parse_args(argv)
+
+    got = probe_metric_schema()
+
+    # The schema contract: both engines expose identical key sets.
+    names = sorted(got["engines"])
+    for a, b in zip(names, names[1:]):
+        if got["engines"][a] != got["engines"][b]:
+            print(f"engine schema mismatch: {a} != {b}", file=sys.stderr)
+            return 1
+
+    if args.update:
+        with open(args.golden, "w") as f:
+            json.dump(got, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.golden}")
+        return 0
+
+    try:
+        with open(args.golden) as f:
+            want = json.load(f)
+    except FileNotFoundError:
+        print(f"no golden record at {args.golden}; run with --update",
+              file=sys.stderr)
+        return 1
+
+    drift = _diff(want, got)
+    if drift:
+        print("metrics schema drift vs golden:", file=sys.stderr)
+        for line in drift:
+            print(f"  {line}", file=sys.stderr)
+        print("(if intentional, regenerate with --update)",
+              file=sys.stderr)
+        return 1
+    print(f"metrics schema matches {os.path.relpath(args.golden)} "
+          f"({len(want['engines'])} engines, "
+          f"{len(want['global'])} global counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

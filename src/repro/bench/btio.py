@@ -250,6 +250,11 @@ class BTIOResult:
     compute_time: PhaseTime = None  # type: ignore[assignment]
     comm_bytes: int = 0
     fs_stats: Dict[str, int] = field(default_factory=dict)
+    #: Per-phase wall time (``phase_<bucket>`` keys, seconds) summed over
+    #: ranks — the Table-3-style overhead decomposition of the run.
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: The same snapshots, one per rank (index == rank).
+    phases_by_rank: List[Dict[str, float]] = field(default_factory=list)
 
     @property
     def drun(self) -> int:
@@ -384,11 +389,18 @@ def run_btio(
                 want = cell_interior(cell_views[c], coords[c])
                 ok = ok and np.allclose(got, want)
             assert ok, f"rank {rank}: BTIO verification failed"
+        phase_rows[rank] = fh.engine.stats.phases.snapshot()
         fh.close()
 
+    phase_rows: Dict[int, Dict[str, float]] = {}
     run_spmd(P, worker, world_out=worlds)
     result.io_time = PhaseTime(*boxes["io_acc"])
     result.compute_time = PhaseTime(*boxes["comp_acc"])
     result.comm_bytes = worlds[0].total_bytes_sent()
     result.fs_stats = fs.lookup("/btio.out").stats.snapshot()
+    result.phases_by_rank = [phase_rows[r] for r in sorted(phase_rows)]
+    result.phases = {
+        k: sum(row[k] for row in result.phases_by_rank)
+        for k in (result.phases_by_rank[0] if result.phases_by_rank else {})
+    }
     return result

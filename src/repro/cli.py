@@ -25,6 +25,12 @@ Commands
     flattening cost vs dataloop cost)::
 
         python -m repro.cli inspect "vector(16384, 1, 2, DOUBLE)"
+
+``trace``
+    Run a quick BT-IO with tracing enabled and export the spans as
+    Chrome-trace/Perfetto JSON (one track per simulated rank)::
+
+        python -m repro.cli trace --export trace.json
 """
 
 from __future__ import annotations
@@ -84,6 +90,7 @@ def _cmd_noncontig(args: argparse.Namespace) -> int:
 def _cmd_btio(args: argparse.Namespace) -> int:
     rows = []
     times = {}
+    phase_cols = []
     for engine in ("list_based", "listless"):
         samples = []
         for _ in range(args.repeats):
@@ -97,10 +104,18 @@ def _cmd_btio(args: argparse.Namespace) -> int:
         bw = max(s.io_bandwidth for s in samples)
         times[engine] = t
         rows.append((engine, f"{t:.3f}", f"{mb_per_s(bw):.1f}"))
+        best = min(samples, key=lambda s: s.io_time.total)
+        phase_cols.append((engine, best.phases))
     print(f"BTIO class {args.cls}, P={args.nprocs}, "
           f"nsteps={args.nsteps}")
     print(format_table(["engine", "io time [s]", "io MB/s"], rows))
     print(f"r_io = {times['list_based'] / times['listless']:.2f}")
+    if getattr(args, "report", "time") == "phases":
+        from repro.obs.phases import format_phase_table
+
+        print("\nper-phase decomposition "
+              "(seconds summed over ranks, best repeat):")
+        print(format_phase_table(phase_cols))
     return 0
 
 
@@ -180,9 +195,16 @@ def _cmd_plan_dump(args: argparse.Namespace) -> int:
     from repro.io import File, MODE_CREATE, MODE_RDWR
     from repro.datatypes import BYTE
     from repro.mpi import run_spmd
+    from repro.obs import metrics, text_summary, trace
 
     ft = _parse_type(args.filetype)
     out = {}
+    # Scope the process-global counters (block programs, kernel paths)
+    # to this dump, and trace the access so the span summary below shows
+    # where the time went.
+    metrics.reset()
+    trace.TRACER.clear()
+    prev_trace = trace.set_tracing(True)
 
     def worker(comm):
         fh = File.open(comm, SimFileSystem(), "/plan",
@@ -208,19 +230,55 @@ def _cmd_plan_dump(args: argparse.Namespace) -> int:
         out["stats"] = engine.stats.snapshot()
         fh.close()
 
-    run_spmd(1, worker)
+    try:
+        run_spmd(1, worker)
+    finally:
+        trace.set_tracing(prev_trace)
     print(f"filetype: {args.filetype}")
     print("\ndataloop program:")
     print(describe_dataloop(compile_dataloop(ft)))
     print("\nplan:")
     print(out["plan"].describe())
-    s = out["stats"]
-    shown = [k for k in s
-             if k.startswith(("plan_cache", "blockprog_", "kernel_path_"))]
+    s = dict(out["stats"])
+    # Block-program and kernel-path counters are process-global and live
+    # in the metrics registry now (the engine snapshot only carries the
+    # per-engine plan-cache counters).
+    s.update(metrics.snapshot()["global"])
+    shown = sorted(
+        k for k in s
+        if k.startswith(("plan_cache", "blockprog_", "kernel_path_"))
+    )
     print("\ncache and kernel-path counters "
           "(after planning + 1 priming write + 2 accesses):")
     print(format_table(["counter", "value"],
                        [(k, s[k]) for k in shown]))
+    print("\ntrace summary (inclusive span times):")
+    print(text_summary(limit=20))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import export_chrome_trace, text_summary, trace
+
+    trace.TRACER.clear()
+    prev = trace.set_tracing(True)
+    try:
+        r = run_btio(
+            args.engine,
+            BTIOConfig(cls=args.cls, nprocs=args.nprocs,
+                       nsteps=args.nsteps),
+        )
+    finally:
+        trace.set_tracing(prev)
+    print(f"traced BTIO class {args.cls}, P={args.nprocs}, "
+          f"nsteps={args.nsteps}, engine={args.engine} "
+          f"(io {r.io_time.total:.3f} s)")
+    print(text_summary(limit=args.limit))
+    if args.export:
+        n = export_chrome_trace(args.export)
+        print(f"\nwrote {n} spans across {len(trace.TRACER.ranks())} "
+              f"rank tracks to {args.export} "
+              "(load in Perfetto or chrome://tracing)")
     return 0
 
 
@@ -313,6 +371,10 @@ def build_parser() -> argparse.ArgumentParser:
     bt.add_argument("--nsteps", type=int, default=3)
     bt.add_argument("--repeats", type=int, default=3)
     bt.add_argument("--verify", action="store_true")
+    bt.add_argument("--report", choices=["time", "phases"],
+                    default="time",
+                    help="'phases' adds the per-phase decomposition "
+                    "table (Table-3 style)")
     bt.set_defaults(fn=_cmd_btio)
 
     ch = sub.add_parser("characterize",
@@ -343,6 +405,21 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--bufsize", type=int, default=4 * 1024 * 1024,
                     help="independent sieving buffer size hint")
     pd.set_defaults(fn=_cmd_plan_dump)
+
+    tr = sub.add_parser(
+        "trace",
+        help="trace a quick BT-IO run and export Chrome-trace JSON",
+    )
+    tr.add_argument("--cls", choices=list("SWABCD"), default="S")
+    tr.add_argument("--nprocs", type=int, default=4)
+    tr.add_argument("--nsteps", type=int, default=2)
+    tr.add_argument("--engine", choices=["listless", "list_based"],
+                    default="listless")
+    tr.add_argument("--export", default=None, metavar="PATH",
+                    help="write Chrome-trace/Perfetto JSON here")
+    tr.add_argument("--limit", type=int, default=None,
+                    help="rows in the text summary (default: all)")
+    tr.set_defaults(fn=_cmd_trace)
 
     wl = sub.add_parser(
         "workloads", help="compare engines across application workloads"

@@ -385,8 +385,13 @@ def program_for(
         BLOCKPROG_STATS.misses += 1
     # Compile outside the lock: blocks_range is the expensive part and
     # touches only the immutable loop.
+    from repro.obs import trace
+
+    t0 = trace.now() if trace.TRACE_ON else 0.0
     offs, lens = loop.blocks_range(residue, residue + n)
     prog = BlockProgram(offs, lens)
+    if trace.TRACE_ON:
+        trace.TRACER.add("blockprog.compile", t0, blocks=int(offs.size))
     with _lock:
         progs[key] = prog
         while len(progs) > _MAX_PROGRAMS_PER_LOOP:

@@ -29,6 +29,7 @@ from repro.core.dataloop import Dataloop, _vector, compile_dataloop
 from repro.core.gather import gather_blocks, scatter_blocks
 from repro.datatypes.base import Datatype
 from repro.errors import FFError
+from repro.obs import trace
 
 __all__ = ["ff_pack", "ff_unpack", "top_dataloop"]
 
@@ -110,6 +111,9 @@ def ff_pack(
     n = min(packsize, total - skipbytes)
     if n <= 0:
         return 0
+    # Manual trace stamps: this is the regression-sensitive hot loop, so
+    # the off path must cost one global read, nothing more.
+    t0 = trace.now() if trace.TRACE_ON else 0.0
     src = _as_bytes(srcbuf, writeable=False)
     dst = _as_bytes(packbuf, writeable=True)
     hit = blockprog.program_for(loop, skipbytes, skipbytes + n,
@@ -125,6 +129,9 @@ def ff_pack(
             f"ff_pack traversal corruption: copied {copied} of {n} bytes "
             f"(skipbytes={skipbytes}, count={count})"
         )
+    if trace.TRACE_ON:
+        trace.TRACER.add("ff.pack", t0, bytes=n,
+                         program=hit is not None)
     return n
 
 
@@ -153,6 +160,7 @@ def ff_unpack(
     n = min(packsize, total - skipbytes)
     if n <= 0:
         return 0
+    t0 = trace.now() if trace.TRACE_ON else 0.0
     src = _as_bytes(packbuf, writeable=False)
     dst = _as_bytes(dstbuf, writeable=True)
     hit = blockprog.program_for(loop, skipbytes, skipbytes + n,
@@ -168,4 +176,7 @@ def ff_unpack(
             f"ff_unpack traversal corruption: copied {copied} of {n} "
             f"bytes (skipbytes={skipbytes}, count={count})"
         )
+    if trace.TRACE_ON:
+        trace.TRACER.add("ff.unpack", t0, bytes=n,
+                         program=hit is not None)
     return n

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import FileSystemError
 from repro.fs.simfile import SimFile
+from repro.obs import trace
 
 __all__ = ["PosixFile", "SEEK_SET", "SEEK_CUR", "SEEK_END"]
 
@@ -58,14 +59,16 @@ class PosixFile:
     def read(self, nbytes: int) -> np.ndarray:
         """Read up to ``nbytes`` at the cursor, advancing it."""
         self._check_open()
-        out = self._file.pread(self._pos, nbytes)
+        with trace.span("posix.read", bytes=nbytes):
+            out = self._file.pread(self._pos, nbytes)
         self._pos += out.size
         return out
 
     def write(self, data: np.ndarray) -> int:
         """Write at the cursor, advancing it."""
         self._check_open()
-        n = self._file.pwrite(self._pos, data)
+        with trace.span("posix.write", bytes=int(data.size)):
+            n = self._file.pwrite(self._pos, data)
         self._pos += n
         return n
 

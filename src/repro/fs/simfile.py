@@ -20,6 +20,7 @@ from repro.errors import FileSystemError
 from repro.fs.locks import RangeLockManager
 from repro.fs.stats import DeviceModel, FileStats
 from repro.fs.striping import StripingConfig
+from repro.obs import trace
 
 __all__ = ["SimFile"]
 
@@ -82,6 +83,7 @@ class SimFile:
         """Read into a caller buffer; returns bytes read."""
         if offset < 0:
             raise FileSystemError(f"invalid read offset {offset}")
+        t0 = trace.now() if trace.TRACE_ON else 0.0
         with self._mu:
             end = min(offset + out.size, self._size)
             n = max(end - offset, 0)
@@ -89,6 +91,8 @@ class SimFile:
                 out[:n] = self._data[offset:end]
         streams = self.striping.streams_for(offset, n)
         self.stats.record_read(n, self.device.read_time(n, streams))
+        if trace.TRACE_ON:
+            trace.TRACER.add("fs.pread", t0, bytes=n)
         return n
 
     def pwrite(self, offset: int, data: np.ndarray) -> int:
@@ -98,6 +102,7 @@ class SimFile:
             raise FileSystemError(f"invalid write offset {offset}")
         buf = data.view(np.uint8).reshape(-1)
         n = buf.size
+        t0 = trace.now() if trace.TRACE_ON else 0.0
         with self._mu:
             self._ensure_capacity(offset + n)
             if offset > self._size:
@@ -108,6 +113,8 @@ class SimFile:
             self._size = max(self._size, offset + n)
         streams = self.striping.streams_for(offset, n)
         self.stats.record_write(n, self.device.write_time(n, streams))
+        if trace.TRACE_ON:
+            trace.TRACER.add("fs.pwrite", t0, bytes=n)
         return n
 
     def truncate(self, length: int) -> None:
@@ -123,8 +130,11 @@ class SimFile:
     # ------------------------------------------------------------------
     def lock_range(self, lo: int, hi: int) -> None:
         """Acquire the advisory lock for a read-modify-write region."""
+        t0 = trace.now() if trace.TRACE_ON else 0.0
         self.locks.lock(lo, hi)
         self.stats.record_lock()
+        if trace.TRACE_ON:
+            trace.TRACER.add("fs.lock", t0, lo=lo, hi=hi)
 
     def unlock_range(self, lo: int, hi: int) -> None:
         self.locks.unlock(lo, hi)

@@ -19,6 +19,7 @@ pieces the paper contrasts.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
@@ -30,6 +31,8 @@ from repro.io.two_phase import (
     aggregate_ranges,
     partition_domains,
 )
+from repro.obs import metrics, trace
+from repro.obs.phases import PhaseAccumulator
 from repro.plan.stats import PlanStats
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -67,8 +70,20 @@ class EngineStats:
     ff_view_bytes_exchanged: int = 0
     #: plan-layer counters (shared by this engine's planner and executor)
     plan: PlanStats = field(default_factory=PlanStats)
+    #: per-phase wall-time buckets (plan/pack/unpack/file_io/exchange/
+    #: lock/sync), shared with this engine's planner and executor — the
+    #: Table-3-style decomposition (``repro.obs.phases``)
+    phases: PhaseAccumulator = field(default_factory=PhaseAccumulator)
 
     def snapshot(self) -> dict:
+        """This engine's counters, sorted for diffable output.
+
+        Strictly per-engine: the process-global block-program and
+        kernel-path counters are *not* merged in here (they used to be,
+        which double-reported them across open files and made per-engine
+        reset a lie) — the :mod:`repro.obs.metrics` registry reports
+        them exactly once under its ``global`` section.
+        """
         out = {
             "list_tuples_built": self.list_tuples_built,
             "list_tuples_sent": self.list_tuples_sent,
@@ -79,17 +94,7 @@ class EngineStats:
             "ff_view_bytes_exchanged": self.ff_view_bytes_exchanged,
         }
         out.update(self.plan.snapshot())
-        # Kernel-path observability: compiled-block-program counters and
-        # which gather/scatter kernel fired.  These are process-global
-        # (one cache and one kernel layer shared by every simulated
-        # rank), reported here so every stats surface shows them next to
-        # the per-engine counters.
-        from repro.core.blockprog import blockprog_stats
-        from repro.core.gather import kernel_path_counts
-
-        out.update(blockprog_stats())
-        out.update(kernel_path_counts())
-        return out
+        return dict(sorted(out.items()))
 
 
 class IOEngine:
@@ -111,11 +116,14 @@ class IOEngine:
         from repro.plan.planner import Planner
 
         self.planner = Planner(
-            self, cacheable=self.cacheable_plans, stats=self.stats.plan
+            self, cacheable=self.cacheable_plans, stats=self.stats.plan,
+            phases=self.stats.phases,
         )
         self.executor = SimFileExecutor(
-            fh.simfile, codec=self, comm=fh.comm, stats=self.stats.plan
+            fh.simfile, codec=self, comm=fh.comm, stats=self.stats.plan,
+            phases=self.stats.phases,
         )
+        metrics.register_engine(self)
 
     # ------------------------------------------------------------------
     # Subclass interface
@@ -199,20 +207,30 @@ class IOEngine:
     def write_independent(self, mem: MemDescriptor, d0: int) -> None:
         if mem.nbytes == 0:
             return
-        self.run_plan(self.plan_write_independent(mem, d0), mem)
+        with trace.span(f"{self.name}.write_independent",
+                        bytes=mem.nbytes):
+            self.run_plan(self.plan_write_independent(mem, d0), mem)
 
     def read_independent(self, mem: MemDescriptor, d0: int) -> None:
         if mem.nbytes == 0:
             return
-        self.run_plan(self.plan_read_independent(mem, d0), mem)
+        with trace.span(f"{self.name}.read_independent",
+                        bytes=mem.nbytes):
+            self.run_plan(self.plan_read_independent(mem, d0), mem)
 
     # ------------------------------------------------------------------
     # Collective access (orchestration shared; phases in subclasses)
     # ------------------------------------------------------------------
     def _collective(self, mem: MemDescriptor, d0: int, write: bool) -> None:
         comm = self.fh.comm
+        # The range allgather (and waiting for slower ranks inside it)
+        # is the collective's synchronization cost.
+        t0 = time.perf_counter()
         rng = self.access_range(mem, d0)
         ranges, agg_lo, agg_hi = aggregate_ranges(comm, rng)
+        self.stats.phases.add("sync", time.perf_counter() - t0)
+        if trace.TRACE_ON:
+            trace.TRACER.add("two_phase.aggregate_ranges", t0)
         if agg_lo is None:
             return  # nobody accesses anything
         niops = self.fh.hints.effective_cb_nodes(comm.size)
@@ -223,7 +241,11 @@ class IOEngine:
             self._collective_read(mem, rng, ranges, domains)
 
     def write_collective(self, mem: MemDescriptor, d0: int) -> None:
-        self._collective(mem, d0, write=True)
+        with trace.span(f"{self.name}.write_collective",
+                        bytes=mem.nbytes):
+            self._collective(mem, d0, write=True)
 
     def read_collective(self, mem: MemDescriptor, d0: int) -> None:
-        self._collective(mem, d0, write=False)
+        with trace.span(f"{self.name}.read_collective",
+                        bytes=mem.nbytes):
+            self._collective(mem, d0, write=False)

@@ -29,6 +29,7 @@ the paper measures.
 
 from __future__ import annotations
 
+import time
 from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -40,6 +41,7 @@ from repro.io.engines.base import IOEngine
 from repro.io.fileview import MemDescriptor
 from repro.io.sieving import windows
 from repro.io.two_phase import AccessRange
+from repro.obs import trace
 from repro.plan.ops import (
     STAGE,
     ExchangeOp,
@@ -72,13 +74,17 @@ class ListBasedEngine(IOEngine):
     def setup_view(self) -> None:
         """Explicitly flatten the filetype (no exchange happens here —
         the conventional implementation ships lists per access)."""
-        cold = getattr(self.fh.view.filetype, "_ollist_cache", None) is None
-        self.flat = flatten_cached(self.fh.view.filetype)
-        if cold:
-            self.stats.list_tuples_built += len(self.flat)
-        self.planner.invalidate()
-        # Collective call contract: everyone still synchronizes.
-        self.fh.comm.barrier()
+        with trace.span("list_based.setup_view"):
+            cold = (
+                getattr(self.fh.view.filetype, "_ollist_cache", None)
+                is None
+            )
+            self.flat = flatten_cached(self.fh.view.filetype)
+            if cold:
+                self.stats.list_tuples_built += len(self.flat)
+            self.planner.invalidate()
+            # Collective call contract: everyone still synchronizes.
+            self.fh.comm.barrier()
 
     # ------------------------------------------------------------------
     # Navigation by linear list traversal (the paper's §2.2 overhead)
@@ -314,6 +320,9 @@ class ListBasedEngine(IOEngine):
         niops = len(domains)
         d0, d1 = rng.data_lo, rng.data_hi
         # --- Plan A: stage my data once, ship (list + data) per IOP.
+        # Expanding the per-IOP ol-lists is the conventional scheme's
+        # per-access list building (§2.1) — billed to the plan phase.
+        t0 = time.perf_counter()
         ops_a: List[object] = []
         slots_a = {}
         if not rng.empty:
@@ -325,6 +334,9 @@ class ListBasedEngine(IOEngine):
         ops_a.append(ExchangeOp(tuple(sends)))
         plan_a = IOPlan("write-collective(exchange)", d0, max(0, d1 - d0),
                         tuple(ops_a), slots=slots_a)
+        self.stats.phases.add("plan", time.perf_counter() - t0)
+        if trace.TRACE_ON:
+            trace.TRACER.add("list_based.expand_lists", t0)
         bufs = self.run_plan(plan_a, mem)
         # --- IOP side: derive the window schedule from what arrived.
         if comm.rank >= niops:
@@ -332,6 +344,7 @@ class ListBasedEngine(IOEngine):
         dlo, dhi = domains[comm.rank]
         if dhi <= dlo:
             return
+        t0 = time.perf_counter()
         contribs: List[Tuple[object, OLList]] = []
         seed = {}
         for src in range(comm.size):
@@ -378,6 +391,9 @@ class ListBasedEngine(IOEngine):
             ops_b.append(FileWriteOp(
                 wlo, whi, "assemble" if covered else "rmw", tuple(pieces)
             ))
+        self.stats.phases.add("plan", time.perf_counter() - t0)
+        if trace.TRACE_ON:
+            trace.TRACER.add("list_based.derive_iop_schedule", t0)
         if ops_b:
             plan_b = IOPlan("write-collective(iop)", dlo, 0, tuple(ops_b))
             self.run_plan(plan_b, buffers=seed)
@@ -388,7 +404,9 @@ class ListBasedEngine(IOEngine):
         comm = fh.comm
         niops = len(domains)
         d0 = rng.data_lo
-        # --- Plan A: ship request lists to the IOPs.
+        # --- Plan A: ship request lists to the IOPs (per-access list
+        # building again — plan phase).
+        t0 = time.perf_counter()
         if not rng.empty:
             sends = self._expand_sends(rng, domains, take_stage=False)
         else:
@@ -396,9 +414,13 @@ class ListBasedEngine(IOEngine):
         my_requests = [(s.rank, int(s.ol.size), s.d_lo) for s in sends]
         plan_a = IOPlan("read-collective(request)", d0, 0,
                         (ExchangeOp(tuple(sends)),))
+        self.stats.phases.add("plan", time.perf_counter() - t0)
+        if trace.TRACE_ON:
+            trace.TRACER.add("list_based.expand_lists", t0)
         bufs = self.run_plan(plan_a)
         # --- Plan B: serve inbound requests window by window, exchange
         # the replies, scatter my returned segments.
+        t0 = time.perf_counter()
         ops_b: List[object] = []
         slots_b = {}
         sends_b: List[Send] = []
@@ -443,4 +465,7 @@ class ListBasedEngine(IOEngine):
         nbytes = rng.data_hi - d0 if not rng.empty else 0
         plan_b = IOPlan("read-collective(serve)", d0, nbytes,
                         tuple(ops_b), slots=slots_b)
+        self.stats.phases.add("plan", time.perf_counter() - t0)
+        if trace.TRACE_ON:
+            trace.TRACER.add("list_based.derive_iop_schedule", t0)
         self.run_plan(plan_b, mem)

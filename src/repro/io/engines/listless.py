@@ -33,6 +33,7 @@ from repro.core.ff_pack import ff_pack, ff_unpack
 from repro.core.mergeview import build_mergeview
 from repro.io.engines.base import IOEngine
 from repro.io.fileview import MemDescriptor
+from repro.obs import trace
 
 __all__ = ["ListlessEngine"]
 
@@ -52,6 +53,10 @@ class ListlessEngine(IOEngine):
     # ------------------------------------------------------------------
     def setup_view(self) -> None:
         """Collective: exchange compact views once (fileview caching)."""
+        with trace.span("listless.setup_view"):
+            self._setup_view()
+
+    def _setup_view(self) -> None:
         view = self.fh.view
         if self.fh.shared.requires_ol_lists:
             # Paper footnote 4: NFS/PVFS-style file systems perform

@@ -105,8 +105,14 @@ class File:
         self._ind_ptr = 0  # etype units
         self._closed = False
         self._split_pending = None  # outstanding split collective, if any
-        from repro.io.engines import make_engine
+        if hints.obs_trace:
+            from repro.obs import trace
 
+            trace.set_tracing(True)
+        from repro.io.engines import make_engine
+        from repro.obs import metrics
+
+        metrics.register_file(shared.path, shared.simfile.stats)
         self.engine_name = engine_name
         self.engine = make_engine(engine_name, self)
         # Views must be installed collectively even for the default view,

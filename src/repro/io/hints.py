@@ -21,6 +21,10 @@ datatype handling:
     use the compiled block-program cache (``repro.core.blockprog``) on
     the listless engine's pack/unpack path (default on; see
     ``docs/kernels.md``).
+``obs_trace``
+    turn on span tracing (``repro.obs.trace``) when the file is opened —
+    a per-open convenience for the process-wide ``REPRO_TRACE`` /
+    ``set_tracing()`` switch (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -47,6 +51,9 @@ class Hints:
     #: pack/unpack path (A/B toggle; the process-wide REPRO_BLOCKPROG
     #: environment switch overrides it globally).
     ff_block_programs: bool = True
+    #: Enable span tracing for the process when this file is opened
+    #: (never disables: tracing already on stays on).
+    obs_trace: bool = False
     #: Striping hints, honored only at file creation (as in ROMIO/Lustre):
     #: number of simulated disks and stripe width.  None → file-system
     #: defaults.

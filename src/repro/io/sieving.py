@@ -60,8 +60,11 @@ def coalesce_blocks(
 def read_window(simfile: SimFile, wlo: int, whi: int) -> np.ndarray:
     """Read ``[wlo, whi)`` into a fresh file buffer (zero-padded past EOF,
     so sieved writes extend files deterministically)."""
-    fb = np.zeros(whi - wlo, dtype=np.uint8)
-    simfile.pread_into(wlo, fb)
+    from repro.obs import trace
+
+    with trace.span("sieve.read_window", bytes=whi - wlo):
+        fb = np.zeros(whi - wlo, dtype=np.uint8)
+        simfile.pread_into(wlo, fb)
     return fb
 
 

@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import MPIRuntimeError
 from repro.mpi.cost_model import payload_nbytes
 from repro.mpi.status import Status
+from repro.obs import trace
 
 __all__ = ["Comm", "ANY_TAG", "PendingOp"]
 
@@ -263,7 +264,8 @@ class Comm:
     # ------------------------------------------------------------------
     def barrier(self) -> None:
         """Synchronize all ranks."""
-        self._world.barrier_wait()
+        with trace.span("mpi.barrier"):
+            self._world.barrier_wait()
 
     def _board_exchange(self, item: Any) -> List[Any]:
         """Deposit ``item``, wait, and return every rank's deposit."""
@@ -297,10 +299,11 @@ class Comm:
     def allgather(self, payload: Any) -> List[Any]:
         """Gather every rank's value at every rank."""
         n = payload_nbytes(payload)
-        for dst in range(self.size):
-            if dst != self.rank:
-                self._charge(n, dst)
-        return self._board_exchange(payload)
+        with trace.span("mpi.allgather", bytes=n):
+            for dst in range(self.size):
+                if dst != self.rank:
+                    self._charge(n, dst)
+            return self._board_exchange(payload)
 
     def alltoall(self, payloads: Sequence[Any]) -> List[Any]:
         """Personalized all-to-all: ``payloads[d]`` goes to rank ``d``;
@@ -309,11 +312,12 @@ class Comm:
             raise MPIRuntimeError(
                 f"alltoall needs {self.size} payloads, got {len(payloads)}"
             )
-        for d, p in enumerate(payloads):
-            if d != self.rank:
-                self._charge(payload_nbytes(p), d)
-        items = self._board_exchange(list(payloads))
-        return [items[src][self.rank] for src in range(self.size)]
+        with trace.span("mpi.alltoall"):
+            for d, p in enumerate(payloads):
+                if d != self.rank:
+                    self._charge(payload_nbytes(p), d)
+            items = self._board_exchange(list(payloads))
+            return [items[src][self.rank] for src in range(self.size)]
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
         """Reduce every rank's value with ``op``; all ranks get the result."""

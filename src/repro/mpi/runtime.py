@@ -117,8 +117,11 @@ def run_spmd(
     results: List[Any] = [None] * size
 
     def runner(rank: int) -> None:
+        from repro.obs import trace
+
         try:
-            results[rank] = fn(world.comm(rank), *args)
+            with trace.span("spmd.rank", rank=rank):
+                results[rank] = fn(world.comm(rank), *args)
         except MPIRuntimeError as exc:
             # Secondary failures (broken barrier after another rank died)
             # still mark the world, but the primary failure wins.

@@ -1,0 +1,50 @@
+"""Observability: tracing, unified metrics, per-phase time accounting.
+
+Three cooperating pieces (see ``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — nestable spans in per-rank ring buffers,
+  near-zero cost when off (``REPRO_TRACE`` / :func:`set_tracing` / the
+  ``obs_trace`` open hint);
+* :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` labeling every
+  ``EngineStats`` / ``FileStats`` producer and reporting the
+  process-global block-program / kernel-path counters exactly once;
+* :mod:`repro.obs.phases` — always-on per-phase wall-time buckets
+  (plan / pack / unpack / file_io / exchange / lock / sync), the
+  Table-3-style decomposition ``repro btio --report phases`` prints.
+
+Exporters (Chrome-trace JSON for Perfetto, text summary) live in
+:mod:`repro.obs.export`.
+"""
+
+from repro.obs import trace
+from repro.obs.export import chrome_trace, export_chrome_trace, text_summary
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    metric_schema,
+    register_engine,
+    register_file,
+)
+from repro.obs.phases import BUCKETS, PhaseAccumulator, format_phase_table
+from repro.obs.trace import TRACER, Span, Tracer, add_span, set_tracing, span
+
+__all__ = [
+    "BUCKETS",
+    "MetricsRegistry",
+    "PhaseAccumulator",
+    "REGISTRY",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "add_span",
+    "chrome_trace",
+    "export_chrome_trace",
+    "format_phase_table",
+    "metric_schema",
+    "register_engine",
+    "register_file",
+    "set_tracing",
+    "span",
+    "text_summary",
+    "trace",
+]

@@ -1,0 +1,95 @@
+"""Trace exporters: Chrome-trace/Perfetto JSON and a text summary.
+
+``chrome_trace`` turns the tracer's per-rank rings into the Chrome Trace
+Event format (the JSON Perfetto and ``chrome://tracing`` load): one
+track per simulated rank (``pid`` 0, ``tid`` = rank, named via ``"M"``
+metadata events), spans as ``"ph": "X"`` complete events with
+microsecond timestamps relative to the tracer epoch.  ``text_summary``
+aggregates spans by name into a flamegraph-ish table — inclusive total,
+count, mean — for terminals and ``plan-dump``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.trace import TRACER, Tracer
+
+__all__ = ["chrome_trace", "export_chrome_trace", "text_summary"]
+
+
+def chrome_trace(tracer: Optional[Tracer] = None) -> dict:
+    """The tracer's spans as a Chrome Trace Event JSON object."""
+    tr = TRACER if tracer is None else tracer
+    events: List[dict] = []
+    for rank in tr.ranks():
+        events.append({
+            "ph": "M",
+            "pid": 0,
+            "tid": rank,
+            "name": "thread_name",
+            "args": {"name": f"rank {rank}"},
+        })
+        # sort_index keeps rank order stable in the Perfetto track list.
+        events.append({
+            "ph": "M",
+            "pid": 0,
+            "tid": rank,
+            "name": "thread_sort_index",
+            "args": {"sort_index": rank},
+        })
+    for s in tr.spans():
+        ev = {
+            "ph": "X",
+            "pid": 0,
+            "tid": s.rank,
+            "name": s.name,
+            "ts": s.t0 * 1e6,
+            "dur": max(s.duration, 0.0) * 1e6,
+            "cat": s.name.split(".", 1)[0],
+        }
+        if s.args:
+            ev["args"] = {k: s.args[k] for k in sorted(s.args)}
+        events.append(ev)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(path: str, tracer: Optional[Tracer] = None) -> int:
+    """Write the Chrome-trace JSON to ``path``; returns the span count."""
+    doc = chrome_trace(tracer)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    return sum(1 for ev in doc["traceEvents"] if ev["ph"] == "X")
+
+
+def text_summary(tracer: Optional[Tracer] = None,
+                 limit: Optional[int] = None) -> str:
+    """Spans aggregated by name: count, inclusive total, mean — sorted
+    by total descending (name breaks ties, for determinism)."""
+    tr = TRACER if tracer is None else tracer
+    agg: Dict[str, List[float]] = {}
+    for s in tr.spans():
+        ent = agg.get(s.name)
+        if ent is None:
+            agg[s.name] = [1, s.duration]
+        else:
+            ent[0] += 1
+            ent[1] += s.duration
+    if not agg:
+        return "(no spans recorded — enable tracing with REPRO_TRACE=1,"\
+               " set_tracing(True) or the obs_trace hint)"
+    rows = sorted(agg.items(), key=lambda kv: (-kv[1][1], kv[0]))
+    if limit is not None:
+        rows = rows[:limit]
+    from repro.bench.reporting import format_table
+
+    body = [
+        (name, str(int(cnt)), f"{tot * 1e3:.3f}",
+         f"{tot / cnt * 1e6:.1f}")
+        for name, (cnt, tot) in rows
+    ]
+    return format_table(
+        ["span", "count", "total [ms]", "mean [us]"], body
+    )

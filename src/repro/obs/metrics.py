@@ -1,0 +1,210 @@
+"""Unified metrics: one labeled surface over every stats struct.
+
+The counters quantifying the paper's overheads live in four unrelated
+places — :class:`~repro.io.engines.base.EngineStats` (per engine
+instance), :class:`~repro.plan.stats.PlanStats` (nested inside it),
+:class:`~repro.fs.stats.FileStats` (per simulated file), and the
+process-global block-program / kernel-path counters in
+:mod:`repro.core.blockprog` and :mod:`repro.core.gather`.  The
+:class:`MetricsRegistry` absorbs them all as *labeled* metrics:
+
+* ``engines`` — one entry per registered engine, labeled
+  ``(path, engine, rank)``, carrying the engine's counter snapshot plus
+  its ``phase_*`` buckets;
+* ``files`` — one entry per simulated file, labeled by path, carrying
+  its :class:`FileStats` snapshot;
+* ``global`` — the process-wide block-program and kernel-path counters,
+  reported **once** (they used to be merged into every per-engine
+  snapshot, so two open files double-reported and per-engine reset
+  could not clear them — that scoping bug is fixed by homing them here).
+
+Registration is by weak reference: an engine closed with its file, or a
+simulated file dropped with its filesystem, silently leaves the registry
+— no unregister calls threaded through close paths, no leak when a test
+opens hundreds of files.
+
+``snapshot()`` output is deterministic (entries sorted by label, counter
+keys sorted) so snapshots diff cleanly in tests and CI artifacts, and
+``metric_schema()`` reduces a snapshot to its key structure for the
+golden-schema drift check (``benchmarks/check_metrics_schema.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "MetricsRegistry",
+    "REGISTRY",
+    "register_engine",
+    "register_file",
+    "snapshot",
+    "reset",
+    "metric_schema",
+]
+
+
+def _global_counters() -> Dict[str, int]:
+    """The process-wide counters, reported once per snapshot."""
+    from repro.core.blockprog import blockprog_stats
+    from repro.core.gather import kernel_path_counts
+
+    out = dict(blockprog_stats())
+    out.update(kernel_path_counts())
+    return dict(sorted(out.items()))
+
+
+class MetricsRegistry:
+    """Weak registry of stats producers with one snapshot/reset surface."""
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        # label -> weakref to the stats-bearing object.  Engine labels are
+        # (path, engine_name, rank); file labels are (path,).
+        self._engines: Dict[Tuple[str, str, int], weakref.ref] = {}
+        self._files: Dict[str, weakref.ref] = {}
+
+    # ------------------------------------------------------------------
+    # Registration (weak; dead entries pruned on snapshot)
+    # ------------------------------------------------------------------
+    def register_engine(self, engine) -> None:
+        """Register an engine instance under (path, engine, rank)."""
+        fh = engine.fh
+        label = (str(fh.shared.path), engine.name, int(fh.comm.rank))
+        with self._mu:
+            self._engines[label] = weakref.ref(engine)
+
+    def register_file(self, path: str, stats) -> None:
+        """Register a file's :class:`FileStats` under its path."""
+        with self._mu:
+            self._files[str(path)] = weakref.ref(stats)
+
+    def _live(self):
+        """(engine entries, file entries) with dead weakrefs pruned."""
+        with self._mu:
+            engines, dead = [], []
+            for label, ref in self._engines.items():
+                obj = ref()
+                if obj is None:
+                    dead.append(label)
+                else:
+                    engines.append((label, obj))
+            for label in dead:
+                del self._engines[label]
+            files, dead = [], []
+            for path, ref in self._files.items():
+                obj = ref()
+                if obj is None:
+                    dead.append(path)
+                else:
+                    files.append((path, obj))
+            for path in dead:
+                del self._files[path]
+        return engines, files
+
+    # ------------------------------------------------------------------
+    # The unified surface
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Every live metric, deterministically ordered.
+
+        ``{"engines": [...], "files": [...], "global": {...}}`` where each
+        engine entry is ``{"path", "engine", "rank", "counters",
+        "phases"}`` and each file entry ``{"path", "counters"}``.
+        """
+        engines, files = self._live()
+        eng_out: List[dict] = []
+        for (path, name, rank), eng in sorted(engines, key=lambda e: e[0]):
+            eng_out.append({
+                "path": path,
+                "engine": name,
+                "rank": rank,
+                "counters": dict(sorted(eng.stats.snapshot().items())),
+                "phases": eng.stats.phases.snapshot(),
+            })
+        file_out: List[dict] = []
+        for path, st in sorted(files, key=lambda f: f[0]):
+            file_out.append({
+                "path": path,
+                "counters": dict(sorted(st.snapshot().items())),
+            })
+        return {
+            "engines": eng_out,
+            "files": file_out,
+            "global": _global_counters(),
+        }
+
+    def reset(self) -> None:
+        """Zero every live registered stats object *and* the process-wide
+        counters (the reset that the old per-engine merge never did)."""
+        from repro.core.blockprog import BLOCKPROG_STATS
+        from repro.core.gather import KERNEL_PATHS
+
+        engines, files = self._live()
+        for _label, eng in engines:
+            st = eng.stats
+            for f in (
+                "list_tuples_built", "list_tuples_sent",
+                "list_tuples_merged", "list_scans", "ff_navigations",
+                "ff_kernel_calls", "ff_view_bytes_exchanged",
+            ):
+                setattr(st, f, 0)
+            st.plan.__init__()
+            st.phases.reset()
+        for _path, st in files:
+            st.reset()
+        BLOCKPROG_STATS.reset()
+        KERNEL_PATHS.reset()
+
+    def clear(self) -> None:
+        """Forget all registrations (process-wide counters untouched)."""
+        with self._mu:
+            self._engines.clear()
+            self._files.clear()
+
+
+def metric_schema(snap: Optional[dict] = None) -> dict:
+    """Reduce a snapshot to its key structure for drift checks.
+
+    Engine schemas are keyed by engine name (labels vary run to run; the
+    counter/phase key sets must not), file counter keys are unioned, and
+    the global key list is taken verbatim.
+    """
+    if snap is None:
+        snap = REGISTRY.snapshot()
+    engines: Dict[str, dict] = {}
+    for e in snap["engines"]:
+        engines[e["engine"]] = {
+            "counters": sorted(e["counters"]),
+            "phases": sorted(e["phases"]),
+        }
+    file_keys: set = set()
+    for f in snap["files"]:
+        file_keys.update(f["counters"])
+    return {
+        "engines": {k: engines[k] for k in sorted(engines)},
+        "file_counters": sorted(file_keys),
+        "global": sorted(snap["global"]),
+    }
+
+
+#: The process registry every open file's engine registers into.
+REGISTRY = MetricsRegistry()
+
+
+def register_engine(engine) -> None:
+    REGISTRY.register_engine(engine)
+
+
+def register_file(path: str, stats) -> None:
+    REGISTRY.register_file(path, stats)
+
+
+def snapshot() -> dict:
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    REGISTRY.reset()

@@ -1,0 +1,158 @@
+"""Per-phase time accounting — the paper's overhead decomposition.
+
+§2.4 of the paper itemizes where a non-contiguous access spends its
+time (flattening, list building, navigation, copying) and Table 3
+reports BT-IO time split by phase.  This module provides the always-on
+accounting that makes the same decomposition available here: every
+access accumulates wall seconds into a small fixed set of buckets, one
+:class:`PhaseAccumulator` per (rank, open file), surfaced through engine
+stats, ``repro btio --report phases`` and the benchmark JSON records.
+
+Buckets (see ``docs/observability.md`` for the mapping to paper terms):
+
+``plan``
+    building the access' :class:`~repro.plan.plan.IOPlan` — navigation,
+    window clipping, block materialization, plus the list-based engine's
+    per-access schedule derivation (its §2.1 list building shows here);
+``pack`` / ``unpack``
+    memory-side gather/scatter ops (user buffer ↔ staging);
+``file_io``
+    executed file read/write ops, including the staging ↔ file-buffer
+    copies performed inside windowed ops (the paper's copy + I/O cost);
+``exchange``
+    two-phase alltoall exchanges (data and, for the list-based engine,
+    the shipped ol-lists);
+``lock``
+    acquiring byte-range locks for read-modify-write windows;
+``sync``
+    collective coordination: the access-range allgather that starts
+    every collective access (includes waiting for slower ranks).
+
+Unlike tracing (:mod:`repro.obs.trace`), phase accounting is never
+switched off — it costs two ``perf_counter`` reads per executed op,
+which is noise next to the op itself, and the decomposition must always
+be available to benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["BUCKETS", "PhaseAccumulator", "format_phase_table"]
+
+#: Bucket names in report order (the order Table-3-style output uses;
+#: snapshots are keyed ``phase_<bucket>`` and sorted alphabetically).
+BUCKETS: Tuple[str, ...] = (
+    "plan", "pack", "unpack", "file_io", "exchange", "lock", "sync",
+)
+
+_now = time.perf_counter
+
+
+class PhaseAccumulator:
+    """Seconds per phase bucket for one (rank, open file).
+
+    Written only by the owning rank's thread, so unsynchronized float
+    adds are safe.  ``add`` takes the bucket name; mistyped buckets
+    raise (silent new buckets would corrupt the fixed schema).
+    """
+
+    __slots__ = BUCKETS
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for b in BUCKETS:
+            setattr(self, b, 0.0)
+
+    def add(self, bucket: str, seconds: float) -> None:
+        setattr(self, bucket, getattr(self, bucket) + seconds)
+
+    def timed(self, bucket: str):
+        """Context manager accumulating its body's wall time."""
+        return _PhaseTimer(self, bucket)
+
+    @property
+    def total(self) -> float:
+        return sum(getattr(self, b) for b in BUCKETS)
+
+    def snapshot(self) -> Dict[str, float]:
+        """``{"phase_<bucket>": seconds}`` with deterministic key order."""
+        return {f"phase_{b}": getattr(self, b) for b in sorted(BUCKETS)}
+
+    def merge(self, other: "PhaseAccumulator") -> None:
+        for b in BUCKETS:
+            setattr(self, b, getattr(self, b) + getattr(other, b))
+
+    @classmethod
+    def sum(cls, accs: Iterable["PhaseAccumulator"]) -> "PhaseAccumulator":
+        out = cls()
+        for acc in accs:
+            out.merge(acc)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{b}={getattr(self, b) * 1e3:.2f}ms" for b in BUCKETS
+        )
+        return f"<PhaseAccumulator {parts}>"
+
+
+class _PhaseTimer:
+    __slots__ = ("acc", "bucket", "t0")
+
+    def __init__(self, acc: PhaseAccumulator, bucket: str) -> None:
+        self.acc = acc
+        self.bucket = bucket
+
+    def __enter__(self) -> "_PhaseTimer":
+        self.t0 = _now()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.acc.add(self.bucket, _now() - self.t0)
+        return False
+
+
+def format_phase_table(
+    columns: List[Tuple[str, Dict[str, float]]],
+    unit: float = 1e3,
+    unit_name: str = "ms",
+    totals: Optional[Dict[str, float]] = None,
+) -> str:
+    """Render per-phase breakdowns side by side (Table-3 style).
+
+    ``columns`` maps column titles to ``phase_<bucket>``-keyed (or bare
+    bucket-keyed) snapshots; a ``total`` row and per-bucket percentage
+    follow automatically.  ``totals`` overrides the denominators (e.g.
+    measured wall time) — by default each column's bucket sum is used.
+    """
+    from repro.bench.reporting import format_table
+
+    def get(snap: Dict[str, float], bucket: str) -> float:
+        return snap.get(f"phase_{bucket}", snap.get(bucket, 0.0))
+
+    headers = ["phase"]
+    for title, _snap in columns:
+        headers += [f"{title} [{unit_name}]", "%"]
+    denom = {}
+    for title, snap in columns:
+        d = (totals or {}).get(title)
+        if d is None:
+            d = sum(get(snap, b) for b in BUCKETS)
+        denom[title] = d if d > 0 else 1.0
+    rows = []
+    for b in BUCKETS:
+        row = [b]
+        for title, snap in columns:
+            v = get(snap, b)
+            row += [f"{v * unit:.3f}", f"{100 * v / denom[title]:5.1f}"]
+        rows.append(tuple(row))
+    total_row = ["total"]
+    for title, snap in columns:
+        v = sum(get(snap, b) for b in BUCKETS)
+        total_row += [f"{v * unit:.3f}", f"{100 * v / denom[title]:5.1f}"]
+    rows.append(tuple(total_row))
+    return format_table(headers, rows)

@@ -1,0 +1,272 @@
+"""Low-overhead tracing: nestable spans in per-rank ring buffers.
+
+The tracer answers the question the raw counters cannot: *where* did a
+collective write spend its time?  Every instrumented layer — plan build,
+copy kernels, file accesses, MPI exchanges — opens a :func:`span` around
+its work; spans nest, carry free-form fields (``bytes=n``, ``rank=r``)
+and land in a bounded per-rank ring buffer, so a long benchmark can
+trace forever without growing memory.
+
+Cost when off is the design constraint.  The module-level fast path::
+
+    with trace.span("two_phase.exchange", bytes=n):
+        ...
+
+compiles to one global read and one shared no-op context manager when
+tracing is disabled — no allocation, no ``perf_counter`` call, no ring
+access (tested in ``tests/test_obs_trace.py``).  Hot paths that cannot
+even afford a function call guard on the module attribute directly::
+
+    if trace.TRACE_ON:
+        t0 = trace.now()
+        ...
+        trace.add_span("ff.pack", t0, bytes=n)
+
+Enabling: the ``REPRO_TRACE`` environment variable (any value but
+``0``/``false``/``off``), :func:`set_tracing` at runtime, or the
+``obs_trace`` open hint (``repro.io.hints``) which flips the process
+switch when the file is opened.
+
+Rank attribution: the SPMD harness names its threads ``rank-N``
+(:mod:`repro.mpi.runtime`), and the tracer resolves the current rank
+from the thread name (cached per thread).  Spans recorded outside any
+rank thread land on rank 0.  Export formats live in
+:mod:`repro.obs.export`; phase buckets (always-on accounting) in
+:mod:`repro.obs.phases`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TRACER",
+    "add_span",
+    "enabled",
+    "now",
+    "set_tracing",
+    "span",
+]
+
+#: Spans kept per rank; older spans fall off the ring (a trace of the
+#: steady state is what the overhead decomposition needs).
+MAX_SPANS_PER_RANK = 1 << 16
+
+now = time.perf_counter
+
+
+def _env_enabled() -> bool:
+    v = os.environ.get("REPRO_TRACE", "0").strip().lower()
+    return v not in ("", "0", "false", "off", "no", "disable", "disabled")
+
+
+#: Module-level switch, read on every span() call.  Kept as a plain
+#: global (not behind a function) so hot paths can guard on it directly.
+TRACE_ON = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether span recording is active process-wide."""
+    return TRACE_ON
+
+
+def set_tracing(flag: bool) -> bool:
+    """Enable/disable tracing at runtime; returns the previous setting."""
+    global TRACE_ON
+    prev = TRACE_ON
+    TRACE_ON = bool(flag)
+    return prev
+
+
+class Span:
+    """One recorded span: name, rank, nesting depth, times, fields.
+
+    ``t0``/``t1`` are ``perf_counter`` seconds relative to the tracer's
+    epoch (set when the tracer is created or cleared), so exported
+    timestamps start near zero.
+    """
+
+    __slots__ = ("name", "rank", "depth", "t0", "t1", "args")
+
+    def __init__(self, name: str, rank: int, depth: int, t0: float,
+                 t1: float, args: Optional[dict]) -> None:
+        self.name = name
+        self.rank = rank
+        self.depth = depth
+        self.t0 = t0
+        self.t1 = t1
+        self.args = args
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Span {self.name!r} rank={self.rank} depth={self.depth} "
+            f"dur={self.duration * 1e6:.1f}us>"
+        )
+
+
+class _NoopSpan:
+    """The shared do-nothing context manager returned when tracing is
+    off.  A singleton: ``span(...)`` allocates nothing on the off path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+_tls = threading.local()
+
+
+def _current_rank() -> int:
+    """Rank of the calling thread (cached), from the ``rank-N`` thread
+    name the SPMD harness assigns; 0 outside any rank thread."""
+    r = getattr(_tls, "rank", None)
+    if r is None:
+        name = threading.current_thread().name
+        if name.startswith("rank-"):
+            try:
+                r = int(name[5:])
+            except ValueError:
+                r = 0
+        else:
+            r = 0
+        _tls.rank = r
+    return r
+
+
+class _LiveSpan:
+    """Context manager recording one span into its tracer on exit."""
+
+    __slots__ = ("tracer", "name", "rank", "args", "t0", "depth")
+
+    def __init__(self, tracer: "Tracer", name: str, rank: Optional[int],
+                 args: Optional[dict]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.rank = rank
+        self.args = args
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = getattr(_tls, "depth", 0)
+        self.depth = stack
+        _tls.depth = stack + 1
+        self.t0 = now()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t1 = now()
+        _tls.depth = self.depth
+        self.tracer._record(self.name, self.rank, self.depth, self.t0,
+                            t1, self.args)
+        return False
+
+
+class Tracer:
+    """Per-rank ring buffers of :class:`Span` records."""
+
+    def __init__(self, max_spans_per_rank: int = MAX_SPANS_PER_RANK) -> None:
+        self.maxlen = max_spans_per_rank
+        self._rings: Dict[int, deque] = {}
+        self._mu = threading.Lock()
+        self.epoch = now()
+
+    # ------------------------------------------------------------------
+    def _ring(self, rank: int) -> deque:
+        ring = self._rings.get(rank)
+        if ring is None:
+            with self._mu:
+                ring = self._rings.setdefault(
+                    rank, deque(maxlen=self.maxlen)
+                )
+        return ring
+
+    def _record(self, name: str, rank: Optional[int], depth: int,
+                t0: float, t1: float, args: Optional[dict]) -> None:
+        r = _current_rank() if rank is None else rank
+        # deque.append is atomic; each rank thread appends to its own
+        # ring, so no lock is needed on the record path.
+        self._ring(r).append(
+            Span(name, r, depth, t0 - self.epoch, t1 - self.epoch, args)
+        )
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, rank: Optional[int] = None,
+             **args) -> _LiveSpan:
+        """A context manager recording ``name`` around its body."""
+        return _LiveSpan(self, name, rank, args or None)
+
+    def add(self, name: str, t0: float, t1: Optional[float] = None,
+            rank: Optional[int] = None, **args) -> None:
+        """Record a finished span from explicit ``perf_counter`` stamps
+        (the manual API for call-overhead-sensitive paths)."""
+        self._record(name, rank, getattr(_tls, "depth", 0), t0,
+                     t1 if t1 is not None else now(), args or None)
+
+    # ------------------------------------------------------------------
+    def spans(self, rank: Optional[int] = None) -> List[Span]:
+        """Recorded spans — one rank's, or all ranks' in time order."""
+        with self._mu:
+            rings = ({rank: self._rings.get(rank, ())} if rank is not None
+                     else dict(self._rings))
+        out: List[Span] = []
+        for r in sorted(rings):
+            out.extend(rings[r])
+        out.sort(key=lambda s: (s.t0, s.rank, s.depth))
+        return out
+
+    def ranks(self) -> List[int]:
+        with self._mu:
+            return sorted(r for r, ring in self._rings.items() if ring)
+
+    def clear(self) -> None:
+        """Drop all spans and restart the epoch."""
+        with self._mu:
+            self._rings.clear()
+            self.epoch = now()
+
+    def __len__(self) -> int:
+        with self._mu:
+            return sum(len(r) for r in self._rings.values())
+
+
+#: The process tracer every instrumented layer records into.
+TRACER = Tracer()
+
+
+def span(name: str, rank: Optional[int] = None, **args):
+    """Record a span around the ``with`` body — or do nothing, cheaply.
+
+    The off path returns a shared no-op context manager: no allocation,
+    no clock read.
+    """
+    if not TRACE_ON:
+        return _NOOP
+    return TRACER.span(name, rank=rank, **args)
+
+
+def add_span(name: str, t0: float, t1: Optional[float] = None,
+             rank: Optional[int] = None, **args) -> None:
+    """Manual-stamp recording (no-op when tracing is off).
+
+    Callers on clock-sensitive paths should guard the *start* stamp on
+    :data:`TRACE_ON` themselves; this re-check covers toggles that race
+    the call.
+    """
+    if not TRACE_ON:
+        return
+    TRACER.add(name, t0, t1, rank=rank, **args)

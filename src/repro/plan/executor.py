@@ -24,6 +24,7 @@ standalone codec for executor use outside any engine.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Protocol, Tuple
 
 import numpy as np
@@ -33,6 +34,8 @@ from repro.core.gather import gather_blocks, scatter_blocks
 from repro.errors import IOEngineError
 from repro.io.fileview import MemDescriptor
 from repro.io.sieving import read_window
+from repro.obs import trace
+from repro.obs.phases import PhaseAccumulator
 from repro.plan.ops import (
     STAGE,
     Blocks,
@@ -125,10 +128,14 @@ class PlanExecutor:
     """Shared op dispatch; subclasses supply the file primitives."""
 
     def __init__(self, codec=None, comm=None,
-                 stats: Optional[PlanStats] = None) -> None:
+                 stats: Optional[PlanStats] = None,
+                 phases: Optional[PhaseAccumulator] = None) -> None:
         self.codec = codec if codec is not None else KernelCodec()
         self.comm = comm
         self.stats = stats if stats is not None else PlanStats()
+        #: Per-phase wall-time buckets this executor accumulates into
+        #: (normally the owning engine's; see ``repro.obs.phases``).
+        self.phases = phases if phases is not None else PhaseAccumulator()
 
     # ------------------------------------------------------------------
     # File primitives (backend-specific)
@@ -157,29 +164,44 @@ class PlanExecutor:
         bufs: Dict[object, object] = dict(buffers) if buffers else {}
         held = []
         stats = self.stats
+        phases = self.phases
+        now = time.perf_counter
         try:
             for op in plan.ops:
+                t0 = now()
                 if isinstance(op, GatherOp):
                     self._do_gather(plan, op, mem, bufs)
+                    bucket = "pack"
                 elif isinstance(op, ScatterOp):
                     self._do_scatter(plan, op, mem, bufs)
+                    bucket = "unpack"
                 elif isinstance(op, FileReadOp):
                     self._do_file_read(plan, op, mem, bufs)
+                    bucket = "file_io"
                 elif isinstance(op, FileWriteOp):
                     self._do_file_write(plan, op, bufs)
+                    bucket = "file_io"
                 elif isinstance(op, LockOp):
                     self._lock(op.lo, op.hi)
                     held.append((op.lo, op.hi))
                     stats.executed_locks += 1
+                    bucket = "lock"
                 elif isinstance(op, UnlockOp):
                     self._unlock(op.lo, op.hi)
                     held.remove((op.lo, op.hi))
+                    bucket = "lock"
                 elif isinstance(op, ExchangeOp):
                     self._do_exchange(plan, op, bufs)
                     stats.executed_exchanges += 1
+                    bucket = "exchange"
                 else:
                     raise IOEngineError(f"unknown plan op {op!r}")
                 stats.executed_ops += 1
+                phases.add(bucket, now() - t0)
+                if trace.TRACE_ON:
+                    trace.TRACER.add(
+                        f"exec.{type(op).__name__}", t0, plan=plan.kind
+                    )
         finally:
             # A failing op must never leave byte-range locks behind
             # (other ranks would deadlock on their next sieved write).
@@ -433,8 +455,10 @@ class PlanExecutor:
 class SimFileExecutor(PlanExecutor):
     """Executor over the simulated parallel file system."""
 
-    def __init__(self, simfile, codec=None, comm=None, stats=None) -> None:
-        super().__init__(codec=codec, comm=comm, stats=stats)
+    def __init__(self, simfile, codec=None, comm=None, stats=None,
+                 phases=None) -> None:
+        super().__init__(codec=codec, comm=comm, stats=stats,
+                         phases=phases)
         self.simfile = simfile
 
     def _pread_into(self, offset, out):
@@ -459,8 +483,9 @@ class PosixExecutor(PlanExecutor):
     """
 
     def __init__(self, posix_file, codec=None, comm=None,
-                 stats=None) -> None:
-        super().__init__(codec=codec, comm=comm, stats=stats)
+                 stats=None, phases=None) -> None:
+        super().__init__(codec=codec, comm=comm, stats=stats,
+                         phases=phases)
         self.file = posix_file
 
     def _pread_into(self, offset, out):

@@ -33,6 +33,7 @@ the engine's own view walk.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import List, Optional, Tuple
 
@@ -41,6 +42,8 @@ import numpy as np
 from repro.io.sieving import coalesce_blocks, windows
 from repro.io.two_phase import AccessRange, domain_windows
 from repro.mpi.cost_model import StorageModel, choose_access_strategy
+from repro.obs import trace
+from repro.obs.phases import PhaseAccumulator
 from repro.plan.ops import (
     STAGE,
     Blocks,
@@ -76,12 +79,15 @@ class Planner:
     def __init__(self, engine, cacheable: bool = True,
                  stats: Optional[PlanStats] = None,
                  storage: Optional[StorageModel] = None,
-                 maxsize: int = 32) -> None:
+                 maxsize: int = 32,
+                 phases: Optional[PhaseAccumulator] = None) -> None:
         self.engine = engine
         self.cacheable = cacheable
         self.stats = stats if stats is not None else PlanStats()
         self.storage = storage if storage is not None else StorageModel()
         self.maxsize = maxsize
+        #: Per-phase buckets plan-build time accumulates into (``plan``).
+        self.phases = phases if phases is not None else PhaseAccumulator()
         self.epoch = 0
         self._cache: "OrderedDict[tuple, IOPlan]" = OrderedDict()
 
@@ -128,6 +134,20 @@ class Planner:
     # ------------------------------------------------------------------
     def plan_independent(self, d0: int, nbytes: int,
                          write: bool) -> IOPlan:
+        """Plan one independent access (cache-served or freshly built);
+        the whole call — lookup, navigation, windowing — bills to the
+        ``plan`` phase bucket."""
+        t0 = time.perf_counter()
+        try:
+            return self._plan_independent(d0, nbytes, write)
+        finally:
+            self.phases.add("plan", time.perf_counter() - t0)
+            if trace.TRACE_ON:
+                trace.TRACER.add("plan.independent", t0, write=write,
+                                 nbytes=nbytes)
+
+    def _plan_independent(self, d0: int, nbytes: int,
+                          write: bool) -> IOPlan:
         engine = self.engine
         fh = engine.fh
         view = fh.view
@@ -297,6 +317,19 @@ class Planner:
     def plan_collective(self, write: bool, rng: AccessRange,
                         ranges: List[AccessRange],
                         domains: List[Tuple[int, int]]) -> IOPlan:
+        """Plan one collective access; billed to the ``plan`` bucket
+        like :meth:`plan_independent`."""
+        t0 = time.perf_counter()
+        try:
+            return self._plan_collective(write, rng, ranges, domains)
+        finally:
+            self.phases.add("plan", time.perf_counter() - t0)
+            if trace.TRACE_ON:
+                trace.TRACER.add("plan.collective", t0, write=write)
+
+    def _plan_collective(self, write: bool, rng: AccessRange,
+                         ranges: List[AccessRange],
+                         domains: List[Tuple[int, int]]) -> IOPlan:
         """One plan covering both roles of a two-phase collective.
 
         Built entirely from the fileview cache — every rank can compute

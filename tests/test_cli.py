@@ -56,6 +56,54 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "r_io" in out
 
+    def test_btio_phase_report(self, capsys):
+        assert main([
+            "btio", "--cls", "S", "--nsteps", "1", "--repeats", "1",
+            "--report", "phases",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase decomposition" in out
+        for bucket in ("plan", "exchange", "sync", "total"):
+            assert bucket in out
+
+    def test_plan_dump_counters_and_trace(self, capsys):
+        assert main([
+            "plan-dump", "vector(16, 4, 8, BYTE)", "--nbytes", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "plan_cache_hits" in out
+        assert "blockprog_translations" in out
+        assert "kernel_path_strided_view" in out
+        assert "trace summary" in out
+        assert "plan.independent" in out
+
+    def test_trace_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "t.json"
+        assert main([
+            "trace", "--cls", "S", "--nprocs", "4", "--nsteps", "1",
+            "--export", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rank tracks" in out
+        doc = json.loads(path.read_text())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs
+        assert {e["tid"] for e in xs} == {0, 1, 2, 3}
+
+    def test_trace_restores_disabled_state(self):
+        from repro.obs import trace
+
+        prev = trace.set_tracing(False)
+        try:
+            assert main([
+                "trace", "--cls", "S", "--nprocs", "4", "--nsteps", "1",
+            ]) == 0
+            assert not trace.enabled()
+        finally:
+            trace.set_tracing(prev)
+
 
 class TestWorkloadsCommand:
     def test_single_workload(self, capsys):
