@@ -38,7 +38,7 @@ from repro.datatypes.base import Datatype
 from repro.fs.filesystem import SimFileSystem
 from repro.io import File, MODE_CREATE, MODE_RDWR
 from repro.io.hints import Hints
-from repro.mpi.runtime import run_spmd
+from repro.mpi.runtime import Runtime
 
 __all__ = [
     "BTIO_CLASSES",
@@ -287,6 +287,7 @@ def run_btio(
     engine: str,
     config: BTIOConfig,
     fs: Optional[SimFileSystem] = None,
+    runtime: "str | Runtime | None" = None,
 ) -> BTIOResult:
     """Run the BTIO kernel with the given engine.
 
@@ -294,14 +295,44 @@ def run_btio(
     of the full solution through the subarray fileview.  I/O time and
     compute time are accumulated separately (the paper reports
     ``Δt_io = t_btio − t_no-io``; here we time the I/O directly).
+
+    ``runtime`` selects the execution backend (``"sim"``/``"proc"`` or a
+    ready :class:`~repro.mpi.runtime.Runtime`; ``None`` honours
+    ``REPRO_RUNTIME``).  The proc backend defaults ``fs`` to an
+    :class:`~repro.fs.filesystem.OsFileSystem` over a temporary
+    directory — each rank process accesses the output file through its
+    own descriptor, so the measured wall time includes real device and
+    lock contention and the simulated components are zero.
     """
-    fs = fs or SimFileSystem()
+    rt = Runtime.resolve(runtime)
+    cleanup_dir = None
+    if fs is None:
+        if rt.backend == "sim":
+            fs = SimFileSystem()
+        else:
+            import tempfile
+
+            from repro.fs.filesystem import OsFileSystem
+
+            cleanup_dir = tempfile.mkdtemp(prefix="btio-")
+            fs = OsFileSystem(cleanup_dir)
+    try:
+        return _run_btio(engine, config, fs, rt)
+    finally:
+        if cleanup_dir is not None:
+            import shutil
+
+            fs.close()
+            shutil.rmtree(cleanup_dir, ignore_errors=True)
+
+
+def _run_btio(engine: str, config: BTIOConfig, fs, rt: "Runtime",
+              ) -> BTIOResult:
     cfg = config
     n = cfg.grid
     P = cfg.nprocs
     q = _q_of(P)
     worlds: list = []
-    boxes: dict = {}
     result = BTIOResult(config=cfg, engine=engine)
     step_doubles = n * n * n * NCOMP
     sizes, _starts = cell_splits(n, q)
@@ -316,7 +347,7 @@ def run_btio(
             :,
         ]
 
-    def worker(comm) -> None:
+    def worker(comm) -> Dict:
         rank = comm.rank
         coords = cell_coords(rank, q)
         ftype = build_process_filetype(n, P, rank)
@@ -344,35 +375,40 @@ def run_btio(
         )
         fh.set_view(0, dt.DOUBLE, ftype)
 
+        # Rank 0 times the barrier-bracketed phases.  ``worlds`` is only
+        # populated inside the sim backend (the proc world report is
+        # parent-side, assembled after the ranks exit); the clock's
+        # simulated components are zero without it, as they should be —
+        # on the proc backend the real device and wire are inside wall.
+        io_clock = compute_clock = None
+        io_acc = [0.0, 0.0, 0.0]
+        comp_acc = [0.0, 0.0, 0.0]
         comm.barrier()
         if rank == 0:
-            boxes["io"] = PhaseClock(fs, worlds[0])
-            boxes["compute"] = PhaseClock(fs, worlds[0])
-            boxes["io_acc"] = [0.0, 0.0, 0.0]
-            boxes["comp_acc"] = [0.0, 0.0, 0.0]
+            world = worlds[0] if worlds else None
+            io_clock = PhaseClock(fs, world)
+            compute_clock = PhaseClock(fs, world)
         comm.barrier()
 
         for step in range(cfg.nsteps):
             if rank == 0:
-                boxes["compute"].start()
+                compute_clock.start()
             _compute_standin(cell_views, cfg.compute_sweeps)
             comm.barrier()
             if rank == 0:
-                t = boxes["compute"].stop()
-                acc = boxes["comp_acc"]
-                acc[0] += t.wall
-                acc[1] += t.fs_sim
-                acc[2] += t.net_sim
-                boxes["io"].start()
+                t = compute_clock.stop()
+                comp_acc[0] += t.wall
+                comp_acc[1] += t.fs_sim
+                comp_acc[2] += t.net_sim
+                io_clock.start()
             comm.barrier()
             fh.write_at_all(step * step_doubles, membuf, 1, mtype)
             comm.barrier()
             if rank == 0:
-                t = boxes["io"].stop()
-                acc = boxes["io_acc"]
-                acc[0] += t.wall
-                acc[1] += t.fs_sim
-                acc[2] += t.net_sim
+                t = io_clock.stop()
+                io_acc[0] += t.wall
+                io_acc[1] += t.fs_sim
+                io_acc[2] += t.net_sim
             comm.barrier()
 
         if cfg.verify:
@@ -389,16 +425,30 @@ def run_btio(
                 want = cell_interior(cell_views[c], coords[c])
                 ok = ok and np.allclose(got, want)
             assert ok, f"rank {rank}: BTIO verification failed"
-        phase_rows[rank] = fh.engine.stats.phases.snapshot()
+        ret = {
+            "phases": fh.engine.stats.phases.snapshot(),
+            "fs_stats": fs.lookup("/btio.out").stats.snapshot(),
+            "io_acc": io_acc if rank == 0 else None,
+            "comp_acc": comp_acc if rank == 0 else None,
+        }
         fh.close()
+        return ret
 
-    phase_rows: Dict[int, Dict[str, float]] = {}
-    run_spmd(P, worker, world_out=worlds)
-    result.io_time = PhaseTime(*boxes["io_acc"])
-    result.compute_time = PhaseTime(*boxes["comp_acc"])
+    rows = rt.run(P, worker, world_out=worlds)
+    result.io_time = PhaseTime(*rows[0]["io_acc"])
+    result.compute_time = PhaseTime(*rows[0]["comp_acc"])
     result.comm_bytes = worlds[0].total_bytes_sent()
-    result.fs_stats = fs.lookup("/btio.out").stats.snapshot()
-    result.phases_by_rank = [phase_rows[r] for r in sorted(phase_rows)]
+    if rt.backend == "sim":
+        # One shared file object: its stats already aggregate every rank.
+        result.fs_stats = fs.lookup("/btio.out").stats.snapshot()
+    else:
+        # Per-process descriptors count independently: sum the rows.
+        merged: Dict[str, float] = {}
+        for row in rows:
+            for k, v in row["fs_stats"].items():
+                merged[k] = merged.get(k, 0) + v
+        result.fs_stats = merged
+    result.phases_by_rank = [row["phases"] for row in rows]
     result.phases = {
         k: sum(row[k] for row in result.phases_by_rank)
         for k in (result.phases_by_rank[0] if result.phases_by_rank else {})

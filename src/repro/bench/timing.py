@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.fs.filesystem import SimFileSystem
 from repro.mpi.runtime import World
@@ -41,9 +42,16 @@ class PhaseTime:
 
 
 class PhaseClock:
-    """Start/stop clock over a file system and a world."""
+    """Start/stop clock over a file system and a world.
 
-    def __init__(self, fs: SimFileSystem, world: World) -> None:
+    Either component may be ``None`` — its simulated contribution is
+    then zero.  The proc runtime runs this way: the real device and
+    wire are inside the measured wall time, and the parent-side world
+    report does not exist while a rank is still running.
+    """
+
+    def __init__(self, fs: Optional[SimFileSystem] = None,
+                 world: Optional[World] = None) -> None:
         self._fs = fs
         self._world = world
         self._t0 = 0.0
@@ -51,14 +59,16 @@ class PhaseClock:
         self._net0 = 0.0
 
     def start(self) -> None:
-        self._fs0 = self._fs.total_sim_time()
-        self._net0 = self._world.max_net_time()
+        self._fs0 = self._fs.total_sim_time() if self._fs else 0.0
+        self._net0 = self._world.max_net_time() if self._world else 0.0
         self._t0 = time.perf_counter()
 
     def stop(self) -> PhaseTime:
         wall = time.perf_counter() - self._t0
+        fs1 = self._fs.total_sim_time() if self._fs else 0.0
+        net1 = self._world.max_net_time() if self._world else 0.0
         return PhaseTime(
             wall=wall,
-            fs_sim=self._fs.total_sim_time() - self._fs0,
-            net_sim=self._world.max_net_time() - self._net0,
+            fs_sim=fs1 - self._fs0,
+            net_sim=net1 - self._net0,
         )

@@ -98,6 +98,7 @@ def _cmd_btio(args: argparse.Namespace) -> int:
                 engine,
                 BTIOConfig(cls=args.cls, nprocs=args.nprocs,
                            nsteps=args.nsteps, verify=args.verify),
+                runtime=args.runtime,
             )
             samples.append(r)
         t = min(s.io_time.total for s in samples)
@@ -107,7 +108,7 @@ def _cmd_btio(args: argparse.Namespace) -> int:
         best = min(samples, key=lambda s: s.io_time.total)
         phase_cols.append((engine, best.phases))
     print(f"BTIO class {args.cls}, P={args.nprocs}, "
-          f"nsteps={args.nsteps}")
+          f"nsteps={args.nsteps}, runtime={args.runtime or 'sim'}")
     print(format_table(["engine", "io time [s]", "io MB/s"], rows))
     print(f"r_io = {times['list_based'] / times['listless']:.2f}")
     if getattr(args, "report", "time") == "phases":
@@ -267,6 +268,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             args.engine,
             BTIOConfig(cls=args.cls, nprocs=args.nprocs,
                        nsteps=args.nsteps),
+            runtime=args.runtime,
         )
     finally:
         trace.set_tracing(prev)
@@ -367,8 +369,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     bt = sub.add_parser("btio", help="run the BTIO kernel")
     bt.add_argument("--cls", choices=list("SWABCD"), default="W")
-    bt.add_argument("--nprocs", type=int, default=4)
+    bt.add_argument("-n", "--nprocs", type=int, default=4)
     bt.add_argument("--nsteps", type=int, default=3)
+    bt.add_argument("--runtime", choices=["sim", "proc"], default=None,
+                    help="execution backend: simulated rank threads or "
+                    "real rank processes (default: REPRO_RUNTIME or sim)")
     bt.add_argument("--repeats", type=int, default=3)
     bt.add_argument("--verify", action="store_true")
     bt.add_argument("--report", choices=["time", "phases"],
@@ -415,6 +420,9 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--nsteps", type=int, default=2)
     tr.add_argument("--engine", choices=["listless", "list_based"],
                     default="listless")
+    tr.add_argument("--runtime", choices=["sim", "proc"], default=None,
+                    help="execution backend (proc merges every rank "
+                    "process' spans into the exported timeline)")
     tr.add_argument("--export", default=None, metavar="PATH",
                     help="write Chrome-trace/Perfetto JSON here")
     tr.add_argument("--limit", type=int, default=None,

@@ -22,21 +22,28 @@ Public surface:
 * :class:`RangeLockManager` — advisory byte-range locks, used by
   data-sieving writes exactly as ROMIO uses ``fcntl`` locks.
 * :class:`DeviceModel`, :class:`FileStats` — cost accounting.
+* :class:`OsFileSystem`, :class:`OsFile`,
+  :class:`FcntlRangeLockManager` — the same surfaces over a real
+  directory, real descriptors and real ``fcntl`` locks, for the
+  multi-process runtime (``docs/runtime.md``).
 """
 
 from repro.fs.stats import DeviceModel, FileStats
-from repro.fs.locks import RangeLockManager
+from repro.fs.locks import FcntlRangeLockManager, RangeLockManager
 from repro.fs.simfile import SimFile
 from repro.fs.striping import StripingConfig
-from repro.fs.filesystem import SimFileSystem
-from repro.fs.posix import PosixFile
+from repro.fs.filesystem import OsFileSystem, SimFileSystem
+from repro.fs.posix import OsFile, PosixFile
 
 __all__ = [
     "DeviceModel",
     "FileStats",
+    "FcntlRangeLockManager",
     "RangeLockManager",
     "SimFile",
     "StripingConfig",
+    "OsFile",
+    "OsFileSystem",
     "SimFileSystem",
     "PosixFile",
 ]

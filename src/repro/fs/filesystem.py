@@ -1,12 +1,21 @@
-"""File-system namespace.
+"""File-system namespaces.
 
 A :class:`SimFileSystem` maps paths to :class:`~repro.fs.simfile.SimFile`
 objects and carries the shared device model and striping configuration.
 It is the object a benchmark constructs once and hands to every rank.
+
+An :class:`OsFileSystem` is the same namespace surface over a real
+directory: paths map to :class:`~repro.fs.posix.OsFile` descriptors on
+disk.  It is picklable (it carries only configuration — each rank
+process re-opens its own descriptors), which is what the multi-process
+runtime needs: the benchmark constructs one, every forked rank gets a
+copy, and the *kernel* provides the shared state the simulated
+namespace provides in-process.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Dict
 
@@ -15,7 +24,7 @@ from repro.fs.simfile import SimFile
 from repro.fs.stats import DeviceModel
 from repro.fs.striping import StripingConfig
 
-__all__ = ["SimFileSystem"]
+__all__ = ["OsFileSystem", "SimFileSystem"]
 
 
 class SimFileSystem:
@@ -91,3 +100,126 @@ class SimFileSystem:
         with self._mu:
             for f in self._files.values():
                 f.stats.reset()
+
+
+class OsFileSystem:
+    """A real directory behind the :class:`SimFileSystem` surface.
+
+    Virtual paths like ``/btio.out`` map to files under ``root``.
+    Handles are cached per process; ``lookup`` finds files created by
+    *other* processes through the kernel, so rank 0 creating a file
+    before the open broadcast is enough for every rank to open it.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        device: DeviceModel | None = None,
+        striping: StripingConfig | None = None,
+        requires_ol_lists: bool = False,
+    ) -> None:
+        self.root = str(root)
+        self.device = device
+        self.striping = striping or StripingConfig()
+        self.requires_ol_lists = requires_ol_lists
+        os.makedirs(self.root, exist_ok=True)
+        self._files: Dict[str, object] = {}
+        self._mu = threading.Lock()
+
+    # -- pickling: configuration only; handles re-open per process -----
+    def __getstate__(self):
+        return (self.root, self.device, self.striping,
+                self.requires_ol_lists)
+
+    def __setstate__(self, state):
+        self.__init__(*state)
+
+    def _ospath(self, path: str) -> str:
+        rel = path.lstrip("/")
+        if not rel or ".." in rel.split("/"):
+            raise FileSystemError(f"bad path {path!r}")
+        return os.path.join(self.root, *rel.split("/"))
+
+    def _open(self, path: str, striping: StripingConfig | None = None):
+        from repro.fs.posix import OsFile
+
+        f = OsFile(self._ospath(path), name=path, device=self.device,
+                   striping=striping or self.striping)
+        self._files[path] = f
+        return f
+
+    def create(
+        self,
+        path: str,
+        exist_ok: bool = True,
+        striping: StripingConfig | None = None,
+    ):
+        """Create (or open) the file at ``path``."""
+        with self._mu:
+            f = self._files.get(path)
+            if f is not None:
+                if not exist_ok:
+                    raise FileSystemError(f"file exists: {path!r}")
+                return f
+            ospath = self._ospath(path)
+            if os.path.exists(ospath) and not exist_ok:
+                raise FileSystemError(f"file exists: {path!r}")
+            os.makedirs(os.path.dirname(ospath), exist_ok=True)
+            return self._open(path, striping)
+
+    def lookup(self, path: str):
+        """Return the file at ``path`` (on disk counts: another process
+        may have created it)."""
+        with self._mu:
+            f = self._files.get(path)
+            if f is not None:
+                return f
+            if not os.path.isfile(self._ospath(path)):
+                raise FileSystemError(f"no such file: {path!r}")
+            return self._open(path)
+
+    def exists(self, path: str) -> bool:
+        with self._mu:
+            return (path in self._files
+                    or os.path.isfile(self._ospath(path)))
+
+    def unlink(self, path: str) -> None:
+        with self._mu:
+            f = self._files.pop(path, None)
+            if f is not None:
+                f.close()
+            try:
+                os.unlink(self._ospath(path))
+            except FileNotFoundError:
+                if f is None:
+                    raise FileSystemError(
+                        f"no such file: {path!r}"
+                    ) from None
+
+    def listdir(self) -> list[str]:
+        out = []
+        for dirpath, _dirs, files in os.walk(self.root):
+            for fn in files:
+                full = os.path.join(dirpath, fn)
+                rel = os.path.relpath(full, self.root)
+                out.append("/" + rel.replace(os.sep, "/"))
+        return sorted(out)
+
+    def total_sim_time(self) -> float:
+        """Simulated device seconds — zero by default on this backend
+        (the real device is the measurement); nonzero only when
+        constructed with an explicit device model."""
+        with self._mu:
+            return sum(f.stats.sim_time for f in self._files.values())
+
+    def reset_stats(self) -> None:
+        with self._mu:
+            for f in self._files.values():
+                f.stats.reset()
+
+    def close(self) -> None:
+        """Close every cached descriptor (end of a rank's run)."""
+        with self._mu:
+            for f in self._files.values():
+                f.close()
+            self._files.clear()

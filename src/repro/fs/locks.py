@@ -2,9 +2,23 @@
 
 Data-sieving writes must lock the file region they read-modify-write so
 that the gaps in the file buffer do not clobber concurrent writers (paper
-§2.2).  ROMIO uses ``fcntl`` range locks; this manager provides the same
-semantics for the in-memory file system: exclusive locks over ``[lo, hi)``
-ranges, blocking on conflict, with deadlock-free FIFO wakeup.
+§2.2).  ROMIO uses ``fcntl`` range locks; :class:`RangeLockManager`
+provides the same semantics for the in-memory file system: exclusive
+locks over ``[lo, hi)`` ranges, blocking on conflict, with deadlock-free
+FIFO wakeup.
+
+:class:`FcntlRangeLockManager` is the real thing behind the same
+interface — POSIX ``fcntl(F_SETLKW)`` record locks on an open file
+descriptor, used by the disk-backed files of the multi-process runtime
+(:class:`repro.fs.posix.OsFile`).  It adds the bookkeeping POSIX makes
+necessary: per *process*, releasing ``[lo, hi)`` drops the process'
+lock over **every** byte of that range, even bytes still covered by
+another logical lock the same rank took (e.g. atomic mode's
+whole-access lock nested around per-window sieving locks).  The manager
+refcounts held ranges and, on unlock, only releases bytes no residual
+logical lock covers — overlapping locks from the same rank neither
+self-deadlock (POSIX never blocks a process on its own locks) nor lose
+protection mid-access.
 """
 
 from __future__ import annotations
@@ -14,7 +28,7 @@ from typing import Dict, List, Tuple
 
 from repro.errors import LockError
 
-__all__ = ["RangeLockManager"]
+__all__ = ["FcntlRangeLockManager", "RangeLockManager"]
 
 
 class RangeLockManager:
@@ -69,3 +83,89 @@ class RangeLockManager:
         me = threading.get_ident()
         with self._cond:
             return list(self._held.get(me, []))
+
+
+def _subtract_ranges(
+    ranges: List[Tuple[int, int]], cut: Tuple[int, int]
+) -> List[Tuple[int, int]]:
+    """Remove ``cut`` from every range in ``ranges`` (interval algebra)."""
+    clo, chi = cut
+    out: List[Tuple[int, int]] = []
+    for lo, hi in ranges:
+        if chi <= lo or hi <= clo:  # no overlap
+            out.append((lo, hi))
+            continue
+        if lo < clo:
+            out.append((lo, clo))
+        if chi < hi:
+            out.append((chi, hi))
+    return out
+
+
+class FcntlRangeLockManager:
+    """Real POSIX ``fcntl`` byte-range locks over one open descriptor.
+
+    Same interface as :class:`RangeLockManager`.  ``lock`` blocks via
+    ``F_SETLKW`` until conflicting locks of *other processes* clear;
+    ``unlock`` releases only the bytes of ``[lo, hi)`` not covered by a
+    remaining logical lock of this process (see the module docstring
+    for why plain ``F_UNLCK`` over the range would be wrong).
+
+    The held-range list is a multiset: locking the same range twice
+    requires unlocking it twice before the bytes actually release.
+    """
+
+    def __init__(self, fd: int) -> None:
+        self._fd = fd
+        self._mu = threading.Lock()
+        self._held: List[Tuple[int, int]] = []
+
+    def lock(self, lo: int, hi: int) -> None:
+        """Acquire an exclusive lock on ``[lo, hi)``; blocks on conflict
+        with other processes (own overlapping locks never conflict)."""
+        import fcntl
+        import os
+
+        if hi <= lo:
+            raise LockError(f"empty lock range [{lo}, {hi})")
+        try:
+            fcntl.lockf(self._fd, fcntl.LOCK_EX, hi - lo, lo, os.SEEK_SET)
+        except OSError as exc:
+            raise LockError(
+                f"fcntl lock of [{lo}, {hi}) failed: {exc}"
+            ) from exc
+        with self._mu:
+            self._held.append((lo, hi))
+
+    def unlock(self, lo: int, hi: int) -> None:
+        """Release one logical lock on exactly ``[lo, hi)``.
+
+        Bytes still covered by another held range stay locked at the
+        OS level (POSIX would otherwise drop them with this release).
+        """
+        import fcntl
+        import os
+
+        with self._mu:
+            try:
+                self._held.remove((lo, hi))
+            except ValueError:
+                raise LockError(
+                    f"process does not hold lock [{lo}, {hi})"
+                ) from None
+            residual = [(lo, hi)]
+            for r in self._held:
+                residual = _subtract_ranges(residual, r)
+        for rlo, rhi in residual:
+            try:
+                fcntl.lockf(self._fd, fcntl.LOCK_UN, rhi - rlo, rlo,
+                            os.SEEK_SET)
+            except OSError as exc:  # pragma: no cover - closed fd etc.
+                raise LockError(
+                    f"fcntl unlock of [{rlo}, {rhi}) failed: {exc}"
+                ) from exc
+
+    def held_by_me(self) -> List[Tuple[int, int]]:
+        """Logical ranges currently held by this process (for tests)."""
+        with self._mu:
+            return list(self._held)

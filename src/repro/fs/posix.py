@@ -1,27 +1,163 @@
-"""POSIX-style per-open file handle.
+"""POSIX-style file access: the cursor handle and the real on-disk file.
 
 The paper contrasts MPI-IO's rich access model with "the standard POSIX
 I/O interface available at the operating system level".  This module
 provides that baseline interface over the simulated file system — a
-cursor-based ``read``/``write``/``lseek`` handle — used by the examples
-to demonstrate what non-contiguous access costs when each block needs its
-own seek+read/write pair, and by tests as a second, independent access
-path to the same bytes.
+cursor-based ``read``/``write``/``lseek`` handle (:class:`PosixFile`) —
+used by the examples to demonstrate what non-contiguous access costs
+when each block needs its own seek+read/write pair, and by tests as a
+second, independent access path to the same bytes.
+
+:class:`OsFile` is a *real* file behind the :class:`SimFile` interface:
+``pread``/``pwrite`` become ``os.pread``/``os.pwrite`` on a file
+descriptor, ``lock_range`` becomes a real ``fcntl`` byte-range lock
+(:class:`~repro.fs.locks.FcntlRangeLockManager`).  It is what the
+multi-process runtime opens — every rank holds its own descriptor on
+the same path, so their accesses contend through the kernel exactly as
+ROMIO's do.  Pickling an OsFile re-opens it by path in the receiving
+process, which is how ``File.open``'s broadcast of the shared state
+hands each rank its own descriptor.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.errors import FileSystemError
+from repro.fs.locks import FcntlRangeLockManager
 from repro.fs.simfile import SimFile
+from repro.fs.stats import DeviceModel, FileStats
+from repro.fs.striping import StripingConfig
 from repro.obs import trace
 
-__all__ = ["PosixFile", "SEEK_SET", "SEEK_CUR", "SEEK_END"]
+__all__ = ["OsFile", "PosixFile", "SEEK_SET", "SEEK_CUR", "SEEK_END"]
 
 SEEK_SET = 0
 SEEK_CUR = 1
 SEEK_END = 2
+
+
+class OsFile:
+    """A real on-disk file with the :class:`SimFile` access surface.
+
+    ``name`` is the virtual path (what the namespace calls the file);
+    ``ospath`` is where the bytes live.  Statistics are per *process*
+    (each rank counts its own operations); the device model charges
+    zero simulated time by default — on this backend the real device is
+    the measurement.
+    """
+
+    def __init__(
+        self,
+        ospath: str,
+        name: str | None = None,
+        device: DeviceModel | None = None,
+        striping: StripingConfig | None = None,
+    ) -> None:
+        self.path = ospath
+        self.name = name or ospath
+        self.device = device or DeviceModel(
+            read_bandwidth=float("inf"),
+            write_bandwidth=float("inf"),
+            latency=0.0,
+        )
+        self.striping = striping or StripingConfig()
+        self.stats = FileStats()
+        self._fd = os.open(ospath, os.O_RDWR | os.O_CREAT, 0o644)
+        self.locks = FcntlRangeLockManager(self._fd)
+        self._closed = False
+
+    # -- pickling: re-open by path in the receiving process ------------
+    def __reduce__(self):
+        return (OsFile, (self.path, self.name, self.device,
+                         self.striping))
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Current file size in bytes."""
+        return os.fstat(self._fd).st_size
+
+    def pread(self, offset: int, nbytes: int) -> np.ndarray:
+        """Read up to ``nbytes`` at absolute ``offset``; returns a
+        writable array (possibly shorter at end-of-file)."""
+        if offset < 0 or nbytes < 0:
+            raise FileSystemError(
+                f"invalid read [{offset}, {offset + nbytes})"
+            )
+        data = os.pread(self._fd, nbytes, offset)
+        out = np.frombuffer(bytearray(data), dtype=np.uint8)
+        streams = self.striping.streams_for(offset, out.size)
+        self.stats.record_read(
+            out.size, self.device.read_time(out.size, streams)
+        )
+        return out
+
+    def pread_into(self, offset: int, out: np.ndarray) -> int:
+        """Read into a caller buffer; returns bytes read."""
+        if offset < 0:
+            raise FileSystemError(f"invalid read offset {offset}")
+        t0 = trace.now() if trace.TRACE_ON else 0.0
+        n = os.preadv(self._fd, [out], offset)
+        streams = self.striping.streams_for(offset, n)
+        self.stats.record_read(n, self.device.read_time(n, streams))
+        if trace.TRACE_ON:
+            trace.TRACER.add("fs.pread", t0, bytes=n)
+        return n
+
+    def pwrite(self, offset: int, data: np.ndarray) -> int:
+        """Write ``data`` at absolute ``offset`` (gaps become holes)."""
+        if offset < 0:
+            raise FileSystemError(f"invalid write offset {offset}")
+        buf = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        t0 = trace.now() if trace.TRACE_ON else 0.0
+        n = os.pwrite(self._fd, buf, offset)
+        streams = self.striping.streams_for(offset, n)
+        self.stats.record_write(n, self.device.write_time(n, streams))
+        if trace.TRACE_ON:
+            trace.TRACER.add("fs.pwrite", t0, bytes=n)
+        return n
+
+    def truncate(self, length: int) -> None:
+        """Set the file size (extend with zeros or cut)."""
+        if length < 0:
+            raise FileSystemError(f"negative truncate length {length}")
+        os.ftruncate(self._fd, length)
+
+    def lock_range(self, lo: int, hi: int) -> None:
+        """Acquire the real ``fcntl`` advisory lock for a
+        read-modify-write region."""
+        t0 = trace.now() if trace.TRACE_ON else 0.0
+        self.locks.lock(lo, hi)
+        self.stats.record_lock()
+        if trace.TRACE_ON:
+            trace.TRACER.add("fs.lock", t0, lo=lo, hi=hi)
+
+    def unlock_range(self, lo: int, hi: int) -> None:
+        self.locks.unlock(lo, hi)
+
+    def contents(self) -> np.ndarray:
+        """A copy of the whole file (tests and examples)."""
+        return self.pread(0, self.size)
+
+    def fsync(self) -> None:
+        os.fsync(self._fd)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            os.close(self._fd)
+
+    def __del__(self):  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OsFile {self.name!r} at {self.path!r} size={self.size}>"
 
 
 class PosixFile:

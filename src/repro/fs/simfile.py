@@ -44,6 +44,14 @@ class SimFile:
         self._size = 0
         self._mu = threading.Lock()
 
+    def __reduce__(self):
+        # A SimFile is shared by reference between rank threads; copying
+        # it into another process would silently fork its contents.
+        raise FileSystemError(
+            "SimFile cannot cross process boundaries — use an "
+            "OsFileSystem (repro.fs.filesystem) with the proc runtime"
+        )
+
     # ------------------------------------------------------------------
     @property
     def size(self) -> int:

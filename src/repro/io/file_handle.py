@@ -57,20 +57,77 @@ SEEK_CUR = 1
 SEEK_END = 2
 
 
+class LocalCounter:
+    """Thread-shared integer with ``get``/``set``/``add`` — the shared
+    file pointer of the sim backend.  ``add`` returns the value before
+    the increment, atomically.  Pickles without its lock (a copy that
+    crosses a process boundary starts an independent lock)."""
+
+    def __init__(self, value: int = 0) -> None:
+        self._value = value
+        self._mu = threading.Lock()
+
+    def get(self) -> int:
+        with self._mu:
+            return self._value
+
+    def set(self, v: int) -> None:
+        with self._mu:
+            self._value = v
+
+    def add(self, delta: int) -> int:
+        with self._mu:
+            old = self._value
+            self._value = old + delta
+            return old
+
+    def __getstate__(self):
+        return self.get()
+
+    def __setstate__(self, state):
+        self.__init__(state)
+
+
 class SharedFileState:
-    """State shared by all ranks that opened the same file."""
+    """State shared by all ranks that opened the same file.
+
+    On the sim backend one instance is shared by reference between the
+    rank threads.  On the proc backend the open broadcast hands each
+    rank a pickled *copy* — the pieces that must stay truly shared are
+    then swapped for cross-process primitives: the file pointer counter
+    is adopted from the communicator (:meth:`attach_counter`), and the
+    file bytes live behind an :class:`~repro.fs.posix.OsFile`
+    descriptor in the kernel.
+    """
 
     def __init__(self, simfile: SimFile, path: str,
                  requires_ol_lists: bool = False) -> None:
         self.simfile = simfile
         self.path = path
-        self.shared_ptr = 0  # etype units
-        self.shared_ptr_lock = threading.Lock()
+        self._ptr = LocalCounter()  # etype units
         self.fileview_cache = FileviewCache()
         self.atomicity = False
         #: NFS/PVFS-like file system (paper footnote 4): ol-lists must
         #: still be created even by the listless engine.
         self.requires_ol_lists = requires_ol_lists
+
+    @property
+    def shared_ptr(self) -> int:
+        return self._ptr.get()
+
+    @shared_ptr.setter
+    def shared_ptr(self, value: int) -> None:
+        self._ptr.set(value)
+
+    def bump_shared_ptr(self, delta: int) -> int:
+        """Atomically advance the shared pointer; returns its old value."""
+        return self._ptr.add(delta)
+
+    def attach_counter(self, counter) -> None:
+        """Replace the pointer counter (cross-process adoption),
+        preserving the current value."""
+        counter.set(self._ptr.get())
+        self._ptr = counter
 
 
 def _validate_amode(amode: int) -> None:
@@ -170,6 +227,12 @@ class File:
         else:
             state = None  # type: ignore[assignment]
         state = comm.bcast(state, root=0)
+        # On backends where the bcast copies state across processes, the
+        # shared file pointer must live somewhere truly shared: adopt a
+        # communicator-provided cross-process counter.
+        make_counter = getattr(comm, "make_shared_counter", None)
+        if make_counter is not None:
+            state.attach_counter(make_counter())
         fh = cls(comm, state, amode, engine, hints)
         fh._fs = fs  # for DELETE_ON_CLOSE
         if amode & MODE_APPEND:
@@ -276,8 +339,7 @@ class File:
         """Shared file pointer in etype units
         (``MPI_File_get_position_shared``)."""
         self._check_open()
-        with self.shared.shared_ptr_lock:
-            return self.shared.shared_ptr
+        return self.shared.shared_ptr
 
     def get_amode(self) -> int:
         """The access mode the file was opened with."""
@@ -453,10 +515,8 @@ class File:
     # Independent access, shared file pointer
     # ------------------------------------------------------------------
     def _bump_shared(self, mem: MemDescriptor) -> int:
-        with self.shared.shared_ptr_lock:
-            pos = self.shared.shared_ptr
-            self.shared.shared_ptr = self._advance(mem, pos)
-            return pos
+        delta = self._advance(mem, 0)
+        return self.shared.bump_shared_ptr(delta)
 
     def write_shared(
         self,

@@ -9,7 +9,8 @@ window by window.  What differs between the engines is only the
 AP×IOP pair for every access, listless I/O navigates cached fileviews.
 
 This module holds the engine-independent pieces: range aggregation over
-the communicator, domain partitioning, and the access-range record.
+the communicator, domain partitioning, the access-range record, and the
+AP↔IOP payload exchange itself.
 """
 
 from __future__ import annotations
@@ -17,9 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.obs import trace
+
 __all__ = [
     "AccessRange",
     "aggregate_ranges",
+    "exchange",
     "partition_domains",
     "domain_windows",
 ]
@@ -61,6 +65,21 @@ def aggregate_ranges(
         agg_lo = r.abs_lo if agg_lo is None else min(agg_lo, r.abs_lo)
         agg_hi = r.abs_hi if agg_hi is None else max(agg_hi, r.abs_hi)
     return ranges, agg_lo, agg_hi
+
+
+def exchange(comm, outbound: List) -> List:
+    """The two-phase AP↔IOP payload exchange: one all-to-all.
+
+    ``outbound[r]`` is this rank's contribution for rank ``r`` (``None``
+    when it has nothing for that peer); returns the inbound list indexed
+    by source rank.  Every byte the engines ship between access and I/O
+    processes goes through here — on the simulated backend that is a
+    reference hand-off between rank threads, on the proc backend a
+    shared-memory copy between rank processes — so the exchange is the
+    single seam both runtimes share.
+    """
+    with trace.span("two_phase.exchange"):
+        return comm.alltoall(outbound)
 
 
 def partition_domains(

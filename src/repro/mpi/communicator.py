@@ -13,7 +13,9 @@ test suite.
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -22,12 +24,23 @@ from repro.mpi.cost_model import payload_nbytes
 from repro.mpi.status import Status
 from repro.obs import trace
 
-__all__ = ["Comm", "ANY_TAG", "PendingOp"]
+__all__ = ["Comm", "ANY_TAG", "PendingOp", "recv_timeout"]
 
 #: Wildcard tag for :meth:`Comm.recv`.
 ANY_TAG = -1
 
 _POLL_INTERVAL = 0.05  # seconds between failure-flag checks while blocked
+
+
+def recv_timeout() -> float:
+    """Seconds a blocked receive may wait before raising.
+
+    A receive whose sender never sends (mismatched tag, crashed peer
+    the failure detector missed) must surface as an error, not a hang;
+    this deadline bounds every blocking wait in the runtime.  Override
+    with ``REPRO_RECV_TIMEOUT``.
+    """
+    return float(os.environ.get("REPRO_RECV_TIMEOUT", 60.0))
 
 
 class PendingOp:
@@ -77,7 +90,13 @@ class _Mailbox:
     def get(
         self, source: int, tag: int, failed: Callable[[], bool]
     ) -> Tuple[Any, int]:
-        """Blocking matched receive; returns (payload, matched_tag)."""
+        """Blocking matched receive; returns (payload, matched_tag).
+
+        Waits are bounded by :func:`recv_timeout`: a message that never
+        arrives raises :class:`MPIRuntimeError` instead of hanging the
+        rank (and with it, the whole run) forever.
+        """
+        deadline = time.monotonic() + recv_timeout()
         with self.cond:
             while True:
                 if tag == ANY_TAG:
@@ -91,6 +110,11 @@ class _Mailbox:
                 if failed():
                     raise MPIRuntimeError(
                         "world failed while waiting for a message"
+                    )
+                if time.monotonic() >= deadline:
+                    raise MPIRuntimeError(
+                        f"recv from rank {source} (tag {tag}) timed "
+                        "out (sender never sent?)"
                     )
                 self.cond.wait(timeout=_POLL_INTERVAL)
 
@@ -197,6 +221,7 @@ class Comm:
         """Block until a matching message is available (not consumed)."""
         self._check(source)
         mb = self._world.mailbox(self.rank)
+        deadline = time.monotonic() + recv_timeout()
         with mb.cond:
             while True:
                 q = mb.queues.get((source, tag))
@@ -209,6 +234,11 @@ class Comm:
                 if self._world.has_failed():
                     raise MPIRuntimeError(
                         "world failed while probing for a message"
+                    )
+                if time.monotonic() >= deadline:
+                    raise MPIRuntimeError(
+                        f"probe of rank {source} (tag {tag}) timed "
+                        "out (sender never sent?)"
                     )
                 mb.cond.wait(timeout=_POLL_INTERVAL)
 
@@ -436,6 +466,7 @@ class GroupComm(Comm):
               status: Optional[Status] = None) -> None:
         wsrc = self._to_world(source)
         mb = self._world.mailbox(self._wrank)
+        deadline = time.monotonic() + recv_timeout()
         with mb.cond:
             while True:
                 q = mb.queues.get((wsrc, tag))
@@ -448,6 +479,11 @@ class GroupComm(Comm):
                 if self._world.has_failed():
                     raise MPIRuntimeError(
                         "world failed while probing for a message"
+                    )
+                if time.monotonic() >= deadline:
+                    raise MPIRuntimeError(
+                        f"probe of rank {source} (tag {tag}) timed "
+                        "out (sender never sent?)"
                     )
                 mb.cond.wait(timeout=_POLL_INTERVAL)
 

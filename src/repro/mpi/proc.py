@@ -1,0 +1,635 @@
+"""The multi-process SPMD backend: ranks as real OS processes.
+
+:func:`run_spmd_proc` mirrors :func:`repro.mpi.runtime.run_spmd` but
+launches every rank as a ``multiprocessing`` process, so "parallel"
+means parallel: ranks contend for the file system through real file
+descriptors and real ``fcntl`` locks, and collectives move bytes
+through POSIX shared memory (:mod:`repro.mpi.shm`) instead of
+in-process reference passing.
+
+Design:
+
+* **Collectives** reuse the board-exchange algorithm of the simulated
+  :class:`~repro.mpi.communicator.Comm` — :class:`ProcComm` overrides
+  only ``_board_exchange`` (each rank writes one segment, a barrier
+  publishes them, every rank attaches its peers' segments, a second
+  barrier gates unlink) and ``barrier`` (a ``multiprocessing.Barrier``
+  with a timeout).  Everything from ``bcast`` to ``alltoall`` is the
+  exact code path the simulated backend runs, which is what makes the
+  differential conformance suite meaningful.
+* **Point-to-point** messages put only ``(source, tag, segment_name)``
+  on the destination's queue; payload bytes stay in shared memory.
+  Receives carry a deadline — a dead sender surfaces as
+  :class:`~repro.errors.MPIRuntimeError` within ``REPRO_PROC_TIMEOUT``
+  seconds (default 60), never as a hang.
+* **Failure handling**: a rank that raises aborts the shared barrier
+  and sets the world abort flag before reporting, so peers blocked in
+  a collective or a receive fail promptly.  The parent additionally
+  watches for ranks that *die* (e.g. SIGKILL) without reporting and
+  aborts the world on their behalf.
+* **Observability**: each rank ships its trace spans (absolute
+  ``perf_counter`` stamps — CLOCK_MONOTONIC, comparable across
+  processes on Linux) and its per-file stats back to the parent, which
+  merges spans into the parent tracer so ``trace --export`` renders
+  one timeline across backends.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import queue as queue_mod
+import tempfile
+import threading
+import time
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import MPIRuntimeError
+from repro.mpi import shm
+from repro.mpi.communicator import ANY_TAG, Comm, PendingOp
+from repro.mpi.cost_model import NetworkModel, payload_nbytes
+from repro.mpi.status import Status
+from repro.obs import trace
+
+__all__ = ["ProcComm", "ProcWorldReport", "run_spmd_proc"]
+
+#: Seconds a blocked receive / barrier waits before declaring the world
+#: dead.  Override with ``REPRO_PROC_TIMEOUT``.
+DEFAULT_TIMEOUT = 60.0
+
+#: Queue poll granularity while waiting for a message or a result.
+_POLL = 0.05
+
+#: Shared counters pre-allocated per world (they must exist before the
+#: ranks fork; each collective ``make_shared_counter`` call claims one).
+_COUNTER_POOL = 64
+
+#: Per-process point-to-point send sequence.  Shared by every
+#: communicator object in the process so segment names (which embed the
+#: sender's *world* rank) can never collide, even across nested
+#: sub-communicators.
+_PSEQ = itertools.count()
+
+
+def _timeout_from_env(timeout: Optional[float]) -> float:
+    if timeout is not None:
+        return timeout
+    return float(os.environ.get("REPRO_PROC_TIMEOUT", DEFAULT_TIMEOUT))
+
+
+class _ProcShared:
+    """World state inherited by every rank process (fork) or shipped to
+    it (spawn): synchronization primitives, mailbox queues, the shared
+    counter pool, and the segment namespace."""
+
+    def __init__(self, ctx, size: int, timeout: float, uid: str) -> None:
+        self.size = size
+        self.timeout = timeout
+        self.uid = uid
+        self.barrier = ctx.Barrier(size)
+        self.abort = ctx.Event()
+        self.queues = [ctx.Queue() for _ in range(size)]
+        self.results = ctx.Queue()
+        self.counters = [ctx.Value("q", 0) for _ in range(_COUNTER_POOL)]
+
+
+class ProcWorldReport:
+    """Post-run accounting mirror of :class:`~repro.mpi.runtime.World`.
+
+    Filled by the parent from each rank's report so code written
+    against ``world_out`` (``total_bytes_sent``, ``max_net_time``)
+    works unchanged on the proc backend.
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.bytes_sent = [0] * size
+        self.messages_sent = [0] * size
+        self.net_time = [0.0] * size
+
+    def total_bytes_sent(self) -> int:
+        return sum(self.bytes_sent)
+
+    def max_net_time(self) -> float:
+        return max(self.net_time)
+
+
+class ProcComm(Comm):
+    """Rank-local communicator of the multi-process backend.
+
+    Subclasses the simulated :class:`Comm` and overrides only the
+    transport: the collective algorithms (bcast/gather/allgather/
+    alltoall/allreduce/scatter and their accounting) are inherited
+    verbatim.
+    """
+
+    # Comm.__init__ is replaced wholesale: there is no World object.
+    def __init__(self, shared: _ProcShared, rank: int,
+                 network: Optional[NetworkModel] = None) -> None:
+        self._shared = shared
+        self.rank = rank
+        self._network = network or NetworkModel()
+        self._gen = 0          # collective generation (segment names)
+        self._split_seq = 0    # split collectives issued (tag namespace)
+        self._ns = "w"         # communicator namespace (tag derivation)
+        self._next_counter = 0
+        # Messages drained off the queue but not yet matched.
+        self._pending: Dict[Tuple[int, int], List[Any]] = {}
+        # Local accounting (shipped to the parent after the run).
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.net_time = 0.0
+
+    # -- world plumbing ------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._shared.size
+
+    def _charge(self, nbytes: int, dst: Optional[int] = None) -> None:
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+        self.net_time += self._network.transfer_time(
+            nbytes, self.world_rank,
+            self.world_rank if dst is None else dst,
+        )
+
+    def _check_abort(self) -> None:
+        if self._shared.abort.is_set():
+            raise MPIRuntimeError("world failed (another rank aborted)")
+
+    # -- barrier and board exchange ------------------------------------
+    def barrier(self) -> None:
+        with trace.span("mpi.barrier"):
+            self._barrier_wait()
+
+    def _barrier_wait(self) -> None:
+        self._check_abort()
+        try:
+            self._shared.barrier.wait(timeout=self._shared.timeout)
+        except threading.BrokenBarrierError:
+            raise MPIRuntimeError(
+                "barrier broken or timed out (another rank failed?)"
+            ) from None
+
+    def _segment(self, gen: int, rank: int) -> str:
+        return f"{self._shared.uid}g{gen}r{rank}"
+
+    def _board_exchange(self, item: Any) -> List[Any]:
+        gen = self._gen
+        self._gen += 1
+        own = self._segment(gen, self.world_rank)
+        shm.write_segment(own, item)
+        try:
+            self._barrier_wait()
+            out: List[Any] = []
+            for src in range(self.size):
+                if src == self.rank:
+                    out.append(item)
+                else:
+                    out.append(shm.read_segment(
+                        self._segment(gen, self._peer_world_rank(src))
+                    ))
+            self._barrier_wait()
+        finally:
+            shm.unlink_segment(own)
+        return out
+
+    def _peer_world_rank(self, peer: int) -> int:
+        """World rank of communicator rank ``peer`` (identity here;
+        group communicators translate)."""
+        return peer
+
+    # -- point-to-point ------------------------------------------------
+    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+        self._check(dest)
+        self._check_abort()
+        self._charge(payload_nbytes(payload), dest)
+        name = f"{self._shared.uid}p{self.world_rank}s{next(_PSEQ)}"
+        shm.write_segment(name, payload)
+        self._shared.queues[self._peer_world_rank(dest)].put(
+            (self.world_rank, tag, name)
+        )
+
+    def _drain(self, wait: float) -> bool:
+        """Pull at most one queued message into the pending store."""
+        try:
+            src, tag, name = self._shared.queues[self.world_rank].get(
+                timeout=wait
+            )
+        except queue_mod.Empty:
+            return False
+        payload = shm.read_segment(name)
+        shm.unlink_segment(name)
+        self._pending.setdefault((src, tag), []).append(payload)
+        return True
+
+    def _match(self, wsrc: int, tag: int, consume: bool):
+        """Find (and optionally pop) a pending message from world rank
+        ``wsrc`` with ``tag``; returns ``(found, payload, tag)``."""
+        if tag == ANY_TAG:
+            for (s, t), q in self._pending.items():
+                if s == wsrc and q:
+                    return True, (q.pop(0) if consume else q[0]), t
+            return False, None, tag
+        q = self._pending.get((wsrc, tag))
+        if q:
+            return True, (q.pop(0) if consume else q[0]), tag
+        return False, None, tag
+
+    def _recv_match(self, wsrc: int, tag: int, block: bool,
+                    consume: bool = True):
+        deadline = time.monotonic() + self._shared.timeout
+        while True:
+            found, payload, mtag = self._match(wsrc, tag, consume)
+            if found:
+                return True, payload, mtag
+            self._check_abort()
+            if not block:
+                if not self._drain(0.0):
+                    return False, None, tag
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise MPIRuntimeError(
+                    f"recv from rank {wsrc} (tag {tag}) timed out after "
+                    f"{self._shared.timeout:.0f}s (sender dead?)"
+                )
+            self._drain(min(_POLL, remaining))
+
+    def recv(self, source: int, tag: int = 0,
+             status: Optional[Status] = None) -> Any:
+        self._check(source)
+        _ok, payload, mtag = self._recv_match(
+            self._peer_world_rank(source), tag, block=True
+        )
+        if status is not None:
+            status.source = source
+            status.tag = mtag
+            status.nbytes = payload_nbytes(payload)
+        return payload
+
+    def _try_recv(self, source: int, tag: int, block: bool):
+        ok, payload, _t = self._recv_match(
+            self._peer_world_rank(source), tag, block=block
+        )
+        return ok, payload
+
+    def probe(self, source: int, tag: int = 0,
+              status: Optional[Status] = None) -> None:
+        self._check(source)
+        _ok, payload, mtag = self._recv_match(
+            self._peer_world_rank(source), tag, block=True, consume=False
+        )
+        if status is not None:
+            status.source = source
+            status.tag = mtag
+            status.nbytes = payload_nbytes(payload)
+
+    def iprobe(self, source: int, tag: int = 0) -> bool:
+        self._check(source)
+        ok, _p, _t = self._recv_match(
+            self._peer_world_rank(source), tag, block=False, consume=False
+        )
+        return ok
+
+    def isend(self, dest: int, payload: Any, tag: int = 0) -> PendingOp:
+        self.send(dest, payload, tag)
+        return PendingOp(result=None, done=True)
+
+    def irecv(self, source: int, tag: int = 0) -> PendingOp:
+        self._check(source)
+        return PendingOp(
+            poll=lambda block: self._try_recv(source, tag, block)
+        )
+
+    # -- communicator management ---------------------------------------
+    def split(self, color, key: int = 0) -> "ProcGroupComm | None":
+        """Partition by color (collective).  Group membership derives
+        deterministically from one allgather; group collectives then run
+        leader-relayed over reserved point-to-point tags."""
+        seq = self._split_seq
+        self._split_seq += 1
+        info = self.allgather((color, key, self.world_rank))
+        if color is None:
+            return None
+        members = [
+            r for _c, _k, r in sorted(
+                (e for e in info if e[0] == color),
+                key=lambda e: (e[1], e[2]),
+            )
+        ]
+        return ProcGroupComm(self, members, f"{self._ns}/{seq}")
+
+    def make_shared_counter(self) -> shm.ShmCounter:
+        """Claim one cross-process shared counter (collective: every
+        rank claims the same pool slot).  The leader zeroes it; a
+        barrier orders the reset before any use."""
+        idx = self._next_counter
+        self._next_counter += 1
+        if idx >= len(self._shared.counters):
+            raise MPIRuntimeError(
+                f"shared counter pool exhausted ({idx} counters; the "
+                "pool is sized at fork time)"
+            )
+        counter = shm.ShmCounter(self._shared.counters[idx])
+        if self.rank == 0:
+            counter.set(0)
+        self._barrier_wait()
+        return counter
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ProcComm rank={self.rank}/{self.size}>"
+
+
+#: Tag space reserved for group-communicator internals: far above any
+#: tag application code plausibly uses on the world communicator.
+_GROUP_TAG_BASE = 1 << 40
+
+
+class ProcGroupComm(ProcComm):
+    """A communicator over a subset of ranks on the proc backend.
+
+    The world barrier and segment namespace cannot serve a subgroup, so
+    collectives run a leader relay over point-to-point messages in a
+    reserved tag namespace: members send their item to the group
+    leader, the leader replies with the assembled board.  Tags derive
+    from the group's namespace path (split lineage from the world
+    communicator — identical on every member) plus a per-collective
+    generation, so concurrent groups and back-to-back collectives
+    never cross-match.
+    """
+
+    def __init__(self, parent: ProcComm, members: List[int],
+                 ns: str) -> None:
+        self._shared = parent._shared
+        self._network = parent._network
+        self._parent = parent
+        self._members = list(members)
+        self._wrank = parent.world_rank
+        self.rank = members.index(parent.world_rank)
+        self._gen = 0
+        self._split_seq = 0
+        self._ns = ns
+        self._next_counter = parent._next_counter
+        self._pending = parent._pending  # one mailbox per process
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.net_time = 0.0
+        self._tag_base = (
+            _GROUP_TAG_BASE
+            + zlib.crc32(ns.encode("ascii")) * (1 << 20)
+        )
+
+    @property
+    def world_rank(self) -> int:
+        return self._wrank
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    def _peer_world_rank(self, peer: int) -> int:
+        self._check(peer)
+        return self._members[peer]
+
+    def _charge(self, nbytes: int, dst: Optional[int] = None) -> None:
+        # Account on the parent: the per-rank totals shipped to the
+        # parent process are the world comm's counters.
+        self._parent._charge(
+            nbytes, None if dst is None else self._members[dst]
+        )
+
+    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+        self._check(dest)
+        self._check_abort()
+        self._charge(payload_nbytes(payload), dest)
+        name = f"{self._shared.uid}p{self.world_rank}s{next(_PSEQ)}"
+        shm.write_segment(name, payload)
+        self._shared.queues[self._members[dest]].put(
+            (self.world_rank, tag, name)
+        )
+
+    def _collective_tags(self) -> Tuple[int, int]:
+        gen = self._gen
+        self._gen += 1
+        base = self._tag_base + (gen % (1 << 19)) * 2
+        return base, base + 1
+
+    def _board_exchange(self, item: Any) -> List[Any]:
+        up, down = self._collective_tags()
+        leader = 0
+        if self.rank == leader:
+            board = [item] + [
+                self._recv_match(self._members[src], up,
+                                 block=True)[1]
+                for src in range(1, self.size)
+            ]
+            for dst in range(1, self.size):
+                self.send(dst, board, tag=down)
+            return board
+        self.send(leader, item, tag=up)
+        return self._recv_match(self._members[leader], down,
+                                block=True)[1]
+
+    def barrier(self) -> None:
+        with trace.span("mpi.barrier"):
+            self._board_exchange(None)
+
+    def _barrier_wait(self) -> None:
+        self._board_exchange(None)
+
+    def make_shared_counter(self) -> shm.FileCounter:
+        """Claim a cross-process shared counter (collective over the
+        group).  The pre-forked pool belongs to the world communicator;
+        a group created after the fork uses a file-backed counter at a
+        path every member derives identically from the group's
+        namespace lineage — no communication needed to agree on it."""
+        seq = self._next_counter
+        self._next_counter += 1
+        # Sibling groups of one split share the namespace string, so the
+        # leader's world rank (unique per sibling — memberships are
+        # disjoint) disambiguates the path.
+        path = os.path.join(
+            tempfile.gettempdir(),
+            f"{self._shared.uid}c{zlib.crc32(self._ns.encode()):08x}"
+            f"L{self._members[0]}n{seq}",
+        )
+        counter = shm.FileCounter(path)
+        if self.rank == 0:
+            counter.set(0)
+        self._barrier_wait()
+        return counter
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ProcGroupComm rank={self.rank}/{self.size} "
+                f"world={self._wrank}>")
+
+
+# ----------------------------------------------------------------------
+# Worker harness
+# ----------------------------------------------------------------------
+def _worker_main(shared: _ProcShared, rank: int, fn, args,
+                 trace_on: bool, network: Optional[NetworkModel]) -> None:
+    # Rank attribution for the tracer and phase accounting: the same
+    # thread-name convention the thread backend uses.
+    threading.current_thread().name = f"rank-{rank}"
+    trace.set_tracing(trace_on)
+    trace.TRACER.clear()
+    comm = ProcComm(shared, rank, network=network)
+    outcome: Tuple[str, Any]
+    try:
+        with trace.span("spmd.rank", rank=rank):
+            result = fn(comm, *args)
+        outcome = ("ok", result)
+    except BaseException as exc:  # noqa: BLE001 - must propagate all
+        shared.abort.set()
+        shared.barrier.abort()
+        outcome = ("err", exc)
+    report = {
+        "rank": rank,
+        "bytes_sent": comm.bytes_sent,
+        "messages_sent": comm.messages_sent,
+        "net_time": comm.net_time,
+        "spans": trace.TRACER.export_state() if trace.TRACE_ON else {},
+    }
+    # Pre-pickle in the worker thread so an unpicklable result raises
+    # *here* (mp.Queue pickles in a feeder thread, where the error
+    # would be swallowed and the parent would see a silent no-show).
+    try:
+        blob = pickle.dumps((outcome[0], outcome[1], report), protocol=5)
+    except Exception as exc:  # noqa: BLE001
+        kind = "result" if outcome[0] == "ok" else "exception"
+        blob = pickle.dumps(
+            ("err",
+             MPIRuntimeError(f"rank {rank}: unpicklable {kind}: {exc}"),
+             report),
+            protocol=5,
+        )
+    shared.results.put(blob)
+
+
+def _sweep_segments(uid: str) -> None:
+    """Remove leftover segments and counter files of this run (crashed
+    ranks leak theirs)."""
+    for base in ("/dev/shm", tempfile.gettempdir()):
+        try:
+            names = os.listdir(base)
+        except OSError:  # pragma: no cover - non-Linux shm layout
+            continue
+        for n in names:
+            if n.startswith(uid):
+                try:
+                    os.unlink(os.path.join(base, n))
+                except OSError:  # pragma: no cover - racing unlink
+                    pass
+
+
+def run_spmd_proc(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    network: Optional[NetworkModel] = None,
+    world_out: Optional[list] = None,
+    timeout: Optional[float] = None,
+    start_method: Optional[str] = None,
+) -> List[Any]:
+    """Run ``fn(comm, *args)`` on ``size`` rank *processes*.
+
+    Same contract as :func:`repro.mpi.runtime.run_spmd`: returns
+    per-rank results, re-raises the first rank failure, and fills
+    ``world_out`` with a :class:`ProcWorldReport`.  ``fn``, ``args``
+    and every rank's return value must be picklable.  The start method
+    defaults to ``fork`` (closures over test fixtures keep working);
+    override with ``start_method=`` or ``REPRO_PROC_START``.
+    """
+    import multiprocessing as mp
+
+    if size < 1:
+        raise MPIRuntimeError(f"world size must be >= 1, got {size}")
+    method = start_method or os.environ.get("REPRO_PROC_START", "fork")
+    ctx = mp.get_context(method)
+    tmo = _timeout_from_env(timeout)
+    uid = f"rp{os.getpid():x}x{int(time.monotonic() * 1e6) & 0xFFFFFF:x}"
+    shared = _ProcShared(ctx, size, tmo, uid)
+    report = ProcWorldReport(size)
+    if world_out is not None:
+        world_out.append(report)
+
+    procs = [
+        ctx.Process(target=_worker_main,
+                    args=(shared, r, fn, args, trace.TRACE_ON, network),
+                    name=f"rank-{r}")
+        for r in range(size)
+    ]
+    for p in procs:
+        p.start()
+
+    results: List[Any] = [None] * size
+    failures: List[BaseException] = []
+    reported: set = set()
+    deadline = time.monotonic() + tmo + 10.0
+    try:
+        while len(reported) < size:
+            try:
+                blob = shared.results.get(timeout=_POLL)
+            except queue_mod.Empty:
+                blob = None
+            if blob is not None:
+                kind, value, rep = pickle.loads(blob)
+                r = rep["rank"]
+                reported.add(r)
+                report.bytes_sent[r] = rep["bytes_sent"]
+                report.messages_sent[r] = rep["messages_sent"]
+                report.net_time[r] = rep["net_time"]
+                if rep["spans"]:
+                    trace.TRACER.ingest_state(rep["spans"])
+                if kind == "ok":
+                    results[r] = value
+                else:
+                    failures.append(value)
+                continue
+            # No result: check for ranks that died without reporting.
+            dead = [
+                r for r, p in enumerate(procs)
+                if r not in reported and not p.is_alive()
+            ]
+            if dead and not shared.abort.is_set():
+                shared.abort.set()
+                shared.barrier.abort()
+            for r in dead:
+                reported.add(r)
+                failures.append(MPIRuntimeError(
+                    f"rank {r} died without reporting "
+                    f"(exit code {procs[r].exitcode})"
+                ))
+            if time.monotonic() > deadline:
+                shared.abort.set()
+                shared.barrier.abort()
+                for r in range(size):
+                    if r not in reported:
+                        reported.add(r)
+                        failures.append(MPIRuntimeError(
+                            f"rank {r} unresponsive past the "
+                            f"{tmo:.0f}s world timeout"
+                        ))
+                break
+    finally:
+        for p in procs:
+            p.join(timeout=5.0)
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - stuck rank
+                p.terminate()
+                p.join(timeout=5.0)
+        _sweep_segments(uid)
+
+    if failures:
+        # Prefer a primary failure over secondary broken-world errors,
+        # matching the thread backend's first-failure-wins contract.
+        primary = next(
+            (f for f in failures if not isinstance(f, MPIRuntimeError)),
+            failures[0],
+        )
+        raise primary
+    return results

@@ -1,12 +1,27 @@
-"""The SPMD world and thread harness.
+"""The SPMD world, thread harness, and runtime selection.
 
 :func:`run_spmd` launches one thread per rank, runs the worker function
 SPMD-style, propagates the first failure (aborting barriers and waking
 blocked receivers so no rank deadlocks), and returns the per-rank results.
+
+:class:`Runtime` selects between the two SPMD execution backends:
+
+``sim`` (default)
+    ranks as threads in this process — deterministic, fast to start,
+    with simulated device/wire time (this module);
+``proc``
+    ranks as real OS processes exchanging payloads through shared
+    memory (:mod:`repro.mpi.proc`) — real parallelism, real ``fcntl``
+    locks, for measurement runs and conformance testing.
+
+Selection: ``Runtime(backend="proc")`` explicitly, or the
+``REPRO_RUNTIME`` environment variable.  Both backends run the *same*
+worker function with the same communicator API; see ``docs/runtime.md``.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Any, Callable, List, Optional
 
@@ -14,7 +29,10 @@ from repro.errors import MPIRuntimeError
 from repro.mpi.communicator import Comm, _Mailbox
 from repro.mpi.cost_model import NetworkModel
 
-__all__ = ["World", "run_spmd"]
+__all__ = ["Runtime", "World", "run_spmd"]
+
+#: Valid backend names (the Runtime facade validates against this).
+BACKENDS = ("sim", "proc")
 
 
 class World:
@@ -104,13 +122,21 @@ def run_spmd(
     *args: Any,
     network: NetworkModel | None = None,
     world_out: Optional[list] = None,
+    backend: "str | Runtime | None" = None,
 ) -> List[Any]:
     """Run ``fn(comm, *args)`` on ``size`` ranks; returns per-rank results.
 
     The first exception raised by any rank is re-raised in the caller
     (other ranks are unblocked and terminated).  Pass a list as
     ``world_out`` to receive the :class:`World` (for cost inspection).
+
+    ``backend`` routes the run through a non-default execution backend
+    (see :class:`Runtime`); ``None`` honours ``REPRO_RUNTIME``.
     """
+    rt = Runtime.resolve(backend)
+    if rt.backend != "sim":
+        return rt.run(size, fn, *args, network=network,
+                      world_out=world_out)
     world = World(size, network=network)
     if world_out is not None:
         world_out.append(world)
@@ -140,3 +166,55 @@ def run_spmd(
     if world.failure is not None:
         raise world.failure
     return results
+
+
+class Runtime:
+    """Facade selecting the SPMD execution backend.
+
+    ``Runtime()`` resolves the backend from ``REPRO_RUNTIME`` (default
+    ``sim``); ``Runtime(backend="proc")`` picks explicitly.  ``run``
+    has the :func:`run_spmd` contract on every backend.
+    """
+
+    def __init__(self, backend: Optional[str] = None, *,
+                 timeout: Optional[float] = None,
+                 start_method: Optional[str] = None) -> None:
+        name = backend or os.environ.get("REPRO_RUNTIME", "sim")
+        name = name.strip().lower()
+        if name not in BACKENDS:
+            raise MPIRuntimeError(
+                f"unknown runtime backend {name!r} "
+                f"(expected one of {', '.join(BACKENDS)})"
+            )
+        self.backend = name
+        self.timeout = timeout
+        self.start_method = start_method
+
+    @classmethod
+    def resolve(cls, backend: "str | Runtime | None") -> "Runtime":
+        """Coerce a backend name / Runtime / None to a Runtime."""
+        if isinstance(backend, cls):
+            return backend
+        return cls(backend)
+
+    def run(
+        self,
+        size: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        network: NetworkModel | None = None,
+        world_out: Optional[list] = None,
+    ) -> List[Any]:
+        """Run ``fn(comm, *args)`` on ``size`` ranks of this backend."""
+        if self.backend == "proc":
+            from repro.mpi.proc import run_spmd_proc
+
+            return run_spmd_proc(
+                size, fn, *args, network=network, world_out=world_out,
+                timeout=self.timeout, start_method=self.start_method,
+            )
+        return run_spmd(size, fn, *args, network=network,
+                        world_out=world_out, backend="sim")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Runtime backend={self.backend!r}>"

@@ -39,7 +39,12 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["BUCKETS", "PhaseAccumulator", "format_phase_table"]
+__all__ = [
+    "BUCKETS",
+    "PhaseAccumulator",
+    "format_phase_table",
+    "merge_snapshots",
+]
 
 #: Bucket names in report order (the order Table-3-style output uses;
 #: snapshots are keyed ``phase_<bucket>`` and sorted alphabetically).
@@ -93,11 +98,28 @@ class PhaseAccumulator:
             out.merge(acc)
         return out
 
+    @classmethod
+    def from_snapshot(cls, snap: Dict[str, float]) -> "PhaseAccumulator":
+        """Rebuild an accumulator from a ``snapshot()`` dict (accepts
+        ``phase_<bucket>`` or bare bucket keys) — how phase buckets
+        collected in child rank processes rejoin the parent."""
+        out = cls()
+        for b in BUCKETS:
+            out.add(b, snap.get(f"phase_{b}", snap.get(b, 0.0)))
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(
             f"{b}={getattr(self, b) * 1e3:.2f}ms" for b in BUCKETS
         )
         return f"<PhaseAccumulator {parts}>"
+
+
+def merge_snapshots(snaps: Iterable[Dict[str, float]]) -> Dict[str, float]:
+    """Sum ``snapshot()`` dicts bucket-wise (per-rank rows → run total)."""
+    return PhaseAccumulator.sum(
+        PhaseAccumulator.from_snapshot(s) for s in snaps
+    ).snapshot()
 
 
 class _PhaseTimer:

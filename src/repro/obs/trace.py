@@ -239,6 +239,39 @@ class Tracer:
             self._rings.clear()
             self.epoch = now()
 
+    # ------------------------------------------------------------------
+    # Cross-process merge (the proc SPMD backend ships each child's
+    # spans back to the parent and ingests them here).
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[int, list]:
+        """Spans as picklable tuples with *absolute* ``perf_counter``
+        stamps.  ``perf_counter`` is CLOCK_MONOTONIC on Linux — one
+        clock across processes — so a tracer in another process can
+        rebase them onto its own epoch and the merged timeline stays
+        consistent."""
+        with self._mu:
+            rings = {r: list(ring) for r, ring in self._rings.items()}
+        return {
+            r: [
+                (s.name, s.rank, s.depth, s.t0 + self.epoch,
+                 s.t1 + self.epoch, s.args)
+                for s in ring
+            ]
+            for r, ring in rings.items()
+        }
+
+    def ingest_state(self, state: Dict[int, list]) -> int:
+        """Merge spans exported by another process' tracer; returns the
+        number of spans absorbed."""
+        n = 0
+        for r, spans in state.items():
+            ring = self._ring(r)
+            for name, rank, depth, t0, t1, args in spans:
+                ring.append(Span(name, rank, depth, t0 - self.epoch,
+                                 t1 - self.epoch, args))
+                n += 1
+        return n
+
     def __len__(self) -> int:
         with self._mu:
             return sum(len(r) for r in self._rings.values())

@@ -414,10 +414,12 @@ class PlanExecutor:
                 "plan contains an exchange op but the executor has no "
                 "communicator"
             )
+        from repro.io.two_phase import exchange
+
         outbound = [None] * self.comm.size
         for send in op.sends:
             outbound[send.rank] = self._payload_for(send, bufs)
-        inbound = self.comm.alltoall(outbound)
+        inbound = exchange(self.comm, outbound)
         for src, item in enumerate(inbound):
             if item is not None:
                 bufs[in_slot(src)] = item

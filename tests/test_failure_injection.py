@@ -1,17 +1,29 @@
 """Failure injection: a rank failing mid-I/O must never deadlock the
 world, locks must be released on error paths, and device faults must
-propagate as exceptions, not corruption."""
+propagate as exceptions, not corruption.  On the proc backend the
+failures are real — a SIGKILLed rank process must surface as a
+:class:`ReproError` on the survivors within the runtime timeout, never
+as a hang."""
+
+import os
+import signal
 
 import numpy as np
 import pytest
 
 from repro import datatypes as dt
 from repro.bench.noncontig import build_noncontig_filetype
-from repro.errors import FileSystemError, IOEngineError
+from repro.errors import (
+    FileSystemError,
+    IOEngineError,
+    MPIRuntimeError,
+    ReproError,
+)
 from repro.fs import DeviceModel, SimFileSystem, StripingConfig
 from repro.fs.simfile import SimFile
 from repro.io import File, MODE_CREATE, MODE_RDONLY, MODE_RDWR
 from repro.mpi import run_spmd
+from repro.mpi.proc import run_spmd_proc
 
 ENGINES = ["listless", "list_based"]
 
@@ -134,6 +146,54 @@ class TestRankFailures:
 
         with pytest.raises(FileSystemError):
             run_spmd(4, worker)
+
+
+def _killed_in_collective(comm):
+    if comm.rank == 2:
+        os.kill(os.getpid(), signal.SIGKILL)
+    comm.allgather(np.arange(256, dtype=np.uint8))
+    comm.barrier()
+    return True
+
+
+def _killed_before_send(comm):
+    if comm.rank == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    if comm.rank == 0:
+        comm.recv(source=1)  # rank 1 is dead: must time out, not hang
+    return True
+
+
+def _raises_mid_collective(comm):
+    if comm.rank == 1:
+        raise ValueError("injected rank failure")
+    comm.allgather(comm.rank)
+    comm.barrier()
+    return True
+
+
+class TestProcRankDeath:
+    """Real rank-process deaths under the proc backend.
+
+    A rank SIGKILLed mid-collective cannot run *any* error path — the
+    parent must notice the silent exit and abort the survivors, and
+    every blocked wait (barrier, board read, queue recv) carries a
+    deadline so the failure surfaces as a ReproError within the
+    runtime timeout, never as a hang."""
+
+    def test_sigkill_mid_collective_surfaces_promptly(self):
+        with pytest.raises(ReproError, match="rank 2 died"):
+            run_spmd_proc(4, _killed_in_collective, timeout=20.0)
+
+    def test_sigkill_blocked_recv_times_out(self):
+        with pytest.raises(MPIRuntimeError):
+            run_spmd_proc(2, _killed_before_send, timeout=5.0)
+
+    def test_rank_exception_propagates_across_processes(self):
+        """A raising rank's exception (not a timeout shadow) wins as the
+        reported failure."""
+        with pytest.raises(ValueError, match="injected rank failure"):
+            run_spmd_proc(3, _raises_mid_collective, timeout=20.0)
 
 
 class TestShortReads:

@@ -1,12 +1,28 @@
-"""Byte-range locks: exclusion, blocking, release."""
+"""Byte-range locks: exclusion, blocking, release.
 
+Covers both managers behind the same interface: the in-memory
+:class:`RangeLockManager` of the simulated file system and the real
+``fcntl``-backed :class:`FcntlRangeLockManager` of the proc backend.
+POSIX ``fcntl`` semantics need careful bookkeeping — a process' locks
+never conflict with themselves, and *unlocking a range drops every lock
+the process holds over it* — so overlapping windows (sieving loop
+inside an atomic-mode whole-access lock) must release only the bytes no
+other held range still covers."""
+
+import multiprocessing as mp
+import fcntl
+import os
 import threading
 import time
 
 import pytest
 
 from repro.errors import LockError
-from repro.fs.locks import RangeLockManager
+from repro.fs.locks import (
+    FcntlRangeLockManager,
+    RangeLockManager,
+    _subtract_ranges,
+)
 
 
 class TestBasics:
@@ -111,3 +127,127 @@ class TestExclusion:
         for t in threads:
             t.join(timeout=5)
         assert counter["max_inside"] == 1
+
+
+def _probe_range(path, lo, hi, out):
+    """Child process: try a non-blocking exclusive lock on [lo, hi)."""
+    fd = os.open(path, os.O_RDWR)
+    try:
+        fcntl.lockf(fd, fcntl.LOCK_EX | fcntl.LOCK_NB, hi - lo, lo,
+                    os.SEEK_SET)
+        out.put("acquired")
+    except OSError:
+        out.put("blocked")
+    finally:
+        os.close(fd)
+
+
+class TestFcntlManager:
+    """Regressions for the real-lock path of the proc backend.
+
+    POSIX never blocks a process on its own locks, and a plain unlock
+    over a range drops *every* lock the process holds there — the
+    manager's multiset bookkeeping must keep residual bytes locked.
+    The held/released distinction is only visible to *another* process,
+    so assertions probe with a forked child doing LOCK_NB attempts.
+    """
+
+    @pytest.fixture
+    def lockfile(self, tmp_path):
+        path = str(tmp_path / "lk")
+        fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o600)
+        os.ftruncate(fd, 4096)
+        yield path, fd
+        os.close(fd)
+
+    @staticmethod
+    def probe(path, lo, hi):
+        q = mp.Queue()
+        p = mp.Process(target=_probe_range, args=(path, lo, hi, q))
+        p.start()
+        result = q.get(timeout=10)
+        p.join(timeout=10)
+        return result
+
+    def test_overlapping_same_process_locks_dont_self_deadlock(
+            self, lockfile):
+        # The sieving loop takes per-window locks while atomic mode
+        # already holds a whole-access lock: must return immediately.
+        path, fd = lockfile
+        m = FcntlRangeLockManager(fd)
+        done = []
+
+        def body():
+            m.lock(0, 100)
+            m.lock(50, 150)  # overlaps — POSIX merges, must not block
+            m.lock(0, 100)   # exact duplicate
+            done.append(True)
+
+        t = threading.Thread(target=body)
+        t.start()
+        t.join(timeout=5)
+        assert done, "overlapping same-process lock deadlocked"
+        assert sorted(m.held_by_me()) == [(0, 100), (0, 100), (50, 150)]
+
+    def test_partial_unlock_keeps_residual_bytes_locked(self, lockfile):
+        # The bug this pins: naive LOCK_UN over [0,100) would also drop
+        # the [50,150) lock's claim on bytes [50,100).
+        path, fd = lockfile
+        m = FcntlRangeLockManager(fd)
+        m.lock(0, 100)
+        m.lock(50, 150)
+        m.unlock(0, 100)
+        assert m.held_by_me() == [(50, 150)]
+        # Bytes of the released range not covered elsewhere are free...
+        assert self.probe(path, 0, 50) == "acquired"
+        # ...but the overlap is still held by the surviving lock.
+        assert self.probe(path, 60, 90) == "blocked"
+        assert self.probe(path, 100, 150) == "blocked"
+        m.unlock(50, 150)
+        assert self.probe(path, 60, 90) == "acquired"
+
+    def test_duplicate_range_releases_on_last_unlock(self, lockfile):
+        path, fd = lockfile
+        m = FcntlRangeLockManager(fd)
+        m.lock(10, 20)
+        m.lock(10, 20)
+        m.unlock(10, 20)
+        # One logical lock remains: bytes stay locked.
+        assert self.probe(path, 10, 20) == "blocked"
+        m.unlock(10, 20)
+        assert self.probe(path, 10, 20) == "acquired"
+
+    def test_empty_range_rejected(self, lockfile):
+        _, fd = lockfile
+        with pytest.raises(LockError):
+            FcntlRangeLockManager(fd).lock(5, 5)
+
+    def test_unlock_not_held_rejected(self, lockfile):
+        _, fd = lockfile
+        with pytest.raises(LockError, match=r"does not hold"):
+            FcntlRangeLockManager(fd).unlock(0, 10)
+
+    def test_blocks_against_other_process_until_release(self, lockfile):
+        path, fd = lockfile
+        m = FcntlRangeLockManager(fd)
+        m.lock(0, 64)
+        assert self.probe(path, 0, 64) == "blocked"
+        m.unlock(0, 64)
+        assert self.probe(path, 0, 64) == "acquired"
+
+
+class TestSubtractRanges:
+    def test_middle_cut_splits(self):
+        assert _subtract_ranges([(0, 100)], (20, 30)) == \
+            [(0, 20), (30, 100)]
+
+    def test_no_overlap_is_identity(self):
+        assert _subtract_ranges([(0, 10), (20, 30)], (10, 20)) == \
+            [(0, 10), (20, 30)]
+
+    def test_full_cover_removes(self):
+        assert _subtract_ranges([(5, 8)], (0, 100)) == []
+
+    def test_edge_overlaps_trim(self):
+        assert _subtract_ranges([(0, 10)], (5, 15)) == [(0, 5)]
+        assert _subtract_ranges([(10, 20)], (5, 15)) == [(15, 20)]

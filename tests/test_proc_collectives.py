@@ -1,0 +1,209 @@
+"""Property tests for the proc backend's shared-memory collectives.
+
+Hypothesis drives the shared-memory data plane (segment wire format,
+out-of-band numpy buffers, ragged and zero-length contributions) and the
+collective algorithms over it: alltoall round-trips, allgather ordering,
+barrier reentrancy.  World sizes stay small — the properties concern
+payload shapes, not scheduling scale.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MPIRuntimeError
+from repro.mpi import shm
+from repro.mpi.runtime import Runtime
+
+
+def run_proc(size, fn, *args):
+    return Runtime("proc").run(size, fn, *args)
+
+
+# ----------------------------------------------------------------------
+# Wire format (no processes needed: same-process write/read round-trip)
+# ----------------------------------------------------------------------
+payloads = st.recursive(
+    st.one_of(
+        st.none(),
+        st.integers(-(2 ** 40), 2 ** 40),
+        st.binary(max_size=64),
+        st.text(max_size=32),
+        st.builds(
+            lambda n, seed: np.random.default_rng(seed).integers(
+                0, 256, n, dtype=np.uint8
+            ),
+            st.integers(0, 512),
+            st.integers(0, 2 ** 16),
+        ),
+    ),
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=8), inner, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+
+def _eq(a, b) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype
+            and a.shape == b.shape
+            and bool((a == b).all())
+        )
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(_eq(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_eq(a[k], b[k]) for k in a)
+    return a == b
+
+
+@settings(max_examples=40, deadline=None)
+@given(payloads)
+def test_segment_roundtrip(obj):
+    name = "rptest_seg_rt"
+    shm.unlink_segment(name)
+    shm.write_segment(name, obj)
+    try:
+        got = shm.read_segment(name)
+        assert _eq(got, obj)
+    finally:
+        shm.unlink_segment(name)
+
+
+def test_segment_copies_are_writable_and_independent():
+    name = "rptest_seg_mut"
+    shm.unlink_segment(name)
+    src = np.arange(32, dtype=np.uint8)
+    shm.write_segment(name, src)
+    try:
+        a = shm.read_segment(name)
+        b = shm.read_segment(name)
+        a[...] = 0  # must not raise, must not affect b
+        assert (b == src).all()
+    finally:
+        shm.unlink_segment(name)
+
+
+def test_stale_segment_raises():
+    name = "rptest_seg_stale"
+    shm.unlink_segment(name)
+    shm.write_segment(name, 1)
+    try:
+        with pytest.raises(MPIRuntimeError, match="already exists"):
+            shm.write_segment(name, 2)
+    finally:
+        shm.unlink_segment(name)
+
+
+# ----------------------------------------------------------------------
+# Collectives over real processes
+# ----------------------------------------------------------------------
+def _alltoall_worker(comm, lengths):
+    # lengths[src][dst] bytes from src to dst; ragged incl. zero-length.
+    me = comm.rank
+    out = [
+        np.full(lengths[me][dst], (me * comm.size + dst) % 251,
+                dtype=np.uint8)
+        for dst in range(comm.size)
+    ]
+    got = comm.alltoall(out)
+    for src in range(comm.size):
+        want = np.full(lengths[src][me], (src * comm.size + me) % 251,
+                       dtype=np.uint8)
+        assert got[src].size == want.size
+        assert (got[src] == want).all()
+    return True
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    st.integers(2, 3),
+    st.data(),
+)
+def test_alltoall_ragged_roundtrip(size, data):
+    lengths = [
+        [data.draw(st.integers(0, 200)) for _ in range(size)]
+        for _ in range(size)
+    ]
+    assert all(run_proc(size, _alltoall_worker, lengths))
+
+
+def _allgather_worker(comm, sizes):
+    me = comm.rank
+    mine = np.full(sizes[me], 100 + me, dtype=np.uint8)
+    board = comm.allgather(mine)
+    assert len(board) == comm.size
+    for r, item in enumerate(board):
+        assert item.size == sizes[r]
+        assert (item == 100 + r).all()
+    return True
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(2, 4), st.data())
+def test_allgather_ordering(size, data):
+    """board[r] is always rank r's contribution, whatever the sizes."""
+    sizes = [data.draw(st.integers(0, 300)) for _ in range(size)]
+    assert all(run_proc(size, _allgather_worker, sizes))
+
+
+def _barrier_reentry_worker(comm, rounds):
+    # Reentrancy: the same mp.Barrier object is reused back-to-back with
+    # no draining gap; a generation mix-up would deadlock or mismatch.
+    total = 0
+    for i in range(rounds):
+        board = comm.allgather((i, comm.rank))
+        assert board == [(i, r) for r in range(comm.size)]
+        comm.barrier()
+        total += 1
+    comm.barrier()
+    comm.barrier()  # two bare barriers in a row
+    return total
+
+
+@pytest.mark.parametrize("size", [2, 4])
+def test_barrier_reentrancy(size):
+    rounds = 7
+    assert run_proc(size, _barrier_reentry_worker, rounds) == \
+        [rounds] * size
+
+
+def _mixed_worker(comm):
+    # bcast + allreduce + split interplay after heavy alltoall traffic.
+    x = comm.bcast(np.arange(64, dtype=np.int64) if comm.rank == 0
+                   else None, root=0)
+    assert (x == np.arange(64)).all()
+    s = comm.allreduce(comm.rank + 1, lambda a, b: a + b)
+    assert s == comm.size * (comm.size + 1) // 2
+    sub = comm.split(color=comm.rank % 2, key=comm.rank)
+    vals = sub.allgather(comm.rank)
+    assert vals == sorted(r for r in range(comm.size)
+                          if r % 2 == comm.rank % 2)
+    ctr = sub.make_shared_counter()
+    ctr.add(1)
+    sub.barrier()
+    assert ctr.get() == sub.size
+    return True
+
+
+def test_mixed_collectives_and_group_counter():
+    assert all(run_proc(4, _mixed_worker))
+
+
+def _zero_length_everything(comm):
+    empty = np.empty(0, dtype=np.uint8)
+    board = comm.allgather(empty)
+    assert all(item.size == 0 for item in board)
+    got = comm.alltoall([empty] * comm.size)
+    assert all(item.size == 0 for item in got)
+    assert comm.bcast(empty if comm.rank == 0 else None, root=0).size == 0
+    return True
+
+
+def test_zero_length_collectives():
+    assert all(run_proc(3, _zero_length_everything))

@@ -1,0 +1,239 @@
+"""Differential conformance: the proc backend against the simulated ranks.
+
+The multi-process runtime must be *observationally identical* to the
+thread-based simulation: the same worker, run on both backends, must
+leave byte-identical file contents and fill byte-identical read buffers.
+The suite drives every access kind the paper's workloads use (explicit
+offsets, independent and collective) through both engines and several
+world sizes, over a family of fileview generators, and diffs sim
+(SimFileSystem) against proc (OsFileSystem over a temp directory).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import datatypes as dt
+from repro.bench.btio import BTIOConfig, run_btio
+from repro.datatypes.validation import validate_filetype
+from repro.errors import DatatypeError
+from repro.fs import OsFileSystem, SimFileSystem
+from repro.io import File, MODE_CREATE, MODE_RDWR
+from repro.io.hints import Hints
+from repro.mpi.runtime import Runtime
+from tests.conftest import datatype_trees
+
+ENGINES = ["listless", "list_based"]
+SIZES = [1, 2, 4]
+
+# -- fileview generators (parametrized like test_io_random_fileviews) --
+
+
+def _interleaved(size, rank):
+    """Fig.-4 style interleave: each rank owns every size-th 8-byte
+    block.  Resized so instances tile the full P-rank period and the
+    ranks stay disjoint across instances."""
+    ft = dt.resized(dt.vector(6, 8, size * 8, dt.BYTE), 0, 6 * size * 8)
+    return ft, rank * 8
+
+
+def _strided_gap(size, rank):
+    """Sparse blocks with never-written gap bytes between the ranks'
+    interleaved runs (period ``3·size + 5``, ranks fill the first
+    ``3·size``)."""
+    stride = 3 * size + 5
+    ft = dt.resized(dt.vector(4, 3, stride, dt.BYTE), 0, 4 * stride)
+    return ft, rank * 3
+
+
+def _irregular(size, rank):
+    """Indexed blocks of varying lengths; ranks own disjoint segments
+    (displacement strides past both instances)."""
+    ft = dt.indexed([2, 5, 1, 4], [0, 4, 13, 17], dt.BYTE)
+    return ft, rank * 2 * ft.extent
+
+
+def _contig(size, rank):
+    """Plain contiguous segments, rank-disjoint across both instances."""
+    return dt.contiguous(32, dt.BYTE), rank * 64
+
+
+VIEWS = {
+    "interleaved": _interleaved,
+    "strided_gap": _strided_gap,
+    "irregular": _irregular,
+    "contig": _contig,
+}
+
+
+def _worker(comm, view_name, engine, kind, seed):
+    make = VIEWS[view_name]
+    ft, disp = make(comm.size, comm.rank)
+    A = ft.size * 2
+
+    def body(fs):
+        fh = File.open(comm, fs, "/eq.out", MODE_CREATE | MODE_RDWR,
+                       engine=engine)
+        fh.set_view(disp, dt.BYTE, ft)
+        rng = np.random.default_rng(seed + comm.rank)
+        buf = rng.integers(0, 256, A, dtype=np.uint8)
+        if kind == "write_at":
+            fh.write_at(0, buf)
+        elif kind == "write_at_all":
+            fh.write_at_all(0, buf)
+        else:  # reads need content on disk first
+            fh.write_at_all(0, buf)
+            # MPI consistency: data another rank physically wrote during
+            # the collective is only guaranteed visible after a sync
+            # barrier (on proc the race is real, not just theoretical).
+            comm.barrier()
+            buf[...] = 0
+            got = np.zeros(A, dtype=np.uint8)
+            if kind == "read_at":
+                fh.read_at(0, got)
+            else:
+                fh.read_at_all(0, got)
+            fh.close()
+            return got
+        fh.close()
+        return None
+
+    return body
+
+
+def run_equivalence(view_name, engine, kind, size, tmp_path, seed=7):
+    """Run the same worker on both backends; return (sim, proc) results
+    as (file bytes, per-rank read buffers)."""
+
+    def worker(comm, fs):
+        return _worker(comm, view_name, engine, kind, seed)(fs)
+
+    sim_fs = SimFileSystem()
+    sim_reads = Runtime("sim").run(size, worker, sim_fs)
+    sim_bytes = bytes(sim_fs.lookup("/eq.out").contents())
+
+    proc_fs = OsFileSystem(str(tmp_path / f"{view_name}-{engine}-{kind}"))
+    proc_reads = Runtime("proc").run(size, worker, proc_fs)
+    proc_bytes = bytes(proc_fs.lookup("/eq.out").contents())
+    proc_fs.close()
+    return (sim_bytes, sim_reads), (proc_bytes, proc_reads)
+
+
+def assert_identical(sim, proc):
+    (sim_bytes, sim_reads), (proc_bytes, proc_reads) = sim, proc
+    assert sim_bytes == proc_bytes, (
+        f"file contents diverge: sim {len(sim_bytes)}B vs "
+        f"proc {len(proc_bytes)}B"
+    )
+    assert len(sim_reads) == len(proc_reads)
+    for r, (a, b) in enumerate(zip(sim_reads, proc_reads)):
+        if a is None and b is None:
+            continue
+        assert (a == b).all(), f"rank {r} read buffers diverge"
+
+
+KINDS = ["write_at", "read_at", "write_at_all", "read_at_all"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("view_name", ["interleaved", "irregular"])
+def test_backends_agree(view_name, kind, engine, tmp_path):
+    """4 access kinds x 2 engines x 2 view families at P=2 — the core
+    conformance matrix (16 cases)."""
+    sim, proc = run_equivalence(view_name, engine, kind, 2, tmp_path)
+    assert_identical(sim, proc)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("view_name", ["strided_gap", "contig"])
+def test_backends_agree_across_world_sizes(view_name, engine, size,
+                                           tmp_path):
+    """Collective writes across world sizes 1/2/4 on both engines (12
+    cases)."""
+    sim, proc = run_equivalence(view_name, engine, "write_at_all", size,
+                                tmp_path)
+    assert_identical(sim, proc)
+
+
+def _legal_filetype(t) -> bool:
+    try:
+        validate_filetype(t, dt.BYTE)
+    except DatatypeError:
+        return False
+    return True
+
+
+@settings(max_examples=8, deadline=None)
+@given(datatype_trees().filter(_legal_filetype), st.booleans())
+def test_random_fileviews_backends_agree(tmp_path_factory, ftype,
+                                         collective):
+    """Hypothesis differential: arbitrary monotonic fileviews, both
+    backends, byte-identical files and self-roundtripping reads."""
+    assume(ftype.size >= 1)
+    tmp = tmp_path_factory.mktemp("rteq")
+    span = 2 * ftype.extent
+    A = ftype.size * 2
+    hints = Hints(ind_rd_buffer_size=1 << 16, ind_wr_buffer_size=1 << 16,
+                  cb_buffer_size=1 << 16)
+
+    def worker(comm, fs):
+        fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                       engine="listless", hints=hints)
+        fh.set_view(comm.rank * span, dt.BYTE, ftype)
+        rng = np.random.default_rng(50 + comm.rank)
+        buf = rng.integers(0, 256, A, dtype=np.uint8)
+        if collective:
+            fh.write_at_all(0, buf)
+        else:
+            fh.write_at(0, buf)
+        out = np.zeros(A, dtype=np.uint8)
+        if collective:
+            fh.read_at_all(0, out)
+        else:
+            fh.read_at(0, out)
+        assert (out == buf).all(), "self-roundtrip failed"
+        fh.close()
+        return out
+
+    sim_fs = SimFileSystem()
+    sim_reads = Runtime("sim").run(2, worker, sim_fs)
+    proc_fs = OsFileSystem(str(tmp))
+    proc_reads = Runtime("proc").run(2, worker, proc_fs)
+    assert bytes(sim_fs.lookup("/f").contents()) == \
+        bytes(proc_fs.lookup("/f").contents())
+    for a, b in zip(sim_reads, proc_reads):
+        assert (a == b).all()
+    proc_fs.close()
+
+
+def test_btio_class_s_byte_identical(tmp_path):
+    """The acceptance check: a 4-rank class-S BT-IO run writes the same
+    bytes under both runtimes, for both engines."""
+    cfg = BTIOConfig(cls="S", nprocs=4, nsteps=1, compute_sweeps=0,
+                     verify=True)
+    for engine in ENGINES:
+        sim_fs = SimFileSystem()
+        run_btio(engine, cfg, fs=sim_fs, runtime="sim")
+        sim_bytes = bytes(sim_fs.lookup("/btio.out").contents())
+
+        proc_fs = OsFileSystem(str(tmp_path / f"btio-{engine}"))
+        run_btio(engine, cfg, fs=proc_fs, runtime="proc")
+        proc_bytes = bytes(proc_fs.lookup("/btio.out").contents())
+        proc_fs.close()
+        assert sim_bytes == proc_bytes, f"{engine}: BTIO output diverges"
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("view_name", sorted(VIEWS))
+def test_backends_agree_full_sweep(view_name, kind, engine, size,
+                                   tmp_path):
+    """The full 4 x 4 x 2 x 3 = 96-case matrix (soak: excluded from
+    tier-1; CI's runtime-proc job runs it)."""
+    sim, proc = run_equivalence(view_name, engine, kind, size, tmp_path)
+    assert_identical(sim, proc)
