@@ -1,0 +1,207 @@
+"""Round-based aggregation: IOP peak buffering vs one-shot staging.
+
+The round-based collective driver (``repro.io.aggregation``) walks each
+I/O-process domain in ``cb_buffer_size`` windows and ships only the
+current window's bytes per exchange, so an aggregator never stages more
+than O(cb_buffer_size x participating APs) at once.  This bench pins
+that bound against the *one-shot* configuration (``cb_buffer_size``
+large enough that every domain is a single window — the pre-refactor
+behaviour) and sweeps the pluggable file-domain partitioning strategies
+(``cb_domain_align`` in even/stripe/block).
+
+For every (engine, strategy, mode) cell it records the wall time of one
+collective write+read pair over an interleaved view and the maximum
+``peak_staging_bytes`` any rank observed.  Standalone run writes the
+machine-readable record::
+
+    python benchmarks/bench_collective_rounds.py --quick \
+        --out results/BENCH_collective.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.fs import SimFileSystem
+from repro.io import File, MODE_CREATE, MODE_RDWR
+from repro.io.hints import DOMAIN_ALIGNMENTS, Hints
+from repro.mpi import run_spmd
+
+#: Ranks in the collective; every rank is both AP and IOP by default.
+NPROCS = 4
+#: Bytes each rank contributes per collective access.
+BYTES_PER_RANK = 1 << 18
+#: Interleave granularity (one vector block).
+BLOCK = 1 << 10
+#: Round-based window; one-shot mode uses the whole aggregate range.
+ROUND_CB = 1 << 15
+
+REPEATS = 3
+
+
+def _run_once(engine: str, cb: int, align, nbytes: int) -> dict:
+    """One collective write+read pair on ``NPROCS`` ranks.
+
+    Returns wall seconds plus the per-rank maxima of the staging and
+    round counters.
+    """
+    fs = SimFileSystem()
+    nblocks = nbytes // BLOCK
+    fs.create("/coll").truncate(NPROCS * nbytes)
+
+    def worker(comm):
+        fh = File.open(
+            comm, fs, "/coll", MODE_CREATE | MODE_RDWR, engine=engine,
+            hints=Hints(cb_buffer_size=cb, cb_domain_align=align),
+        )
+        ft = dt.vector(nblocks, BLOCK, NPROCS * BLOCK, dt.BYTE)
+        fh.set_view(comm.rank * BLOCK, dt.BYTE, ft)
+        wbuf = np.full(nbytes, comm.rank + 1, dtype=np.uint8)
+        rbuf = np.zeros(nbytes, dtype=np.uint8)
+        t0 = time.perf_counter()
+        fh.write_at_all(0, wbuf)
+        fh.read_at_all(0, rbuf)
+        wall = time.perf_counter() - t0
+        assert np.array_equal(rbuf, wbuf)
+        st = fh.engine.stats
+        out = {
+            "wall": wall,
+            "peak_staging": st.plan.peak_staging_bytes,
+            "rounds": st.coll_rounds,
+            "domain_skew": st.coll_domain_skew,
+        }
+        fh.close()
+        return out
+
+    rows = run_spmd(NPROCS, worker)
+    return {
+        "wall": max(r["wall"] for r in rows),
+        "peak_staging": max(r["peak_staging"] for r in rows),
+        "rounds": max(r["rounds"] for r in rows),
+        "domain_skew": max(r["domain_skew"] for r in rows),
+    }
+
+
+def _cell(engine: str, cb: int, align, nbytes: int,
+          repeats: int = REPEATS) -> dict:
+    runs = [_run_once(engine, cb, align, nbytes) for _ in range(repeats)]
+    return {
+        "wall": statistics.median(r["wall"] for r in runs),
+        "peak_staging": max(r["peak_staging"] for r in runs),
+        "rounds": runs[0]["rounds"],
+        "domain_skew": runs[0]["domain_skew"],
+    }
+
+
+def collect(quick: bool) -> dict:
+    nbytes = BYTES_PER_RANK // (4 if quick else 1)
+    one_shot_cb = 4 * NPROCS * nbytes  # any window >= the aggregate range
+    cells: dict = {}
+    for engine in ("list_based", "listless"):
+        for align in DOMAIN_ALIGNMENTS:
+            one = _cell(engine, one_shot_cb, align, nbytes)
+            rnd = _cell(engine, ROUND_CB, align, nbytes)
+            cells[f"{engine}/{align}"] = {
+                "one_shot": one,
+                "round_based": rnd,
+                "staging_ratio": one["peak_staging"]
+                / max(1, rnd["peak_staging"]),
+            }
+    bound = NPROCS * ROUND_CB
+    worst = max(
+        c["round_based"]["peak_staging"] for c in cells.values()
+    )
+    record = {
+        "bench": "collective_rounds",
+        "quick": quick,
+        "config": {
+            "nprocs": NPROCS,
+            "bytes_per_rank": nbytes,
+            "block": BLOCK,
+            "round_cb": ROUND_CB,
+            "one_shot_cb": one_shot_cb,
+        },
+        "cells": cells,
+        "acceptance": {
+            "bound_bytes": bound,
+            "worst_round_peak": worst,
+            "pass": worst <= bound,
+        },
+    }
+    try:
+        from benchmarks._common import obs_record
+    except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+        from _common import obs_record
+    record["observability"] = obs_record()
+    return record
+
+
+# ----------------------------------------------------------------------
+# pytest cases
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ["list_based", "listless"])
+def test_round_based_bounds_peak_staging(engine):
+    """The aggregator's staging must stay within O(cb x APs) in round
+    mode and the one-shot run must stage at least a whole rank's access
+    (the contrast the refactor exists to create)."""
+    nbytes = BYTES_PER_RANK // 4
+    one = _run_once(engine, 4 * NPROCS * nbytes, None, nbytes)
+    rnd = _run_once(engine, ROUND_CB, None, nbytes)
+    assert rnd["peak_staging"] <= NPROCS * ROUND_CB, rnd
+    assert one["peak_staging"] >= nbytes, one
+    assert rnd["rounds"] > one["rounds"]
+
+
+@pytest.mark.parametrize("align", DOMAIN_ALIGNMENTS)
+def test_strategies_complete(align):
+    """Every partitioning strategy round-trips the interleaved pattern
+    (byte-identity is asserted inside the worker)."""
+    out = _run_once("listless", ROUND_CB, align, BYTES_PER_RANK // 8)
+    assert out["rounds"] > 0
+
+
+# ----------------------------------------------------------------------
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller access (CI smoke)")
+    ap.add_argument("--out", default=None,
+                    help="write the JSON record to this path")
+    args = ap.parse_args()
+
+    rec = collect(args.quick)
+    cfg = rec["config"]
+    print("=== Round-based aggregation: peak staging vs one-shot "
+          f"({'quick' if rec['quick'] else 'full'}) ===")
+    print(f"P={cfg['nprocs']}, {cfg['bytes_per_rank']} B/rank, "
+          f"round cb={cfg['round_cb']} B")
+    hdr = (f"{'cell':>18} {'mode':>12} {'wall [ms]':>10} "
+           f"{'peak staging [B]':>17} {'rounds':>7}")
+    print(hdr)
+    for name, c in rec["cells"].items():
+        for mode in ("one_shot", "round_based"):
+            m = c[mode]
+            print(f"{name:>18} {mode:>12} {m['wall']*1e3:>10.2f} "
+                  f"{m['peak_staging']:>17} {m['rounds']:>7}")
+        print(f"{'':>18} staging ratio one-shot/round: "
+              f"{c['staging_ratio']:.1f}x")
+    acc = rec["acceptance"]
+    print(f"acceptance (round peak <= P x cb = {acc['bound_bytes']} B): "
+          f"{'PASS' if acc['pass'] else 'FAIL'} "
+          f"(worst {acc['worst_round_peak']} B)")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(rec, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,6 @@ process counts.  Regenerate::
 
 from __future__ import annotations
 
-import statistics
 import sys
 
 import pytest
@@ -54,7 +53,7 @@ def timed(engine: str, cls: str, P: int, nsteps: int,
         bws.append(r.io_bandwidth)
         runs.append(r)
     best = min(runs, key=lambda r: r.io_time.total)
-    return min(times), max(bws), best.phases
+    return min(times), max(bws), best.phases, best.rounds
 
 
 # ----------------------------------------------------------------------
@@ -73,8 +72,8 @@ def test_table3_shape_listless_not_slower():
     """The paper's r_io ≥ 1: at a class with realistic block sizes
     (A: ~1.3 kB blocks, ~10 MB/step) listless BTIO I/O clearly beats
     list-based; at toy classes (S/W) the engines tie within noise."""
-    t_lb, _, _ = timed("list_based", "A", 4, nsteps=2)
-    t_ll, _, _ = timed("listless", "A", 4, nsteps=2)
+    t_lb, _, _, _ = timed("list_based", "A", 4, nsteps=2)
+    t_ll, _, _, _ = timed("listless", "A", 4, nsteps=2)
     assert t_ll < t_lb, (t_ll, t_lb)
 
 
@@ -83,11 +82,14 @@ def main(paper_scale: bool = False) -> None:
     nsteps = 5 if paper_scale else 3
     rows = []
     phase_cols = {}
+    round_cols = {}
     for cls, P in cases:
-        t_lb, bw_lb, ph_lb = timed("list_based", cls, P, nsteps)
-        t_ll, bw_ll, ph_ll = timed("listless", cls, P, nsteps)
+        t_lb, bw_lb, ph_lb, rd_lb = timed("list_based", cls, P, nsteps)
+        t_ll, bw_ll, ph_ll, rd_ll = timed("listless", cls, P, nsteps)
         phase_cols[(cls, P)] = [("list-based", ph_lb),
                                 ("listless", ph_ll)]
+        round_cols[(cls, P)] = [("list-based", rd_lb),
+                                ("listless", rd_ll)]
         rows.append(
             (
                 cls,
@@ -123,6 +125,27 @@ def main(paper_scale: bool = False) -> None:
     print(f"\nper-phase decomposition, class {cls}, P={P} "
           "(seconds summed over ranks, best repeat):")
     print(format_phase_table(phase_cols[(cls, P)]))
+
+    print(f"\nper-round exchange/file_io split, class {cls}, P={P} "
+          "(seconds summed over ranks and accesses, best repeat):")
+    for name, rounds in round_cols[(cls, P)]:
+        if not rounds:
+            print(f"  {name}: no round-based collectives recorded")
+            continue
+        print(f"  {name}:")
+        print(format_table(
+            ["round", "of", "exchange [s]", "file_io [s]", "wall [s]"],
+            [
+                (
+                    r["index"] + 1,
+                    r["total"],
+                    f"{r['exchange']:.4f}",
+                    f"{r['file_io']:.4f}",
+                    f"{r['wall']:.4f}",
+                )
+                for r in rounds
+            ],
+        ))
 
 
 if __name__ == "__main__":

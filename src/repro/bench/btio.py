@@ -39,6 +39,7 @@ from repro.fs.filesystem import SimFileSystem
 from repro.io import File, MODE_CREATE, MODE_RDWR
 from repro.io.hints import Hints
 from repro.mpi.runtime import Runtime
+from repro.obs.phases import RoundLog
 
 __all__ = [
     "BTIO_CLASSES",
@@ -255,6 +256,14 @@ class BTIOResult:
     phases: Dict[str, float] = field(default_factory=dict)
     #: The same snapshots, one per rank (index == rank).
     phases_by_rank: List[Dict[str, float]] = field(default_factory=list)
+    #: Per-round exchange/file_io decomposition of the run's collective
+    #: accesses, merged across ranks by round index (seconds summed,
+    #: see :meth:`repro.obs.phases.RoundLog.merge_by_index`).
+    rounds: List[Dict[str, float]] = field(default_factory=list)
+    #: The unmerged per-rank round logs (index == rank).
+    rounds_by_rank: List[List[Dict[str, float]]] = field(
+        default_factory=list
+    )
 
     @property
     def drun(self) -> int:
@@ -427,6 +436,7 @@ def _run_btio(engine: str, config: BTIOConfig, fs, rt: "Runtime",
             assert ok, f"rank {rank}: BTIO verification failed"
         ret = {
             "phases": fh.engine.stats.phases.snapshot(),
+            "rounds": fh.engine.stats.rounds.snapshot(),
             "fs_stats": fs.lookup("/btio.out").stats.snapshot(),
             "io_acc": io_acc if rank == 0 else None,
             "comp_acc": comp_acc if rank == 0 else None,
@@ -453,4 +463,6 @@ def _run_btio(engine: str, config: BTIOConfig, fs, rt: "Runtime",
         k: sum(row[k] for row in result.phases_by_rank)
         for k in (result.phases_by_rank[0] if result.phases_by_rank else {})
     }
+    result.rounds_by_rank = [row.get("rounds", []) for row in rows]
+    result.rounds = RoundLog.merge_by_index(result.rounds_by_rank)
     return result

@@ -247,7 +247,8 @@ def _cmd_plan_dump(args: argparse.Namespace) -> int:
     s.update(metrics.snapshot()["global"])
     shown = sorted(
         k for k in s
-        if k.startswith(("plan_cache", "blockprog_", "kernel_path_"))
+        if k.startswith(("plan_cache", "blockprog_", "kernel_path_",
+                         "coll_", "executed_rounds", "peak_staging"))
     )
     print("\ncache and kernel-path counters "
           "(after planning + 1 priming write + 2 accesses):")

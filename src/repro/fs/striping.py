@@ -30,6 +30,10 @@ class StripingConfig:
                 f"stripe_size must be >= 1, got {self.stripe_size}"
             )
 
+    def align_floor(self, offset: int) -> int:
+        """Largest stripe boundary at or below ``offset``."""
+        return (offset // self.stripe_size) * self.stripe_size
+
     def streams_for(self, offset: int, nbytes: int) -> int:
         """Number of distinct disks an access ``[offset, offset+nbytes)``
         touches (bounds the bandwidth aggregation)."""

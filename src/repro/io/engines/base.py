@@ -19,20 +19,15 @@ pieces the paper contrasts.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
 from repro.io.fileview import MemDescriptor
-from repro.io.two_phase import (
-    AccessRange,
-    aggregate_ranges,
-    partition_domains,
-)
+from repro.io.two_phase import AccessRange
 from repro.obs import metrics, trace
-from repro.obs.phases import PhaseAccumulator
+from repro.obs.phases import PhaseAccumulator, RoundLog
 from repro.plan.stats import PlanStats
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -68,12 +63,20 @@ class EngineStats:
     ff_kernel_calls: int = 0
     #: compact fileview bytes exchanged (one-time, at set_view)
     ff_view_bytes_exchanged: int = 0
+    #: aggregation rounds scheduled across this rank's collectives
+    coll_rounds: int = 0
+    #: worst byte imbalance a domain-alignment strategy introduced
+    #: (largest minus smallest domain of any collective so far)
+    coll_domain_skew: int = 0
     #: plan-layer counters (shared by this engine's planner and executor)
     plan: PlanStats = field(default_factory=PlanStats)
     #: per-phase wall-time buckets (plan/pack/unpack/file_io/exchange/
     #: lock/sync), shared with this engine's planner and executor — the
     #: Table-3-style decomposition (``repro.obs.phases``)
     phases: PhaseAccumulator = field(default_factory=PhaseAccumulator)
+    #: per-round exchange/file_io decomposition of collective accesses,
+    #: appended by the executor at every RoundOp span
+    rounds: RoundLog = field(default_factory=RoundLog)
 
     def snapshot(self) -> dict:
         """This engine's counters, sorted for diffable output.
@@ -92,6 +95,8 @@ class EngineStats:
             "ff_navigations": self.ff_navigations,
             "ff_kernel_calls": self.ff_kernel_calls,
             "ff_view_bytes_exchanged": self.ff_view_bytes_exchanged,
+            "coll_rounds": self.coll_rounds,
+            "coll_domain_skew": self.coll_domain_skew,
         }
         out.update(self.plan.snapshot())
         return dict(sorted(out.items()))
@@ -121,7 +126,7 @@ class IOEngine:
         )
         self.executor = SimFileExecutor(
             fh.simfile, codec=self, comm=fh.comm, stats=self.stats.plan,
-            phases=self.stats.phases,
+            phases=self.stats.phases, rounds=self.stats.rounds,
         )
         metrics.register_engine(self)
 
@@ -162,15 +167,36 @@ class IOEngine:
         ``[d_lo, d_hi)``."""
         raise NotImplementedError
 
-    def _collective_write(self, mem: MemDescriptor, rng: AccessRange,
-                          ranges: List[AccessRange],
-                          domains: List[Tuple[int, int]]) -> None:
+    def collective_plan(self, write: bool, rng: AccessRange,
+                        ranges: List[AccessRange],
+                        domains: List[Tuple[int, int]],
+                        schedule) -> "IOPlan":
+        """Build the round-based plan for one collective access.
+
+        Called by :func:`repro.io.aggregation.run_collective` after the
+        range aggregation, domain partitioning and round scheduling —
+        all engine-neutral.  The listless engine delegates to its
+        (caching) planner; the list-based engine first ships ol-lists
+        (its per-access metadata exchange), then derives the plan from
+        what arrived.
+        """
         raise NotImplementedError
 
-    def _collective_read(self, mem: MemDescriptor, rng: AccessRange,
-                         ranges: List[AccessRange],
-                         domains: List[Tuple[int, int]]) -> None:
+    def collective_metadata(self, write: bool, rng: AccessRange,
+                            ranges: List[AccessRange]):
+        """The engine's :class:`repro.io.aggregation.CollectiveMetadata`
+        for one access (how a rank learns which data bytes land in a
+        window).  Required only by engines whose ``collective_plan``
+        goes through the shared planner."""
         raise NotImplementedError
+
+    def domain_geometry(self) -> Tuple[int, int]:
+        """``(disp, ft_extent)`` of this rank's fileview — piggybacked
+        on the collective range allgather so the ``block`` domain
+        alignment can snap boundaries to any rank's block-period edges
+        without an extra collective."""
+        view = self.fh.view
+        return (view.disp, view.ft_extent)
 
     # ------------------------------------------------------------------
     # Shared geometry
@@ -219,26 +245,13 @@ class IOEngine:
             self.run_plan(self.plan_read_independent(mem, d0), mem)
 
     # ------------------------------------------------------------------
-    # Collective access (orchestration shared; phases in subclasses)
+    # Collective access (round-based driver shared across engines)
     # ------------------------------------------------------------------
     def _collective(self, mem: MemDescriptor, d0: int, write: bool) -> None:
-        comm = self.fh.comm
-        # The range allgather (and waiting for slower ranks inside it)
-        # is the collective's synchronization cost.
-        t0 = time.perf_counter()
-        rng = self.access_range(mem, d0)
-        ranges, agg_lo, agg_hi = aggregate_ranges(comm, rng)
-        self.stats.phases.add("sync", time.perf_counter() - t0)
-        if trace.TRACE_ON:
-            trace.TRACER.add("two_phase.aggregate_ranges", t0)
-        if agg_lo is None:
-            return  # nobody accesses anything
-        niops = self.fh.hints.effective_cb_nodes(comm.size)
-        domains = partition_domains(agg_lo, agg_hi, niops)
-        if write:
-            self._collective_write(mem, rng, ranges, domains)
-        else:
-            self._collective_read(mem, rng, ranges, domains)
+        # Imported lazily like the rest of the plan machinery.
+        from repro.io.aggregation import run_collective
+
+        run_collective(self, mem, d0, write)
 
     def write_collective(self, mem: MemDescriptor, d0: int) -> None:
         with trace.span(f"{self.name}.write_collective",

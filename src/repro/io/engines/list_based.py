@@ -37,19 +37,14 @@ import numpy as np
 from repro.flatten.flattener import flatten_cached, flatten_datatype
 from repro.flatten.list_ops import expand_range, merge_lists
 from repro.flatten.ol_list import OLList
+from repro.io.aggregation import build_round_plan
 from repro.io.engines.base import IOEngine
 from repro.io.fileview import MemDescriptor
-from repro.io.sieving import windows
 from repro.io.two_phase import AccessRange
 from repro.obs import trace
 from repro.plan.ops import (
-    STAGE,
     ExchangeOp,
-    FileReadOp,
-    FileWriteOp,
-    GatherOp,
     Piece,
-    ScatterOp,
     Send,
     TupleBlocks,
     in_slot,
@@ -58,6 +53,79 @@ from repro.plan.ops import (
 from repro.plan.plan import IOPlan
 
 __all__ = ["ListBasedEngine"]
+
+
+class _ListBasedMetadata:
+    """Collective metadata from exchanged ol-lists.
+
+    Stateful: linear cursors (the paper's §2.2 positioning cost) advance
+    through each list in window order.  The AP-side cursor walks the
+    list this rank shipped to an IOP; the IOP-side cursor walks the
+    *identical* list it received — the same tuples picked over the same
+    window sequence, which upholds the aggregation layer's symmetry
+    invariant without any navigation.
+    """
+
+    __slots__ = ("engine", "my_lists", "inbound", "ap_cursors",
+                 "iop_cursors", "entries", "coalesced")
+
+    def __init__(self, engine: "ListBasedEngine", my_lists,
+                 inbound) -> None:
+        #: {iop: (ol, d_lo)} — the lists I shipped as an AP
+        self.my_lists = my_lists
+        #: {src: (ol, d_lo)} — the lists I received as an IOP
+        self.inbound = inbound
+        self.engine = engine
+        self.ap_cursors = {iop: [0, 0] for iop in my_lists}
+        self.iop_cursors = {src: [0, 0] for src in inbound}
+        self.entries = 0
+        self.coalesced = 0
+
+    def ap_span(self, iop, wlo, whi):
+        item = self.my_lists.get(iop)
+        if item is None:
+            return None
+        ol, dl = item
+        picked, dstart = self.engine._pick_window(
+            ol, self.ap_cursors[iop], wlo, whi
+        )
+        if not picked:
+            return None
+        total = sum(ln for _, ln in picked)
+        return dl + dstart, dl + dstart + total
+
+    def iop_pieces(self, wlo, whi, write):
+        engine = self.engine
+        pieces = []
+        parts = []
+        for src in sorted(self.inbound):
+            ol, dl = self.inbound[src]
+            picked, dstart = engine._pick_window(
+                ol, self.iop_cursors[src], wlo, whi
+            )
+            if not picked:
+                continue
+            total = sum(ln for _, ln in picked)
+            slot = in_slot(src) if write else out_slot(src)
+            pieces.append(Piece(slot, dl + dstart, dl + dstart + total,
+                                TupleBlocks(tuple(picked))))
+            parts.append(picked)
+            self.entries += len(picked)
+        covered = 0
+        if write and pieces:
+            # ROMIO's contiguity optimization: merge all lists; skip
+            # the pre-read iff they form one block covering the window.
+            engine.stats.list_tuples_merged += sum(
+                len(p) for p in parts
+            )
+            merged = merge_lists([OLList(p) for p in parts])
+            if (
+                len(merged) == 1
+                and merged[0][0] <= wlo
+                and merged[0][0] + merged[0][1] >= whi
+            ):
+                covered = whi - wlo
+        return pieces, covered
 
 
 class ListBasedEngine(IOEngine):
@@ -258,13 +326,14 @@ class ListBasedEngine(IOEngine):
 
     # ------------------------------------------------------------------
     # Collective access: per-access ol-list exchange + list merging.
-    # Each collective runs as two plans: plan A stages/ships the ol-list
-    # payloads, then — because the window schedule depends on the
-    # *received* lists, which the conventional scheme cannot know in
-    # advance — the IOP builds plan B from the inbound lists and runs it
-    # seeded with plan A's exchange buffers.
+    # Each collective runs as two plans: plan A ships the expanded
+    # ol-lists — the window schedule depends on the *received* lists,
+    # which the conventional scheme cannot know in advance — then the
+    # shared round loop derives plan B from what arrived, with linear
+    # cursors picking each window's tuples.  Data moves only inside
+    # plan B's rounds.
     # ------------------------------------------------------------------
-    def _expand_sends(self, rng: AccessRange, domains, take_stage: bool):
+    def _expand_sends(self, rng: AccessRange, domains):
         """AP side: one expanded ol-list per IOP whose domain I touch."""
         assert self.flat is not None
         view = self.fh.view
@@ -282,7 +351,7 @@ class ListBasedEngine(IOEngine):
             self.stats.list_tuples_built += len(ol)
             self.stats.list_tuples_sent += len(ol)
             dl = self.data_of_abs(ol.offsets[0])
-            sends.append(Send(iop, ol=ol, d_lo=dl, take_stage=take_stage))
+            sends.append(Send(iop, ol=ol, d_lo=dl))
         return sends
 
     def _pick_window(self, ol: OLList, cursor: List[int], wlo: int,
@@ -313,159 +382,44 @@ class ListBasedEngine(IOEngine):
         cursor[0], cursor[1] = idx, dpos
         return picked, dstart
 
-    def _collective_write(self, mem, rng: AccessRange, ranges, domains):
+    def collective_plan(self, write, rng: AccessRange, ranges, domains,
+                        schedule) -> IOPlan:
         assert self.flat is not None
-        fh = self.fh
-        comm = fh.comm
-        niops = len(domains)
-        d0, d1 = rng.data_lo, rng.data_hi
-        # --- Plan A: stage my data once, ship (list + data) per IOP.
-        # Expanding the per-IOP ol-lists is the conventional scheme's
-        # per-access list building (§2.1) — billed to the plan phase.
-        t0 = time.perf_counter()
-        ops_a: List[object] = []
-        slots_a = {}
-        if not rng.empty:
-            ops_a.append(GatherOp(d0, d1))
-            slots_a[STAGE] = (d0, d1)
-            sends = self._expand_sends(rng, domains, take_stage=True)
-        else:
-            sends = []
-        ops_a.append(ExchangeOp(tuple(sends)))
-        plan_a = IOPlan("write-collective(exchange)", d0, max(0, d1 - d0),
-                        tuple(ops_a), slots=slots_a)
-        self.stats.phases.add("plan", time.perf_counter() - t0)
-        if trace.TRACE_ON:
-            trace.TRACER.add("list_based.expand_lists", t0)
-        bufs = self.run_plan(plan_a, mem)
-        # --- IOP side: derive the window schedule from what arrived.
-        if comm.rank >= niops:
-            return
-        dlo, dhi = domains[comm.rank]
-        if dhi <= dlo:
-            return
-        t0 = time.perf_counter()
-        contribs: List[Tuple[object, OLList]] = []
-        seed = {}
-        for src in range(comm.size):
-            item = bufs.get(in_slot(src))
-            if item is None:
-                continue
-            ol, data, dl = item
-            if len(ol) == 0:
-                continue
-            slot = in_slot(src)
-            contribs.append((slot, ol))
-            seed[slot] = (dl, dl + int(ol.size), data)
-        if not contribs:
-            return
-        ops_b: List[object] = []
-        cursors = [[0, 0] for _ in contribs]
-        for wlo, whi in windows(dlo, dhi, fh.hints.cb_buffer_size):
-            parts = []  # (slot, picked tuples, data start within ol)
-            for ci, (slot, ol) in enumerate(contribs):
-                picked, dstart = self._pick_window(ol, cursors[ci],
-                                                   wlo, whi)
-                if picked:
-                    parts.append((slot, picked, dstart))
-            if not parts:
-                continue
-            # ROMIO's contiguity optimization: merge all lists; skip the
-            # pre-read iff they form one block covering the window.
-            self.stats.list_tuples_merged += sum(
-                len(p) for _, p, _ in parts
-            )
-            merged = merge_lists([OLList(p) for _, p, _ in parts])
-            covered = (
-                len(merged) == 1
-                and merged[0][0] <= wlo
-                and merged[0][0] + merged[0][1] >= whi
-            )
-            pieces = []
-            for slot, picked, dstart in parts:
-                total = sum(ln for _, ln in picked)
-                base = seed[slot][0]
-                pieces.append(Piece(slot, base + dstart,
-                                    base + dstart + total,
-                                    TupleBlocks(tuple(picked))))
-            ops_b.append(FileWriteOp(
-                wlo, whi, "assemble" if covered else "rmw", tuple(pieces)
-            ))
-        self.stats.phases.add("plan", time.perf_counter() - t0)
-        if trace.TRACE_ON:
-            trace.TRACER.add("list_based.derive_iop_schedule", t0)
-        if ops_b:
-            plan_b = IOPlan("write-collective(iop)", dlo, 0, tuple(ops_b))
-            self.run_plan(plan_b, buffers=seed)
-
-    def _collective_read(self, mem, rng: AccessRange, ranges, domains):
-        assert self.flat is not None
-        fh = self.fh
-        comm = fh.comm
-        niops = len(domains)
+        comm = self.fh.comm
         d0 = rng.data_lo
-        # --- Plan A: ship request lists to the IOPs (per-access list
-        # building again — plan phase).
+        kind = "write" if write else "read"
+        # --- Plan A: ship the per-IOP expanded ol-lists.  Expanding
+        # them is the conventional scheme's per-access list building
+        # (§2.1) — billed to the plan phase.
         t0 = time.perf_counter()
-        if not rng.empty:
-            sends = self._expand_sends(rng, domains, take_stage=False)
-        else:
-            sends = []
-        my_requests = [(s.rank, int(s.ol.size), s.d_lo) for s in sends]
-        plan_a = IOPlan("read-collective(request)", d0, 0,
+        sends = [] if rng.empty else self._expand_sends(rng, domains)
+        plan_a = IOPlan(f"{kind}-collective(lists)", d0, 0,
                         (ExchangeOp(tuple(sends)),))
         self.stats.phases.add("plan", time.perf_counter() - t0)
         if trace.TRACE_ON:
             trace.TRACER.add("list_based.expand_lists", t0)
         bufs = self.run_plan(plan_a)
-        # --- Plan B: serve inbound requests window by window, exchange
-        # the replies, scatter my returned segments.
+        # --- Plan B: the shared round loop, fed by linear cursors over
+        # the lists I shipped (AP side) and the lists that arrived (IOP
+        # side).  Deriving the window schedule is plan time again.
         t0 = time.perf_counter()
-        ops_b: List[object] = []
-        slots_b = {}
-        sends_b: List[Send] = []
-        if comm.rank < niops:
-            dlo, dhi = domains[comm.rank]
-            incoming = []
-            for src in range(comm.size):
-                item = bufs.get(in_slot(src))
-                if item is None:
-                    continue
-                ol, dl = item
-                if len(ol) == 0:
-                    continue
-                incoming.append((src, ol, dl))
-            if incoming and dhi > dlo:
-                for src, ol, dl in incoming:
-                    slots_b[out_slot(src)] = (dl, dl + int(ol.size))
-                cursors = {src: [0, 0] for src, _, _ in incoming}
-                for wlo, whi in windows(dlo, dhi,
-                                        fh.hints.cb_buffer_size):
-                    pieces = []
-                    for src, ol, dl in incoming:
-                        picked, dstart = self._pick_window(
-                            ol, cursors[src], wlo, whi
-                        )
-                        if picked:
-                            total = sum(ln for _, ln in picked)
-                            pieces.append(Piece(
-                                out_slot(src), dl + dstart,
-                                dl + dstart + total,
-                                TupleBlocks(tuple(picked)),
-                            ))
-                    if pieces:
-                        ops_b.append(FileReadOp(wlo, whi, "window",
-                                                tuple(pieces)))
-                sends_b = [Send(src, slot=out_slot(src))
-                           for src, _, _ in incoming]
-        ops_b.append(ExchangeOp(tuple(sends_b)))
-        if not rng.empty:
-            for iop, size, dl in my_requests:
-                ops_b.append(ScatterOp(dl, dl + size, in_slot(iop)))
+        inbound = {}
+        for src in range(comm.size):
+            item = bufs.get(in_slot(src))
+            if item is None:
+                continue
+            ol, dl = item
+            if len(ol) == 0:
+                continue
+            inbound[src] = (ol, dl)
+        my_lists = {s.rank: (s.ol, s.d_lo) for s in sends}
+        md = _ListBasedMetadata(self, my_lists, inbound)
+        ops, nwin = build_round_plan(md, schedule, write, rng,
+                                     comm.rank)
         nbytes = rng.data_hi - d0 if not rng.empty else 0
-        plan_b = IOPlan("read-collective(serve)", d0, nbytes,
-                        tuple(ops_b), slots=slots_b)
+        plan_b = IOPlan(f"{kind}-collective", d0, nbytes, tuple(ops),
+                        planned_windows=nwin)
         self.stats.phases.add("plan", time.perf_counter() - t0)
         if trace.TRACE_ON:
             trace.TRACER.add("list_based.derive_iop_schedule", t0)
-        self.run_plan(plan_b, mem)
+        return plan_b

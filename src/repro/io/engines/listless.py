@@ -33,9 +33,70 @@ from repro.core.ff_pack import ff_pack, ff_unpack
 from repro.core.mergeview import build_mergeview
 from repro.io.engines.base import IOEngine
 from repro.io.fileview import MemDescriptor
+from repro.io.sieving import coalesce_blocks
 from repro.obs import trace
+from repro.plan.ops import Blocks, Piece, in_slot, out_slot
 
 __all__ = ["ListlessEngine"]
+
+
+def _clip(v: int, lo: int, hi: int) -> int:
+    return min(max(v, lo), hi)
+
+
+class _ListlessMetadata:
+    """Collective metadata from cached compact fileviews.
+
+    Stateless per query: any (window, rank) pair is answered by O(depth)
+    navigation of the allgathered views, so the AP and IOP sides of the
+    round loop are computed with the *same* arithmetic on the same views
+    — which is what upholds the aggregation layer's symmetry invariant
+    (a send exists iff the IOP plans a piece for it).
+    """
+
+    __slots__ = ("cview", "cache", "rng", "ranges", "entries",
+                 "coalesced")
+
+    def __init__(self, engine: "ListlessEngine", rng, ranges) -> None:
+        assert engine.cview is not None and engine.cache is not None
+        self.cview = engine.cview
+        self.cache = engine.cache
+        self.rng = rng
+        self.ranges = ranges
+        self.entries = 0
+        self.coalesced = 0
+
+    def ap_span(self, iop, wlo, whi):
+        rng = self.rng
+        if rng.empty:
+            return None
+        pl = _clip(self.cview.data_of_abs(wlo), rng.data_lo, rng.data_hi)
+        ph = _clip(self.cview.data_of_abs(whi), rng.data_lo, rng.data_hi)
+        if ph <= pl:
+            return None
+        return pl, ph
+
+    def iop_pieces(self, wlo, whi, write):
+        pieces = []
+        covered = 0
+        for src, r in enumerate(self.ranges):
+            if r.empty:
+                continue
+            cv = self.cache.view_of(src)
+            pl = _clip(cv.data_of_abs(wlo), r.data_lo, r.data_hi)
+            ph = _clip(cv.data_of_abs(whi), r.data_lo, r.data_hi)
+            if ph <= pl:
+                continue
+            offs, lens = cv.blocks_for_data(pl, ph)
+            offs, lens, merged = coalesce_blocks(offs, lens)
+            self.coalesced += merged
+            self.entries += int(offs.size)
+            slot = in_slot(src) if write else out_slot(src)
+            pieces.append(Piece(slot, pl, ph, Blocks(offs, lens)))
+            # Mergeview coverage (§3.2.3): ranks' data bytes in the
+            # window sum to the window size iff every byte is covered.
+            covered += ph - pl
+        return pieces, covered
 
 
 class ListlessEngine(IOEngine):
@@ -129,14 +190,12 @@ class ListlessEngine(IOEngine):
         )
 
     # ------------------------------------------------------------------
-    # Collective access: one cached plan covering both two-phase roles
+    # Collective access: one cached round-based plan for both roles
     # ------------------------------------------------------------------
-    def _collective_write(self, mem, rng, ranges, domains) -> None:
+    def collective_plan(self, write, rng, ranges, domains, schedule):
         assert self.cview is not None and self.cache is not None
-        plan = self.planner.plan_collective(True, rng, ranges, domains)
-        self.run_plan(plan, mem)
+        return self.planner.plan_collective(write, rng, ranges, domains,
+                                            schedule)
 
-    def _collective_read(self, mem, rng, ranges, domains) -> None:
-        assert self.cview is not None and self.cache is not None
-        plan = self.planner.plan_collective(False, rng, ranges, domains)
-        self.run_plan(plan, mem)
+    def collective_metadata(self, write, rng, ranges):
+        return _ListlessMetadata(self, rng, ranges)

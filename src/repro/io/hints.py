@@ -25,6 +25,10 @@ datatype handling:
     turn on span tracing (``repro.obs.trace``) when the file is opened —
     a per-open convenience for the process-wide ``REPRO_TRACE`` /
     ``set_tracing()`` switch (see ``docs/observability.md``).
+``cb_domain_align``
+    file-domain partitioning strategy for two-phase collectives
+    (``even`` / ``stripe`` / ``block``; see ``docs/collective.md``) —
+    unset lets the cost model choose per access.
 """
 
 from __future__ import annotations
@@ -34,7 +38,14 @@ from typing import Mapping, Optional
 
 from repro.errors import HintError
 
-__all__ = ["Hints"]
+__all__ = ["Hints", "DOMAIN_ALIGNMENTS"]
+
+#: Legal values of the ``cb_domain_align`` hint (``None`` → automatic).
+DOMAIN_ALIGNMENTS = ("even", "stripe", "block")
+
+
+def _to_bool(value: str) -> bool:
+    return value.lower() in ("true", "1", "enable", "yes")
 
 
 @dataclass(frozen=True)
@@ -59,6 +70,11 @@ class Hints:
     #: defaults.
     striping_factor: Optional[int] = None
     striping_unit: Optional[int] = None
+    #: File-domain partitioning strategy for two-phase collectives:
+    #: ``even`` (ROMIO's byte split), ``stripe`` (domains aligned to
+    #: stripe boundaries) or ``block`` (boundaries snapped to fileview
+    #: block edges).  ``None`` → the cost model picks per access.
+    cb_domain_align: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in ("ind_rd_buffer_size", "ind_wr_buffer_size",
@@ -76,6 +92,31 @@ class Hints:
             raise HintError(
                 f"striping_unit must be >= 1, got {self.striping_unit}"
             )
+        if (self.cb_domain_align is not None
+                and self.cb_domain_align not in DOMAIN_ALIGNMENTS):
+            raise HintError(
+                f"cb_domain_align must be one of "
+                f"{'/'.join(DOMAIN_ALIGNMENTS)}, got "
+                f"{self.cb_domain_align!r}"
+            )
+
+    #: Per-field string coercion for :meth:`from_mapping` (``MPI_Info``
+    #: values arrive as strings).  Explicit per field — guessing from
+    #: the annotation text broke as soon as a non-int/bool field showed
+    #: up.  Fields without an entry (``cb_domain_align``) take the
+    #: string as-is and are validated by ``__post_init__``.
+    _CONVERTERS = {
+        "ind_rd_buffer_size": int,
+        "ind_wr_buffer_size": int,
+        "cb_buffer_size": int,
+        "cb_nodes": int,
+        "striping_factor": int,
+        "striping_unit": int,
+        "ds_read": _to_bool,
+        "ds_write": _to_bool,
+        "ff_block_programs": _to_bool,
+        "obs_trace": _to_bool,
+    }
 
     @classmethod
     def from_mapping(cls, info: Optional[Mapping[str, object]]) -> "Hints":
@@ -83,6 +124,9 @@ class Hints:
 
         Unknown keys raise (silently ignoring typos hides performance
         bugs; real ROMIO ignores them, but a library should not).
+        String values are coerced through the per-field converter table;
+        a malformed value raises a :class:`~repro.errors.HintError`
+        naming the hint.
         """
         if not info:
             return cls()
@@ -91,11 +135,14 @@ class Hints:
         for key, value in info.items():
             if key not in known:
                 raise HintError(f"unknown hint {key!r}")
-            field_type = cls.__dataclass_fields__[key].type  # type: ignore[attr-defined]
-            if "int" in str(field_type) and isinstance(value, str):
-                value = int(value)
-            if "bool" in str(field_type) and isinstance(value, str):
-                value = value.lower() in ("true", "1", "enable", "yes")
+            convert = cls._CONVERTERS.get(key)
+            if convert is not None and isinstance(value, str):
+                try:
+                    value = convert(value)
+                except ValueError as exc:
+                    raise HintError(
+                        f"hint {key!r} has malformed value {value!r}"
+                    ) from exc
             kwargs[key] = value
         return cls(**kwargs)  # type: ignore[arg-type]
 

@@ -49,14 +49,21 @@ class AccessRange:
         )
 
 
-def aggregate_ranges(
-    comm, mine: AccessRange
-) -> Tuple[List[AccessRange], Optional[int], Optional[int]]:
+def aggregate_ranges(comm, mine: AccessRange, extra=None):
     """Allgather everyone's access range; returns (ranges, agg_lo, agg_hi).
 
-    ``agg_lo``/``agg_hi`` are None when nobody accesses anything.
+    ``agg_lo``/``agg_hi`` are None when nobody accesses anything.  An
+    optional per-rank ``extra`` payload piggybacks on the same allgather
+    (no additional collective); when given, a fourth element — the list
+    of every rank's extras — is appended to the return tuple.
     """
-    ranges = comm.allgather(mine)
+    if extra is not None:
+        pairs = comm.allgather((mine, extra))
+        ranges = [p[0] for p in pairs]
+        extras = [p[1] for p in pairs]
+    else:
+        ranges = comm.allgather(mine)
+        extras = None
     agg_lo: Optional[int] = None
     agg_hi: Optional[int] = None
     for r in ranges:
@@ -64,6 +71,8 @@ def aggregate_ranges(
             continue
         agg_lo = r.abs_lo if agg_lo is None else min(agg_lo, r.abs_lo)
         agg_hi = r.abs_hi if agg_hi is None else max(agg_hi, r.abs_hi)
+    if extra is not None:
+        return ranges, agg_lo, agg_hi, extras
     return ranges, agg_lo, agg_hi
 
 

@@ -18,6 +18,7 @@ __all__ = [
     "NetworkModel",
     "StorageModel",
     "choose_access_strategy",
+    "choose_domain_align",
     "payload_nbytes",
 ]
 
@@ -105,6 +106,34 @@ class StorageModel:
     def access_time(self, nbytes: int, naccesses: int = 1) -> float:
         """Model seconds for ``naccesses`` accesses moving ``nbytes``."""
         return naccesses * self.latency + nbytes / self.bandwidth
+
+
+def choose_domain_align(
+    *,
+    total_bytes: int,
+    niops: int,
+    ndisks: int,
+    stripe_size: int,
+    max_ft_extent: int,
+) -> str:
+    """Pick a file-domain partitioning strategy when the
+    ``cb_domain_align`` hint is unset.
+
+    Stripe alignment pays off when domains are large enough that whole
+    stripes can be owned exclusively (no two IOPs contending for one
+    stripe); block alignment pays off when domains span several fileview
+    block periods, so snapping boundaries to block edges saves the IOPs
+    from splitting a block's read-modify-write.  Tiny accesses keep
+    ROMIO's even byte split — alignment would only skew the domains.
+    """
+    if niops <= 1 or total_bytes <= 0:
+        return "even"
+    per_domain = total_bytes // niops
+    if ndisks > 1 and per_domain >= stripe_size:
+        return "stripe"
+    if max_ft_extent > 1 and per_domain >= 4 * max_ft_extent:
+        return "block"
+    return "even"
 
 
 def choose_access_strategy(

@@ -149,10 +149,12 @@ class MetricsRegistry:
                 "list_tuples_built", "list_tuples_sent",
                 "list_tuples_merged", "list_scans", "ff_navigations",
                 "ff_kernel_calls", "ff_view_bytes_exchanged",
+                "coll_rounds", "coll_domain_skew",
             ):
                 setattr(st, f, 0)
             st.plan.__init__()
             st.phases.reset()
+            st.rounds.reset()
         for _path, st in files:
             st.reset()
         BLOCKPROG_STATS.reset()

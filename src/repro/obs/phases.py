@@ -42,6 +42,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 __all__ = [
     "BUCKETS",
     "PhaseAccumulator",
+    "RoundLog",
     "format_phase_table",
     "merge_snapshots",
 ]
@@ -113,6 +114,59 @@ class PhaseAccumulator:
             f"{b}={getattr(self, b) * 1e3:.2f}ms" for b in BUCKETS
         )
         return f"<PhaseAccumulator {parts}>"
+
+
+class RoundLog:
+    """Per-round ``exchange``/``file_io`` decomposition of collectives.
+
+    Each executed aggregation round (:class:`~repro.plan.ops.RoundOp`
+    span) appends one record ``{"index", "total", "wall", "exchange",
+    "file_io"}``; one log per (rank, open file), surfaced next to the
+    phase buckets so Table-3-style reports can show how the pipeline
+    interleaves exchange with file access round by round.
+    """
+
+    __slots__ = ("rounds",)
+
+    def __init__(self) -> None:
+        self.rounds: List[Dict[str, float]] = []
+
+    def add(self, index: int, total: int, wall: float,
+            exchange: float, file_io: float) -> None:
+        self.rounds.append({
+            "index": index, "total": total, "wall": wall,
+            "exchange": exchange, "file_io": file_io,
+        })
+
+    def snapshot(self) -> List[Dict[str, float]]:
+        return [dict(r) for r in self.rounds]
+
+    def reset(self) -> None:
+        self.rounds.clear()
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    @staticmethod
+    def merge_by_index(
+        logs: Iterable[List[Dict[str, float]]]
+    ) -> List[Dict[str, float]]:
+        """Combine per-rank round records into one row per round index:
+        seconds are summed across ranks (per-phase work), ``total``
+        takes the max (ranks agree inside one collective; across a run
+        the longest schedule wins)."""
+        by_index: Dict[int, Dict[str, float]] = {}
+        for log in logs:
+            for r in log:
+                row = by_index.setdefault(
+                    int(r["index"]),
+                    {"index": int(r["index"]), "total": 0,
+                     "wall": 0.0, "exchange": 0.0, "file_io": 0.0},
+                )
+                row["total"] = max(row["total"], int(r["total"]))
+                for k in ("wall", "exchange", "file_io"):
+                    row[k] += float(r[k])
+        return [by_index[i] for i in sorted(by_index)]
 
 
 def merge_snapshots(snaps: Iterable[Dict[str, float]]) -> Dict[str, float]:

@@ -35,7 +35,7 @@ from repro.errors import IOEngineError
 from repro.io.fileview import MemDescriptor
 from repro.io.sieving import read_window
 from repro.obs import trace
-from repro.obs.phases import PhaseAccumulator
+from repro.obs.phases import PhaseAccumulator, RoundLog
 from repro.plan.ops import (
     STAGE,
     Blocks,
@@ -45,6 +45,7 @@ from repro.plan.ops import (
     GatherOp,
     LockOp,
     Piece,
+    RoundOp,
     ScatterOp,
     Send,
     TupleBlocks,
@@ -129,13 +130,16 @@ class PlanExecutor:
 
     def __init__(self, codec=None, comm=None,
                  stats: Optional[PlanStats] = None,
-                 phases: Optional[PhaseAccumulator] = None) -> None:
+                 phases: Optional[PhaseAccumulator] = None,
+                 rounds: Optional[RoundLog] = None) -> None:
         self.codec = codec if codec is not None else KernelCodec()
         self.comm = comm
         self.stats = stats if stats is not None else PlanStats()
         #: Per-phase wall-time buckets this executor accumulates into
         #: (normally the owning engine's; see ``repro.obs.phases``).
         self.phases = phases if phases is not None else PhaseAccumulator()
+        #: Per-round exchange/file_io decomposition of collectives.
+        self.rounds = rounds if rounds is not None else RoundLog()
 
     # ------------------------------------------------------------------
     # File primitives (backend-specific)
@@ -166,17 +170,31 @@ class PlanExecutor:
         stats = self.stats
         phases = self.phases
         now = time.perf_counter
+        cur_round = None
         try:
             for op in plan.ops:
                 t0 = now()
+                if isinstance(op, RoundOp):
+                    # Round marker: close the previous round's record,
+                    # open the next.  The deltas of the exchange/file_io
+                    # buckets over the round's span are its per-phase
+                    # decomposition.
+                    self._close_round(plan, cur_round, t0)
+                    cur_round = (op.index, op.total, t0,
+                                 phases.exchange, phases.file_io)
+                    stats.executed_rounds += 1
+                    stats.executed_ops += 1
+                    continue
                 if isinstance(op, GatherOp):
                     self._do_gather(plan, op, mem, bufs)
+                    self._note_staging(bufs)
                     bucket = "pack"
                 elif isinstance(op, ScatterOp):
                     self._do_scatter(plan, op, mem, bufs)
                     bucket = "unpack"
                 elif isinstance(op, FileReadOp):
                     self._do_file_read(plan, op, mem, bufs)
+                    self._note_staging(bufs)
                     bucket = "file_io"
                 elif isinstance(op, FileWriteOp):
                     self._do_file_write(plan, op, bufs)
@@ -192,6 +210,7 @@ class PlanExecutor:
                     bucket = "lock"
                 elif isinstance(op, ExchangeOp):
                     self._do_exchange(plan, op, bufs)
+                    self._note_staging(bufs)
                     stats.executed_exchanges += 1
                     bucket = "exchange"
                 else:
@@ -203,11 +222,43 @@ class PlanExecutor:
                         f"exec.{type(op).__name__}", t0, plan=plan.kind
                     )
         finally:
+            self._close_round(plan, cur_round, now())
             # A failing op must never leave byte-range locks behind
             # (other ranks would deadlock on their next sieved write).
             for lo, hi in reversed(held):
                 self._unlock(lo, hi)
         return bufs
+
+    def _close_round(self, plan, state, t_end: float) -> None:
+        if state is None:
+            return
+        index, total, t0, ex0, io0 = state
+        phases = self.phases
+        self.rounds.add(index, total, t_end - t0,
+                        phases.exchange - ex0, phases.file_io - io0)
+        if trace.TRACE_ON:
+            trace.TRACER.add("aggregation.round", t0, index=index,
+                             total=total, plan=plan.kind)
+
+    def _note_staging(self, bufs) -> None:
+        """Track the high-water mark of live staging/exchange bytes.
+
+        Zero-copy views of the user buffer are free; everything else —
+        gather outputs, inbound exchange payloads, reply buffers — is
+        real staging memory.  The round-based collective keeps this
+        bounded by O(cb_buffer_size × participating APs).
+        """
+        total = 0
+        for buf in bufs.values():
+            if isinstance(buf, _Buf):
+                if not buf.zero_copy:
+                    total += buf.arr.nbytes
+            elif isinstance(buf, tuple) and len(buf) == 3:
+                arr = buf[2]
+                if isinstance(arr, np.ndarray):
+                    total += arr.nbytes
+        if total > self.stats.peak_staging_bytes:
+            self.stats.peak_staging_bytes = total
 
     # ------------------------------------------------------------------
     # Buffer management
@@ -430,12 +481,6 @@ class PlanExecutor:
             if isinstance(buf, _Buf):
                 return (buf.d_lo, buf.d_hi, buf.arr)
             return buf
-        if send.take_stage:
-            stage = bufs.get(STAGE)
-            if not isinstance(stage, _Buf):
-                raise IOEngineError("send references an empty stage")
-            a = send.d_lo - stage.d_lo
-            return (send.ol, stage.arr[a : a + send.ol.size], send.d_lo)
         return (send.ol, send.d_lo)
 
     # ------------------------------------------------------------------
@@ -458,9 +503,9 @@ class SimFileExecutor(PlanExecutor):
     """Executor over the simulated parallel file system."""
 
     def __init__(self, simfile, codec=None, comm=None, stats=None,
-                 phases=None) -> None:
+                 phases=None, rounds=None) -> None:
         super().__init__(codec=codec, comm=comm, stats=stats,
-                         phases=phases)
+                         phases=phases, rounds=rounds)
         self.simfile = simfile
 
     def _pread_into(self, offset, out):
@@ -485,9 +530,9 @@ class PosixExecutor(PlanExecutor):
     """
 
     def __init__(self, posix_file, codec=None, comm=None,
-                 stats=None, phases=None) -> None:
+                 stats=None, phases=None, rounds=None) -> None:
         super().__init__(codec=codec, comm=comm, stats=stats,
-                         phases=phases)
+                         phases=phases, rounds=rounds)
         self.file = posix_file
 
     def _pread_into(self, offset, out):

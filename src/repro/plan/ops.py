@@ -46,6 +46,7 @@ __all__ = [
     "FileReadOp",
     "FileWriteOp",
     "ExchangeOp",
+    "RoundOp",
     "Piece",
     "Blocks",
     "TupleBlocks",
@@ -264,22 +265,39 @@ class Send(PlanOp):
 
     ``slot`` names a buffer prepared earlier in the plan (listless:
     per-IOP :class:`GatherOp` output; replies of a collective read).
-    ``ol``/``d_lo``/``take_stage`` describe the conventional engine's
-    per-access ol-list shipment instead: the expanded list itself plus —
-    for writes — the matching slice of the staged user data.
+    ``ol``/``d_lo`` describe the conventional engine's per-access
+    ol-list shipment instead: the expanded list plus the data offset
+    its first tuple maps to.
     """
 
     rank: int
     slot: object = None
     ol: object = None
     d_lo: int = 0
-    take_stage: bool = False
 
     def __repr__(self) -> str:
         if self.slot is not None:
             return f"Send(rank={self.rank}, slot={self.slot!r})"
-        kind = "list+data" if self.take_stage else "list"
-        return f"Send(rank={self.rank}, {kind}, d_lo={self.d_lo})"
+        return f"Send(rank={self.rank}, list, d_lo={self.d_lo})"
+
+
+@dataclass(frozen=True, repr=False)
+class RoundOp(PlanOp):
+    """Marker opening aggregation round ``index`` of ``total``.
+
+    The ops following it (up to the next :class:`RoundOp` or the plan
+    end) form one bounded exchange+file-I/O round of the two-phase
+    collective: every rank packs only that round's window bytes, ships
+    them, and the IOP accesses one ``cb_buffer_size`` window.  The
+    executor uses the marker for per-round phase accounting and trace
+    spans.
+    """
+
+    index: int
+    total: int
+
+    def __repr__(self) -> str:
+        return f"RoundOp({self.index + 1}/{self.total})"
 
 
 @dataclass(frozen=True, repr=False)

@@ -19,6 +19,7 @@ from repro.plan.ops import (
     GatherOp,
     LockOp,
     PlanOp,
+    RoundOp,
     ScatterOp,
 )
 
@@ -66,7 +67,7 @@ class IOPlan:
         """Op counts by category (for stats and tests)."""
         out = {
             "gather": 0, "scatter": 0, "file_read": 0, "file_write": 0,
-            "lock": 0, "exchange": 0, "other": 0,
+            "lock": 0, "exchange": 0, "round": 0, "other": 0,
         }
         for op in self.ops:
             if isinstance(op, GatherOp):
@@ -81,6 +82,8 @@ class IOPlan:
                 out["lock"] += 1
             elif isinstance(op, ExchangeOp):
                 out["exchange"] += 1
+            elif isinstance(op, RoundOp):
+                out["round"] += 1
             else:
                 out["other"] += 1
         return out

@@ -40,24 +40,20 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.io.sieving import coalesce_blocks, windows
-from repro.io.two_phase import AccessRange, domain_windows
+from repro.io.two_phase import AccessRange
 from repro.mpi.cost_model import StorageModel, choose_access_strategy
 from repro.obs import trace
 from repro.obs.phases import PhaseAccumulator
 from repro.plan.ops import (
     STAGE,
     Blocks,
-    ExchangeOp,
     FileReadOp,
     FileWriteOp,
     GatherOp,
     LockOp,
     Piece,
     ScatterOp,
-    Send,
     UnlockOp,
-    in_slot,
-    out_slot,
 )
 from repro.plan.plan import IOPlan
 from repro.plan.stats import PlanStats
@@ -316,12 +312,14 @@ class Planner:
     # ------------------------------------------------------------------
     def plan_collective(self, write: bool, rng: AccessRange,
                         ranges: List[AccessRange],
-                        domains: List[Tuple[int, int]]) -> IOPlan:
+                        domains: List[Tuple[int, int]],
+                        schedule) -> IOPlan:
         """Plan one collective access; billed to the ``plan`` bucket
         like :meth:`plan_independent`."""
         t0 = time.perf_counter()
         try:
-            return self._plan_collective(write, rng, ranges, domains)
+            return self._plan_collective(write, rng, ranges, domains,
+                                         schedule)
         finally:
             self.phases.add("plan", time.perf_counter() - t0)
             if trace.TRACE_ON:
@@ -329,29 +327,32 @@ class Planner:
 
     def _plan_collective(self, write: bool, rng: AccessRange,
                          ranges: List[AccessRange],
-                         domains: List[Tuple[int, int]]) -> IOPlan:
-        """One plan covering both roles of a two-phase collective.
+                         domains: List[Tuple[int, int]],
+                         schedule) -> IOPlan:
+        """One round-based plan covering both roles of a two-phase
+        collective (see :mod:`repro.io.aggregation`).
 
         Built entirely from the fileview cache — every rank can compute
-        every other rank's block placement, so the whole exchange and
-        file schedule is known before a byte moves.  That makes the plan
-        a pure function of (views, ranges, domains) and therefore
-        cacheable across repeated accesses — the payoff of caching
-        compact fileviews instead of re-exchanging ol-lists.
+        every other rank's block placement, so the whole round schedule
+        is known before a byte moves.  That makes the plan a pure
+        function of (views, ranges, domains, cb) and therefore cacheable
+        across repeated accesses — the payoff of caching compact
+        fileviews instead of re-exchanging ol-lists.  The schedule is
+        derived deterministically from (domains, cb), so the cache key
+        needs no extra field for it.
         """
+        from repro.io.aggregation import build_round_plan
+
         engine = self.engine
         fh = engine.fh
-        comm = fh.comm
-        cview = engine.cview
-        cache = engine.cache
         cb = fh.hints.cb_buffer_size
-        rank = comm.rank
+        rank = fh.comm.rank
         kind = ("write" if write else "read") + "-collective"
         d0 = rng.data_lo
 
         sig = None
         if self.cacheable:
-            sig = (self.epoch, "coll", write, cache.epoch,
+            sig = (self.epoch, "coll", write, engine.cache.epoch,
                    tuple((r.abs_lo, r.abs_hi, r.data_lo, r.data_hi)
                          for r in ranges),
                    tuple(domains), cb)
@@ -359,97 +360,16 @@ class Planner:
             if hit is not None:
                 return hit
 
-        ops: List[object] = []
-        slots = {}
-        nwin = 0
-        coalesced = 0
-        entries = 0
+        md = engine.collective_metadata(write, rng, ranges)
+        ops, nwin = build_round_plan(md, schedule, write, rng, rank)
 
-        # AP role: which slice of my access lands in each IOP's domain.
-        portions = []  # (iop, dl, dh) in my view-data bytes
-        if not rng.empty:
-            for iop, (dlo, dhi) in enumerate(domains):
-                if dhi <= dlo:
-                    continue
-                pl = _clip(cview.data_of_abs(dlo), rng.data_lo, rng.data_hi)
-                ph = _clip(cview.data_of_abs(dhi), rng.data_lo, rng.data_hi)
-                if ph > pl:
-                    portions.append((iop, pl, ph))
-
-        # IOP role: which ranks contribute to my domain, per their views.
-        my_windows = domain_windows(domains, rank, cb)
-        contribs = []  # (src, cv, dl, dh) in src's view-data bytes
-        if my_windows:
-            dlo, dhi = domains[rank]
-            for src, r in enumerate(ranges):
-                if r.empty:
-                    continue
-                cv = cache.view_of(src)
-                sl = _clip(cv.data_of_abs(dlo), r.data_lo, r.data_hi)
-                sh = _clip(cv.data_of_abs(dhi), r.data_lo, r.data_hi)
-                if sh > sl:
-                    contribs.append((src, cv, sl, sh))
-
-        if write:
-            sends = []
-            for iop, pl, ph in portions:
-                slot = out_slot(iop)
-                ops.append(GatherOp(pl, ph, slot))
-                slots[slot] = (pl, ph)
-                sends.append(Send(iop, slot=slot))
-            ops.append(ExchangeOp(tuple(sends)))
-            for wlo, whi in my_windows:
-                pieces = []
-                covered = 0
-                for src, cv, sl, sh in contribs:
-                    pl = _clip(cv.data_of_abs(wlo), sl, sh)
-                    ph = _clip(cv.data_of_abs(whi), sl, sh)
-                    if ph <= pl:
-                        continue
-                    offs, lens = cv.blocks_for_data(pl, ph)
-                    offs, lens, merged = coalesce_blocks(offs, lens)
-                    coalesced += merged
-                    entries += int(offs.size)
-                    pieces.append(Piece(in_slot(src), pl, ph,
-                                        Blocks(offs, lens)))
-                    covered += ph - pl
-                if not pieces:
-                    continue
-                # Mergeview coverage decision (§3.2.3): a fully covered
-                # window needs no pre-read.
-                mode = "assemble" if covered == whi - wlo else "rmw"
-                ops.append(FileWriteOp(wlo, whi, mode, tuple(pieces)))
-                nwin += 1
-        else:
-            for src, cv, sl, sh in contribs:
-                slots[out_slot(src)] = (sl, sh)
-            for wlo, whi in my_windows:
-                pieces = []
-                for src, cv, sl, sh in contribs:
-                    pl = _clip(cv.data_of_abs(wlo), sl, sh)
-                    ph = _clip(cv.data_of_abs(whi), sl, sh)
-                    if ph <= pl:
-                        continue
-                    offs, lens = cv.blocks_for_data(pl, ph)
-                    offs, lens, merged = coalesce_blocks(offs, lens)
-                    coalesced += merged
-                    entries += int(offs.size)
-                    pieces.append(Piece(out_slot(src), pl, ph,
-                                        Blocks(offs, lens)))
-                if pieces:
-                    ops.append(FileReadOp(wlo, whi, "window",
-                                          tuple(pieces)))
-                    nwin += 1
-            sends = tuple(Send(src, slot=out_slot(src))
-                          for src, _cv, _sl, _sh in contribs)
-            ops.append(ExchangeOp(sends))
-            for iop, pl, ph in portions:
-                ops.append(ScatterOp(pl, ph, in_slot(iop)))
-
-        if entries > MAX_CACHED_BLOCKS:
+        if md.entries > MAX_CACHED_BLOCKS:
             sig = None
         nbytes = rng.data_hi - rng.data_lo if not rng.empty else 0
+        # No slot table on purpose: per-round staging buffers must stay
+        # window-sized, never inflated to whole-access ranges — that is
+        # the round pipeline's memory bound.
         return self._finish(IOPlan(kind, d0, nbytes, tuple(ops),
-                                   slots=slots, signature=sig,
+                                   signature=sig,
                                    planned_windows=nwin,
-                                   coalesced_bytes=coalesced))
+                                   coalesced_bytes=md.coalesced))

@@ -39,6 +39,12 @@ class PlanStats:
     executed_locks: int = 0
     #: alltoall exchanges performed by the executor
     executed_exchanges: int = 0
+    #: aggregation rounds executed (RoundOp markers seen)
+    executed_rounds: int = 0
+    #: high-water mark of live staging/exchange buffer bytes during any
+    #: plan run (the O(cb_buffer_size × APs) memory bound of the
+    #: round-based collective shows up here)
+    peak_staging_bytes: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -53,4 +59,6 @@ class PlanStats:
             "executed_file_writes": self.executed_file_writes,
             "executed_locks": self.executed_locks,
             "executed_exchanges": self.executed_exchanges,
+            "executed_rounds": self.executed_rounds,
+            "peak_staging_bytes": self.peak_staging_bytes,
         }

@@ -36,6 +36,15 @@ class TestValidation:
         with pytest.raises(HintError):
             Hints(cb_nodes=0)
 
+    def test_cb_domain_align_enum(self):
+        from repro.io.hints import DOMAIN_ALIGNMENTS
+
+        for v in DOMAIN_ALIGNMENTS:
+            assert Hints(cb_domain_align=v).cb_domain_align == v
+        assert Hints().cb_domain_align is None
+        with pytest.raises(HintError):
+            Hints(cb_domain_align="diagonal")
+
 
 class TestFromMapping:
     def test_none_gives_defaults(self):
@@ -51,6 +60,18 @@ class TestFromMapping:
     def test_unknown_key_rejected(self):
         with pytest.raises(HintError):
             Hints.from_mapping({"cb_buffr_size": 1})
+
+    def test_malformed_value_rejected(self):
+        """Coercion failures surface as HintError naming the key, not
+        as a bare ValueError from int()."""
+        with pytest.raises(HintError, match="cb_buffer_size"):
+            Hints.from_mapping({"cb_buffer_size": "lots"})
+
+    def test_string_domain_align_passes_through(self):
+        h = Hints.from_mapping({"cb_domain_align": "stripe"})
+        assert h.cb_domain_align == "stripe"
+        with pytest.raises(HintError):
+            Hints.from_mapping({"cb_domain_align": "diag"})
 
     def test_with_(self):
         h = Hints().with_(cb_nodes=3)

@@ -67,14 +67,14 @@ VIEWS = {
 }
 
 
-def _worker(comm, view_name, engine, kind, seed):
+def _worker(comm, view_name, engine, kind, seed, hints=None):
     make = VIEWS[view_name]
     ft, disp = make(comm.size, comm.rank)
     A = ft.size * 2
 
     def body(fs):
         fh = File.open(comm, fs, "/eq.out", MODE_CREATE | MODE_RDWR,
-                       engine=engine)
+                       engine=engine, hints=hints)
         fh.set_view(disp, dt.BYTE, ft)
         rng = np.random.default_rng(seed + comm.rank)
         buf = rng.integers(0, 256, A, dtype=np.uint8)
@@ -102,12 +102,13 @@ def _worker(comm, view_name, engine, kind, seed):
     return body
 
 
-def run_equivalence(view_name, engine, kind, size, tmp_path, seed=7):
+def run_equivalence(view_name, engine, kind, size, tmp_path, seed=7,
+                    hints=None):
     """Run the same worker on both backends; return (sim, proc) results
     as (file bytes, per-rank read buffers)."""
 
     def worker(comm, fs):
-        return _worker(comm, view_name, engine, kind, seed)(fs)
+        return _worker(comm, view_name, engine, kind, seed, hints)(fs)
 
     sim_fs = SimFileSystem()
     sim_reads = Runtime("sim").run(size, worker, sim_fs)
@@ -155,6 +156,38 @@ def test_backends_agree_across_world_sizes(view_name, engine, size,
     cases)."""
     sim, proc = run_equivalence(view_name, engine, "write_at_all", size,
                                 tmp_path)
+    assert_identical(sim, proc)
+
+
+ALIGNS = ["even", "stripe", "block"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("align", ALIGNS)
+def test_backends_agree_domain_alignment(align, engine, tmp_path):
+    """Round-based collectives under every file-domain partitioning
+    strategy: sim and proc stay byte-identical when a small
+    cb_buffer_size forces the multi-round exchange (6 cases x 2
+    kinds)."""
+    hints = Hints(cb_buffer_size=64, cb_domain_align=align)
+    for kind in ("write_at_all", "read_at_all"):
+        sim, proc = run_equivalence("interleaved", engine, kind, 4,
+                                    tmp_path, hints=hints)
+        assert_identical(sim, proc)
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("align", ALIGNS)
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("view_name", ["interleaved", "strided_gap"])
+def test_backends_agree_alignment_sweep(view_name, engine, align, size,
+                                        tmp_path):
+    """Alignment strategies across world sizes 1/2/4 on both engines
+    (36 cases; soak: CI's runtime-proc job runs it)."""
+    hints = Hints(cb_buffer_size=64, cb_domain_align=align)
+    sim, proc = run_equivalence(view_name, engine, "write_at_all", size,
+                                tmp_path, hints=hints)
     assert_identical(sim, proc)
 
 
