@@ -1,0 +1,75 @@
+"""Per-layer perf-budget gate for the windowed block-program bench.
+
+The committed ``results/BENCH_blockprog.json`` records, for the
+end-to-end engine case, how its wall time decomposes into *kernel*
+(batched pack/unpack copies), *io* (simulated device) and *engine
+overhead* (planning, op dispatch, Python glue).  The engine-overhead
+share of wall time is the budget: the listless speedup only survives
+end-to-end while the engine layer stays thin, so CI treats the recorded
+share like a perf baseline and fails when a fresh run regresses past it
+by more than the slack.
+
+Usage (CI bench-smoke, after the bench wrote a fresh record)::
+
+    python benchmarks/check_perf_budget.py --bench BENCH_blockprog.json
+
+Shares are wall-time ratios, so the check is robust to the absolute
+speed of the CI box; the default slack (0.15 absolute) absorbs
+scheduler noise on loaded runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent / "results" / (
+    "BENCH_blockprog.json"
+)
+
+
+def _engine_share(record: dict, which: str) -> float:
+    try:
+        d = record["cases"]["engine"]["decomposition"]["enabled"]
+        return float(d[which])
+    except (KeyError, TypeError):
+        raise SystemExit(
+            f"record has no engine decomposition ({which}) — "
+            "was the bench run with this tree's bench script?"
+        )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", required=True,
+                    help="fresh BENCH_blockprog.json to check")
+    ap.add_argument("--baseline", default=str(BASELINE),
+                    help="committed record holding the budget")
+    ap.add_argument("--slack", type=float, default=0.15,
+                    help="allowed absolute engine-share regression")
+    args = ap.parse_args()
+
+    with open(args.bench) as f:
+        fresh = json.load(f)
+    with open(args.baseline) as f:
+        base = json.load(f)
+
+    fresh_share = _engine_share(fresh, "engine_share")
+    base_share = _engine_share(base, "engine_share")
+    budget = base_share + args.slack
+    ratio = _engine_share(fresh, "engine_kernel_ratio")
+    print(f"engine-layer share: fresh {fresh_share:.3f}  "
+          f"baseline {base_share:.3f}  budget {budget:.3f}  "
+          f"(engine:kernel {ratio:.2f})")
+    if fresh_share > budget:
+        print("FAIL: engine-layer share regressed past the recorded "
+              "baseline + slack", file=sys.stderr)
+        return 1
+    print("PASS: engine-layer share within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

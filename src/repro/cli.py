@@ -188,6 +188,40 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_program_shape(plan, loop) -> None:
+    """The compiled shape of a plan's data movement: per materialized
+    piece, the block-program kernel it compiled to and its index-array
+    size; plus the dataloop nesting depth and fused-copy count."""
+    from repro.core import blockprog
+    from repro.plan.ops import Blocks
+
+    rows = []
+    fused = deferred = 0
+    for i, op in enumerate(plan.ops):
+        for j, piece in enumerate(getattr(op, "pieces", ())):
+            tag = f"op{i}[{type(op).__name__}].piece{j}"
+            blocks = piece.blocks
+            if blocks is None:
+                deferred += 1
+                rows.append((tag, "deferred (streamed view walk)"))
+            elif isinstance(blocks, Blocks) and blockprog.enabled():
+                fused += 1
+                prog = blockprog.program_for_blocks(blocks)
+                rows.append((tag, prog.describe()))
+            else:
+                fused += 1
+                rows.append(
+                    (tag, f"tuples(k={blocks.count}, "
+                          f"nbytes={blocks.nbytes})")
+                )
+    print("\ncompiled program shape:")
+    print(f"  dataloop nesting depth: {loop.depth if loop else '-'}")
+    print(f"  fused batched copies: {fused}  "
+          f"(deferred/streamed pieces: {deferred})")
+    if rows:
+        print(format_table(["piece", "program"], rows))
+
+
 def _cmd_plan_dump(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -237,9 +271,11 @@ def _cmd_plan_dump(args: argparse.Namespace) -> int:
         trace.set_tracing(prev_trace)
     print(f"filetype: {args.filetype}")
     print("\ndataloop program:")
-    print(describe_dataloop(compile_dataloop(ft)))
+    loop = compile_dataloop(ft)
+    print(describe_dataloop(loop))
     print("\nplan:")
     print(out["plan"].describe())
+    _print_program_shape(out["plan"], loop)
     s = dict(out["stats"])
     # Block-program and kernel-path counters are process-global and live
     # in the metrics registry now (the engine snapshot only carries the
@@ -247,8 +283,9 @@ def _cmd_plan_dump(args: argparse.Namespace) -> int:
     s.update(metrics.snapshot()["global"])
     shown = sorted(
         k for k in s
-        if k.startswith(("plan_cache", "blockprog_", "kernel_path_",
-                         "coll_", "executed_rounds", "peak_staging"))
+        if k.startswith(("plan_cache", "plan_replays", "blockprog_",
+                         "kernel_path_", "coll_", "executed_rounds",
+                         "peak_staging"))
     )
     print("\ncache and kernel-path counters "
           "(after planning + 1 priming write + 2 accesses):")

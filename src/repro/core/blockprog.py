@@ -12,8 +12,10 @@ translation.
 A :class:`BlockProgram` is the compiled form of one range query:
 
 * the **canonical descriptor** — ``(offsets, lengths)`` for the range
-  reduced to its residue class modulo the period (for a top-level
-  :class:`~repro.core.dataloop.DLVector`, ``skipbytes mod child.size``);
+  reduced to its canonical position: whole periods of every enclosing
+  :class:`~repro.core.dataloop.DLVector` are dropped and struct fields
+  (:class:`~repro.core.dataloop.DLSeq`) are descended recursively, so
+  nested and struct dataloops canonicalize, not just top-level vectors;
 * a **precompiled kernel dispatch** — which gather/scatter path fires
   (single slice / small loop / strided view / big-block loop / index
   gather), with the per-call derivations (``tolist`` conversions, the
@@ -46,7 +48,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.dataloop import DLContig, DLVector, Dataloop
+from repro.core.dataloop import DLContig, DLSeq, DLVector, Dataloop
 from repro.core.gather import (
     _BIG_BLOCK,
     _SMALL_N,
@@ -215,6 +217,26 @@ class BlockProgram:
         return _K_INDEX
 
     # ------------------------------------------------------------------
+    @property
+    def kind_name(self) -> str:
+        """Name of the kernel path the program compiled to."""
+        return ("single", "small_loop", "strided_view", "big_block",
+                "fancy_index")[self._kind]
+
+    @property
+    def index_nbytes(self) -> int:
+        """Size of the precomputed flat byte-index array (0 unless the
+        program compiled to the fancy-index kernel)."""
+        return int(self._idx.nbytes) if self._idx is not None else 0
+
+    def describe(self) -> str:
+        """One-line shape summary, for ``plan-dump``."""
+        s = f"{self.kind_name}(k={self.count}, nbytes={self.nbytes}"
+        if self._idx is not None:
+            s += f", idx={self._idx.size}"
+        return s + ")"
+
+    # ------------------------------------------------------------------
     def materialize(self, base: int) -> Tuple[np.ndarray, np.ndarray]:
         """``(offsets + base, lengths)`` — the relocated descriptor."""
         BLOCKPROG_STATS.translations += 1
@@ -329,18 +351,42 @@ def clear() -> None:
         _cache.clear()
 
 
-def _periodicity(loop: Dataloop, s_lo: int) -> Tuple[int, int]:
-    """Reduce ``s_lo`` to its residue class modulo the loop's period.
+def _periodicity(loop: Dataloop, s_lo: int, n: int) -> Tuple[int, int]:
+    """Reduce a length-``n`` range at ``s_lo`` to its canonical position.
 
-    Returns ``(residue, base)`` with ``base`` the extent translation of
-    the dropped whole periods: for a top-level vector the period is one
-    child instance (``child.size`` data bytes spanning ``stride`` extent
-    bytes); aperiodic tops translate by nothing and key on the absolute
-    position.
+    Returns ``(rep, base)`` satisfying the relocation invariant::
+
+        loop.blocks_range(s_lo, s_lo + n)
+            == loop.blocks_range(rep, rep + n) + base
+
+    A vector drops whole child periods (``child.size`` data bytes per
+    ``stride`` extent bytes) and — when the remaining range fits inside
+    one child instance — recurses into the child, so nested periodic
+    structure (vectors of vectors, periodic struct fields) canonicalizes
+    too.  A struct/indexed sequence recurses into the single child
+    containing the range; ranges spanning children, and aperiodic
+    leaves, key on the absolute position and translate by nothing.
     """
     if isinstance(loop, DLVector):
-        q, r = divmod(s_lo, loop.child.size)
+        csize = loop.child.size
+        q, r = divmod(s_lo, csize)
+        if r + n <= csize:
+            rep, base = _periodicity(loop.child, r, n)
+            return rep, q * loop.stride + base
         return r, q * loop.stride
+    if isinstance(loop, DLSeq):
+        cum = loop.cumsizes
+        i = int(np.searchsorted(cum, s_lo, side="right")) - 1
+        if 0 <= i < len(loop.children) and s_lo + n <= int(cum[i + 1]):
+            rep, base = _periodicity(
+                loop.children[i], s_lo - int(cum[i]), n
+            )
+            # rep + n never exceeds the child's size (rep <= the child-
+            # relative position and the range fits the child), so the
+            # re-keyed range resolves inside child i again and the
+            # child's placement offset cancels out of the invariant.
+            return int(cum[i]) + rep, base
+        return s_lo, 0
     return s_lo, 0
 
 
@@ -369,8 +415,8 @@ def program_for(
         # cache could only add overhead.
         BLOCKPROG_STATS.bypasses += 1
         return None
-    residue, base = _periodicity(loop, s_lo)
     n = s_hi - s_lo
+    residue, base = _periodicity(loop, s_lo, n)
     key = (residue, n)
     with _lock:
         progs = _cache.get(loop)

@@ -227,22 +227,29 @@ class IOEngine:
 
     def run_plan(self, plan: "IOPlan",
                  mem: Optional[MemDescriptor] = None,
-                 buffers: Optional[dict] = None) -> dict:
-        return self.executor.run(plan, mem, buffers)
+                 buffers: Optional[dict] = None,
+                 file_delta: int = 0) -> dict:
+        return self.executor.run(plan, mem, buffers, file_delta)
 
     def write_independent(self, mem: MemDescriptor, d0: int) -> None:
         if mem.nbytes == 0:
             return
         with trace.span(f"{self.name}.write_independent",
                         bytes=mem.nbytes):
-            self.run_plan(self.plan_write_independent(mem, d0), mem)
+            plan, delta = self.planner.plan_independent_bound(
+                d0, mem.nbytes, write=True
+            )
+            self.run_plan(plan, mem, file_delta=delta)
 
     def read_independent(self, mem: MemDescriptor, d0: int) -> None:
         if mem.nbytes == 0:
             return
         with trace.span(f"{self.name}.read_independent",
                         bytes=mem.nbytes):
-            self.run_plan(self.plan_read_independent(mem, d0), mem)
+            plan, delta = self.planner.plan_independent_bound(
+                d0, mem.nbytes, write=False
+            )
+            self.run_plan(plan, mem, file_delta=delta)
 
     # ------------------------------------------------------------------
     # Collective access (round-based driver shared across engines)

@@ -9,8 +9,11 @@ Every cost the paper attributes to ol-lists is really paid here:
   afterwards (paper §2.1, last paragraph);
 * positioning the file pointer walks the list linearly — O(Nblock/2) list
   elements per navigation on average (§2.2);
-* data sieving copies one ``(offset, length)`` tuple at a time in an
-  interpreted loop, reading the tuple before each copy (§2.1 "Copy time");
+* data sieving moves the listed bytes through the shared data plane:
+  the per-access lists are lowered to index arrays and batch-copied
+  (§2.1's "Copy time" stays proportional to the list, but is paid in
+  one fused copy); with the program layer disabled the historical
+  interpreted per-tuple loop runs instead, preserving the A/B baseline;
 * collective access expands each AP's view over every IOP's file domain
   into per-pair ol-lists that are *sent along with the data* (16 bytes per
   tuple of wire volume, §2.3), and the collective-write contiguity
@@ -21,10 +24,10 @@ Accesses are planned like the listless engine's, but the plans preserve
 the conventional cost profile: the engine offers no plan geometry, so
 independent plans carry *deferred* pieces that the executor streams
 through :meth:`_view_blocks` (the linear tuple walk) at execution time;
-collective plans carry :class:`~repro.plan.ops.TupleBlocks` copied one
-tuple at a time; and no plan is ever cached — the conventional scheme
-re-derives its lists on every access, which is precisely the overhead
-the paper measures.
+collective plans carry :class:`~repro.plan.ops.TupleBlocks` the data
+plane batch-copies; and no plan is ever cached — the conventional
+scheme re-derives its lists on every access, which is precisely the
+overhead the paper measures.
 """
 
 from __future__ import annotations
@@ -34,6 +37,8 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core import blockprog
+from repro.core.gather import gather_blocks, scatter_blocks
 from repro.flatten.flattener import flatten_cached, flatten_datatype
 from repro.flatten.list_ops import expand_range, merge_lists
 from repro.flatten.ol_list import OLList
@@ -188,8 +193,46 @@ class ListBasedEngine(IOEngine):
         return q * view.ft_size + self.flat.data_before(r)  # linear scan
 
     # ------------------------------------------------------------------
-    # Memory side: per-access flattening, per-tuple copy loops
+    # Memory side: per-access flattening; the listed bytes move in one
+    # fused batched copy (or the interpreted per-tuple loop when the
+    # program layer is disabled — the A/B baseline)
     # ------------------------------------------------------------------
+    def _mem_block_arrays(
+        self, mem: MemDescriptor, d_lo: int, d_hi: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(buffer_offsets, lengths)`` index arrays of the contiguous
+        memory blocks overlapping data range ``[d_lo, d_hi)``, in data
+        order.
+
+        The memtype ol-list is still built fresh for the access — the
+        §2.1 list-building cost is untouched — but clipping and tiling
+        happen vectorized, and because data bytes enumerate contiguously
+        the destination of a fused copy is simply sequential.
+        """
+        flat = flatten_datatype(mem.memtype)  # fresh list, per access
+        self.stats.list_tuples_built += len(flat)
+        offs = np.asarray(flat.offsets, dtype=np.int64)
+        lens = np.asarray(flat.lengths, dtype=np.int64)
+        fsize = int(lens.sum())
+        if fsize == 0 or d_hi <= d_lo:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        cum = np.concatenate((np.zeros(1, dtype=np.int64),
+                              np.cumsum(lens)))
+        i_lo = d_lo // fsize
+        i_hi = min(-(-d_hi // fsize), mem.count)
+        insts = np.arange(i_lo, i_hi, dtype=np.int64)
+        ext = mem.memtype.extent
+        dstart = (insts[:, None] * fsize + cum[None, :-1]).ravel()
+        blens = np.tile(lens, len(insts))
+        boffs = (
+            mem.origin + insts[:, None] * ext + offs[None, :]
+        ).ravel()
+        a = np.maximum(d_lo - dstart, 0)
+        b = np.minimum(d_hi - dstart, blens)
+        keep = b > a
+        return boffs[keep] + a[keep], (b - a)[keep]
+
     def _mem_blocks(
         self, mem: MemDescriptor, d_lo: int, d_hi: int
     ) -> Iterator[Tuple[int, int, int]]:
@@ -221,6 +264,10 @@ class ListBasedEngine(IOEngine):
             out[: d_hi - d_lo] = mem.contiguous_slice(d_lo, d_hi - d_lo)
             return
         buf = mem.as_bytes
+        if blockprog.enabled():
+            boffs, lens = self._mem_block_arrays(mem, d_lo, d_hi)
+            gather_blocks(buf, boffs, lens, out, 0)
+            return
         for boff, ln, doff in self._mem_blocks(mem, d_lo, d_hi):
             out[doff - d_lo : doff - d_lo + ln] = buf[boff : boff + ln]
 
@@ -230,6 +277,10 @@ class ListBasedEngine(IOEngine):
             mem.contiguous_slice(d_lo, d_hi - d_lo)[...] = data[: d_hi - d_lo]
             return
         buf = mem.as_bytes
+        if blockprog.enabled():
+            boffs, lens = self._mem_block_arrays(mem, d_lo, d_hi)
+            scatter_blocks(buf, boffs, lens, data, 0)
+            return
         for boff, ln, doff in self._mem_blocks(mem, d_lo, d_hi):
             buf[boff : boff + ln] = data[doff - d_lo : doff - d_lo + ln]
 

@@ -152,6 +152,27 @@ class Hints:
             return comm_size
         return min(self.cb_nodes, comm_size)
 
+    def fingerprint(self) -> tuple:
+        """The planning-relevant hint values, as a hashable tuple.
+
+        Included in plan-cache and replay-table keys so a ``set_info``
+        hint change — which does *not* bump the planner's view epoch —
+        can never replay a plan built under different planning inputs
+        (sieve toggles, buffer sizes, block-program use).  Presentation
+        hints (``obs_trace``) and creation-time hints (striping) are
+        deliberately excluded: they never affect what a plan contains.
+        """
+        return (
+            self.ind_rd_buffer_size,
+            self.ind_wr_buffer_size,
+            self.cb_buffer_size,
+            self.cb_nodes,
+            self.ds_read,
+            self.ds_write,
+            self.ff_block_programs,
+            self.cb_domain_align,
+        )
+
     def with_(self, **kwargs) -> "Hints":
         """A copy with selected fields replaced."""
         return replace(self, **kwargs)

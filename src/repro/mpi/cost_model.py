@@ -107,6 +107,12 @@ class StorageModel:
         """Model seconds for ``naccesses`` accesses moving ``nbytes``."""
         return naccesses * self.latency + nbytes / self.bandwidth
 
+    def fingerprint(self) -> tuple:
+        """The strategy-relevant parameters, for plan-cache keys (a
+        planner swapping storage models must never replay plans whose
+        sieve-vs-direct decision was taken under the old one)."""
+        return (self.latency, self.bandwidth)
+
 
 def choose_domain_align(
     *,

@@ -17,9 +17,14 @@ Two backends are provided:
 
 The *memory* side of gather/scatter ops is delegated to a ``codec``
 (normally the emitting engine), so each engine keeps its characteristic
-copy machinery: the listless engine's vectorized kernels, the list-based
-engine's per-tuple interpreted loops.  :class:`KernelCodec` is a
-standalone codec for executor use outside any engine.
+representation costs; the *file* side — every block copy between window
+buffers and staging — goes through the shared
+:class:`~repro.plan.dataplane.DataPlane` facade, which batches it.
+
+Plans from the planner's replay fast path execute with a ``file_delta``:
+every file offset the plan names (windows, direct blocks, lock ranges)
+is translated by that many bytes at dispatch time, so one relocatable
+plan serves every period-translated access of the same shape.
 """
 
 from __future__ import annotations
@@ -30,12 +35,12 @@ from typing import Dict, Optional, Protocol, Tuple
 import numpy as np
 
 from repro.core import blockprog
-from repro.core.gather import gather_blocks, scatter_blocks
 from repro.errors import IOEngineError
 from repro.io.fileview import MemDescriptor
 from repro.io.sieving import read_window
 from repro.obs import trace
 from repro.obs.phases import PhaseAccumulator, RoundLog
+from repro.plan.dataplane import DataPlane, block_lists
 from repro.plan.ops import (
     STAGE,
     Blocks,
@@ -48,7 +53,6 @@ from repro.plan.ops import (
     RoundOp,
     ScatterOp,
     Send,
-    TupleBlocks,
     UnlockOp,
     in_slot,
 )
@@ -140,6 +144,9 @@ class PlanExecutor:
         self.phases = phases if phases is not None else PhaseAccumulator()
         #: Per-round exchange/file_io decomposition of collectives.
         self.rounds = rounds if rounds is not None else RoundLog()
+        #: File-offset translation of the plan currently running (set by
+        #: :meth:`run` from its ``file_delta`` argument; 0 outside runs).
+        self._fdelta = 0
 
     # ------------------------------------------------------------------
     # File primitives (backend-specific)
@@ -158,12 +165,15 @@ class PlanExecutor:
 
     # ------------------------------------------------------------------
     def run(self, plan: IOPlan, mem: Optional[MemDescriptor] = None,
-            buffers: Optional[dict] = None) -> dict:
+            buffers: Optional[dict] = None, file_delta: int = 0) -> dict:
         """Execute ``plan``; returns the final staging-buffer table.
 
         ``mem`` is required when the plan contains gather/scatter ops.
         ``buffers`` seeds the staging table (used to hand the inbound
         payloads of one plan's exchange to a follow-up plan).
+        ``file_delta`` translates every file offset the plan names —
+        the replay fast path re-binds a cached relocatable plan to a
+        period-translated access this way.
         """
         bufs: Dict[object, object] = dict(buffers) if buffers else {}
         held = []
@@ -171,6 +181,7 @@ class PlanExecutor:
         phases = self.phases
         now = time.perf_counter
         cur_round = None
+        self._fdelta = file_delta
         try:
             for op in plan.ops:
                 t0 = now()
@@ -200,13 +211,13 @@ class PlanExecutor:
                     self._do_file_write(plan, op, bufs)
                     bucket = "file_io"
                 elif isinstance(op, LockOp):
-                    self._lock(op.lo, op.hi)
-                    held.append((op.lo, op.hi))
+                    self._lock(op.lo + file_delta, op.hi + file_delta)
+                    held.append((op.lo + file_delta, op.hi + file_delta))
                     stats.executed_locks += 1
                     bucket = "lock"
                 elif isinstance(op, UnlockOp):
-                    self._unlock(op.lo, op.hi)
-                    held.remove((op.lo, op.hi))
+                    self._unlock(op.lo + file_delta, op.hi + file_delta)
+                    held.remove((op.lo + file_delta, op.hi + file_delta))
                     bucket = "lock"
                 elif isinstance(op, ExchangeOp):
                     self._do_exchange(plan, op, bufs)
@@ -222,9 +233,11 @@ class PlanExecutor:
                         f"exec.{type(op).__name__}", t0, plan=plan.kind
                     )
         finally:
+            self._fdelta = 0
             self._close_round(plan, cur_round, now())
             # A failing op must never leave byte-range locks behind
             # (other ranks would deadlock on their next sieved write).
+            # ``held`` stores translated ranges, so release them as-is.
             for lo, hi in reversed(held):
                 self._unlock(lo, hi)
         return bufs
@@ -350,29 +363,16 @@ class PlanExecutor:
             self._read_piece_direct(plan, op, op.pieces[0], mem, bufs)
             return
         fb = read_window(self, op.lo, op.hi)
+        progs = blockprog.enabled()
         for piece in op.pieces:
             buf = self._ensure_buf(
                 plan, piece.slot, piece.d_lo, piece.d_hi, mem, bufs
             )
             pos = piece.d_lo - buf.d_lo
-            blocks = piece.blocks
-            if isinstance(blocks, Blocks):
-                if blockprog.enabled():
-                    # Compiled once per Blocks object: replays of a
-                    # cached plan skip the per-run offset arithmetic
-                    # and kernel-dispatch derivation.
-                    prog = blockprog.program_for_blocks(blocks)
-                    prog.gather(fb, -op.lo, buf.arr, pos)
-                else:
-                    gather_blocks(
-                        fb, blocks.offsets - op.lo, blocks.lengths,
-                        buf.arr, pos,
-                    )
-            elif isinstance(blocks, TupleBlocks):
-                # Conventional engine: one interpreted copy per tuple.
-                for o, ln in blocks.pairs:
-                    buf.arr[pos : pos + ln] = fb[o - op.lo : o - op.lo + ln]
-                    pos += ln
+            if piece.blocks is not None:
+                DataPlane.gather(
+                    fb, op.lo, piece.blocks, buf.arr, pos, progs
+                )
             else:
                 self.codec.stream_gather_window(
                     fb, op.lo, op.hi, buf.arr, buf.d_lo, buf.d_hi
@@ -389,11 +389,7 @@ class PlanExecutor:
             )
             return
         pos = piece.d_lo - buf.d_lo
-        if isinstance(blocks, Blocks):
-            offs, lens = blocks.offsets.tolist(), blocks.lengths.tolist()
-        else:
-            offs = [o for o, _ in blocks.pairs]
-            lens = [ln for _, ln in blocks.pairs]
+        offs, lens = block_lists(blocks)
         for o, ln in zip(offs, lens):
             got = self.pread_into(o, buf.arr[pos : pos + ln])
             if got < ln:
@@ -415,24 +411,14 @@ class PlanExecutor:
         else:  # rmw: pre-read the window, overlay, write back
             fb = read_window(self, op.lo, op.hi)
         scattered = 0
+        progs = blockprog.enabled()
         for piece in op.pieces:
             arr, base, _zc = self._payload_view(bufs, piece)
             pos = piece.d_lo - base
-            blocks = piece.blocks
-            if isinstance(blocks, Blocks):
-                if blockprog.enabled():
-                    prog = blockprog.program_for_blocks(blocks)
-                    scattered += prog.scatter(fb, -op.lo, arr, pos)
-                else:
-                    scattered += scatter_blocks(
-                        fb, blocks.offsets - op.lo, blocks.lengths, arr,
-                        pos,
-                    )
-            elif isinstance(blocks, TupleBlocks):
-                for o, ln in blocks.pairs:
-                    fb[o - op.lo : o - op.lo + ln] = arr[pos : pos + ln]
-                    pos += ln
-                    scattered += ln
+            if piece.blocks is not None:
+                scattered += DataPlane.scatter(
+                    fb, op.lo, piece.blocks, arr, pos, progs
+                )
             else:
                 scattered += self.codec.stream_scatter_window(
                     fb, op.lo, op.hi, arr, base, piece.d_hi
@@ -449,11 +435,7 @@ class PlanExecutor:
             )
             return
         pos = piece.d_lo - base
-        if isinstance(blocks, Blocks):
-            offs, lens = blocks.offsets.tolist(), blocks.lengths.tolist()
-        else:
-            offs = [o for o, _ in blocks.pairs]
-            lens = [ln for _, ln in blocks.pairs]
+        offs, lens = block_lists(blocks)
         for o, ln in zip(offs, lens):
             self.pwrite(o, arr[pos : pos + ln])
             pos += ln
@@ -487,16 +469,18 @@ class PlanExecutor:
     # Counted file access shims.  ``pread_into`` doubles as the SimFile
     # interface expected by :func:`repro.io.sieving.read_window`, and
     # deferred-piece codecs call them to stream blocks (``file.pwrite``
-    # in ``stream_write_blocks``, for example).
+    # in ``stream_write_blocks``, for example).  The running plan's
+    # ``file_delta`` applies here, so every file access of a replayed
+    # plan — windows, direct blocks, streamed blocks — lands translated.
     # ------------------------------------------------------------------
     def pread_into(self, offset: int, out: np.ndarray) -> int:
-        n = self._pread_into(offset, out)
+        n = self._pread_into(offset + self._fdelta, out)
         self.stats.executed_file_reads += 1
         return n
 
     def pwrite(self, offset: int, data: np.ndarray):
         self.stats.executed_file_writes += 1
-        return self._pwrite(offset, data)
+        return self._pwrite(offset + self._fdelta, data)
 
 
 class SimFileExecutor(PlanExecutor):

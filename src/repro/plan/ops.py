@@ -22,8 +22,10 @@ characteristic copy machinery:
     materialized ``(offsets, lengths)`` NumPy arrays, executed through
     the vectorized gather/scatter kernels (the listless engine);
 :class:`TupleBlocks`
-    explicit Python tuple lists copied one tuple at a time in an
-    interpreted loop (the conventional list-based engine);
+    explicit Python tuple lists (the conventional list-based engine) —
+    lowered once to index arrays and batch-copied by the data plane, or
+    copied one tuple at a time in an interpreted loop when the program
+    layer is disabled;
 ``blocks=None``
     deferred — the executor streams blocks through the emitting
     engine's own view walk at execution time (list-based independent
@@ -74,14 +76,17 @@ class Blocks:
     ``prog`` memoizes the compiled :class:`~repro.core.blockprog.
     BlockProgram` of these blocks (set lazily by the executor via
     ``program_for_blocks``), so replaying a cached plan reuses the
-    one-time kernel dispatch instead of re-deriving it per run.  It is
-    a cache, not part of the block description — excluded from
+    one-time kernel dispatch instead of re-deriving it per run.
+    ``lists`` memoizes the Python offset/length lists direct-mode file
+    I/O iterates (``repro.plan.dataplane.block_lists``).  Both are
+    caches, not part of the block description — excluded from
     comparison.
     """
 
     offsets: np.ndarray
     lengths: np.ndarray
     prog: object = field(default=None, compare=False)
+    lists: object = field(default=None, compare=False)
 
     @property
     def nbytes(self) -> int:
@@ -97,9 +102,18 @@ class Blocks:
 
 @dataclass(frozen=True)
 class TupleBlocks:
-    """Explicit ``(offset, length)`` tuples, copied one at a time."""
+    """Explicit ``(offset, length)`` tuples.
+
+    The data plane lowers the tuples once to ``(offsets, lengths)``
+    index arrays — memoized in ``arrs`` — and moves the bytes in one
+    batched copy; with the program layer disabled it falls back to the
+    historical interpreted per-tuple loop.  ``arrs`` and ``lists`` are
+    caches like ``Blocks.prog`` — excluded from comparison.
+    """
 
     pairs: Tuple[Tuple[int, int], ...]
+    arrs: object = field(default=None, compare=False)
+    lists: object = field(default=None, compare=False)
 
     @property
     def nbytes(self) -> int:

@@ -17,12 +17,24 @@ sieve-vs-direct decision
     per block against windowed read-modify-write (Thakur et al.'s data
     sieving trade-off) — sieving hints still veto sieving outright;
 plan caching
-    an LRU keyed on (planner epoch, access signature).  The epoch is
-    bumped whenever ``set_view`` replaces the fileview, so cached plans
-    can never survive a view change.  Only the listless engine caches:
-    its plans derive from the *cached* compact fileview, which is
-    exactly the paper's point — the conventional engine re-expands
-    ol-lists per access, so its planner re-plans per access.
+    an LRU keyed on (planner epoch, hint fingerprint, access
+    signature).  The epoch is bumped whenever ``set_view`` replaces the
+    fileview, so cached plans can never survive a view change, and the
+    fingerprint covers the hints and cost-model parameters that feed
+    planning, so a ``set_info`` hint change (which bumps no epoch) can
+    never replay a stale plan.  Only the listless engine caches: its
+    plans derive from the *cached* compact fileview, which is exactly
+    the paper's point — the conventional engine re-expands ol-lists per
+    access, so its planner re-plans per access.
+replay fast path
+    every fileview tiles the file with period ``ft_size`` data bytes
+    per ``ft_extent`` file bytes, so the whole independent-planning
+    pipeline is *translation-covariant*: two accesses whose offsets
+    differ by whole periods produce identical plans up to one scalar
+    file translation.  :meth:`Planner.plan_independent_bound` exploits
+    this with a second table keyed on the offset residue — a hit skips
+    planner entry entirely and re-binds the cached whole-access plan
+    with a ``file_delta`` the executor applies at the file boundary.
 
 Geometry comes from the engine: engines that can navigate a compact
 fileview expose it via ``plan_geometry()`` and get materialized
@@ -39,6 +51,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core import blockprog
 from repro.io.sieving import coalesce_blocks, windows
 from repro.io.two_phase import AccessRange
 from repro.mpi.cost_model import StorageModel, choose_access_strategy
@@ -86,8 +99,17 @@ class Planner:
         self.phases = phases if phases is not None else PhaseAccumulator()
         self.epoch = 0
         self._cache: "OrderedDict[tuple, IOPlan]" = OrderedDict()
+        #: Replay table: offset-residue key -> (whole-access plan, q0).
+        #: A hit returns the cached plan plus the scalar file delta
+        #: ``(q - q0) * ft_extent`` — no planner entry, no rewrite pass.
+        self._replay: "OrderedDict[tuple, tuple]" = OrderedDict()
 
     # ------------------------------------------------------------------
+    def _fingerprint(self) -> tuple:
+        """Hints + cost-model inputs that shape plans, for cache keys."""
+        return (self.engine.fh.hints.fingerprint()
+                + self.storage.fingerprint())
+
     def invalidate(self) -> None:
         """Drop every cached plan (the fileview changed).
 
@@ -98,8 +120,7 @@ class Planner:
         """
         self.epoch += 1
         self._cache.clear()
-        from repro.core import blockprog
-
+        self._replay.clear()
         blockprog.clear()
 
     def _lookup(self, sig: Optional[tuple]) -> Optional[IOPlan]:
@@ -142,6 +163,53 @@ class Planner:
                 trace.TRACER.add("plan.independent", t0, write=write,
                                  nbytes=nbytes)
 
+    def plan_independent_bound(self, d0: int, nbytes: int,
+                               write: bool) -> Tuple[IOPlan, int]:
+        """Plan one independent access; returns ``(plan, file_delta)``.
+
+        The replay fast path: because every fileview tiles the file —
+        ``d0 = q * ft_size + r`` puts every absolute file offset of the
+        plan exactly ``q * ft_extent`` bytes after the residue access's,
+        while all data-relative coordinates are translation-invariant —
+        one *whole-access* plan per offset residue serves every period.
+        A replay hit skips planner entry entirely (no window clipping,
+        no navigation, no rewrite pass) and hands the executor the
+        cached pre-bound plan plus the scalar translation to apply at
+        the file boundary.  Gated on the same switches as the compiled
+        kernels (``ff_block_programs`` hint, process-wide layer toggle)
+        so A/B comparisons disable the whole batched data plane at once.
+        """
+        t0 = time.perf_counter()
+        try:
+            key = None
+            q = 0
+            fh = self.engine.fh
+            view = fh.view
+            if (self.cacheable and nbytes > 0 and view.ft_size > 0
+                    and fh.hints.ff_block_programs
+                    and blockprog.enabled()):
+                q, r = divmod(d0, view.ft_size)
+                key = (self.epoch, "rind", write, r, nbytes,
+                       self._fingerprint())
+                entry = self._replay.get(key)
+                if entry is not None:
+                    plan, q0 = entry
+                    self._replay.move_to_end(key)
+                    self.stats.plan_cache_hits += 1
+                    self.stats.plan_replays += 1
+                    return plan, (q - q0) * view.ft_extent
+            plan = self._plan_independent(d0, nbytes, write)
+            if key is not None and plan.signature is not None:
+                self._replay[key] = (plan, q)
+                while len(self._replay) > self.maxsize:
+                    self._replay.popitem(last=False)
+            return plan, 0
+        finally:
+            self.phases.add("plan", time.perf_counter() - t0)
+            if trace.TRACE_ON:
+                trace.TRACER.add("plan.independent", t0, write=write,
+                                 nbytes=nbytes)
+
     def _plan_independent(self, d0: int, nbytes: int,
                           write: bool) -> IOPlan:
         engine = self.engine
@@ -156,7 +224,8 @@ class Planner:
 
         sig = None
         if self.cacheable:
-            sig = (self.epoch, "ind", write, d0, nbytes, ds, bufsize)
+            sig = (self.epoch, "ind", write, d0, nbytes,
+                   self._fingerprint())
             hit = self._lookup(sig)
             if hit is not None:
                 return hit
@@ -355,7 +424,7 @@ class Planner:
             sig = (self.epoch, "coll", write, engine.cache.epoch,
                    tuple((r.abs_lo, r.abs_hi, r.data_lo, r.data_hi)
                          for r in ranges),
-                   tuple(domains), cb)
+                   tuple(domains), cb, self._fingerprint())
             hit = self._lookup(sig)
             if hit is not None:
                 return hit

@@ -23,6 +23,10 @@ class PlanStats:
     plan_cache_hits: int = 0
     #: cacheable plan lookups that missed
     plan_cache_misses: int = 0
+    #: accesses served by the replay fast path (a relocatable whole-
+    #: access plan re-bound by a scalar file translation — planner entry
+    #: skipped entirely; also counted in ``plan_cache_hits``)
+    plan_replays: int = 0
     #: coalesced file windows planned (window-mode file ops)
     planned_windows: int = 0
     #: total ops across built plans
@@ -51,6 +55,7 @@ class PlanStats:
             "plans_built": self.plans_built,
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
+            "plan_replays": self.plan_replays,
             "planned_windows": self.planned_windows,
             "planned_ops": self.planned_ops,
             "coalesced_bytes": self.coalesced_bytes,

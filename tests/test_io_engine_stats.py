@@ -13,7 +13,10 @@ P, SBLOCK, NBLOCK = 2, 8, 256
 A = SBLOCK * NBLOCK
 
 
-def run_and_collect(engine, collective, nreps=2):
+def run_and_collect(engine, collective, nreps=2, stagger=False):
+    """``stagger`` offsets each access by a distinct residue of the
+    filetype period, defeating the planner's replay fast path so every
+    access is planned from scratch."""
     fs = SimFileSystem()
     stats = [None] * P
 
@@ -26,7 +29,7 @@ def run_and_collect(engine, collective, nreps=2):
         buf = np.full(A, r, dtype=np.uint8)
         write = fh.write_at_all if collective else fh.write_at
         for rep in range(nreps):
-            write(rep * A, buf)
+            write(rep * A + (rep if stagger else 0), buf)
         stats[r] = fh.engine.stats.snapshot()
         fh.close()
 
@@ -88,9 +91,21 @@ class TestListlessStats:
             assert 0 < s["ff_view_bytes_exchanged"] < 2048
 
     def test_navigations_scale_with_accesses_not_nblock(self):
+        # Staggered offsets: every access has a fresh period residue,
+        # so every access is actually planned (no replay).
+        few = run_and_collect("listless", collective=False, nreps=1,
+                              stagger=True)
+        many = run_and_collect("listless", collective=False, nreps=4,
+                               stagger=True)
+        assert many[0]["ff_navigations"] > few[0]["ff_navigations"]
+
+    def test_replay_keeps_navigations_flat(self):
+        # Period-translated accesses replay one relocatable plan;
+        # repeats add no navigations at all.
         few = run_and_collect("listless", collective=False, nreps=1)
         many = run_and_collect("listless", collective=False, nreps=4)
-        assert many[0]["ff_navigations"] > few[0]["ff_navigations"]
+        assert many[0]["plan_replays"] >= 2
+        assert many[0]["ff_navigations"] == few[0]["ff_navigations"]
 
     def test_view_exchange_independent_of_nblock(self):
         def bytes_for(nblock):

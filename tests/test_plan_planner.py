@@ -209,3 +209,142 @@ class TestPlanCache:
         run_spmd(1, worker)
         assert box["s"]["plan_cache_hits"] == 0
         assert box["s"]["plans_built"] >= 4
+
+
+class TestReplayFastPath:
+    """The epoch-stable replay path: one relocatable plan per
+    (residue, size) shape, re-bound per access by a scalar file
+    translation, skipping planner entry entirely."""
+
+    @staticmethod
+    def snap(fh):
+        return fh.engine.stats.snapshot()
+
+    def test_period_translated_accesses_replay(self):
+        fs = SimFileSystem()
+        box = {}
+
+        def worker(comm):
+            fh = open_one(fs, "listless")(comm)
+            fh.set_view(0, dt.BYTE, fine_vector())
+            A = FINE["blockcount"]
+            rng = np.random.default_rng(3)
+            for k in range(4):
+                buf = rng.integers(0, 256, A, dtype=np.uint8)
+                fh.write_at(k * A, buf)
+                got = np.zeros(A, dtype=np.uint8)
+                fh.read_at(k * A, got)
+                assert (got == buf).all(), k
+            box["s"] = self.snap(fh)
+            fh.close()
+
+        run_spmd(1, worker)
+        s = box["s"]
+        # First write and first read plan from scratch; the 3 later
+        # periods replay both shapes (6 replays, also counted as hits).
+        assert s["plan_replays"] >= 6
+        assert s["plan_cache_hits"] >= s["plan_replays"]
+        assert s["plans_built"] <= 3
+
+    def test_staggered_residues_plan_from_scratch(self):
+        fs = SimFileSystem()
+        box = {}
+
+        def worker(comm):
+            fh = open_one(fs, "listless")(comm)
+            fh.set_view(0, dt.BYTE, fine_vector())
+            A = FINE["blockcount"]
+            buf = np.zeros(A, dtype=np.uint8)
+            for k in range(4):
+                fh.write_at(k * A + k, buf)  # distinct residues
+            box["s"] = self.snap(fh)
+            fh.close()
+
+        run_spmd(1, worker)
+        assert box["s"]["plan_replays"] == 0
+        assert box["s"]["plans_built"] >= 4
+
+    def test_view_change_clears_replay_table(self):
+        fs = SimFileSystem()
+        box = {}
+
+        def worker(comm):
+            fh = open_one(fs, "listless")(comm)
+            fh.set_view(0, dt.BYTE, fine_vector())
+            A = FINE["blockcount"]
+            buf = np.zeros(A, dtype=np.uint8)
+            fh.write_at(0, buf)
+            fh.write_at(A, buf)
+            box["mid"] = self.snap(fh)
+            fh.set_view(0, dt.BYTE, fine_vector())
+            fh.write_at(2 * A, buf)  # same shape, new epoch: no replay
+            box["after"] = self.snap(fh)
+            fh.close()
+
+        run_spmd(1, worker)
+        assert box["mid"]["plan_replays"] == 1
+        assert box["after"]["plan_replays"] == box["mid"]["plan_replays"]
+        assert box["after"]["plans_built"] > box["mid"]["plans_built"]
+
+
+class TestHintFingerprint:
+    """Regression: the plan cache and replay table key on a fingerprint
+    of the planning-relevant hints, so a ``set_info`` change — which
+    does not bump the view epoch — can never serve a plan built under
+    the old hints."""
+
+    @staticmethod
+    def snap(fh):
+        return fh.engine.stats.snapshot()
+
+    def test_set_info_sieve_toggle_is_not_served_stale(self):
+        fs = SimFileSystem()
+        box = {}
+
+        def worker(comm):
+            fh = open_one(fs, "listless")(comm)
+            fh.set_view(0, dt.BYTE, fine_vector())
+            A = FINE["blockcount"]
+            buf = np.zeros(A, dtype=np.uint8)
+            mem = fh._mem(buf, None, None)
+            sieved = fh.engine.plan_write_independent(mem, 0)
+            assert any(isinstance(op, LockOp) for op in sieved.ops)
+            fh.write_at(0, buf)
+            locks_before = self.snap(fh)["executed_locks"]
+            # Disabling write sieving changes what a correct plan
+            # contains; with epoch-only keys the stale sieved plan
+            # would be replayed here.
+            fh.set_info({"ds_write": "false"})
+            direct = fh.engine.plan_write_independent(mem, 0)
+            assert not any(isinstance(op, LockOp) for op in direct.ops)
+            fh.write_at(0, buf)
+            box["locks"] = (locks_before,
+                            self.snap(fh)["executed_locks"])
+            fh.close()
+
+        run_spmd(1, worker)
+        before, after = box["locks"]
+        assert before > 0
+        assert after == before  # the direct write took no locks
+
+    def test_set_info_blockprog_toggle_stops_replay(self):
+        fs = SimFileSystem()
+        box = {}
+
+        def worker(comm):
+            fh = open_one(fs, "listless")(comm)
+            fh.set_view(0, dt.BYTE, fine_vector())
+            A = FINE["blockcount"]
+            buf = np.zeros(A, dtype=np.uint8)
+            for k in range(3):
+                fh.write_at(k * A, buf)
+            box["mid"] = self.snap(fh)
+            fh.set_info({"ff_block_programs": "false"})
+            for k in range(3):
+                fh.write_at(k * A, buf)
+            box["after"] = self.snap(fh)
+            fh.close()
+
+        run_spmd(1, worker)
+        assert box["mid"]["plan_replays"] >= 2
+        assert box["after"]["plan_replays"] == box["mid"]["plan_replays"]

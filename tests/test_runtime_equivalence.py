@@ -242,6 +242,45 @@ def test_random_fileviews_backends_agree(tmp_path_factory, ftype,
     proc_fs.close()
 
 
+def test_replay_fast_path_backends_agree(tmp_path):
+    """Period-translated repeated accesses ride the planner's replay
+    fast path (one relocatable plan, re-bound by a scalar file delta
+    per access — including its lock ranges); sim and proc must stay
+    byte-identical, and the replay must actually engage on both."""
+    ft = dt.resized(dt.vector(6, 8, 16, dt.BYTE), 0, 6 * 16)
+
+    def worker(comm, fs):
+        fh = File.open(comm, fs, "/rp.out", MODE_CREATE | MODE_RDWR,
+                       engine="listless")
+        fh.set_view(comm.rank * 8, dt.BYTE, ft)
+        A = ft.size
+        rng = np.random.default_rng(11 + comm.rank)
+        outs = []
+        for rep in range(4):
+            buf = rng.integers(0, 256, A, dtype=np.uint8)
+            fh.write_at(rep * A, buf)
+            got = np.zeros(A, dtype=np.uint8)
+            fh.read_at(rep * A, got)
+            assert (got == buf).all(), "replay roundtrip failed"
+            outs.append(got)
+        nreplays = fh.engine.stats.plan.plan_replays
+        fh.close()
+        return np.concatenate(outs), nreplays
+
+    sim_fs = SimFileSystem()
+    sim = Runtime("sim").run(2, worker, sim_fs)
+    proc_fs = OsFileSystem(str(tmp_path / "replay"))
+    proc = Runtime("proc").run(2, worker, proc_fs)
+    assert bytes(sim_fs.lookup("/rp.out").contents()) == \
+        bytes(proc_fs.lookup("/rp.out").contents())
+    for r, ((a, ra), (b, rb)) in enumerate(zip(sim, proc)):
+        assert (a == b).all(), f"rank {r} read buffers diverge"
+        assert ra == rb, f"rank {r} replay counts diverge"
+        # reps 2-4 replay both the write and the read plan.
+        assert ra >= 6, (r, ra)
+    proc_fs.close()
+
+
 def test_btio_class_s_byte_identical(tmp_path):
     """The acceptance check: a 4-rank class-S BT-IO run writes the same
     bytes under both runtimes, for both engines."""
