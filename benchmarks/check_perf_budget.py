@@ -16,6 +16,17 @@ Usage (CI bench-smoke, after the bench wrote a fresh record)::
 Shares are wall-time ratios, so the check is robust to the absolute
 speed of the CI box; the default slack (0.15 absolute) absorbs
 scheduler noise on loaded runners.
+
+``--collective`` gates the round-overlap record of
+``bench_collective_rounds`` instead: every (engine, alignment) cell's
+pipelined effective time must stay within ``1 + collective-slack`` of
+its one-shot cell, every pipelined cell must hide *some* device time
+(overlap efficiency > 0), and the round modes' peak staging must
+respect the O(cb_buffer_size x APs) bound the aggregation layer
+exists to enforce::
+
+    python benchmarks/check_perf_budget.py \
+        --collective BENCH_collective.json
 """
 
 from __future__ import annotations
@@ -41,15 +52,53 @@ def _engine_share(record: dict, which: str) -> float:
         )
 
 
+def check_collective(path: str, slack: float) -> int:
+    """Round-overlap gate over a fresh BENCH_collective.json."""
+    with open(path) as f:
+        rec = json.load(f)
+    bound = rec["acceptance"]["bound_bytes"]
+    limit = 1.0 + slack
+    failed = []
+    for name, cell in rec["cells"].items():
+        ratio = cell["pipelined_vs_one_shot"]
+        overlap = cell["overlap_efficiency"]
+        peak = max(cell["serial"]["peak_staging"],
+                   cell["pipelined"]["peak_staging"])
+        ok = ratio <= limit and overlap > 0.0 and peak <= bound
+        print(f"  {name:>18}: pipelined/one-shot {ratio:.3f} "
+              f"(limit {limit:.2f})  overlap {overlap:.2f}  "
+              f"round peak {peak} B (bound {bound} B)"
+              f"{'' if ok else '  <-- FAIL'}")
+        if not ok:
+            failed.append(name)
+    if failed:
+        print(f"FAIL: round-overlap gate broken in {len(failed)} "
+              f"cell(s): {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("PASS: pipelined rounds within the one-shot budget in every "
+          "cell, staging bound held")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--bench", required=True,
+    ap.add_argument("--bench",
                     help="fresh BENCH_blockprog.json to check")
     ap.add_argument("--baseline", default=str(BASELINE),
                     help="committed record holding the budget")
     ap.add_argument("--slack", type=float, default=0.15,
                     help="allowed absolute engine-share regression")
+    ap.add_argument("--collective", metavar="JSON",
+                    help="gate a fresh BENCH_collective.json "
+                         "(round-overlap) instead")
+    ap.add_argument("--collective-slack", type=float, default=0.05,
+                    help="allowed pipelined-vs-one-shot excess")
     args = ap.parse_args()
+
+    if args.collective:
+        return check_collective(args.collective, args.collective_slack)
+    if not args.bench:
+        ap.error("one of --bench or --collective is required")
 
     with open(args.bench) as f:
         fresh = json.load(f)

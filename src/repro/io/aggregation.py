@@ -46,14 +46,20 @@ import time
 from typing import Iterator, List, Optional, Protocol, Tuple
 
 from repro.io.two_phase import (
+    COLLECTIVE_TAG_BASE,
     AccessRange,
     aggregate_ranges,
     domain_windows,
     partition_domains,
 )
-from repro.mpi.cost_model import choose_domain_align
+from repro.mpi.cost_model import (
+    PIPELINE_DEPTH,
+    choose_domain_align,
+    choose_pipeline,
+)
 from repro.obs import trace
 from repro.plan.ops import (
+    DrainOp,
     ExchangeOp,
     FileReadOp,
     FileWriteOp,
@@ -163,12 +169,20 @@ class RoundSchedule:
     out as IOPs but keep participating as APs.  The schedule is a pure
     function of (domains, cb_buffer_size), so every rank derives the
     identical timetable without communicating.
+
+    ``pipeline`` selects the plan shape :func:`build_round_plan` emits:
+    serial (strict exchange → file-I/O per round, synchronizing
+    alltoall) or pipelined (double-buffered windows, background file
+    I/O, relaxed p2p round synchronization).  The driver resolves it
+    from the ``cb_pipeline`` hint and the round count — both rank-
+    identical, so all ranks agree without a coordinating collective.
     """
 
     def __init__(self, domains: List[Tuple[int, int]],
-                 cb_buffer_size: int) -> None:
+                 cb_buffer_size: int, pipeline: bool = False) -> None:
         self.domains = domains
         self.cb_buffer_size = cb_buffer_size
+        self.pipeline = pipeline
         self.windows = [
             domain_windows(domains, iop, cb_buffer_size)
             for iop in range(len(domains))
@@ -200,11 +214,15 @@ class CollectiveMetadata(Protocol):
     """What an engine must answer to drive one collective access.
 
     Implementations may keep per-access state (the list-based engine
-    advances linear cursors), so the builder guarantees a fixed query
-    order: rounds ascend, and within a round ``ap_span`` is asked per
-    active IOP in IOP order while ``iop_pieces`` is asked for this
-    rank's own window — each IOP's window sequence is therefore visited
-    exactly once, in file order.
+    advances linear cursors), so the builder guarantees an ordered query
+    discipline *per query family*: ``ap_span`` is asked per active IOP
+    in IOP order with rounds ascending, and ``iop_pieces`` is asked for
+    this rank's own windows in ascending window order — each IOP's
+    window sequence is visited exactly once, in file order, within each
+    family.  The two families may interleave out of round-lockstep (the
+    pipelined builder asks for the *next* round's own-window pieces
+    before the current round's spans, to prefetch), so implementations
+    must not share cursor state between them.
 
     The *symmetry invariant* both sides must uphold: for any (AP, IOP,
     window), the AP's ``ap_span`` is non-empty **iff** the IOP's
@@ -247,11 +265,31 @@ def build_round_plan(
 ) -> Tuple[List[object], int]:
     """Build the op list of one rank's round-based collective.
 
-    Returns ``(ops, windows_planned)``.  Every rank emits exactly
-    ``schedule.nrounds`` :class:`~repro.plan.ops.ExchangeOp`\\ s — the
-    alltoall is synchronizing, so ranks with nothing to move still take
-    part in every round.
+    Returns ``(ops, windows_planned)``.  Two plan shapes, selected by
+    ``schedule.pipeline``:
+
+    *Serial* (``pipeline=False``): the strict ``exchange → file I/O``
+    sequence per round.  Every rank emits exactly ``schedule.nrounds``
+    :class:`~repro.plan.ops.ExchangeOp`\\ s — the alltoall is
+    synchronizing, so ranks with nothing to move still take part in
+    every round.
+
+    *Pipelined* (``pipeline=True``): a software pipeline.  Exchanges
+    carry ``mode="p2p"`` with the exact send/recv peer sets the
+    metadata proved (the symmetry invariant makes both sides derivable
+    without coordination), so idle ranks skip the round barrier
+    entirely; file ops are marked ``overlap`` so the executor runs
+    round *N*'s file I/O on its background worker while round *N+1*'s
+    pack/exchange proceeds.  Writes stay ordered per IOP: windows are
+    submitted in round order to a FIFO worker, read-modify-write
+    windows stay synchronous (drain-first), and a final
+    :class:`~repro.plan.ops.DrainOp` closes the pipeline.  Reads
+    prefetch: round *N*'s plan issues the read of window *N+1*, then
+    drains window *N* (``keep=1`` — the double buffer) before
+    exchanging its replies.
     """
+    if schedule.pipeline:
+        return _build_pipelined(md, schedule, write, rank)
     ops: List[object] = []
     nwin = 0
     nrounds = schedule.nrounds
@@ -304,6 +342,137 @@ def build_round_plan(
     return ops, nwin
 
 
+def _offloadable(pieces) -> bool:
+    """May these pieces' file op run on the pipeline worker?  Deferred
+    (``blocks=None``) pieces stream through engine codec state of
+    unknown thread-safety, so they pin their op to the main thread."""
+    return all(p.blocks is not None for p in pieces)
+
+
+def _build_pipelined(
+    md: CollectiveMetadata,
+    schedule: RoundSchedule,
+    write: bool,
+    rank: int,
+) -> Tuple[List[object], int]:
+    """Pipelined plan shape (see :func:`build_round_plan`)."""
+    ops: List[object] = []
+    nwin = 0
+    nrounds = schedule.nrounds
+    if write:
+        for rnd in range(nrounds):
+            ops.append(RoundOp(rnd, nrounds))
+            # AP phase: pack this round's bytes per destination IOP.
+            sends = []
+            for iop, (wlo, whi) in schedule.active(rnd):
+                span = md.ap_span(iop, wlo, whi)
+                if span is not None:
+                    pl, ph = span
+                    slot = out_slot(iop)
+                    ops.append(GatherOp(pl, ph, slot))
+                    sends.append(Send(iop, slot=slot))
+            # IOP phase, derived before the exchange so the exchange
+            # knows its receive set: who sends into my window is exactly
+            # who has a piece there (the symmetry invariant).
+            wop = None
+            recvs: Tuple[int, ...] = ()
+            win = schedule.window(rank, rnd)
+            if win is not None:
+                wlo, whi = win
+                pieces, covered = md.iop_pieces(wlo, whi, write=True)
+                if pieces:
+                    # Only fully-covered windows may run behind the next
+                    # round (rmw pre-reads must stay ordered), and only
+                    # with materialized blocks (deferred pieces stream
+                    # through engine codec state the worker can't touch).
+                    mode = ("assemble" if covered >= whi - wlo
+                            else "rmw")
+                    overlap = (mode == "assemble"
+                               and _offloadable(pieces))
+                    wop = FileWriteOp(wlo, whi, mode, tuple(pieces),
+                                      overlap=overlap)
+                    recvs = tuple(p.slot[1] for p in pieces)
+                    nwin += 1
+            ops.append(ExchangeOp(tuple(sends), mode="p2p", recvs=recvs,
+                                  tag=COLLECTIVE_TAG_BASE + rnd))
+            if wop is not None:
+                ops.append(wop)
+        if nrounds:
+            ops.append(DrainOp(0))
+        return ops, nwin
+    # Reads: prefetch up to ``PIPELINE_DEPTH`` windows ahead on the
+    # worker while replies are exchanged and scattered.  Each round's
+    # drain waits for exactly its own window (the worker is FIFO, so
+    # ``keep`` = the number of deeper prefetches still in flight) and
+    # publishes it; deeper windows carry their target round on the op,
+    # so an early completion is held back — the per-peer staging slots
+    # are reused from round to round and must not be overwritten before
+    # the round's exchange has shipped them.  A window that cannot go
+    # to the worker (deferred pieces) is NOT hoisted: it executes
+    # synchronously at the top of its own round, where its immediate
+    # publication is safe, and blocks prefetching past it.
+    # ``iop_pieces`` windows are still queried in ascending order — the
+    # memoized ``spec`` never re-queries — as the metadata query-family
+    # protocol requires.
+    specs = {}
+
+    def spec(q):
+        if q not in specs:
+            win = schedule.window(rank, q)
+            if win is None:
+                specs[q] = None
+            else:
+                wlo, whi = win
+                pieces, _covered = md.iop_pieces(wlo, whi, write=False)
+                specs[q] = ((wlo, whi, tuple(pieces))
+                            if pieces else None)
+        return specs[q]
+
+    pending: List[int] = []  # prefetched window rounds, FIFO order
+    for rnd in range(nrounds):
+        ops.append(RoundOp(rnd, nrounds))
+        cur = spec(rnd)
+        if pending and pending[0] == rnd:
+            pending.pop(0)
+            # Publish this round's window; deeper prefetches stay in
+            # flight (FIFO ⇒ at most ``len(pending)`` jobs remain).
+            ops.append(DrainOp(len(pending)))
+            nwin += 1
+        elif cur is not None:
+            # Round 0, or a window the worker can't run: synchronous.
+            wlo, whi, pieces = cur
+            ops.append(FileReadOp(wlo, whi, "window", pieces))
+            nwin += 1
+        # Top up the prefetch pipe behind this round's exchange.
+        q = (pending[-1] if pending else rnd) + 1
+        while len(pending) < PIPELINE_DEPTH and q < nrounds:
+            nxt = spec(q)
+            if nxt is None:
+                q += 1
+                continue
+            if not _offloadable(nxt[2]):
+                break
+            wlo, whi, pieces = nxt
+            ops.append(FileReadOp(wlo, whi, "window", pieces,
+                                  overlap=True, round=q))
+            pending.append(q)
+            q += 1
+        sends = (tuple(Send(p.slot[1], slot=p.slot) for p in cur[2])
+                 if cur else ())
+        recvs = []
+        scatters = []
+        for iop, (wlo, whi) in schedule.active(rnd):
+            span = md.ap_span(iop, wlo, whi)
+            if span is not None:
+                pl, ph = span
+                recvs.append(iop)
+                scatters.append(ScatterOp(pl, ph, in_slot(iop)))
+        ops.append(ExchangeOp(sends, mode="p2p", recvs=tuple(recvs),
+                              tag=COLLECTIVE_TAG_BASE + rnd))
+        ops.extend(scatters)
+    return ops, nwin
+
+
 # ----------------------------------------------------------------------
 # The collective driver
 # ----------------------------------------------------------------------
@@ -353,11 +522,18 @@ def run_collective(engine, mem, d0: int, write: bool) -> None:
         geoms=live_geoms,
     )
     schedule = RoundSchedule(domains, hints.cb_buffer_size)
+    # Pipeline decision: a pure function of rank-identical inputs (the
+    # hint, and a round count derived from the allgathered ranges), so
+    # every rank agrees without another collective.
+    schedule.pipeline = choose_pipeline(
+        mode=hints.cb_pipeline, nrounds=schedule.nrounds
+    )
     stats.coll_rounds += schedule.nrounds
     stats.coll_domain_skew = max(stats.coll_domain_skew,
                                  domain_skew(domains))
     if trace.TRACE_ON:
         trace.TRACER.add("aggregation.partition", t0, align=align,
-                         niops=niops, nrounds=schedule.nrounds)
+                         niops=niops, nrounds=schedule.nrounds,
+                         pipeline=schedule.pipeline)
     plan = engine.collective_plan(write, rng, ranges, domains, schedule)
     engine.run_plan(plan, mem)

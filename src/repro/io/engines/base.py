@@ -130,6 +130,10 @@ class IOEngine:
         )
         metrics.register_engine(self)
 
+    def close(self) -> None:
+        """Release engine resources (the executor's pipeline worker)."""
+        self.executor.close()
+
     # ------------------------------------------------------------------
     # Subclass interface
     # ------------------------------------------------------------------

@@ -247,6 +247,7 @@ class File:
                 "cannot close with an outstanding split collective "
                 f"({self._split_pending[0]}_begin without _end)"
             )
+        self.engine.close()
         self.comm.barrier()
         if self.amode & MODE_DELETE_ON_CLOSE and self.comm.rank == 0:
             fs = getattr(self, "_fs", None)

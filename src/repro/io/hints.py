@@ -29,6 +29,12 @@ datatype handling:
     file-domain partitioning strategy for two-phase collectives
     (``even`` / ``stripe`` / ``block``; see ``docs/collective.md``) —
     unset lets the cost model choose per access.
+``cb_pipeline``
+    pipelining of collective aggregation rounds (``auto`` / ``on`` /
+    ``off``; see ``docs/collective.md``): overlap each round's file I/O
+    with the next round's pack/exchange and relax the per-round
+    alltoall to point-to-point completion tracking.  ``auto`` lets the
+    cost model decide from the round count.
 """
 
 from __future__ import annotations
@@ -38,10 +44,13 @@ from typing import Mapping, Optional
 
 from repro.errors import HintError
 
-__all__ = ["Hints", "DOMAIN_ALIGNMENTS"]
+__all__ = ["Hints", "DOMAIN_ALIGNMENTS", "PIPELINE_MODES"]
 
 #: Legal values of the ``cb_domain_align`` hint (``None`` → automatic).
 DOMAIN_ALIGNMENTS = ("even", "stripe", "block")
+
+#: Legal values of the ``cb_pipeline`` hint.
+PIPELINE_MODES = ("auto", "on", "off")
 
 
 def _to_bool(value: str) -> bool:
@@ -75,6 +84,12 @@ class Hints:
     #: stripe boundaries) or ``block`` (boundaries snapped to fileview
     #: block edges).  ``None`` → the cost model picks per access.
     cb_domain_align: Optional[str] = None
+    #: Pipelining of collective aggregation rounds: ``on`` overlaps each
+    #: round's file I/O with the next round's pack/exchange (double-
+    #: buffered windows, relaxed p2p round synchronization), ``off``
+    #: keeps the strict exchange→file-I/O sequence, ``auto`` lets the
+    #: cost model decide from the round count.
+    cb_pipeline: str = "auto"
 
     def __post_init__(self) -> None:
         for name in ("ind_rd_buffer_size", "ind_wr_buffer_size",
@@ -99,12 +114,18 @@ class Hints:
                 f"{'/'.join(DOMAIN_ALIGNMENTS)}, got "
                 f"{self.cb_domain_align!r}"
             )
+        if self.cb_pipeline not in PIPELINE_MODES:
+            raise HintError(
+                f"cb_pipeline must be one of "
+                f"{'/'.join(PIPELINE_MODES)}, got {self.cb_pipeline!r}"
+            )
 
     #: Per-field string coercion for :meth:`from_mapping` (``MPI_Info``
     #: values arrive as strings).  Explicit per field — guessing from
     #: the annotation text broke as soon as a non-int/bool field showed
-    #: up.  Fields without an entry (``cb_domain_align``) take the
-    #: string as-is and are validated by ``__post_init__``.
+    #: up.  Fields without an entry (``cb_domain_align``,
+    #: ``cb_pipeline``) take the string as-is and are validated by
+    #: ``__post_init__``.
     _CONVERTERS = {
         "ind_rd_buffer_size": int,
         "ind_wr_buffer_size": int,
@@ -171,6 +192,7 @@ class Hints:
             self.ds_write,
             self.ff_block_programs,
             self.cb_domain_align,
+            self.cb_pipeline,
         )
 
     def with_(self, **kwargs) -> "Hints":

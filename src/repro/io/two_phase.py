@@ -22,11 +22,23 @@ from repro.obs import trace
 
 __all__ = [
     "AccessRange",
+    "COLLECTIVE_TAG_BASE",
     "aggregate_ranges",
     "exchange",
+    "exchange_p2p",
     "partition_domains",
     "domain_windows",
 ]
+
+#: Tag namespace reserved for relaxed-synchronization collective rounds
+#: (round ``r`` of a collective exchanges under ``BASE + r``).  High
+#: enough that user-level and runtime-internal tags never collide with
+#: it, and below the proc backend's group-collective namespace
+#: (``1 << 40``).  Tag reuse across back-to-back collectives is safe:
+#: matching is FIFO per (source, tag) pair, and within one pair round
+#: ``r`` of the next collective cannot overtake round ``r`` of the
+#: previous one on the ordered transports both runtimes use.
+COLLECTIVE_TAG_BASE = 1 << 30
 
 
 @dataclass(frozen=True)
@@ -89,6 +101,37 @@ def exchange(comm, outbound: List) -> List:
     """
     with trace.span("two_phase.exchange"):
         return comm.alltoall(outbound)
+
+
+def exchange_p2p(comm, outbound, sources, tag: int):
+    """Relaxed-synchronization payload exchange: point-to-point only.
+
+    Where the round metadata proves exactly which (AP, IOP) pairs move
+    bytes, the synchronizing all-to-all is unnecessary: this rank sends
+    each ``dest → payload`` of the ``outbound`` mapping eagerly, then
+    completes
+    receives from exactly ``sources`` in *arrival order* — no barrier,
+    so ranks with empty windows in a round neither send nor wait.
+    Returns ``{source: payload}``.
+
+    Deadlock-free without ordering: sends buffer eagerly on both
+    runtimes, so posting every send before any receive cannot stall.
+    Self-transfers short-circuit without touching the transport.
+    """
+    with trace.span("two_phase.exchange_p2p"):
+        inbound = {}
+        me = comm.rank
+        for dest, payload in outbound.items():
+            if dest == me:
+                inbound[me] = payload
+            else:
+                comm.send(dest, payload, tag=tag)
+        pending = set(s for s in sources if s != me)
+        while pending:
+            src, payload = comm.recv_any(sorted(pending), tag)
+            inbound[src] = payload
+            pending.discard(src)
+        return inbound
 
 
 def partition_domains(

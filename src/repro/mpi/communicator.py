@@ -183,6 +183,48 @@ class Comm:
         self.send(dest, payload, sendtag)
         return self.recv(source, recvtag)
 
+    def _recv_source_key(self, source: int) -> int:
+        """Mailbox queue key of communicator rank ``source`` (identity
+        here; group communicators translate to world ranks)."""
+        self._check(source)
+        return source
+
+    def _own_mailbox(self) -> "_Mailbox":
+        return self._world.mailbox(self.rank)
+
+    def recv_any(self, sources: Sequence[int], tag: int = 0) -> Tuple[int, Any]:
+        """Blocking receive from whichever of ``sources`` has a matching
+        message first; returns ``(source, payload)``.
+
+        Arrival-order completion: the caller tracks a set of expected
+        peers and consumes them as their messages land, without imposing
+        an order — the receive side of relaxed-synchronization rounds,
+        where only the (AP, IOP) pairs that actually move bytes talk.
+        Bounded by :func:`recv_timeout` and the world failure flag like
+        every other blocking wait.
+        """
+        srcs = [(s, self._recv_source_key(s)) for s in sources]
+        if not srcs:
+            raise MPIRuntimeError("recv_any needs at least one source")
+        mb = self._own_mailbox()
+        deadline = time.monotonic() + recv_timeout()
+        with mb.cond:
+            while True:
+                for s, key in srcs:
+                    q = mb.queues.get((key, tag))
+                    if q:
+                        return s, q.popleft()
+                if self._world.has_failed():
+                    raise MPIRuntimeError(
+                        "world failed while waiting for a message"
+                    )
+                if time.monotonic() >= deadline:
+                    raise MPIRuntimeError(
+                        f"recv_any from ranks {sorted(s for s, _ in srcs)} "
+                        f"(tag {tag}) timed out (sender never sent?)"
+                    )
+                mb.cond.wait(timeout=_POLL_INTERVAL)
+
     # ------------------------------------------------------------------
     # Nonblocking point-to-point
     # ------------------------------------------------------------------
@@ -449,6 +491,12 @@ class GroupComm(Comm):
     def _charge(self, nbytes: int, dst: Optional[int] = None) -> None:
         wdst = None if dst is None else self._group.members[dst]
         self._world.account(self._wrank, nbytes, wdst)
+
+    def _recv_source_key(self, source: int) -> int:
+        return self._to_world(source)
+
+    def _own_mailbox(self):
+        return self._world.mailbox(self._wrank)
 
     def _try_recv(self, source: int, tag: int, block: bool):
         wsrc = self._to_world(source)

@@ -17,10 +17,30 @@ import numpy as np
 __all__ = [
     "NetworkModel",
     "StorageModel",
+    "PIPELINE_DEPTH",
+    "PIPELINE_MIN_ROUNDS",
     "choose_access_strategy",
     "choose_domain_align",
+    "choose_pipeline",
     "payload_nbytes",
 ]
+
+#: Minimum round count at which ``cb_pipeline=auto`` turns pipelining
+#: on.  A single-round collective has nothing to overlap with — the
+#: drain would serialize right behind the submit and the plan would
+#: only pay the worker hand-off — so the pipeline needs at least two
+#: rounds to win.
+PIPELINE_MIN_ROUNDS = 2
+
+#: Read-prefetch depth of the pipelined plan shape: how many windows
+#: ahead of the current round an IOP may have in flight.  Depth 1
+#: (classic double buffering) only hides one round of exchange time per
+#: window; when per-window device time exceeds one round of CPU, the
+#: drain stalls every round.  Depth 2 gives the device two rounds of
+#: slack per window at the cost of one more in-flight window per IOP —
+#: still O(cb_buffer_size) staging, tracked by
+#: ``pipeline_inflight_peak_bytes``.
+PIPELINE_DEPTH = 2
 
 
 def payload_nbytes(obj) -> int:
@@ -140,6 +160,25 @@ def choose_domain_align(
     if max_ft_extent > 1 and per_domain >= 4 * max_ft_extent:
         return "block"
     return "even"
+
+
+def choose_pipeline(*, mode: str, nrounds: int) -> bool:
+    """Pipeline the collective rounds?  Resolves the ``cb_pipeline``
+    hint to a decision.
+
+    Deterministic in rank-identical inputs (the hint and the round
+    count both are), so every rank reaches the same answer without a
+    coordinating collective — required, because a pipelined plan
+    exchanges point-to-point while a serial one calls alltoall, and the
+    two cannot interoperate within one round.
+    """
+    if nrounds <= 0:
+        return False
+    if mode == "on":
+        return True
+    if mode == "off":
+        return False
+    return nrounds >= PIPELINE_MIN_ROUNDS
 
 
 def choose_access_strategy(

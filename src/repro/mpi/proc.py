@@ -304,6 +304,35 @@ class ProcComm(Comm):
             poll=lambda block: self._try_recv(source, tag, block)
         )
 
+    def recv_any(self, sources, tag: int = 0):
+        """Blocking receive from whichever of ``sources`` delivers first.
+
+        The multi-process transport drains its queue one message at a
+        time, so completion really is arrival-ordered: whatever the OS
+        queue yields next (from any expected peer) completes next.
+        Deadline-bounded and abort-aware like every blocking receive.
+        """
+        srcs = [(s, self._peer_world_rank(s)) for s in sources]
+        if not srcs:
+            raise MPIRuntimeError("recv_any needs at least one source")
+        for s, _w in srcs:
+            self._check(s)
+        deadline = time.monotonic() + self._shared.timeout
+        while True:
+            for s, wsrc in srcs:
+                found, payload, _t = self._match(wsrc, tag, consume=True)
+                if found:
+                    return s, payload
+            self._check_abort()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise MPIRuntimeError(
+                    f"recv_any from ranks "
+                    f"{sorted(s for s, _ in srcs)} (tag {tag}) timed out "
+                    f"after {self._shared.timeout:.0f}s (sender dead?)"
+                )
+            self._drain(min(_POLL, remaining))
+
     # -- communicator management ---------------------------------------
     def split(self, color, key: int = 0) -> "ProcGroupComm | None":
         """Partition by color (collective).  Group membership derives

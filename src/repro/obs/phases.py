@@ -121,9 +121,13 @@ class RoundLog:
 
     Each executed aggregation round (:class:`~repro.plan.ops.RoundOp`
     span) appends one record ``{"index", "total", "wall", "exchange",
-    "file_io"}``; one log per (rank, open file), surfaced next to the
-    phase buckets so Table-3-style reports can show how the pipeline
-    interleaves exchange with file access round by round.
+    "file_io", "file_io_async"}``; one log per (rank, open file),
+    surfaced next to the phase buckets so Table-3-style reports can show
+    how the pipeline interleaves exchange with file access round by
+    round.  ``file_io_async`` is the round's file time spent on the
+    executor's background worker, overlapped with later rounds' pack/
+    exchange — it is back-filled when the offloaded op completes, so the
+    row returned by :meth:`add` stays live until the plan run drains.
     """
 
     __slots__ = ("rounds",)
@@ -132,11 +136,15 @@ class RoundLog:
         self.rounds: List[Dict[str, float]] = []
 
     def add(self, index: int, total: int, wall: float,
-            exchange: float, file_io: float) -> None:
-        self.rounds.append({
+            exchange: float, file_io: float,
+            file_io_async: float = 0.0) -> Dict[str, float]:
+        row = {
             "index": index, "total": total, "wall": wall,
             "exchange": exchange, "file_io": file_io,
-        })
+            "file_io_async": file_io_async,
+        }
+        self.rounds.append(row)
+        return row
 
     def snapshot(self) -> List[Dict[str, float]]:
         return [dict(r) for r in self.rounds]
@@ -161,11 +169,12 @@ class RoundLog:
                 row = by_index.setdefault(
                     int(r["index"]),
                     {"index": int(r["index"]), "total": 0,
-                     "wall": 0.0, "exchange": 0.0, "file_io": 0.0},
+                     "wall": 0.0, "exchange": 0.0, "file_io": 0.0,
+                     "file_io_async": 0.0},
                 )
                 row["total"] = max(row["total"], int(r["total"]))
-                for k in ("wall", "exchange", "file_io"):
-                    row[k] += float(r[k])
+                for k in ("wall", "exchange", "file_io", "file_io_async"):
+                    row[k] += float(r.get(k, 0.0))
         return [by_index[i] for i in sorted(by_index)]
 
 

@@ -29,6 +29,7 @@ plan serves every period-translated access of the same shape.
 
 from __future__ import annotations
 
+import sys
 import time
 from typing import Dict, Optional, Protocol, Tuple
 
@@ -40,10 +41,11 @@ from repro.io.fileview import MemDescriptor
 from repro.io.sieving import read_window
 from repro.obs import trace
 from repro.obs.phases import PhaseAccumulator, RoundLog
-from repro.plan.dataplane import DataPlane, block_lists
+from repro.plan.dataplane import DataPlane, block_lists, tuple_arrays
 from repro.plan.ops import (
     STAGE,
     Blocks,
+    DrainOp,
     ExchangeOp,
     FileReadOp,
     FileWriteOp,
@@ -53,9 +55,11 @@ from repro.plan.ops import (
     RoundOp,
     ScatterOp,
     Send,
+    TupleBlocks,
     UnlockOp,
     in_slot,
 )
+from repro.plan.pipeline import DeferredWorker, FileJob, PipelineWorker
 from repro.plan.plan import IOPlan
 from repro.plan.stats import PlanStats
 
@@ -147,6 +151,27 @@ class PlanExecutor:
         #: File-offset translation of the plan currently running (set by
         #: :meth:`run` from its ``file_delta`` argument; 0 outside runs).
         self._fdelta = 0
+        #: Offload worker for ``overlap`` file ops (threaded or
+        #: deferred-apply, per backend — see :meth:`_make_worker`).
+        #: Created lazily on the first ``overlap`` op, reused across
+        #: plan runs, closed with the executor (:meth:`close`).
+        self._worker = None
+        #: Device-overlap model: perf_counter timestamp at which the
+        #: simulated device finishes the offloaded ops absorbed so far.
+        #: Device seconds still outstanding when a drain requires
+        #: completion are charged to ``device_stall_seconds``; the rest
+        #: were hidden behind main-thread CPU.
+        self._dev_free_at = 0.0
+        #: Completed prefetch jobs whose buffers are not yet published
+        #: (their round hasn't drained — publishing early would clobber
+        #: the buffers the current round's exchange is about to send).
+        self._unpublished = []
+        #: Async file seconds per round index, for rounds not yet closed.
+        self._pending_async: Dict[int, float] = {}
+        #: Live RoundLog rows of the current run, for back-filling
+        #: ``file_io_async`` when an offloaded op completes after its
+        #: round closed.
+        self._round_rows: Dict[int, dict] = {}
 
     # ------------------------------------------------------------------
     # File primitives (backend-specific)
@@ -162,6 +187,12 @@ class PlanExecutor:
 
     def _unlock(self, lo: int, hi: int) -> None:
         raise NotImplementedError
+
+    def _device_cost(self, kind: str, offset: int, nbytes: int) -> float:
+        """Simulated device seconds one file op costs (0 for backends
+        without a device model — real devices are measured, not
+        modelled)."""
+        return 0.0
 
     # ------------------------------------------------------------------
     def run(self, plan: IOPlan, mem: Optional[MemDescriptor] = None,
@@ -182,6 +213,9 @@ class PlanExecutor:
         now = time.perf_counter
         cur_round = None
         self._fdelta = file_delta
+        self._unpublished = []
+        self._pending_async = {}
+        self._round_rows = {}
         try:
             for op in plan.ops:
                 t0 = now()
@@ -204,11 +238,34 @@ class PlanExecutor:
                     self._do_scatter(plan, op, mem, bufs)
                     bucket = "unpack"
                 elif isinstance(op, FileReadOp):
-                    self._do_file_read(plan, op, mem, bufs)
-                    self._note_staging(bufs)
+                    if op.overlap:
+                        # No sync fallback here: an overlap read was
+                        # hoisted ahead of the previous round's exchange,
+                        # so executing it synchronously would publish its
+                        # buffers early and corrupt that exchange.  The
+                        # planner only marks offloadable reads.
+                        if not self._can_offload(op):
+                            raise IOEngineError(
+                                "overlap read op carries deferred "
+                                "pieces — planner contract violation"
+                            )
+                        self._submit_file_read(plan, op, cur_round, bufs)
+                    else:
+                        self._do_file_read(plan, op, mem, bufs)
+                        self._note_staging(bufs)
                     bucket = "file_io"
                 elif isinstance(op, FileWriteOp):
-                    self._do_file_write(plan, op, bufs)
+                    if op.overlap and self._can_offload(op):
+                        self._submit_file_write(plan, op, cur_round, bufs)
+                    else:
+                        # Ordered path (rmw windows): every offloaded op
+                        # must land before a synchronous file op runs.
+                        if self._worker is not None:
+                            self._drain_worker(plan, 0, cur_round, bufs)
+                        self._do_file_write(plan, op, bufs)
+                    bucket = "file_io"
+                elif isinstance(op, DrainOp):
+                    self._drain_worker(plan, op.keep, cur_round, bufs)
                     bucket = "file_io"
                 elif isinstance(op, LockOp):
                     self._lock(op.lo + file_delta, op.hi + file_delta)
@@ -220,7 +277,8 @@ class PlanExecutor:
                     held.remove((op.lo + file_delta, op.hi + file_delta))
                     bucket = "lock"
                 elif isinstance(op, ExchangeOp):
-                    self._do_exchange(plan, op, bufs)
+                    self._do_exchange(plan, op, bufs,
+                                      in_round=cur_round is not None)
                     self._note_staging(bufs)
                     stats.executed_exchanges += 1
                     bucket = "exchange"
@@ -235,6 +293,8 @@ class PlanExecutor:
         finally:
             self._fdelta = 0
             self._close_round(plan, cur_round, now())
+            if self._worker is not None:
+                self._finish_worker(plan, bufs)
             # A failing op must never leave byte-range locks behind
             # (other ranks would deadlock on their next sieved write).
             # ``held`` stores translated ranges, so release them as-is.
@@ -247,8 +307,14 @@ class PlanExecutor:
             return
         index, total, t0, ex0, io0 = state
         phases = self.phases
-        self.rounds.add(index, total, t_end - t0,
-                        phases.exchange - ex0, phases.file_io - io0)
+        row = self.rounds.add(
+            index, total, t_end - t0,
+            phases.exchange - ex0, phases.file_io - io0,
+            file_io_async=self._pending_async.pop(index, 0.0),
+        )
+        # Keep the row addressable: offloaded file ops of this round may
+        # complete after it closes, and back-fill ``file_io_async``.
+        self._round_rows[index] = row
         if trace.TRACE_ON:
             trace.TRACER.add("aggregation.round", t0, index=index,
                              total=total, plan=plan.kind)
@@ -308,6 +374,233 @@ class PlanExecutor:
         raise IOEngineError(
             f"plan references slot {piece.slot!r} with no usable buffer"
         )
+
+    # ------------------------------------------------------------------
+    # Pipelined (overlap) file ops.  Offloaded jobs go to one FIFO
+    # worker per executor (``repro.plan.pipeline``) — a background
+    # thread for real-I/O backends, deferred apply for the simulated
+    # one: window reads prefetch into job-local buffers published at
+    # DrainOp; assemble-mode writes capture their payload views at
+    # submit time and assemble + write off the critical path.  Jobs use
+    # the raw ``_pread_into``/``_pwrite`` primitives with the file
+    # delta captured at submit — the counted shims and all shared
+    # counters stay single-writer on the main thread (merged at drain).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _can_offload(op) -> bool:
+        """Deferred (``blocks=None``) pieces stream through engine codec
+        state of unknown thread-safety — keep those synchronous.  Round
+        plans always materialize blocks, so this never fires for them."""
+        return all(p.blocks is not None for p in op.pieces)
+
+    def _make_worker(self):
+        """The offload mechanism for this backend: a real thread.  The
+        POSIX primitives block in actual I/O (releasing the GIL), so a
+        background thread buys genuine concurrency."""
+        return PipelineWorker()
+
+    def _ensure_worker(self):
+        if self._worker is None:
+            self._worker = self._make_worker()
+        return self._worker
+
+    @staticmethod
+    def _prepare_blocks(blocks, progs: bool) -> None:
+        """Force the block spec's memoized artifacts into existence on
+        the main thread, so the worker only ever reads them."""
+        if progs:
+            if isinstance(blocks, Blocks):
+                blockprog.program_for_blocks(blocks)
+            elif isinstance(blocks, TupleBlocks):
+                tuple_arrays(blocks)
+
+    def _submit_file_read(self, plan, op: FileReadOp, cur_round,
+                          bufs) -> None:
+        worker = self._ensure_worker()
+        pread = self._pread_into
+        fdelta = self._fdelta
+        lo, hi = op.lo, op.hi
+        progs = blockprog.enabled()
+        publishes = []
+        targets = []
+        for piece in op.pieces:
+            self._prepare_blocks(piece.blocks, progs)
+            buf = _Buf(piece.d_lo, piece.d_hi,
+                       np.empty(piece.d_hi - piece.d_lo, dtype=np.uint8))
+            publishes.append((piece.slot, buf))
+            targets.append((piece, buf))
+        dense = (
+            len(op.pieces) == 1
+            and isinstance(op.pieces[0].blocks, Blocks)
+            and op.pieces[0].blocks.count == 1
+            and op.pieces[0].blocks.nbytes == hi - lo
+        )
+
+        def job_read():
+            if dense:
+                arr = targets[0][1].arr
+                got = pread(lo + fdelta, arr)
+                if got < arr.size:
+                    arr[got:] = 0
+                return
+            fb = np.zeros(hi - lo, dtype=np.uint8)
+            pread(lo + fdelta, fb)
+            for piece, buf in targets:
+                DataPlane.gather(fb, lo, piece.blocks, buf.arr,
+                                 piece.d_lo - buf.d_lo, progs)
+
+        rnd = op.round
+        if rnd < 0:
+            rnd = cur_round[0] if cur_round is not None else -1
+        worker.submit(FileJob(
+            job_read, "read", rnd,
+            hi - lo, publishes=publishes, nreads=1,
+            dev_seconds=self._device_cost("read", lo + fdelta, hi - lo),
+        ))
+        self.stats.pipelined_file_ops += 1
+
+    def _submit_file_write(self, plan, op: FileWriteOp, cur_round,
+                           bufs) -> None:
+        worker = self._ensure_worker()
+        # Double buffer: at most one window in flight behind this one.
+        self._drain_worker(plan, 1, cur_round, bufs)
+        pwrite = self._pwrite
+        fdelta = self._fdelta
+        lo, hi = op.lo, op.hi
+        progs = blockprog.enabled()
+        views = []
+        for piece in op.pieces:
+            self._prepare_blocks(piece.blocks, progs)
+            arr, base, _zc = self._payload_view(bufs, piece)
+            views.append((piece, arr, base))
+
+        def job_write():
+            fb = np.empty(hi - lo, dtype=np.uint8)
+            for piece, arr, base in views:
+                DataPlane.scatter(fb, lo, piece.blocks, arr,
+                                  piece.d_lo - base, progs)
+            pwrite(lo + fdelta, fb)
+
+        worker.submit(FileJob(
+            job_write, "write",
+            cur_round[0] if cur_round is not None else -1,
+            hi - lo, nwrites=1,
+            dev_seconds=self._device_cost("write", lo + fdelta, hi - lo),
+        ))
+        self.stats.pipelined_file_ops += 1
+
+    def _drain_worker(self, plan, keep: int, cur_round, bufs) -> None:
+        worker = self._worker
+        if worker is None:
+            return
+        t0 = time.perf_counter()
+        done = worker.drain(keep)
+        self.stats.pipeline_wait_seconds += time.perf_counter() - t0
+        self._absorb_jobs(plan, done,
+                          cur_round[0] if cur_round is not None else None,
+                          bufs, complete=keep == 0)
+
+    def _absorb_jobs(self, plan, done, cur_index, bufs,
+                     complete: bool = False) -> None:
+        """Merge completed jobs' accounting and publish their buffers.
+
+        Publication is held back for jobs of rounds *after* the current
+        one (a prefetch that finished early): their buffers reuse the
+        per-peer slot keys, so publishing before the current round's
+        exchange has read those slots would clobber its payloads.
+
+        ``complete`` marks a drain whose caller needs the absorbed ops
+        *finished* (published reads, a drain-to-zero before ordered
+        writes, the end-of-plan drain): any simulated device time still
+        outstanding at that point was not hidden and is charged to
+        ``device_stall_seconds``.
+        """
+        stats = self.stats
+        for job in done:
+            stats.pipeline_file_seconds += job.seconds
+            stats.executed_file_reads += job.nreads
+            stats.executed_file_writes += job.nwrites
+            if job.dev_seconds:
+                # The device starts an offloaded op when it is issued
+                # (no earlier than the previous op finishing) and works
+                # it off concurrently with main-thread CPU.
+                start = job.t_issue if job.t_issue > self._dev_free_at \
+                    else self._dev_free_at
+                self._dev_free_at = start + job.dev_seconds
+                stats.device_async_seconds += job.dev_seconds
+            row = self._round_rows.get(job.round_index)
+            if row is not None:
+                row["file_io_async"] += job.seconds
+            elif job.round_index >= 0:
+                self._pending_async[job.round_index] = (
+                    self._pending_async.get(job.round_index, 0.0)
+                    + job.seconds
+                )
+            if trace.TRACE_ON:
+                trace.TRACER.add(
+                    f"exec.async.{job.kind}", job.t0, job.t1,
+                    round=job.round_index, plan=plan.kind,
+                )
+        pending = self._unpublished + [j for j in done if j.publishes]
+        self._unpublished = []
+        published = False
+        for job in pending:
+            if cur_index is not None and job.round_index > cur_index:
+                self._unpublished.append(job)
+                continue
+            for slot, buf in job.publishes:
+                bufs[slot] = buf
+                published = True
+        if published:
+            self._note_staging(bufs)
+        if complete or published:
+            now_t = time.perf_counter()
+            if self._dev_free_at > now_t:
+                stats.device_stall_seconds += self._dev_free_at - now_t
+                self._dev_free_at = now_t
+        if self._worker is not None:
+            peak = self._worker.peak_inflight_bytes
+            if peak > stats.pipeline_inflight_peak_bytes:
+                stats.pipeline_inflight_peak_bytes = peak
+
+    def _finish_worker(self, plan, bufs) -> None:
+        """Settle the worker at run end (from ``run``'s ``finally``).
+
+        On the normal path the plan's final ``DrainOp(0)`` already
+        drained everything, so this is a cheap no-op drain — the thread
+        is kept for the next plan run (see :meth:`close`).  On the abort
+        path (an exception is propagating, or the drain itself surfaces
+        a worker error) the worker is closed and discarded so a broken
+        pipeline never leaks into the next run; its error is swallowed
+        when another exception is already propagating, so it cannot mask
+        the primary failure.  The close cannot hang because jobs only do
+        rank-local file work.
+        """
+        worker = self._worker
+        if sys.exc_info()[0] is not None:
+            self._worker = None
+            done = worker.close(raise_error=False)
+        else:
+            try:
+                done = worker.drain(0)
+            except BaseException:
+                self._worker = None
+                worker.close(raise_error=False)
+                raise
+        self._absorb_jobs(plan, done, None, bufs, complete=True)
+        peak = worker.peak_inflight_bytes
+        if peak > self.stats.pipeline_inflight_peak_bytes:
+            self.stats.pipeline_inflight_peak_bytes = peak
+        self._unpublished = []
+
+    def close(self) -> None:
+        """Release executor resources (the background worker's thread).
+
+        Called when the owning file handle closes; safe to call more
+        than once or without a worker ever having been created."""
+        worker, self._worker = self._worker, None
+        if worker is not None:
+            worker.close(raise_error=False)
 
     # ------------------------------------------------------------------
     # Op implementations
@@ -441,7 +734,29 @@ class PlanExecutor:
             pos += ln
 
     # -- exchange ------------------------------------------------------
-    def _do_exchange(self, plan, op: ExchangeOp, bufs) -> None:
+    def _do_exchange(self, plan, op: ExchangeOp, bufs,
+                     in_round: bool = False) -> None:
+        if op.mode == "p2p":
+            # Relaxed round synchronization: only the (AP, IOP) pairs the
+            # metadata proves move bytes communicate; a round with nothing
+            # to send or receive skips the network entirely.
+            if not op.sends and not op.recvs:
+                return
+            if self.comm is None:
+                raise IOEngineError(
+                    "plan contains an exchange op but the executor has no "
+                    "communicator"
+                )
+            from repro.io.two_phase import exchange_p2p
+
+            outbound = {}
+            for send in op.sends:
+                outbound[send.rank] = self._payload_for(send, bufs)
+            inbound = exchange_p2p(self.comm, outbound, op.recvs, op.tag)
+            for src, item in inbound.items():
+                if item is not None:
+                    bufs[in_slot(src)] = item
+            return
         if self.comm is None:
             raise IOEngineError(
                 "plan contains an exchange op but the executor has no "
@@ -453,6 +768,11 @@ class PlanExecutor:
         for send in op.sends:
             outbound[send.rank] = self._payload_for(send, bufs)
         inbound = exchange(self.comm, outbound)
+        if (in_round and not op.sends
+                and all(item is None for item in inbound)):
+            # This rank synchronized a round it moved no bytes in — the
+            # cost the relaxed p2p exchange exists to eliminate.
+            self.stats.rounds_idle_synced += 1
         for src, item in enumerate(inbound):
             if item is not None:
                 bufs[in_slot(src)] = item
@@ -476,10 +796,16 @@ class PlanExecutor:
     def pread_into(self, offset: int, out: np.ndarray) -> int:
         n = self._pread_into(offset + self._fdelta, out)
         self.stats.executed_file_reads += 1
+        self.stats.device_sync_seconds += self._device_cost(
+            "read", offset + self._fdelta, n
+        )
         return n
 
     def pwrite(self, offset: int, data: np.ndarray):
         self.stats.executed_file_writes += 1
+        self.stats.device_sync_seconds += self._device_cost(
+            "write", offset + self._fdelta, data.nbytes
+        )
         return self._pwrite(offset + self._fdelta, data)
 
 
@@ -503,6 +829,21 @@ class SimFileExecutor(PlanExecutor):
 
     def _unlock(self, lo, hi):
         self.simfile.unlock_range(lo, hi)
+
+    def _device_cost(self, kind, offset, nbytes):
+        f = self.simfile
+        streams = f.striping.streams_for(offset, nbytes)
+        if kind == "read":
+            return f.device.read_time(nbytes, streams)
+        return f.device.write_time(nbytes, streams)
+
+    def _make_worker(self):
+        """Deferred apply, not a thread: the simulated backend's file
+        primitives are microsecond memcpys plus *simulated* device
+        seconds, so a thread would add handoff/GIL cost while hiding
+        nothing.  The device-overlap model (``_absorb_jobs``) expresses
+        the concurrency instead, from each job's issue time."""
+        return DeferredWorker()
 
 
 class PosixExecutor(PlanExecutor):

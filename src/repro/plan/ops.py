@@ -49,6 +49,7 @@ __all__ = [
     "FileWriteOp",
     "ExchangeOp",
     "RoundOp",
+    "DrainOp",
     "Piece",
     "Blocks",
     "TupleBlocks",
@@ -226,6 +227,15 @@ class FileReadOp(PlanOp):
     ``strict`` makes a short direct read an error (the contiguous-view
     fast path); otherwise the unread tail is zero-filled, matching the
     zeroed staging buffers of sieved reads.
+
+    ``overlap`` marks the op as pipeline-eligible: the executor may
+    offload the file access to its background worker and publish the
+    filled buffers at the next :class:`DrainOp` instead of completing
+    in place (the prefetch stage of a pipelined collective round).
+    ``round`` is the round the prefetched window serves (its buffers
+    must not be published before that round — an earlier publication
+    would clobber reply slots the current round's exchange still
+    reads); ``-1`` means "the round it was submitted in".
     """
 
     lo: int
@@ -233,12 +243,15 @@ class FileReadOp(PlanOp):
     mode: str = "window"
     pieces: Tuple[Piece, ...] = ()
     strict: bool = False
+    overlap: bool = False
+    round: int = -1
 
     def __repr__(self) -> str:
         return (
             f"FileReadOp([{self.lo}, {self.hi}), mode={self.mode!r}, "
             f"pieces={len(self.pieces)}"
-            f"{', strict' if self.strict else ''})"
+            f"{', strict' if self.strict else ''}"
+            f"{', overlap' if self.overlap else ''})"
         )
 
 
@@ -259,17 +272,25 @@ class FileWriteOp(PlanOp):
         mergeview coverage decision of paper §3.2.3);
     ``"direct"``
         write each block of each piece with its own file access.
+
+    ``overlap`` marks the op as pipeline-eligible: the executor may
+    assemble the window on the spot but offload the actual write to its
+    background worker, so the next round's exchange proceeds while the
+    bytes land (only ``"assemble"`` windows — ``"rmw"`` stays on the
+    ordered synchronous path).
     """
 
     lo: int
     hi: int
     mode: str = "rmw"
     pieces: Tuple[Piece, ...] = ()
+    overlap: bool = False
 
     def __repr__(self) -> str:
         return (
             f"FileWriteOp([{self.lo}, {self.hi}), mode={self.mode!r}, "
-            f"pieces={len(self.pieces)})"
+            f"pieces={len(self.pieces)}"
+            f"{', overlap' if self.overlap else ''})"
         )
 
 
@@ -316,14 +337,48 @@ class RoundOp(PlanOp):
 
 @dataclass(frozen=True, repr=False)
 class ExchangeOp(PlanOp):
-    """All-to-all redistribution of the prepared payloads.
+    """Redistribution of the prepared payloads.
 
-    Executes one ``alltoall`` over the plan's communicator: every
-    :class:`Send` becomes the outbound payload for its rank, and each
-    inbound payload from rank *r* is stored under slot ``("in", r)``.
+    ``mode="alltoall"`` (the default, and the fallback when metadata
+    cannot prove who talks to whom) executes one synchronizing
+    ``alltoall`` over the plan's communicator: every :class:`Send`
+    becomes the outbound payload for its rank, and each inbound payload
+    from rank *r* is stored under slot ``("in", r)``.
+
+    ``mode="p2p"`` is the relaxed-synchronization path of the pipelined
+    collective: the plan's metadata proved exactly which (AP, IOP)
+    pairs move bytes this round, so the executor sends each payload
+    point-to-point under ``tag`` and completes receives from exactly
+    ``recvs`` in arrival order — ranks with empty windows neither send
+    nor wait, paying no round barrier.
     """
 
     sends: Tuple[Send, ...] = ()
+    mode: str = "alltoall"
+    recvs: Tuple[int, ...] = ()
+    tag: int = 0
 
     def __repr__(self) -> str:
+        if self.mode == "p2p":
+            return (
+                f"ExchangeOp(p2p, sends={len(self.sends)}, "
+                f"recvs={len(self.recvs)}, tag={self.tag})"
+            )
         return f"ExchangeOp(sends={len(self.sends)})"
+
+
+@dataclass(frozen=True, repr=False)
+class DrainOp(PlanOp):
+    """Barrier against the executor's background file-I/O worker.
+
+    Waits until at most ``keep`` offloaded file ops remain in flight,
+    then publishes the buffers of every completed prefetch into the
+    plan's staging dict.  ``keep=1`` is the steady-state drain of a
+    double-buffered pipeline (round N's window is ready, round N+1's
+    prefetch keeps flying); ``keep=0`` is the final drain.
+    """
+
+    keep: int = 0
+
+    def __repr__(self) -> str:
+        return f"DrainOp(keep={self.keep})"

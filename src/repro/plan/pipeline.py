@@ -1,0 +1,274 @@
+"""Background file-I/O workers for pipelined collective rounds.
+
+The pipelined plan shape (``docs/collective.md``) overlaps round *N*'s
+file access with round *N+1*'s pack/exchange.  The executor offloads
+pipeline-eligible (``overlap``) file ops to a worker with a common
+submit/drain contract; two implementations divide the backends:
+
+:class:`PipelineWorker`
+    one FIFO background thread — for backends whose file primitives do
+    real blocking I/O that releases the GIL (the POSIX executor), where
+    a thread buys genuine concurrency;
+:class:`DeferredWorker`
+    deferred apply on the submitting thread — for the simulated file
+    system, whose "I/O" is a microsecond memcpy plus *simulated* device
+    seconds.  Threading that would add handoff and GIL-contention cost
+    while hiding nothing; instead the op is *issued* at submit (the
+    simulated device starts working it off then — see the executor's
+    device-overlap model) and the memcpy is applied at the next drain.
+
+Design constraints both workers uphold:
+
+*Ordering.*  A single FIFO thread executes jobs strictly in submission
+order — a rank's windows are submitted in round order, so file ops per
+IOP stay sequenced by round even though they run off the critical path.
+
+*Publication at drain.*  Jobs never touch the executor's shared staging
+table: a read job fills job-local buffers which the *main* thread
+publishes when it drains (:class:`~repro.plan.ops.DrainOp`).  The live
+staging table therefore holds exactly the serial plan's buffers at
+every accounting point, keeping ``peak_staging_bytes`` — the staging
+bound the round-based collective exists to enforce — literally
+unchanged; the extra in-flight window is tracked separately
+(``pipeline_inflight_peak_bytes``).
+
+*Prompt failure.*  Jobs only do rank-local file work (no communication),
+so they always terminate; the first job error is captured, the queue is
+cleared, and the next drain re-raises it on the main thread — a rank
+dying mid-pipeline surfaces through the runtime's usual abort paths
+without the drain ever blocking on a dead peer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["FileJob", "PipelineWorker", "DeferredWorker"]
+
+
+class FileJob:
+    """One offloaded file op: a closure plus its accounting metadata.
+
+    ``publishes`` maps staging slots to the buffers the job fills
+    (reads) — applied to the plan's staging table by the main thread at
+    drain time.  ``round_index`` attributes the job's seconds to its
+    :class:`~repro.obs.phases.RoundLog` row; ``nreads``/``nwrites`` are
+    the file accesses the closure performs (merged into executor stats
+    at drain, so the counters stay single-writer).
+    """
+
+    __slots__ = ("run", "kind", "round_index", "nbytes", "publishes",
+                 "nreads", "nwrites", "dev_seconds", "seconds",
+                 "t_issue", "t0", "t1")
+
+    def __init__(self, run: Callable[[], None], kind: str,
+                 round_index: int, nbytes: int,
+                 publishes: Sequence[Tuple[object, object]] = (),
+                 nreads: int = 0, nwrites: int = 0,
+                 dev_seconds: float = 0.0) -> None:
+        self.run = run
+        self.kind = kind
+        self.round_index = round_index
+        self.nbytes = nbytes
+        self.publishes = tuple(publishes)
+        self.nreads = nreads
+        self.nwrites = nwrites
+        #: simulated device seconds this op costs (fed to the executor's
+        #: device-overlap model when the job is absorbed)
+        self.dev_seconds = dev_seconds
+        self.seconds = 0.0
+        #: perf_counter at submit — when the (simulated) device can
+        #: start the op; stamped by the worker's ``submit``
+        self.t_issue = 0.0
+        self.t0 = 0.0
+        self.t1 = 0.0
+
+
+class PipelineWorker:
+    """One FIFO background thread executing :class:`FileJob`\\ s.
+
+    Created lazily by the executor on the first ``overlap`` op and kept
+    across plan runs (spawning a thread per collective would eat the
+    overlap win); the executor closes it with the owning file handle, or
+    discards it after an abort.  All public methods are called from the
+    owning rank's thread only; the worker thread touches nothing but the
+    jobs handed to it.
+    """
+
+    def __init__(self, name: str = "io-pipeline") -> None:
+        self._cond = threading.Condition()
+        self._queue: deque = deque()
+        self._done: deque = deque()
+        self._error: Optional[BaseException] = None
+        self._stop = False
+        #: jobs submitted but not yet completed (queued + running)
+        self.inflight = 0
+        self._inflight_bytes = 0
+        #: high-water mark of in-flight job buffer bytes
+        self.peak_inflight_bytes = 0
+        self._thread = threading.Thread(
+            target=self._loop, name=name, daemon=True
+        )
+        self._thread.start()
+
+    # -- main-thread API -----------------------------------------------
+    def submit(self, job: FileJob) -> None:
+        job.t_issue = time.perf_counter()
+        with self._cond:
+            if self._error is not None:
+                # The pipeline is already broken; surface it instead of
+                # queueing work that would never matter.
+                raise self._error
+            self._queue.append(job)
+            self.inflight += 1
+            self._inflight_bytes += job.nbytes
+            if self._inflight_bytes > self.peak_inflight_bytes:
+                self.peak_inflight_bytes = self._inflight_bytes
+            self._cond.notify_all()
+
+    def drain(self, keep: int = 0) -> List[FileJob]:
+        """Wait until at most ``keep`` jobs remain in flight; returns
+        every completed job since the last drain (in completion order).
+        Re-raises the first job error on this (the main) thread."""
+        with self._cond:
+            while self.inflight > keep and self._error is None:
+                self._cond.wait()
+            if self._error is not None:
+                raise self._error
+            out = list(self._done)
+            self._done.clear()
+            return out
+
+    def close(self, raise_error: bool = True) -> List[FileJob]:
+        """Drain fully, stop the thread and join it.
+
+        ``raise_error=False`` is the abort path (an exception is already
+        propagating on the main thread): completed jobs are still
+        returned for accounting, the worker error — if any — is
+        swallowed so it cannot mask the primary failure.
+        """
+        with self._cond:
+            while self.inflight > 0 and self._error is None:
+                self._cond.wait()
+            self._stop = True
+            self._cond.notify_all()
+            out = list(self._done)
+            self._done.clear()
+            err = self._error
+        self._thread.join()
+        if err is not None and raise_error:
+            raise err
+        return out
+
+    # -- worker thread --------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stop:
+                    self._cond.wait()
+                if not self._queue:
+                    return  # stopped and drained
+                job = self._queue.popleft()
+            t0 = time.perf_counter()
+            exc: Optional[BaseException] = None
+            try:
+                job.run()
+            except BaseException as e:  # noqa: BLE001 - re-raised at drain
+                exc = e
+            t1 = time.perf_counter()
+            job.t0, job.t1 = t0, t1
+            job.seconds = t1 - t0
+            with self._cond:
+                self.inflight -= 1
+                self._inflight_bytes -= job.nbytes
+                if exc is not None and self._error is None:
+                    # First failure wins; abandon queued work so the
+                    # pipeline aborts promptly instead of grinding on.
+                    self._error = exc
+                    for dropped in self._queue:
+                        self.inflight -= 1
+                        self._inflight_bytes -= dropped.nbytes
+                    self._queue.clear()
+                elif exc is None:
+                    self._done.append(job)
+                self._cond.notify_all()
+
+
+class DeferredWorker:
+    """Deferred-apply twin of :class:`PipelineWorker` (no thread).
+
+    Jobs are queued at submit — the point at which the *simulated*
+    device starts working them off, per ``FileJob.t_issue`` — and their
+    actual byte work (a memcpy against the in-memory file) is applied
+    in FIFO order on the calling thread at the next :meth:`drain`.
+    Everything about the contract matches the threaded worker: FIFO
+    ordering, publication at drain, the first job error clears the
+    queue and re-raises at drain, ``close`` without ``raise_error``
+    discards queued work on the abort path.
+    """
+
+    def __init__(self, name: str = "io-deferred") -> None:
+        self._queue: deque = deque()
+        self._done: List[FileJob] = []
+        self._error: Optional[BaseException] = None
+        #: jobs submitted but not yet applied
+        self.inflight = 0
+        self._inflight_bytes = 0
+        #: high-water mark of in-flight job buffer bytes
+        self.peak_inflight_bytes = 0
+
+    def submit(self, job: FileJob) -> None:
+        if self._error is not None:
+            raise self._error
+        job.t_issue = time.perf_counter()
+        self._queue.append(job)
+        self.inflight += 1
+        self._inflight_bytes += job.nbytes
+        if self._inflight_bytes > self.peak_inflight_bytes:
+            self.peak_inflight_bytes = self._inflight_bytes
+
+    def _apply(self, job: FileJob) -> None:
+        t0 = time.perf_counter()
+        try:
+            job.run()
+        except BaseException as e:  # noqa: BLE001 - re-raised by caller
+            self._error = e
+            self.inflight = 0
+            self._inflight_bytes = 0
+            self._queue.clear()
+            raise
+        finally:
+            t1 = time.perf_counter()
+            job.t0, job.t1 = t0, t1
+            job.seconds = t1 - t0
+        self.inflight -= 1
+        self._inflight_bytes -= job.nbytes
+        self._done.append(job)
+
+    def drain(self, keep: int = 0) -> List[FileJob]:
+        """Apply queued jobs until at most ``keep`` remain; returns the
+        jobs completed since the last drain.  Raises the first job
+        error (queued work is dropped, matching the threaded worker)."""
+        if self._error is not None:
+            raise self._error
+        while self.inflight > keep:
+            self._apply(self._queue.popleft())
+        out = self._done
+        self._done = []
+        return out
+
+    def close(self, raise_error: bool = True) -> List[FileJob]:
+        """Drain fully (normal path) or drop queued work (abort path:
+        ``raise_error=False`` — an exception is already propagating, so
+        unapplied deferred writes must not land)."""
+        if raise_error:
+            return self.drain(0)
+        self._queue.clear()
+        self.inflight = 0
+        self._inflight_bytes = 0
+        out = self._done
+        self._done = []
+        return out

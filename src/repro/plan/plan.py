@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.plan.ops import (
+    DrainOp,
     ExchangeOp,
     FileReadOp,
     FileWriteOp,
@@ -67,7 +68,7 @@ class IOPlan:
         """Op counts by category (for stats and tests)."""
         out = {
             "gather": 0, "scatter": 0, "file_read": 0, "file_write": 0,
-            "lock": 0, "exchange": 0, "round": 0, "other": 0,
+            "lock": 0, "exchange": 0, "round": 0, "drain": 0, "other": 0,
         }
         for op in self.ops:
             if isinstance(op, GatherOp):
@@ -84,6 +85,8 @@ class IOPlan:
                 out["exchange"] += 1
             elif isinstance(op, RoundOp):
                 out["round"] += 1
+            elif isinstance(op, DrainOp):
+                out["drain"] += 1
             else:
                 out["other"] += 1
         return out

@@ -49,6 +49,31 @@ class PlanStats:
     #: plan run (the O(cb_buffer_size × APs) memory bound of the
     #: round-based collective shows up here)
     peak_staging_bytes: int = 0
+    #: rounds whose synchronizing alltoall this rank joined while moving
+    #: no bytes at all (empty window, nothing sent, nothing received) —
+    #: the barrier cost the relaxed p2p path eliminates
+    rounds_idle_synced: int = 0
+    #: file ops completed on the pipeline's background worker
+    pipelined_file_ops: int = 0
+    #: seconds the background worker spent inside offloaded file ops
+    #: (overlapped with exchange/pack time on the main thread)
+    pipeline_file_seconds: float = 0.0
+    #: seconds the main thread blocked waiting on the worker (drain +
+    #: double-buffer capacity waits) — overlap the pipeline did NOT win
+    pipeline_wait_seconds: float = 0.0
+    #: high-water mark of worker-side in-flight buffer bytes (the extra
+    #: window the double buffer holds beyond ``peak_staging_bytes``)
+    pipeline_inflight_peak_bytes: int = 0
+    #: simulated device seconds charged on the critical path (file ops
+    #: issued synchronously: the caller waits out the full device time)
+    device_sync_seconds: float = 0.0
+    #: simulated device seconds of offloaded (pipelined) file ops —
+    #: the device works these off concurrently with exchange/pack CPU
+    device_async_seconds: float = 0.0
+    #: the unhidden remainder of ``device_async_seconds``: simulated
+    #: device time still outstanding when a drain required completion
+    #: (effective wall = measured CPU + device_sync + device_stall)
+    device_stall_seconds: float = 0.0
 
     def snapshot(self) -> dict:
         return {
@@ -66,4 +91,13 @@ class PlanStats:
             "executed_exchanges": self.executed_exchanges,
             "executed_rounds": self.executed_rounds,
             "peak_staging_bytes": self.peak_staging_bytes,
+            "rounds_idle_synced": self.rounds_idle_synced,
+            "pipelined_file_ops": self.pipelined_file_ops,
+            "pipeline_file_seconds": self.pipeline_file_seconds,
+            "pipeline_wait_seconds": self.pipeline_wait_seconds,
+            "pipeline_inflight_peak_bytes":
+                self.pipeline_inflight_peak_bytes,
+            "device_sync_seconds": self.device_sync_seconds,
+            "device_async_seconds": self.device_async_seconds,
+            "device_stall_seconds": self.device_stall_seconds,
         }

@@ -22,6 +22,7 @@ from repro.errors import (
 from repro.fs import DeviceModel, SimFileSystem, StripingConfig
 from repro.fs.simfile import SimFile
 from repro.io import File, MODE_CREATE, MODE_RDONLY, MODE_RDWR
+from repro.io.hints import Hints
 from repro.mpi import run_spmd
 from repro.mpi.proc import run_spmd_proc
 
@@ -116,6 +117,46 @@ class TestDeviceFaults:
 
         run_spmd(1, healthy)
         assert (f.contents()[::2] == 5).all()
+
+
+class TestPipelinedFaults:
+    """Device faults landing on the pipeline worker thread must surface
+    on the main thread at the next drain — as the injected exception,
+    never as a hang or a corrupted staging table."""
+
+    PIPE = Hints(cb_buffer_size=64, cb_pipeline="on")
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_write_fault_mid_pipeline_no_hang(self, engine):
+        fs = flaky_fs(fail_after_writes=2)
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_RDWR, engine=engine,
+                           hints=self.PIPE)
+            ft = build_noncontig_filetype(comm.size, comm.rank, 4, 64)
+            fh.set_view(0, dt.BYTE, ft)
+            fh.write_at_all(0, np.zeros(256, dtype=np.uint8))
+            fh.close()
+
+        with pytest.raises(FileSystemError, match="injected write fault"):
+            run_spmd(4, worker)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_read_fault_mid_pipeline_no_hang(self, engine):
+        fs = flaky_fs(fail_after_reads=2)
+        fs.lookup("/f").truncate(4096)
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_RDWR, engine=engine,
+                           hints=self.PIPE)
+            ft = build_noncontig_filetype(comm.size, comm.rank, 4, 64)
+            fh.set_view(0, dt.BYTE, ft)
+            out = np.zeros(256, dtype=np.uint8)
+            fh.read_at_all(0, out)
+            fh.close()
+
+        with pytest.raises(FileSystemError, match="injected read fault"):
+            run_spmd(4, worker)
 
 
 class TestRankFailures:

@@ -195,6 +195,8 @@ def _collective_run(engine, hints, *, preset=None):
             "rbuf": rbuf,
             "peak_staging": st.plan.peak_staging_bytes,
             "rounds": st.coll_rounds,
+            "pipelined_ops": st.plan.pipelined_file_ops,
+            "idle_synced": st.plan.rounds_idle_synced,
         }
         fh.close()
         return out
@@ -270,3 +272,154 @@ def test_cost_model_uniform_across_ranks():
     asserted indirectly: the run completes and round counts agree."""
     _data, rows = _collective_run("listless", ROUND)
     assert len({r["rounds"] for r in rows}) == 1
+
+
+# ----------------------------------------------------------------------
+# Pipelined rounds: overlap without changing a single byte
+# ----------------------------------------------------------------------
+SERIAL = ROUND.with_(cb_pipeline="off")
+PIPED = ROUND.with_(cb_pipeline="on")
+
+
+class TestPipelinedRounds:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("align", [None, *DOMAIN_ALIGNMENTS])
+    def test_pipelined_matches_serial_and_one_shot(self, engine, align):
+        """The tentpole's correctness bar: one-shot, serial rounds and
+        pipelined rounds produce identical file bytes and read-backs for
+        every partitioning strategy and engine."""
+        imgs, reads = [], []
+        for hints in (ONE_SHOT, SERIAL, PIPED):
+            data, rows = _collective_run(
+                engine, hints.with_(cb_domain_align=align)
+            )
+            imgs.append(data)
+            reads.append([r["rbuf"] for r in rows])
+        for img in imgs[1:]:
+            assert np.array_equal(imgs[0], img)
+        for rbufs in reads[1:]:
+            for a, b in zip(reads[0], rbufs):
+                assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_pipelined_keeps_staging_bound(self, engine):
+        """Publication-at-drain keeps the live staging table identical
+        to serial rounds — the O(cb x APs) bound must survive the
+        pipeline (the in-flight window is tracked separately)."""
+        cb = PIPED.cb_buffer_size
+        _data, rows = _collective_run(engine, PIPED)
+        assert max(r["peak_staging"] for r in rows) <= NP * cb
+        assert any(r["pipelined_ops"] > 0 for r in rows)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_pipelined_never_idle_syncs(self, engine):
+        """Relaxed p2p synchronization: no rank ever blocks in a round
+        it moves no bytes in."""
+        _data, rows = _collective_run(engine, PIPED)
+        assert all(r["idle_synced"] == 0 for r in rows)
+
+    def test_auto_engages_on_multi_round(self):
+        """cb_pipeline=auto (the default) pipelines once there is more
+        than one round to overlap, and stays serial one-shot."""
+        _data, rows = _collective_run("listless", ROUND)  # auto
+        assert all(r["pipelined_ops"] > 0 for r in rows)
+        _data, rows = _collective_run("listless", ONE_SHOT)  # 1 round
+        assert all(r["pipelined_ops"] == 0 for r in rows)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_pipelined_rmw_rounds_match_serial(self, engine):
+        """Sparse writes leave uncovered window bytes -> rmw rounds,
+        which must stay on the ordered synchronous path while covered
+        rounds pipeline.  Gap bytes keep their preset contents."""
+        rng = np.random.default_rng(3)
+        preset = rng.integers(0, 256, TOTAL, dtype=np.uint8)
+        images = []
+        for hints in (SERIAL, PIPED):
+            fs = SimFileSystem()
+            f = fs.create("/f")
+            f.truncate(TOTAL)
+            f.pwrite(0, preset)
+
+            def worker(comm, hints=hints):
+                fh = File.open(comm, fs, "/f", MODE_RDWR,
+                               engine=engine, hints=hints)
+                # Half-filled blocks: every window keeps gap bytes.
+                ft = dt.vector(NBLOCKS, BLOCK // 2, NP * BLOCK, dt.BYTE)
+                fh.set_view(comm.rank * BLOCK, dt.BYTE, ft)
+                wbuf = np.full(NBLOCKS * BLOCK // 2, comm.rank + 1,
+                               dtype=np.uint8)
+                fh.write_at_all(0, wbuf)
+                fh.close()
+
+            run_spmd(NP, worker)
+            images.append(fs.lookup("/f").contents().copy())
+        assert np.array_equal(images[0], images[1])
+        # Gap bytes (second half of each rank's block) kept the preset.
+        img = images[1].reshape(-1, BLOCK)
+        assert np.array_equal(img[:, BLOCK // 2:].ravel(),
+                              preset.reshape(-1, BLOCK)[:, BLOCK // 2:]
+                              .ravel())
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_pipelined_back_to_back_write_ordering(self, engine):
+        """Two successive collective writes to the same region: the
+        first run's pipeline must fully land before the second run's
+        bytes (the plan's final drain closes the worker per run)."""
+        images = []
+        for hints in (SERIAL, PIPED):
+            fs = SimFileSystem()
+            f = fs.create("/f")
+            f.truncate(TOTAL)
+
+            def worker(comm, hints=hints):
+                fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                               engine=engine, hints=hints)
+                ft = dt.vector(NBLOCKS, BLOCK, NP * BLOCK, dt.BYTE)
+                fh.set_view(comm.rank * BLOCK, dt.BYTE, ft)
+                fh.write_at_all(
+                    0, np.full(PER_RANK, 101, dtype=np.uint8))
+                fh.write_at_all(
+                    0, np.full(PER_RANK, comm.rank + 1, dtype=np.uint8))
+                fh.close()
+
+            run_spmd(NP, worker)
+            images.append(fs.lookup("/f").contents().copy())
+        assert np.array_equal(images[0], images[1])
+        assert not (images[1] == 101).any()  # second write won
+
+    def test_skewed_access_serial_syncs_idle_p2p_does_not(self):
+        """A single-IOP collective where ranks 1..3 only touch the
+        first window: serial alltoall synchronizes them through every
+        remaining round, the relaxed p2p exchange lets them leave."""
+        outs = {}
+        for mode in ("off", "on"):
+            fs = SimFileSystem()
+            fs.create("/f").truncate(8192)
+            hints = Hints(cb_buffer_size=1024, cb_nodes=1,
+                          cb_pipeline=mode)
+
+            def worker(comm, hints=hints):
+                fh = File.open(comm, fs, "/f", MODE_RDWR,
+                               engine="listless", hints=hints)
+                r = comm.rank
+                if r == 0:
+                    fh.write_at_all(
+                        256, np.full(4096 - 256, 9, dtype=np.uint8))
+                else:
+                    fh.write_at_all(
+                        64 * r, np.full(64, r, dtype=np.uint8))
+                st = fh.engine.stats
+                out = (st.plan.rounds_idle_synced, st.coll_rounds)
+                fh.close()
+                return out
+
+            outs[mode] = (run_spmd(NP, worker),
+                          fs.lookup("/f").contents().copy())
+        (rows_off, img_off), (rows_on, img_on) = \
+            outs["off"], outs["on"]
+        assert np.array_equal(img_off, img_on)
+        nrounds = rows_off[0][1]
+        assert nrounds > 1
+        # Ranks 1..3 are active only in round 0 under serial alltoall.
+        assert all(idle == nrounds - 1 for idle, _n in rows_off[1:])
+        assert all(idle == 0 for idle, _n in rows_on)

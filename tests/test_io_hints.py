@@ -45,6 +45,15 @@ class TestValidation:
         with pytest.raises(HintError):
             Hints(cb_domain_align="diagonal")
 
+    def test_cb_pipeline_enum(self):
+        from repro.io.hints import PIPELINE_MODES
+
+        for v in PIPELINE_MODES:
+            assert Hints(cb_pipeline=v).cb_pipeline == v
+        assert Hints().cb_pipeline == "auto"
+        with pytest.raises(HintError):
+            Hints(cb_pipeline="maybe")
+
 
 class TestFromMapping:
     def test_none_gives_defaults(self):
@@ -72,6 +81,18 @@ class TestFromMapping:
         assert h.cb_domain_align == "stripe"
         with pytest.raises(HintError):
             Hints.from_mapping({"cb_domain_align": "diag"})
+
+    def test_string_pipeline_passes_through(self):
+        h = Hints.from_mapping({"cb_pipeline": "on"})
+        assert h.cb_pipeline == "on"
+        with pytest.raises(HintError, match="cb_pipeline"):
+            Hints.from_mapping({"cb_pipeline": "fast"})
+
+    def test_pipeline_in_fingerprint(self):
+        """A set_info pipeline toggle must never replay a plan built
+        under the other mode (the plan shapes differ)."""
+        assert Hints(cb_pipeline="on").fingerprint() != \
+            Hints(cb_pipeline="off").fingerprint()
 
     def test_with_(self):
         h = Hints().with_(cb_nodes=3)

@@ -79,6 +79,54 @@ class TestPointToPoint:
             run_spmd(2, worker)
 
 
+class TestRecvAny:
+    def test_arrival_order_completion(self):
+        """recv_any completes from whichever expected peer lands first
+        — the receive side of relaxed-synchronization rounds."""
+
+        def worker(comm):
+            if comm.rank > 0:
+                comm.send(0, comm.rank * 11, tag=5)
+                return None
+            got = {}
+            pending = {1, 2, 3}
+            while pending:
+                src, payload = comm.recv_any(sorted(pending), tag=5)
+                got[src] = payload
+                pending.discard(src)
+            return got
+
+        assert run_spmd(4, worker)[0] == {1: 11, 2: 22, 3: 33}
+
+    def test_matches_tag_selectively(self):
+        def worker(comm):
+            if comm.rank == 1:
+                comm.send(0, "wrong", tag=9)
+                comm.send(0, "right", tag=5)
+            elif comm.rank == 0:
+                src, payload = comm.recv_any([1], tag=5)
+                assert (src, payload) == (1, "right")
+                assert comm.recv(1, tag=9) == "wrong"
+
+        run_spmd(2, worker)
+
+    def test_empty_sources_rejected(self):
+        def worker(comm):
+            comm.recv_any([])
+
+        with pytest.raises(MPIRuntimeError, match="at least one source"):
+            run_spmd(1, worker)
+
+    def test_unblocks_on_peer_failure(self):
+        def worker(comm):
+            if comm.rank == 0:
+                raise RuntimeError("dead peer")
+            comm.recv_any([0], tag=1)
+
+        with pytest.raises(RuntimeError, match="dead peer"):
+            run_spmd(2, worker)
+
+
 class TestCollectives:
     def test_bcast(self):
         def worker(comm):

@@ -198,3 +198,79 @@ class TestLockCleanup:
         with pytest.raises(FileSystemError, match="injected"):
             run_spmd(1, worker)
         assert f.locks._held == {}
+
+
+class TestPipelineWorker:
+    """The background file-I/O worker in isolation: FIFO order, drain
+    semantics, and prompt failure."""
+
+    def test_fifo_order_and_drain(self):
+        from repro.plan.pipeline import FileJob, PipelineWorker
+
+        w = PipelineWorker()
+        order = []
+        for i in range(8):
+            w.submit(FileJob(lambda i=i: order.append(i), "read", i, 16))
+        done = w.drain(0)
+        w.close()
+        assert order == list(range(8))
+        assert [j.round_index for j in done] == list(range(8))
+        assert all(j.seconds >= 0 for j in done)
+
+    def test_drain_keep_leaves_work_in_flight(self):
+        import threading
+
+        from repro.plan.pipeline import FileJob, PipelineWorker
+
+        gate = threading.Event()
+        w = PipelineWorker()
+        w.submit(FileJob(lambda: None, "read", 0, 4))
+        w.submit(FileJob(gate.wait, "read", 1, 4))
+        done = w.drain(keep=1)  # job 0 done; job 1 may still block
+        assert [j.round_index for j in done] == [0]
+        gate.set()
+        assert [j.round_index for j in w.drain(0)] == [1]
+        w.close()
+
+    def test_error_reraised_at_drain_and_queue_dropped(self):
+        from repro.plan.pipeline import FileJob, PipelineWorker
+
+        def boom():
+            raise OSError("disk on fire")
+
+        ran = []
+        w = PipelineWorker()
+        w.submit(FileJob(boom, "write", 0, 4))
+        w.submit(FileJob(lambda: ran.append(1), "write", 1, 4))
+        with pytest.raises(OSError, match="disk on fire"):
+            w.drain(0)
+        # Queued work behind the failure was abandoned, and later
+        # submits surface the stored error instead of queueing.
+        assert ran == []
+        with pytest.raises(OSError):
+            w.submit(FileJob(lambda: None, "write", 2, 4))
+        w.close(raise_error=False)
+
+    def test_close_can_swallow_error(self):
+        from repro.plan.pipeline import FileJob, PipelineWorker
+
+        def boom():
+            raise OSError("late fault")
+
+        w = PipelineWorker()
+        w.submit(FileJob(boom, "write", 0, 4))
+        assert w.close(raise_error=False) == []
+
+    def test_inflight_bytes_tracked(self):
+        import threading
+
+        from repro.plan.pipeline import FileJob, PipelineWorker
+
+        gate = threading.Event()
+        w = PipelineWorker()
+        w.submit(FileJob(gate.wait, "read", 0, 100))
+        w.submit(FileJob(lambda: None, "read", 1, 50))
+        assert w.peak_inflight_bytes == 150
+        gate.set()
+        w.drain(0)
+        w.close()

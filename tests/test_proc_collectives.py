@@ -207,3 +207,23 @@ def _zero_length_everything(comm):
 
 def test_zero_length_collectives():
     assert all(run_proc(3, _zero_length_everything))
+
+
+def _recv_any_worker(comm):
+    if comm.rank > 0:
+        comm.send(0, int(comm.rank) * 7, tag=3)
+        return None
+    got = {}
+    pending = {1, 2, 3}
+    while pending:
+        src, payload = comm.recv_any(sorted(pending), tag=3)
+        got[src] = payload
+        pending.discard(src)
+    return got
+
+
+def test_recv_any_arrival_order():
+    """Cross-process recv_any: completion in arrival order from a set
+    of expected peers (the relaxed-sync receive primitive)."""
+    out = run_proc(4, _recv_any_worker)
+    assert out[0] == {1: 7, 2: 14, 3: 21}

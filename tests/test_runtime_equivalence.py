@@ -176,6 +176,32 @@ def test_backends_agree_domain_alignment(align, engine, tmp_path):
         assert_identical(sim, proc)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("align", ALIGNS)
+def test_backends_agree_pipelined(align, engine, tmp_path):
+    """Pipelined collective rounds (background file I/O, relaxed p2p
+    round synchronization) must stay byte-identical across runtimes —
+    the proc backend's recv_any completion path is the real test here
+    (6 cases x 2 kinds)."""
+    hints = Hints(cb_buffer_size=64, cb_domain_align=align,
+                  cb_pipeline="on")
+    for kind in ("write_at_all", "read_at_all"):
+        sim, proc = run_equivalence("interleaved", engine, kind, 4,
+                                    tmp_path, hints=hints)
+        assert_identical(sim, proc)
+
+
+@pytest.mark.parametrize("view_name", ["strided_gap", "contig"])
+def test_backends_agree_pipelined_views(view_name, tmp_path):
+    """Pipelined rounds over sparse (rmw) and contiguous views, both
+    runtimes, collective write+read."""
+    hints = Hints(cb_buffer_size=64, cb_pipeline="on")
+    for kind in ("write_at_all", "read_at_all"):
+        sim, proc = run_equivalence(view_name, "listless", kind, 4,
+                                    tmp_path, hints=hints)
+        assert_identical(sim, proc)
+
+
 @pytest.mark.soak
 @pytest.mark.parametrize("size", SIZES)
 @pytest.mark.parametrize("align", ALIGNS)
