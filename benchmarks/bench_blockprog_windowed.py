@@ -65,13 +65,20 @@ def _ragged_type():
 # ----------------------------------------------------------------------
 # Case 1/2: raw ff_pack / ff_unpack windowed loops
 # ----------------------------------------------------------------------
-def run_pack_windowed(iters: int, unpack: bool = False) -> float:
-    """Seconds for ``iters`` windowed ff_pack (or ff_unpack) calls."""
+def run_pack_windowed(iters: int, unpack: bool = False,
+                      win_periods: int = _WIN_PERIODS) -> float:
+    """Seconds for ``iters`` windowed ff_pack (or ff_unpack) calls.
+
+    ``win_periods`` widens the window (more packed bytes per call) —
+    the trace-overhead gate uses a wider, collective-buffer-sized
+    window so the per-call span cost is weighed against representative
+    kernel work, not the deliberately tiny program-compilation window.
+    """
     t = _ragged_type()
     src = np.zeros(_COUNT * _PERIOD + 64, dtype=np.uint8)
-    win = _WIN_PERIODS * t.size
+    win = win_periods * t.size
     buf = np.empty(win, dtype=np.uint8)
-    nwin = _COUNT - _WIN_PERIODS
+    nwin = _COUNT - win_periods
     # Warm both the dataloop cache and (when enabled) the program cache
     # so steady state is measured, not compilation.
     for w in range(2):

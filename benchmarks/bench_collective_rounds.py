@@ -27,9 +27,14 @@ pay one-time planning.
 
 Cells per (engine, strategy): ``one_shot``, ``serial``
 (``cb_pipeline=off``) and ``pipelined`` (``cb_pipeline=on``), each with
-effective time, peak staging, and the pipelined cell's *overlap
+effective time, peak staging, the pipelined cell's *overlap
 efficiency* — the fraction of total device time hidden behind round
-CPU, ``(device_async - device_stall) / (device_sync + device_async)``.
+CPU, ``(device_async - device_stall) / (device_sync + device_async)`` —
+and per-round *skew* columns: the cross-rank spread of each timed
+round's wall (and exchange) seconds, worst round and mean, from the
+per-rank round logs.  Skew is the per-round face of what ``repro trace
+--waits`` attributes causally: a rank whose rounds persistently run
+long shows up both here and as the straggler the others wait on.
 Standalone run writes the machine-readable record::
 
     python benchmarks/bench_collective_rounds.py --quick \
@@ -107,6 +112,7 @@ def _run_once(engine: str, cb: int, align, nbytes: int,
         st = fh.engine.stats
         base = (st.plan.device_sync_seconds, st.plan.device_async_seconds,
                 st.plan.device_stall_seconds)
+        nwarm_rounds = len(st.rounds)
         t0 = time.perf_counter()
         for _ in range(NREPS):
             fh.write_at_all(0, wbuf)
@@ -120,6 +126,7 @@ def _run_once(engine: str, cb: int, align, nbytes: int,
                 st.plan.device_stall_seconds,
             ))
         )
+        timed_rounds = st.rounds.snapshot()[nwarm_rounds:]
         out = {
             "wall": wall,
             "device": (dsync + dstall) / NREPS,
@@ -130,11 +137,26 @@ def _run_once(engine: str, cb: int, align, nbytes: int,
             "domain_skew": st.coll_domain_skew,
             "pipelined_ops": st.plan.pipelined_file_ops,
             "idle_synced": st.plan.rounds_idle_synced,
+            "round_walls": [r["wall"] for r in timed_rounds],
+            "round_exchanges": [r["exchange"] for r in timed_rounds],
         }
         fh.close()
         return out
 
     rows = run_spmd(NPROCS, worker)
+
+    def skews(key: str) -> list:
+        # Ranks replay the same deterministic round schedule, so the
+        # i-th timed round row on every rank is the same round: the
+        # cross-rank spread of its per-round seconds is the skew the
+        # wait-attribution report explains (straggler ranks).
+        series = [r[key] for r in rows]
+        n = min(len(s) for s in series)
+        return [max(s[i] for s in series) - min(s[i] for s in series)
+                for i in range(n)]
+
+    wall_skew = skews("round_walls")
+    exch_skew = skews("round_exchanges")
     return {
         # Effective pair time: slowest rank's wall + slowest rank's
         # charged (unhidden) device seconds — ranks drive their domain
@@ -148,6 +170,10 @@ def _run_once(engine: str, cb: int, align, nbytes: int,
         "domain_skew": max(r["domain_skew"] for r in rows),
         "pipelined_ops": sum(r["pipelined_ops"] for r in rows),
         "idle_synced": sum(r["idle_synced"] for r in rows),
+        "round_skew": max(wall_skew) if wall_skew else 0.0,
+        "round_skew_mean": (sum(wall_skew) / len(wall_skew)
+                            if wall_skew else 0.0),
+        "exchange_skew": max(exch_skew) if exch_skew else 0.0,
     }
 
 
@@ -163,6 +189,12 @@ def _cell(engine: str, cb: int, align, nbytes: int,
         "domain_skew": runs[0]["domain_skew"],
         "pipelined_ops": runs[0]["pipelined_ops"],
         "idle_synced": runs[0]["idle_synced"],
+        # Skew columns ride the best run: the per-round cross-rank
+        # spread of wall/exchange seconds (worst round, and the
+        # per-round mean for the wall spread).
+        "round_skew": mid["round_skew"],
+        "round_skew_mean": mid["round_skew_mean"],
+        "exchange_skew": mid["exchange_skew"],
     }
     out["overlap_efficiency"] = (
         mid["dev_hidden"] / mid["dev_total"] if mid["dev_total"] > 0
@@ -299,7 +331,8 @@ def main() -> None:
           f"round cb={cfg['round_cb']} B, device "
           f"{cfg['device']['read_bandwidth']/1e6:.0f} MB/s")
     hdr = (f"{'cell':>18} {'mode':>10} {'time [ms]':>10} "
-           f"{'peak staging [B]':>17} {'rounds':>7} {'overlap':>8}")
+           f"{'peak staging [B]':>17} {'rounds':>7} {'overlap':>8} "
+           f"{'skew [ms]':>10}")
     print(hdr)
     for name, c in rec["cells"].items():
         for mode in ("one_shot", "serial", "pipelined"):
@@ -307,7 +340,8 @@ def main() -> None:
             eff = (f"{m['overlap_efficiency']:>8.2f}"
                    if mode == "pipelined" else f"{'-':>8}")
             print(f"{name:>18} {mode:>10} {m['time']*1e3:>10.2f} "
-                  f"{m['peak_staging']:>17} {m['rounds']:>7} {eff}")
+                  f"{m['peak_staging']:>17} {m['rounds']:>7} {eff} "
+                  f"{m['round_skew']*1e3:>10.3f}")
         print(f"{'':>18} staging ratio one-shot/pipelined: "
               f"{c['staging_ratio']:.1f}x   "
               f"pipelined/one-shot: {c['pipelined_vs_one_shot']:.2f} "

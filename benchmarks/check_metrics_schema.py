@@ -14,6 +14,15 @@ Check against the golden record (exit 1 on drift)::
 Regenerate the golden after an *intentional* schema change::
 
     python benchmarks/check_metrics_schema.py --update
+
+``--flight PATH`` validates a flight-recorder artifact instead (the
+JSON ``repro flight`` or an aborting world wrote — see
+``repro.obs.flight``): version, required keys, breadcrumb shape.  CI's
+failure-injection job runs this over the record it uploads, so a
+schema-breaking change to the recorder fails the build rather than
+silently shipping unreadable post-mortems::
+
+    python benchmarks/check_metrics_schema.py --flight flight.json
 """
 
 from __future__ import annotations
@@ -48,13 +57,110 @@ def _diff(want: dict, got: dict, path: str = "") -> list:
     return out
 
 
+#: Exact top-level key set of a flight record (repro.obs.flight).
+_FLIGHT_KEYS = frozenset((
+    "flight_version", "reason", "backend", "world_size", "error",
+    "failed_rank", "failed_ranks", "last_rounds", "ranks", "counters",
+    "spans_dropped", "recent_spans",
+))
+
+
+def validate_flight_record(doc) -> list:
+    """Problems with a flight-recorder artifact (empty list = valid).
+
+    Nullable fields (``backend``, ``world_size``, ``failed_rank``,
+    ``error``) stay null in on-demand dumps — only abort-path records
+    carry them — so null is always accepted there.
+    """
+    probs = []
+    if not isinstance(doc, dict):
+        return ["record is not a JSON object"]
+    for k in sorted(_FLIGHT_KEYS - set(doc)):
+        probs.append(f"missing key: {k}")
+    for k in sorted(set(doc) - _FLIGHT_KEYS):
+        probs.append(f"unexpected key: {k}")
+    if probs:
+        return probs
+    if doc["flight_version"] != 1:
+        probs.append(f"flight_version {doc['flight_version']!r} != 1")
+    if not isinstance(doc["reason"], str) or not doc["reason"]:
+        probs.append("reason must be a non-empty string")
+    for k, t in (("backend", str), ("world_size", int),
+                 ("failed_rank", int)):
+        v = doc[k]
+        if v is not None and not isinstance(v, t):
+            probs.append(f"{k} must be {t.__name__} or null, got {v!r}")
+    err = doc["error"]
+    if err is not None and not (
+        isinstance(err, dict)
+        and isinstance(err.get("type"), str)
+        and isinstance(err.get("message"), str)
+    ):
+        probs.append("error must be null or {type, message} strings")
+    if not (isinstance(doc["failed_ranks"], list)
+            and all(isinstance(r, int) for r in doc["failed_ranks"])):
+        probs.append("failed_ranks must be a list of ints")
+    lr = doc["last_rounds"]
+    if not (isinstance(lr, dict)
+            and all(isinstance(k, str) and isinstance(v, int)
+                    for k, v in lr.items())):
+        probs.append("last_rounds must map rank strings to round ints")
+    ranks = doc["ranks"]
+    if not isinstance(ranks, dict):
+        probs.append("ranks must be an object")
+        ranks = {}
+    for r, ent in sorted(ranks.items()):
+        crumbs = ent.get("breadcrumbs") if isinstance(ent, dict) else None
+        if not isinstance(crumbs, list):
+            probs.append(f"ranks[{r}] has no breadcrumbs list")
+            continue
+        for i, c in enumerate(crumbs):
+            if not (isinstance(c, list) and len(c) == 3
+                    and isinstance(c[0], (int, float))
+                    and isinstance(c[1], str)
+                    and (c[2] is None or isinstance(c[2], dict))):
+                probs.append(
+                    f"ranks[{r}].breadcrumbs[{i}] is not "
+                    f"[t, kind, info|null]: {c!r}")
+                break
+    for k in ("counters", "spans_dropped", "recent_spans"):
+        if not isinstance(doc[k], dict):
+            probs.append(f"{k} must be an object")
+    return probs
+
+
+def check_flight(path: str) -> int:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read flight record {path}: {exc}", file=sys.stderr)
+        return 1
+    probs = validate_flight_record(doc)
+    if probs:
+        print(f"invalid flight record {path}:", file=sys.stderr)
+        for p in probs:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    nr = len(doc["ranks"])
+    print(f"flight record {os.path.relpath(path)} valid "
+          f"(reason={doc['reason']!r}, {nr} rank(s), "
+          f"failed_rank={doc['failed_rank']})")
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--update", action="store_true",
                     help="rewrite the golden record instead of checking")
     ap.add_argument("--golden", default=GOLDEN,
                     help="path of the golden schema JSON")
+    ap.add_argument("--flight", metavar="PATH",
+                    help="validate a flight-recorder JSON instead")
     args = ap.parse_args(argv)
+
+    if args.flight:
+        return check_flight(args.flight)
 
     got = probe_metric_schema()
 

@@ -27,6 +27,18 @@ exists to enforce::
 
     python benchmarks/check_perf_budget.py \
         --collective BENCH_collective.json
+
+``--trace-overhead`` gates the cost of the tracing layer itself on the
+windowed pack microbench (``bench_blockprog_windowed.run_pack_windowed``
+— one hot-guard span per window call).  Three configs are timed:
+tracing off (the baseline every production run pays), category-filtered
+on with the hot ``ff`` category excluded (the guard fires but the span
+is rejected at record), and fully on.  Gates: the filtered config must
+stay within 2% of off — the promise that narrowing ``REPRO_TRACE`` to
+the categories you need keeps hot kernels effectively untraced — and
+fully-on within 10%::
+
+    python benchmarks/check_perf_budget.py --trace-overhead
 """
 
 from __future__ import annotations
@@ -80,6 +92,71 @@ def check_collective(path: str, slack: float) -> int:
     return 0
 
 
+def check_trace_overhead(iters: int, repeats: int, off_limit: float,
+                         on_limit: float) -> int:
+    """Tracing-cost gate on the windowed pack microbench (see module
+    docstring).  The three configs are timed *interleaved* — one repeat
+    of each per round, min-of-repeats compared — so slow drift in box
+    load (frequency scaling, a neighbour job) hits every config alike
+    instead of landing on whichever block ran during the bad stretch."""
+    try:
+        from benchmarks.bench_blockprog_windowed import run_pack_windowed
+    except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+        from bench_blockprog_windowed import run_pack_windowed
+    from repro.obs import trace
+
+    # A collective-buffer-sized window (128 periods = 256 KiB of file
+    # range, the default cb_buffer_size) so one span weighs against the
+    # kernel work a production pack call actually does per stamp.
+    win_periods = 128
+
+    # Hot spans are category ``ff``; the filtered config excludes them
+    # while keeping exec/aggregation recordable (satellite promise: a
+    # narrowed REPRO_TRACE leaves hot kernels effectively untraced).
+    configs = [
+        ("off", False),
+        ("filtered", frozenset(("exec", "aggregation"))),
+        ("on", True),
+    ]
+    vals: dict = {name: [] for name, _ in configs}
+    run_pack_windowed(4, win_periods=win_periods)  # warm caches untimed
+    for _ in range(repeats):
+        for name, config in configs:
+            prev = trace.set_tracing(config)
+            try:
+                trace.TRACER.clear()
+                vals[name].append(run_pack_windowed(
+                    iters, win_periods=win_periods))
+            finally:
+                trace.set_tracing(prev)
+    base = min(vals["off"])
+    filtered = min(vals["filtered"])
+    full = min(vals["on"])
+    ov_filtered = filtered / base - 1.0
+    ov_full = full / base - 1.0
+    print(f"trace overhead on windowed pack ({iters} windows, best of "
+          f"{repeats}):")
+    print(f"  off      {base * 1e3:8.2f} ms  (baseline)")
+    print(f"  filtered {filtered * 1e3:8.2f} ms  "
+          f"(+{max(ov_filtered, 0.0) * 100:.2f}%, limit "
+          f"{off_limit * 100:.0f}%)")
+    print(f"  on       {full * 1e3:8.2f} ms  "
+          f"(+{max(ov_full, 0.0) * 100:.2f}%, limit "
+          f"{on_limit * 100:.0f}%)")
+    failed = []
+    if ov_filtered >= off_limit:
+        failed.append("category-filtered tracing exceeds the "
+                      f"{off_limit * 100:.0f}% budget")
+    if ov_full >= on_limit:
+        failed.append(f"full tracing exceeds the {on_limit * 100:.0f}% "
+                      "budget")
+    if failed:
+        print("FAIL: " + "; ".join(failed), file=sys.stderr)
+        return 1
+    print("PASS: tracing overhead within budget")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench",
@@ -93,12 +170,29 @@ def main() -> int:
                          "(round-overlap) instead")
     ap.add_argument("--collective-slack", type=float, default=0.05,
                     help="allowed pipelined-vs-one-shot excess")
+    ap.add_argument("--trace-overhead", action="store_true",
+                    dest="trace_overhead",
+                    help="gate tracing cost on the windowed pack "
+                         "microbench instead")
+    ap.add_argument("--trace-iters", type=int, default=400,
+                    help="windows per timed run of the trace gate")
+    ap.add_argument("--trace-repeats", type=int, default=9,
+                    help="repeats per config (min is compared)")
+    ap.add_argument("--trace-off-limit", type=float, default=0.02,
+                    help="allowed overhead of category-filtered tracing")
+    ap.add_argument("--trace-on-limit", type=float, default=0.10,
+                    help="allowed overhead of full tracing")
     args = ap.parse_args()
 
+    if args.trace_overhead:
+        return check_trace_overhead(args.trace_iters, args.trace_repeats,
+                                    args.trace_off_limit,
+                                    args.trace_on_limit)
     if args.collective:
         return check_collective(args.collective, args.collective_slack)
     if not args.bench:
-        ap.error("one of --bench or --collective is required")
+        ap.error("one of --bench, --collective or --trace-overhead is "
+                 "required")
 
     with open(args.bench) as f:
         fresh = json.load(f)

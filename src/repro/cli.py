@@ -28,9 +28,17 @@ Commands
 
 ``trace``
     Run a quick BT-IO with tracing enabled and export the spans as
-    Chrome-trace/Perfetto JSON (one track per simulated rank)::
+    Chrome-trace/Perfetto JSON (one track per simulated rank); causal
+    reports come from the same run::
 
         python -m repro.cli trace --export trace.json
+        python -m repro.cli trace --critical-path --waits
+
+``flight``
+    Run a quick BT-IO and dump the always-on flight recorder's state
+    on demand (the same record a world abort produces)::
+
+        python -m repro.cli flight --out flight_record.json
 """
 
 from __future__ import annotations
@@ -314,11 +322,49 @@ def _cmd_trace(args: argparse.Namespace) -> int:
           f"nsteps={args.nsteps}, engine={args.engine} "
           f"(io {r.io_time.total:.3f} s)")
     print(text_summary(limit=args.limit))
+    if args.critical_path or args.waits:
+        from repro.obs import causal
+
+        graph = causal.build_graph()
+        if args.critical_path:
+            print()
+            print(causal.format_critical_path(graph.critical_path()))
+        if args.waits:
+            print()
+            print(causal.format_waits(graph.wait_report()))
     if args.export:
         n = export_chrome_trace(args.export)
         print(f"\nwrote {n} spans across {len(trace.TRACER.ranks())} "
               f"rank tracks to {args.export} "
               "(load in Perfetto or chrome://tracing)")
+        dropped = {r_: d for r_, d in trace.TRACER.dropped().items() if d}
+        if dropped:
+            lost = ", ".join(f"rank {r_}: {d}"
+                             for r_, d in sorted(dropped.items()))
+            print("warning: span ring wrapped — oldest spans were "
+                  f"dropped ({lost}); the exported timeline is "
+                  "truncated")
+    return 0
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    from repro.obs import flight
+
+    flight.RECORDER.clear()
+    r = run_btio(
+        args.engine,
+        BTIOConfig(cls=args.cls, nprocs=args.nprocs,
+                   nsteps=args.nsteps),
+        runtime=args.runtime,
+    )
+    out = flight.dump(args.out)
+    rec = flight.last_record()
+    last = max((int(v) for v in rec["last_rounds"].values()),
+               default=-1)
+    print(f"ran BTIO class {args.cls}, P={args.nprocs}, "
+          f"engine={args.engine} (io {r.io_time.total:.3f} s)")
+    print(f"wrote flight record to {out} "
+          f"({len(rec['ranks'])} ranks, last completed round {last})")
     return 0
 
 
@@ -465,7 +511,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write Chrome-trace/Perfetto JSON here")
     tr.add_argument("--limit", type=int, default=None,
                     help="rows in the text summary (default: all)")
+    tr.add_argument("--critical-path", action="store_true",
+                    dest="critical_path",
+                    help="report the cross-rank critical path of the "
+                    "traced run (repro.obs.causal)")
+    tr.add_argument("--waits", action="store_true",
+                    help="report per-rank wait attribution: who waited "
+                    "on whom, stragglers, per-round exchange skew")
     tr.set_defaults(fn=_cmd_trace)
+
+    fl = sub.add_parser(
+        "flight",
+        help="run a quick BT-IO and dump the flight recorder on demand",
+    )
+    fl.add_argument("--cls", choices=list("SWABCD"), default="S")
+    fl.add_argument("--nprocs", type=int, default=4)
+    fl.add_argument("--nsteps", type=int, default=2)
+    fl.add_argument("--engine", choices=["listless", "list_based"],
+                    default="listless")
+    fl.add_argument("--runtime", choices=["sim", "proc"], default=None,
+                    help="execution backend (proc merges the rank "
+                    "processes' breadcrumbs into the record)")
+    fl.add_argument("--out", default="flight_record.json", metavar="PATH",
+                    help="destination file (a directory gets "
+                    "flight_record.json inside)")
+    fl.set_defaults(fn=_cmd_flight)
 
     wl = sub.add_parser(
         "workloads", help="compare engines across application workloads"

@@ -112,8 +112,12 @@ def ff_pack(
     if n <= 0:
         return 0
     # Manual trace stamps: this is the regression-sensitive hot loop, so
-    # the off path must cost one global read, nothing more.
-    t0 = trace.now() if trace.TRACE_ON else 0.0
+    # the off path must cost one global read, nothing more — and a
+    # category filter excluding ``ff`` must cost only the set probe.
+    on = trace.TRACE_ON
+    if on is not True and on:
+        on = "ff" in on
+    t0 = trace.now() if on else 0.0
     src = _as_bytes(srcbuf, writeable=False)
     dst = _as_bytes(packbuf, writeable=True)
     hit = blockprog.program_for(loop, skipbytes, skipbytes + n,
@@ -129,7 +133,7 @@ def ff_pack(
             f"ff_pack traversal corruption: copied {copied} of {n} bytes "
             f"(skipbytes={skipbytes}, count={count})"
         )
-    if trace.TRACE_ON:
+    if on:
         trace.TRACER.add("ff.pack", t0, bytes=n,
                          program=hit is not None)
     return n
@@ -160,7 +164,10 @@ def ff_unpack(
     n = min(packsize, total - skipbytes)
     if n <= 0:
         return 0
-    t0 = trace.now() if trace.TRACE_ON else 0.0
+    on = trace.TRACE_ON
+    if on is not True and on:
+        on = "ff" in on
+    t0 = trace.now() if on else 0.0
     src = _as_bytes(packbuf, writeable=False)
     dst = _as_bytes(dstbuf, writeable=True)
     hit = blockprog.program_for(loop, skipbytes, skipbytes + n,
@@ -176,7 +183,7 @@ def ff_unpack(
             f"ff_unpack traversal corruption: copied {copied} of {n} "
             f"bytes (skipbytes={skipbytes}, count={count})"
         )
-    if trace.TRACE_ON:
+    if on:
         trace.TRACER.add("ff.unpack", t0, bytes=n,
                          program=hit is not None)
     return n

@@ -57,7 +57,7 @@ from repro.mpi.cost_model import (
     choose_domain_align,
     choose_pipeline,
 )
-from repro.obs import trace
+from repro.obs import flight, trace
 from repro.plan.ops import (
     DrainOp,
     ExchangeOp,
@@ -535,5 +535,10 @@ def run_collective(engine, mem, d0: int, write: bool) -> None:
         trace.TRACER.add("aggregation.partition", t0, align=align,
                          niops=niops, nrounds=schedule.nrounds,
                          pipeline=schedule.pipeline)
+    # Flight-recorder breadcrumb: if this collective dies mid-flight,
+    # the record names what was being attempted and how far it got
+    # (per-round progress lands via the executor's ``note_round``).
+    flight.note("collective", write=write, rounds=schedule.nrounds,
+                pipeline=schedule.pipeline, align=align)
     plan = engine.collective_plan(write, rng, ranges, domains, schedule)
     engine.run_plan(plan, mem)

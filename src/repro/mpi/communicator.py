@@ -148,6 +148,35 @@ class Comm:
         self._world.account(self.rank, nbytes, dst)
 
     # ------------------------------------------------------------------
+    # Causal edge stamps (recorded only while tracing).  Both sides of
+    # a matched operation derive the same key locally: p2p messages are
+    # FIFO per (source, tag) on every transport, so the n-th send on a
+    # (src, dst, tag) stream pairs with the n-th matched receive;
+    # collectives are called in identical order by all members of a
+    # communicator, so a per-rank call counter + the communicator id
+    # names the instance.  repro.obs.causal joins them after the merge.
+    # ------------------------------------------------------------------
+    def _edge_cid(self) -> str:
+        return "w"
+
+    def _stamp_send(self, wsrc: int, wdst: int, tag: int) -> None:
+        tr = trace.TRACER
+        n = tr.seq(("s", wsrc, wdst, tag))
+        tr.edge("send", (wsrc, wdst, tag, n), peer=wdst)
+
+    def _stamp_recv(self, wsrc: int, wdst: int, mtag: int,
+                    t0: float) -> None:
+        tr = trace.TRACER
+        n = tr.seq(("r", wsrc, wdst, mtag))
+        tr.edge("recv", (wsrc, wdst, mtag, n), peer=wsrc, t0=t0)
+
+    def _stamp_coll(self, what: str, t0: float) -> None:
+        tr = trace.TRACER
+        cid = self._edge_cid()
+        n = tr.seq(("c", self.world_rank, what, cid))
+        tr.edge("coll", (what, cid, n), t0=t0)
+
+    # ------------------------------------------------------------------
     # Point-to-point
     # ------------------------------------------------------------------
     def send(self, dest: int, payload: Any, tag: int = 0) -> None:
@@ -155,6 +184,8 @@ class Comm:
         blocking in the eager sense)."""
         self._check(dest)
         self._charge(payload_nbytes(payload), dest)
+        if trace.TRACE_ON:
+            self._stamp_send(self.rank, dest, tag)
         self._world.mailbox(dest).put(self.rank, tag, payload)
 
     def recv(
@@ -162,9 +193,12 @@ class Comm:
     ) -> Any:
         """Blocking matched receive from ``source``."""
         self._check(source)
+        t_wait = trace.now() if trace.TRACE_ON else 0.0
         payload, mtag = self._world.mailbox(self.rank).get(
             source, tag, self._world.has_failed
         )
+        if trace.TRACE_ON:
+            self._stamp_recv(source, self.rank, mtag, t_wait)
         if status is not None:
             status.source = source
             status.tag = mtag
@@ -207,13 +241,18 @@ class Comm:
         if not srcs:
             raise MPIRuntimeError("recv_any needs at least one source")
         mb = self._own_mailbox()
+        t_wait = trace.now() if trace.TRACE_ON else 0.0
         deadline = time.monotonic() + recv_timeout()
         with mb.cond:
             while True:
                 for s, key in srcs:
                     q = mb.queues.get((key, tag))
                     if q:
-                        return s, q.popleft()
+                        payload = q.popleft()
+                        if trace.TRACE_ON:
+                            self._stamp_recv(key, self.world_rank,
+                                             tag, t_wait)
+                        return s, payload
                 if self._world.has_failed():
                     raise MPIRuntimeError(
                         "world failed while waiting for a message"
@@ -336,16 +375,22 @@ class Comm:
     # ------------------------------------------------------------------
     def barrier(self) -> None:
         """Synchronize all ranks."""
+        t0 = trace.now() if trace.TRACE_ON else 0.0
         with trace.span("mpi.barrier"):
             self._world.barrier_wait()
+        if trace.TRACE_ON:
+            self._stamp_coll("bar", t0)
 
     def _board_exchange(self, item: Any) -> List[Any]:
         """Deposit ``item``, wait, and return every rank's deposit."""
+        t0 = trace.now() if trace.TRACE_ON else 0.0
         w = self._world
         w.board[self.rank] = item
         w.barrier_wait()
         out = list(w.board)
         w.barrier_wait()
+        if trace.TRACE_ON:
+            self._stamp_coll("coll", t0)
         return out
 
     def bcast(self, payload: Any, root: int = 0) -> Any:
@@ -469,19 +514,27 @@ class GroupComm(Comm):
         self._check(peer)
         return self._group.members[peer]
 
+    def _edge_cid(self) -> str:
+        return "g" + ",".join(str(m) for m in self._group.members)
+
     # -- point-to-point: translate ranks -------------------------------
     def send(self, dest: int, payload: Any, tag: int = 0) -> None:
         wdest = self._to_world(dest)
         self._world.account(self._wrank, payload_nbytes(payload),
                             wdest)
+        if trace.TRACE_ON:
+            self._stamp_send(self._wrank, wdest, tag)
         self._world.mailbox(wdest).put(self._wrank, tag, payload)
 
     def recv(self, source: int, tag: int = 0,
              status: Optional[Status] = None) -> Any:
         wsrc = self._to_world(source)
+        t_wait = trace.now() if trace.TRACE_ON else 0.0
         payload, mtag = self._world.mailbox(self._wrank).get(
             wsrc, tag, self._world.has_failed
         )
+        if trace.TRACE_ON:
+            self._stamp_recv(wsrc, self._wrank, mtag, t_wait)
         if status is not None:
             status.source = source
             status.tag = mtag
@@ -543,17 +596,23 @@ class GroupComm(Comm):
 
     # -- collectives: group-local barrier and board ---------------------
     def barrier(self) -> None:
+        t0 = trace.now() if trace.TRACE_ON else 0.0
         try:
             self._group.barrier.wait()
         except threading.BrokenBarrierError:
             raise MPIRuntimeError(
                 "group barrier broken (another rank failed)"
             ) from None
+        if trace.TRACE_ON:
+            self._stamp_coll("bar", t0)
 
     def _board_exchange(self, item: Any) -> List[Any]:
+        t0 = trace.now() if trace.TRACE_ON else 0.0
         g = self._group
         g.board[self.rank] = item
         self.barrier()
         out = list(g.board)
         self.barrier()
+        if trace.TRACE_ON:
+            self._stamp_coll("coll", t0)
         return out

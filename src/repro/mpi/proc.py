@@ -51,7 +51,7 @@ from repro.mpi import shm
 from repro.mpi.communicator import ANY_TAG, Comm, PendingOp
 from repro.mpi.cost_model import NetworkModel, payload_nbytes
 from repro.mpi.status import Status
-from repro.obs import trace
+from repro.obs import flight, trace
 
 __all__ = ["ProcComm", "ProcWorldReport", "run_spmd_proc"]
 
@@ -93,6 +93,12 @@ class _ProcShared:
         self.queues = [ctx.Queue() for _ in range(size)]
         self.results = ctx.Queue()
         self.counters = [ctx.Value("q", 0) for _ in range(_COUNTER_POOL)]
+        # Flight-recorder beacons: each rank writes its last completed
+        # aggregation round here as a side effect of note_round, so the
+        # parent can report a *dead* rank's last round (the rank itself
+        # ships nothing after a SIGKILL).  Single-writer per slot.
+        self.rounds = [ctx.Value("q", -1, lock=False)
+                       for _ in range(size)]
 
 
 class ProcWorldReport:
@@ -161,8 +167,11 @@ class ProcComm(Comm):
 
     # -- barrier and board exchange ------------------------------------
     def barrier(self) -> None:
+        t0 = trace.now() if trace.TRACE_ON else 0.0
         with trace.span("mpi.barrier"):
             self._barrier_wait()
+        if trace.TRACE_ON:
+            self._stamp_coll("bar", t0)
 
     def _barrier_wait(self) -> None:
         self._check_abort()
@@ -177,6 +186,7 @@ class ProcComm(Comm):
         return f"{self._shared.uid}g{gen}r{rank}"
 
     def _board_exchange(self, item: Any) -> List[Any]:
+        t0 = trace.now() if trace.TRACE_ON else 0.0
         gen = self._gen
         self._gen += 1
         own = self._segment(gen, self.world_rank)
@@ -194,6 +204,8 @@ class ProcComm(Comm):
             self._barrier_wait()
         finally:
             shm.unlink_segment(own)
+        if trace.TRACE_ON:
+            self._stamp_coll("coll", t0)
         return out
 
     def _peer_world_rank(self, peer: int) -> int:
@@ -206,6 +218,9 @@ class ProcComm(Comm):
         self._check(dest)
         self._check_abort()
         self._charge(payload_nbytes(payload), dest)
+        if trace.TRACE_ON:
+            self._stamp_send(self.world_rank,
+                             self._peer_world_rank(dest), tag)
         name = f"{self._shared.uid}p{self.world_rank}s{next(_PSEQ)}"
         shm.write_segment(name, payload)
         self._shared.queues[self._peer_world_rank(dest)].put(
@@ -261,9 +276,13 @@ class ProcComm(Comm):
     def recv(self, source: int, tag: int = 0,
              status: Optional[Status] = None) -> Any:
         self._check(source)
+        t_wait = trace.now() if trace.TRACE_ON else 0.0
         _ok, payload, mtag = self._recv_match(
             self._peer_world_rank(source), tag, block=True
         )
+        if trace.TRACE_ON:
+            self._stamp_recv(self._peer_world_rank(source),
+                             self.world_rank, mtag, t_wait)
         if status is not None:
             status.source = source
             status.tag = mtag
@@ -317,11 +336,15 @@ class ProcComm(Comm):
             raise MPIRuntimeError("recv_any needs at least one source")
         for s, _w in srcs:
             self._check(s)
+        t_wait = trace.now() if trace.TRACE_ON else 0.0
         deadline = time.monotonic() + self._shared.timeout
         while True:
             for s, wsrc in srcs:
                 found, payload, _t = self._match(wsrc, tag, consume=True)
                 if found:
+                    if trace.TRACE_ON:
+                        self._stamp_recv(wsrc, self.world_rank, tag,
+                                         t_wait)
                     return s, payload
             self._check_abort()
             remaining = deadline - time.monotonic()
@@ -423,6 +446,11 @@ class ProcGroupComm(ProcComm):
         self._check(peer)
         return self._members[peer]
 
+    def _edge_cid(self) -> str:
+        # Sibling groups of one split share the namespace string; the
+        # leader's world rank (memberships are disjoint) disambiguates.
+        return f"g{self._ns}L{self._members[0]}"
+
     def _charge(self, nbytes: int, dst: Optional[int] = None) -> None:
         # Account on the parent: the per-rank totals shipped to the
         # parent process are the world comm's counters.
@@ -434,6 +462,8 @@ class ProcGroupComm(ProcComm):
         self._check(dest)
         self._check_abort()
         self._charge(payload_nbytes(payload), dest)
+        if trace.TRACE_ON:
+            self._stamp_send(self.world_rank, self._members[dest], tag)
         name = f"{self._shared.uid}p{self.world_rank}s{next(_PSEQ)}"
         shm.write_segment(name, payload)
         self._shared.queues[self._members[dest]].put(
@@ -447,20 +477,24 @@ class ProcGroupComm(ProcComm):
         return base, base + 1
 
     def _board_exchange(self, item: Any) -> List[Any]:
+        t0 = trace.now() if trace.TRACE_ON else 0.0
         up, down = self._collective_tags()
         leader = 0
         if self.rank == leader:
-            board = [item] + [
+            out = [item] + [
                 self._recv_match(self._members[src], up,
                                  block=True)[1]
                 for src in range(1, self.size)
             ]
             for dst in range(1, self.size):
-                self.send(dst, board, tag=down)
-            return board
-        self.send(leader, item, tag=up)
-        return self._recv_match(self._members[leader], down,
-                                block=True)[1]
+                self.send(dst, out, tag=down)
+        else:
+            self.send(leader, item, tag=up)
+            out = self._recv_match(self._members[leader], down,
+                                   block=True)[1]
+        if trace.TRACE_ON:
+            self._stamp_coll("coll", t0)
+        return out
 
     def barrier(self) -> None:
         with trace.span("mpi.barrier"):
@@ -506,6 +540,16 @@ def _worker_main(shared: _ProcShared, rank: int, fn, args,
     threading.current_thread().name = f"rank-{rank}"
     trace.set_tracing(trace_on)
     trace.TRACER.clear()
+    # Fresh flight rings (fork inherits the parent's), and a beacon
+    # writing this rank's last completed round into shared memory so
+    # the parent can report it even if this process is killed.
+    flight.RECORDER.clear()
+    slot = shared.rounds[rank]
+
+    def _beacon(index: int, _slot=slot) -> None:
+        _slot.value = index
+
+    flight.RECORDER.set_beacon(_beacon)
     comm = ProcComm(shared, rank, network=network)
     outcome: Tuple[str, Any]
     try:
@@ -515,6 +559,8 @@ def _worker_main(shared: _ProcShared, rank: int, fn, args,
     except BaseException as exc:  # noqa: BLE001 - must propagate all
         shared.abort.set()
         shared.barrier.abort()
+        flight.note("rank_error", rank=rank,
+                    type=type(exc).__name__, message=str(exc))
         outcome = ("err", exc)
     report = {
         "rank": rank,
@@ -522,6 +568,7 @@ def _worker_main(shared: _ProcShared, rank: int, fn, args,
         "messages_sent": comm.messages_sent,
         "net_time": comm.net_time,
         "spans": trace.TRACER.export_state() if trace.TRACE_ON else {},
+        "flight": flight.RECORDER.export_state(),
     }
     # Pre-pickle in the worker thread so an unpicklable result raises
     # *here* (mp.Queue pickles in a feeder thread, where the error
@@ -581,6 +628,10 @@ def run_spmd_proc(
     ctx = mp.get_context(method)
     tmo = _timeout_from_env(timeout)
     uid = f"rp{os.getpid():x}x{int(time.monotonic() * 1e6) & 0xFFFFFF:x}"
+    # Fresh flight state for this world: sim worlds run in parent
+    # threads and leave last-round markers behind; without the clear a
+    # stale marker would win the max() against a dead rank's beacon.
+    flight.RECORDER.clear()
     shared = _ProcShared(ctx, size, tmo, uid)
     report = ProcWorldReport(size)
     if world_out is not None:
@@ -596,7 +647,8 @@ def run_spmd_proc(
         p.start()
 
     results: List[Any] = [None] * size
-    failures: List[BaseException] = []
+    failures: List[Tuple[int, BaseException]] = []
+    died: List[int] = []
     reported: set = set()
     deadline = time.monotonic() + tmo + 10.0
     try:
@@ -614,10 +666,12 @@ def run_spmd_proc(
                 report.net_time[r] = rep["net_time"]
                 if rep["spans"]:
                     trace.TRACER.ingest_state(rep["spans"])
+                if rep.get("flight"):
+                    flight.RECORDER.ingest_state(rep["flight"])
                 if kind == "ok":
                     results[r] = value
                 else:
-                    failures.append(value)
+                    failures.append((r, value))
                 continue
             # No result: check for ranks that died without reporting.
             dead = [
@@ -629,20 +683,21 @@ def run_spmd_proc(
                 shared.barrier.abort()
             for r in dead:
                 reported.add(r)
-                failures.append(MPIRuntimeError(
+                died.append(r)
+                failures.append((r, MPIRuntimeError(
                     f"rank {r} died without reporting "
                     f"(exit code {procs[r].exitcode})"
-                ))
+                )))
             if time.monotonic() > deadline:
                 shared.abort.set()
                 shared.barrier.abort()
                 for r in range(size):
                     if r not in reported:
                         reported.add(r)
-                        failures.append(MPIRuntimeError(
+                        failures.append((r, MPIRuntimeError(
                             f"rank {r} unresponsive past the "
                             f"{tmo:.0f}s world timeout"
-                        ))
+                        )))
                 break
     finally:
         for p in procs:
@@ -656,9 +711,25 @@ def run_spmd_proc(
     if failures:
         # Prefer a primary failure over secondary broken-world errors,
         # matching the thread backend's first-failure-wins contract.
-        primary = next(
-            (f for f in failures if not isinstance(f, MPIRuntimeError)),
+        primary_rank, primary = next(
+            ((r, f) for r, f in failures
+             if not isinstance(f, MPIRuntimeError)),
             failures[0],
+        )
+        # A rank that died without reporting (SIGKILL, OOM) is the
+        # failure to name, even when a survivor's error drained first.
+        if died and not any(not isinstance(f, MPIRuntimeError)
+                            for _r, f in failures):
+            primary_rank = min(died)
+        flight.dump_on_abort(
+            primary, backend="proc",
+            failed_rank=primary_rank,
+            failed_ranks=sorted({r for r, _f in failures}),
+            last_rounds={
+                r: shared.rounds[r].value for r in range(size)
+                if shared.rounds[r].value >= 0
+            },
+            world_size=size,
         )
         raise primary
     return results

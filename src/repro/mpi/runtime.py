@@ -140,6 +140,11 @@ def run_spmd(
     world = World(size, network=network)
     if world_out is not None:
         world_out.append(world)
+    from repro.obs import flight
+
+    # One world, one flight record: drop breadcrumbs and round markers
+    # left behind by previous worlds in this process.
+    flight.RECORDER.clear()
     results: List[Any] = [None] * size
 
     def runner(rank: int) -> None:
@@ -164,6 +169,10 @@ def run_spmd(
     for t in threads:
         t.join()
     if world.failure is not None:
+        from repro.obs import flight
+
+        flight.dump_on_abort(world.failure, backend="sim",
+                             world_size=size)
         raise world.failure
     return results
 

@@ -12,11 +12,17 @@ Three cooperating pieces (see ``docs/observability.md``):
   (plan / pack / unpack / file_io / exchange / lock / sync), the
   Table-3-style decomposition ``repro btio --report phases`` prints.
 
+Cross-rank analysis sits on top: :mod:`repro.obs.causal` merges the
+per-rank span/edge rings into a causal graph (critical path, wait
+attribution), and :mod:`repro.obs.flight` is the always-on flight
+recorder dumped when a world aborts.
+
 Exporters (Chrome-trace JSON for Perfetto, text summary) live in
 :mod:`repro.obs.export`.
 """
 
-from repro.obs import trace
+from repro.obs import causal, flight, trace
+from repro.obs.causal import build_graph
 from repro.obs.export import chrome_trace, export_chrome_trace, text_summary
 from repro.obs.metrics import (
     REGISTRY,
@@ -26,19 +32,33 @@ from repro.obs.metrics import (
     register_file,
 )
 from repro.obs.phases import BUCKETS, PhaseAccumulator, format_phase_table
-from repro.obs.trace import TRACER, Span, Tracer, add_span, set_tracing, span
+from repro.obs.trace import (
+    TRACER,
+    Edge,
+    Span,
+    Tracer,
+    add_edge,
+    add_span,
+    set_tracing,
+    span,
+)
 
 __all__ = [
     "BUCKETS",
+    "Edge",
     "MetricsRegistry",
     "PhaseAccumulator",
     "REGISTRY",
     "Span",
     "TRACER",
     "Tracer",
+    "add_edge",
     "add_span",
+    "build_graph",
+    "causal",
     "chrome_trace",
     "export_chrome_trace",
+    "flight",
     "format_phase_table",
     "metric_schema",
     "register_engine",

@@ -4,9 +4,12 @@
 Event format (the JSON Perfetto and ``chrome://tracing`` load): one
 track per simulated rank (``pid`` 0, ``tid`` = rank, named via ``"M"``
 metadata events), spans as ``"ph": "X"`` complete events with
-microsecond timestamps relative to the tracer epoch.  ``text_summary``
-aggregates spans by name into a flamegraph-ish table — inclusive total,
-count, mean — for terminals and ``plan-dump``.
+microsecond timestamps relative to the tracer epoch.  Matched
+cross-rank edge pairs (p2p send/recv — see :class:`repro.obs.trace.
+Edge`) additionally emit Perfetto *flow* events (``"ph": "s"``/``"f"``)
+so the UI draws an arrow from each send to the rank it released.
+``text_summary`` aggregates spans by name into a flamegraph-ish table —
+inclusive total, count, mean — for terminals and ``plan-dump``.
 """
 
 from __future__ import annotations
@@ -17,6 +20,38 @@ from typing import Dict, List, Optional
 from repro.obs.trace import TRACER, Tracer
 
 __all__ = ["chrome_trace", "export_chrome_trace", "text_summary"]
+
+
+def _flow_events(tr: Tracer) -> List[dict]:
+    """Perfetto flow pairs for matched send/recv edges.
+
+    Each matched key emits a ``"s"`` (flow start) at the send stamp on
+    the sender's track and a ``"f"`` (flow finish, binding enclosing —
+    ``"bp": "e"``) at the receive release on the receiver's track.
+    Flow ids are assigned in sorted-key order, so the export is
+    deterministic for a given trace.
+    """
+    sends: Dict[tuple, object] = {}
+    recvs: Dict[tuple, object] = {}
+    for e in tr.edges():
+        if e.kind == "send" and e.key not in sends:
+            sends[e.key] = e
+        elif e.kind == "recv" and e.key not in recvs:
+            recvs[e.key] = e
+    events: List[dict] = []
+    fid = 0
+    for key in sorted(k for k in sends if k in recvs):
+        s, r = sends[key], recvs[key]
+        fid += 1
+        events.append({
+            "ph": "s", "pid": 0, "tid": s.rank, "name": "msg",
+            "cat": "flow", "id": fid, "ts": s.t1 * 1e6,
+        })
+        events.append({
+            "ph": "f", "pid": 0, "tid": r.rank, "name": "msg",
+            "cat": "flow", "id": fid, "ts": r.t1 * 1e6, "bp": "e",
+        })
+    return events
 
 
 def chrome_trace(tracer: Optional[Tracer] = None) -> dict:
@@ -52,6 +87,7 @@ def chrome_trace(tracer: Optional[Tracer] = None) -> dict:
         if s.args:
             ev["args"] = {k: s.args[k] for k in sorted(s.args)}
         events.append(ev)
+    events.extend(_flow_events(tr))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -26,7 +26,15 @@ Buckets (see ``docs/observability.md`` for the mapping to paper terms):
     acquiring byte-range locks for read-modify-write windows;
 ``sync``
     collective coordination: the access-range allgather that starts
-    every collective access (includes waiting for slower ranks).
+    every collective access (includes waiting for slower ranks);
+``pipeline_io``
+    file work executed by the pipeline worker on behalf of this rank
+    (jobs offloaded by pipelined collective rounds).  On the simulated
+    executor the jobs run inline during drains, so their seconds are
+    *moved* here out of ``file_io``; on the POSIX executor they run on
+    a background thread and genuinely overlap the other buckets, so the
+    per-rank sum of buckets can only be bounded by wall time plus the
+    worker's concurrent window (see ``docs/observability.md``).
 
 Unlike tracing (:mod:`repro.obs.trace`), phase accounting is never
 switched off — it costs two ``perf_counter`` reads per executed op,
@@ -50,7 +58,8 @@ __all__ = [
 #: Bucket names in report order (the order Table-3-style output uses;
 #: snapshots are keyed ``phase_<bucket>`` and sorted alphabetically).
 BUCKETS: Tuple[str, ...] = (
-    "plan", "pack", "unpack", "file_io", "exchange", "lock", "sync",
+    "plan", "pack", "unpack", "file_io", "pipeline_io", "exchange",
+    "lock", "sync",
 )
 
 _now = time.perf_counter

@@ -39,7 +39,7 @@ from repro.core import blockprog
 from repro.errors import IOEngineError
 from repro.io.fileview import MemDescriptor
 from repro.io.sieving import read_window
-from repro.obs import trace
+from repro.obs import flight, trace
 from repro.obs.phases import PhaseAccumulator, RoundLog
 from repro.plan.dataplane import DataPlane, block_lists, tuple_arrays
 from repro.plan.ops import (
@@ -168,6 +168,11 @@ class PlanExecutor:
         self._unpublished = []
         #: Async file seconds per round index, for rounds not yet closed.
         self._pending_async: Dict[int, float] = {}
+        #: Inline-worker seconds to move out of ``file_io`` into
+        #: ``pipeline_io`` at the next op-accounting point (the deferred
+        #: worker runs jobs on this thread inside a ``file_io``-bucketed
+        #: drain, so the raw bucket double-counts them).
+        self._inline_comp = 0.0
         #: Live RoundLog rows of the current run, for back-filling
         #: ``file_io_async`` when an offloaded op completes after its
         #: round closed.
@@ -216,6 +221,7 @@ class PlanExecutor:
         self._unpublished = []
         self._pending_async = {}
         self._round_rows = {}
+        self._inline_comp = 0.0
         try:
             for op in plan.ops:
                 t0 = now()
@@ -286,6 +292,14 @@ class PlanExecutor:
                     raise IOEngineError(f"unknown plan op {op!r}")
                 stats.executed_ops += 1
                 phases.add(bucket, now() - t0)
+                comp = self._inline_comp
+                if comp:
+                    # Inline jobs ran on this thread inside the op just
+                    # charged to ``file_io``; their seconds were credited
+                    # to ``pipeline_io`` at absorb, so take them back out
+                    # of ``file_io`` (clamped — never drive it negative).
+                    self._inline_comp = 0.0
+                    phases.add("file_io", -min(comp, phases.file_io))
                 if trace.TRACE_ON:
                     trace.TRACER.add(
                         f"exec.{type(op).__name__}", t0, plan=plan.kind
@@ -315,6 +329,7 @@ class PlanExecutor:
         # Keep the row addressable: offloaded file ops of this round may
         # complete after it closes, and back-fill ``file_io_async``.
         self._round_rows[index] = row
+        flight.note_round(index, total)
         if trace.TRACE_ON:
             trace.TRACER.add("aggregation.round", t0, index=index,
                              total=total, plan=plan.kind)
@@ -516,8 +531,17 @@ class PlanExecutor:
         ``device_stall_seconds``.
         """
         stats = self.stats
+        w = self._worker
+        inline = w is not None and w.inline
         for job in done:
             stats.pipeline_file_seconds += job.seconds
+            # Worker file time gets its own phase bucket.  Threaded
+            # workers genuinely overlap the main thread, so this is new
+            # time; inline (deferred) jobs ran inside a ``file_io``-
+            # bucketed drain and are *moved* via ``_inline_comp``.
+            self.phases.add("pipeline_io", job.seconds)
+            if inline:
+                self._inline_comp += job.seconds
             stats.executed_file_reads += job.nreads
             stats.executed_file_writes += job.nwrites
             if job.dev_seconds:
@@ -592,6 +616,9 @@ class PlanExecutor:
         if peak > self.stats.pipeline_inflight_peak_bytes:
             self.stats.pipeline_inflight_peak_bytes = peak
         self._unpublished = []
+        # Jobs absorbed here ran outside any op's timed window, so there
+        # is no double-counted ``file_io`` to compensate — drop it.
+        self._inline_comp = 0.0
 
     def close(self) -> None:
         """Release executor resources (the background worker's thread).

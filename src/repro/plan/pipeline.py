@@ -46,7 +46,33 @@ import time
 from collections import deque
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.obs import trace
+
 __all__ = ["FileJob", "PipelineWorker", "DeferredWorker"]
+
+
+def _stamp_submit(job: "FileJob") -> None:
+    """Stamp the causal ``submit`` edge for an offloaded job (no-op when
+    tracing is off).  The matching ``complete`` edge is stamped where
+    the job finishes running; :mod:`repro.obs.causal` pairs them by the
+    ``("pipe", rank, seq)`` key."""
+    if not trace.TRACE_ON:
+        return
+    job.rank = trace._current_rank()
+    job.seq = trace.TRACER.seq(("p", job.rank))
+    trace.add_edge("submit", ("pipe", job.rank, job.seq),
+                   t0=job.t_issue, t1=job.t_issue)
+
+
+def _stamp_complete(job: "FileJob") -> None:
+    """Stamp the ``complete`` edge once the job has run.  May execute on
+    the background worker thread: the rank comes from the job (stamped
+    at submit), not the calling thread, and ``sid`` is pinned to -1 —
+    the worker thread has no live span of the owning rank."""
+    if job.seq < 0 or not trace.TRACE_ON:
+        return
+    trace.TRACER.edge("complete", ("pipe", job.rank, job.seq),
+                      t0=job.t0, t1=job.t1, rank=job.rank, sid=-1)
 
 
 class FileJob:
@@ -62,7 +88,7 @@ class FileJob:
 
     __slots__ = ("run", "kind", "round_index", "nbytes", "publishes",
                  "nreads", "nwrites", "dev_seconds", "seconds",
-                 "t_issue", "t0", "t1")
+                 "t_issue", "t0", "t1", "seq", "rank")
 
     def __init__(self, run: Callable[[], None], kind: str,
                  round_index: int, nbytes: int,
@@ -85,6 +111,10 @@ class FileJob:
         self.t_issue = 0.0
         self.t0 = 0.0
         self.t1 = 0.0
+        #: causal-edge identity, stamped at submit when tracing is on:
+        #: the n-th job submitted by ``rank`` (-1 = untraced)
+        self.seq = -1
+        self.rank = -1
 
 
 class PipelineWorker:
@@ -97,6 +127,11 @@ class PipelineWorker:
     owning rank's thread only; the worker thread touches nothing but the
     jobs handed to it.
     """
+
+    #: jobs run concurrently with the submitting thread — their seconds
+    #: are genuine overlap, not time carved out of the round wall
+    #: (see the executor's ``pipeline_io`` phase attribution)
+    inline = False
 
     def __init__(self, name: str = "io-pipeline") -> None:
         self._cond = threading.Condition()
@@ -117,6 +152,7 @@ class PipelineWorker:
     # -- main-thread API -----------------------------------------------
     def submit(self, job: FileJob) -> None:
         job.t_issue = time.perf_counter()
+        _stamp_submit(job)
         with self._cond:
             if self._error is not None:
                 # The pipeline is already broken; surface it instead of
@@ -133,6 +169,7 @@ class PipelineWorker:
         """Wait until at most ``keep`` jobs remain in flight; returns
         every completed job since the last drain (in completion order).
         Re-raises the first job error on this (the main) thread."""
+        t_wait = time.perf_counter() if trace.TRACE_ON else 0.0
         with self._cond:
             while self.inflight > keep and self._error is None:
                 self._cond.wait()
@@ -140,7 +177,12 @@ class PipelineWorker:
                 raise self._error
             out = list(self._done)
             self._done.clear()
-            return out
+        # The drain edge names the last completed job as the cause of
+        # this wait (a pipeline stall, in wait-attribution terms).
+        if trace.TRACE_ON and out and out[-1].seq >= 0:
+            trace.add_edge("drain", ("pipe", out[-1].rank, out[-1].seq),
+                           t0=t_wait)
+        return out
 
     def close(self, raise_error: bool = True) -> List[FileJob]:
         """Drain fully, stop the thread and join it.
@@ -181,6 +223,7 @@ class PipelineWorker:
             t1 = time.perf_counter()
             job.t0, job.t1 = t0, t1
             job.seconds = t1 - t0
+            _stamp_complete(job)
             with self._cond:
                 self.inflight -= 1
                 self._inflight_bytes -= job.nbytes
@@ -210,6 +253,11 @@ class DeferredWorker:
     discards queued work on the abort path.
     """
 
+    #: jobs run *on the submitting thread* at drain — their seconds are
+    #: already inside the round wall, so the executor moves them out of
+    #: ``file_io`` into ``pipeline_io`` instead of double-counting
+    inline = True
+
     def __init__(self, name: str = "io-deferred") -> None:
         self._queue: deque = deque()
         self._done: List[FileJob] = []
@@ -224,6 +272,7 @@ class DeferredWorker:
         if self._error is not None:
             raise self._error
         job.t_issue = time.perf_counter()
+        _stamp_submit(job)
         self._queue.append(job)
         self.inflight += 1
         self._inflight_bytes += job.nbytes
@@ -244,6 +293,7 @@ class DeferredWorker:
             t1 = time.perf_counter()
             job.t0, job.t1 = t0, t1
             job.seconds = t1 - t0
+        _stamp_complete(job)
         self.inflight -= 1
         self._inflight_bytes -= job.nbytes
         self._done.append(job)

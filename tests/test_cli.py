@@ -92,6 +92,32 @@ class TestCommands:
         assert xs
         assert {e["tid"] for e in xs} == {0, 1, 2, 3}
 
+    def test_trace_causal_reports(self, capsys):
+        assert main([
+            "trace", "--cls", "S", "--nprocs", "4", "--nsteps", "1",
+            "--critical-path", "--waits",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "per-rank self time:" in out
+        assert "wait attribution" in out
+
+    def test_flight_dump(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "flight.json"
+        assert main([
+            "flight", "--cls", "S", "--nprocs", "4", "--nsteps", "1",
+            "--out", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "flight record" in out
+        doc = json.loads(path.read_text())
+        assert doc["flight_version"] == 1
+        assert doc["reason"] == "on_demand"
+        assert len(doc["last_rounds"]) == 4
+        assert doc["ranks"]
+
     def test_trace_restores_disabled_state(self):
         from repro.obs import trace
 

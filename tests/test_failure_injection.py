@@ -5,6 +5,7 @@ failures are real — a SIGKILLed rank process must surface as a
 :class:`ReproError` on the survivors within the runtime timeout, never
 as a hang."""
 
+import json
 import os
 import signal
 
@@ -235,6 +236,80 @@ class TestProcRankDeath:
         reported failure."""
         with pytest.raises(ValueError, match="injected rank failure"):
             run_spmd_proc(3, _raises_mid_collective, timeout=20.0)
+
+
+def _killed_after_rounds(comm):
+    from repro.obs import flight
+
+    flight.note_round(0, 3)
+    comm.barrier()
+    flight.note_round(1, 3)
+    if comm.rank == 2:
+        os.kill(os.getpid(), signal.SIGKILL)
+    comm.barrier()
+    comm.allgather(comm.rank)
+    return True
+
+
+class TestFlightRecorder:
+    """The crash flight recorder: a dying world must leave one parseable
+    JSON artifact naming the failed rank and its last completed round —
+    including ranks that died by SIGKILL and never ran an error path
+    (their last round survives in the shared-memory beacon)."""
+
+    def test_sigkill_writes_flight_record(self, tmp_path, monkeypatch):
+        out = tmp_path / "flight.json"
+        monkeypatch.setenv("REPRO_FLIGHT", str(out))
+        with pytest.raises(ReproError, match="rank 2 died"):
+            run_spmd_proc(4, _killed_after_rounds, timeout=20.0)
+        doc = json.loads(out.read_text())
+        assert doc["flight_version"] == 1
+        assert doc["reason"] == "abort"
+        assert doc["backend"] == "proc"
+        assert doc["world_size"] == 4
+        assert doc["failed_rank"] == 2
+        assert 2 in doc["failed_ranks"]
+        # The dead rank's beacon preserved its last completed round.
+        assert doc["last_rounds"]["2"] == 1
+
+    def test_sim_abort_writes_record_with_error(self, tmp_path,
+                                                monkeypatch):
+        out = tmp_path / "flight.json"
+        monkeypatch.setenv("REPRO_FLIGHT", str(out))
+
+        def worker(comm):
+            from repro.obs import flight
+            flight.note("collective", write=True, rounds=2)
+            if comm.rank == 1:
+                raise ValueError("sim rank blew up")
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="sim rank blew up"):
+            run_spmd(2, worker)
+        doc = json.loads(out.read_text())
+        assert doc["reason"] == "abort"
+        assert doc["backend"] == "sim"
+        assert doc["error"] == {"type": "ValueError",
+                                "message": "sim rank blew up"}
+        crumbs = [c for ent in doc["ranks"].values()
+                  for c in ent["breadcrumbs"]]
+        assert any(c[1] == "collective" for c in crumbs)
+
+    def test_no_file_without_env(self, tmp_path, monkeypatch):
+        from repro.obs import flight
+
+        monkeypatch.delenv("REPRO_FLIGHT", raising=False)
+        monkeypatch.chdir(tmp_path)
+
+        def worker(comm):
+            raise RuntimeError("quiet failure")
+
+        with pytest.raises(RuntimeError):
+            run_spmd(1, worker)
+        assert list(tmp_path.iterdir()) == []
+        # ... but the record is still stashed in memory for inspection.
+        rec = flight.last_record()
+        assert rec is not None and rec["reason"] == "abort"
 
 
 class TestShortReads:

@@ -1,0 +1,157 @@
+"""The causal graph: critical-path bounds, wait attribution, and the
+cross-process merge of span ids and edges.
+
+The pinned invariants (see ``repro.obs.causal``): the critical path of
+a traced run is **≤ the wall time** (paths accumulate disjoint forward
+intervals) and **≥ the max per-rank self time** (each rank's own chain
+is a candidate path); the graph is acyclic by construction; and the
+graph *structure* — event kinds and matched keys, never timestamps —
+is deterministic across runs of the same program.
+"""
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.fs import SimFileSystem
+from repro.io import File, MODE_CREATE, MODE_RDWR
+from repro.io.hints import Hints
+from repro.mpi import run_spmd
+from repro.mpi.proc import run_spmd_proc
+from repro.obs import causal, trace
+
+#: Small buffer + pipelining: many rounds, background window I/O.
+PIPE = Hints(cb_buffer_size=64, cb_pipeline="on")
+SERIAL = Hints(cb_buffer_size=64, cb_pipeline="off")
+
+EPS = 1e-6
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    prev = trace.set_tracing(False)
+    trace.TRACER.clear()
+    yield
+    trace.set_tracing(prev)
+    trace.TRACER.clear()
+
+
+def traced_collective(engine, hints, nprocs=4):
+    """One traced pipelined collective write+read on the sim runtime."""
+    trace.set_tracing(True)
+    trace.TRACER.clear()
+    fs = SimFileSystem()
+
+    def worker(comm):
+        fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                       engine=engine, hints=hints)
+        ft = dt.vector(32, 4, 4 * comm.size, dt.BYTE)
+        fh.set_view(comm.rank * 4, dt.BYTE, ft)
+        buf = np.full(128, comm.rank + 1, dtype=np.uint8)
+        fh.write_at_all(0, buf)
+        out = np.zeros(128, dtype=np.uint8)
+        fh.read_at_all(0, out)
+        assert np.array_equal(out, buf)
+        fh.close()
+
+    run_spmd(nprocs, worker)
+    return causal.build_graph()
+
+
+class TestCriticalPath:
+    @pytest.mark.parametrize("engine", ["list_based", "listless"])
+    def test_bounds_pipelined_collective(self, engine):
+        g = traced_collective(engine, PIPE)
+        assert g.check_acyclic()
+        cp = g.critical_path()
+        assert cp["wall"] > 0.0
+        assert cp["length"] <= cp["wall"] + EPS, cp
+        assert cp["length"] >= cp["max_self"] - EPS, cp
+        assert cp["segments"]
+        # Segments walk forward in time.
+        for a, b in zip(cp["segments"], cp["segments"][1:]):
+            assert b["t1"] >= a["t0"] - EPS
+
+    def test_wait_report_consistent(self):
+        g = traced_collective("listless", PIPE)
+        rep = g.wait_report()
+        assert rep["wall"] > 0.0
+        induced_total = sum(s for _r, s in rep["stragglers"])
+        by_peer_total = 0.0
+        for r, row in rep["per_rank"].items():
+            assert row["wall"] <= rep["wall"] + EPS
+            assert row["self"] + row["wait"] <= row["wall"] + EPS
+            assert row["wait"] >= sum(row["by_class"].values()) - EPS
+            by_peer_total += sum(row["by_peer"].values())
+        # Every attributed wait names a blocker, and vice versa.
+        assert induced_total == pytest.approx(by_peer_total)
+
+    def test_exchange_waits_fold_into_rounds(self):
+        g = traced_collective("listless", SERIAL)
+        rep = g.wait_report()
+        # The windowed schedule runs several exchange rounds; waits on
+        # round-tagged p2p traffic must land in the per-round table.
+        if any(row["by_class"]["exchange"] > 0.0
+               for row in rep["per_rank"].values()):
+            assert rep["rounds"]
+            for row in rep["rounds"].values():
+                assert row["skew"] <= row["exchange_wait"] + EPS
+
+
+def _p2p_worker(comm):
+    """Deterministic p2p + collective pattern for the proc tests."""
+    with trace.span("work.step"):
+        if comm.rank == 0:
+            for dst in range(1, comm.size):
+                comm.send(dst, np.arange(32, dtype=np.uint8), tag=5)
+        else:
+            comm.recv(0, tag=5)
+    comm.allgather(comm.rank)
+    comm.barrier()
+    return True
+
+
+class TestProcMerge:
+    """4 real rank processes: ids/edges must ship back to the parent
+    intact and merge into one matched, acyclic graph."""
+
+    def _run(self):
+        trace.set_tracing(True)
+        trace.TRACER.clear()
+        run_spmd_proc(4, _p2p_worker, timeout=60.0)
+        return causal.build_graph()
+
+    def test_edges_ship_and_match(self):
+        g = self._run()
+        assert sorted(g.ranks) == [0, 1, 2, 3]
+        edges = g.edges
+        assert {e.rank for e in edges} == {0, 1, 2, 3}
+        sends = {e.key for e in edges if e.kind == "send"}
+        recvs = [e for e in edges if e.kind == "recv"]
+        assert len(recvs) >= 3
+        for e in recvs:
+            assert e.key in sends, e
+        assert g.unmatched == 0
+        assert g.check_acyclic()
+        # Span ids survived the process hop: real ids, tree links.
+        spans = [s for s in g.spans if s.rank != 0 or s.name != "spmd.rank"]
+        assert all(s.sid >= 0 for s in g.spans)
+        by_rank_sids = {}
+        for s in g.spans:
+            by_rank_sids.setdefault(s.rank, set()).add(s.sid)
+        for r, sids in by_rank_sids.items():
+            assert len(sids) == sum(1 for s in g.spans if s.rank == r)
+        assert spans  # the worker's own spans arrived
+
+    def test_structure_deterministic_across_runs(self):
+        a = self._run().structure()
+        b = self._run().structure()
+        assert a == b
+        assert a["matched"]
+
+
+class TestSimStructure:
+    def test_serial_collective_structure_deterministic(self):
+        a = traced_collective("listless", SERIAL, nprocs=2).structure()
+        b = traced_collective("listless", SERIAL, nprocs=2).structure()
+        assert a == b

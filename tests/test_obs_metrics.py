@@ -172,7 +172,8 @@ class TestSchema:
         for e in box["snap"]["engines"]:
             assert set(e["phases"]) == {
                 "phase_exchange", "phase_file_io", "phase_lock",
-                "phase_pack", "phase_plan", "phase_sync", "phase_unpack",
+                "phase_pack", "phase_pipeline_io", "phase_plan",
+                "phase_sync", "phase_unpack",
             }
 
 

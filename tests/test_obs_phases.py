@@ -121,6 +121,40 @@ class TestEngineDecomposition:
             )
 
 
+class TestPipelinedAttribution:
+    """The ``pipeline_io`` bucket: offloaded window I/O is attributed to
+    its own bucket, and on the simulated executor those seconds are
+    *moved* out of ``file_io`` so the bucket sum still bounds wall."""
+
+    @pytest.mark.parametrize("engine", ["list_based", "listless"])
+    def test_pipeline_io_bucket_and_wall_bound(self, engine):
+        from repro.io.hints import Hints
+        from repro.mpi import run_spmd as _run_spmd
+
+        fs = SimFileSystem()
+        out = [None, None]
+        hints = Hints(cb_buffer_size=64, cb_pipeline="on")
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR,
+                           engine=engine, hints=hints)
+            fh.set_view(comm.rank * 8, dt.BYTE, FT)
+            buf = np.full(FT.size, comm.rank + 1, dtype=np.uint8)
+            fh.engine.stats.phases.reset()
+            t0 = time.perf_counter()
+            for rep in range(2):
+                fh.write_at_all(rep * FT.size, buf)
+            wall = time.perf_counter() - t0
+            out[comm.rank] = (fh.engine.stats.phases.snapshot(), wall)
+            fh.close()
+
+        _run_spmd(2, worker)
+        for snap, wall in out:
+            assert snap["phase_pipeline_io"] > 0.0
+            assert snap["phase_file_io"] >= 0.0
+            assert sum(snap.values()) <= wall * 1.25, (snap, wall)
+
+
 class TestPhaseTable:
     def test_format_contains_buckets_and_total(self):
         a = PhaseAccumulator()

@@ -195,3 +195,114 @@ class TestExport:
 
     def test_text_summary_hint_when_empty(self):
         assert "no spans" in text_summary(tracer=Tracer())
+
+
+class TestCategories:
+    """REPRO_TRACE=exec,fs-style narrowing: only named categories (the
+    span-name prefix before the first dot) record; everything else takes
+    the off path."""
+
+    def test_filter_records_only_matching(self):
+        trace.set_tracing(True, categories=("exec",))
+        with trace.span("exec.round"):
+            pass
+        with trace.span("ff.pack"):
+            pass
+        trace.add_span("ff.unpack", trace.now())
+        trace.add_span("exec.op", trace.now())
+        assert {s.name for s in trace.TRACER.spans()} == {
+            "exec.round", "exec.op"
+        }
+
+    def test_filtered_span_takes_noop_path(self):
+        trace.set_tracing(True, categories=("exec",))
+        assert trace.span("ff.pack") is _NOOP
+        assert trace.span("exec.x") is not _NOOP
+
+    def test_set_tracing_round_trips_categories(self):
+        trace.set_tracing(True, categories=("exec", "fs"))
+        prev = trace.set_tracing(False)
+        assert prev == frozenset({"exec", "fs"})
+        assert trace.set_tracing(prev) is False
+        assert trace.TRACE_ON == frozenset({"exec", "fs"})
+
+    def test_comma_string_accepted(self):
+        trace.set_tracing("aggregation, exec")
+        assert trace.TRACE_ON == frozenset({"aggregation", "exec"})
+
+    def test_env_comma_list(self, monkeypatch):
+        from repro.obs.trace import _env_enabled
+
+        monkeypatch.setenv("REPRO_TRACE", "exec, fs")
+        assert _env_enabled() == frozenset({"exec", "fs"})
+
+    def test_hot_kernel_stays_dark_when_ff_filtered(self):
+        """The ff_pack hot guard is tri-state aware: with category
+        ``ff`` excluded the kernel records nothing at all."""
+        from repro.core.ff_pack import ff_pack
+
+        src = np.arange(64, dtype=np.uint8)
+        dst = np.zeros(64, dtype=np.uint8)
+        vt = dt.vector(8, 4, 8, dt.BYTE)
+        trace.set_tracing(True, categories=("exec",))
+        assert ff_pack(src, 1, vt, 0, dst, 32) == 32
+        assert len(trace.TRACER) == 0
+        trace.set_tracing(True)
+        assert ff_pack(src, 1, vt, 0, dst, 32) == 32
+        assert {s.name for s in trace.TRACER.spans()} == {"ff.pack"}
+
+
+class TestEdgesAndOverflow:
+    def test_add_edge_off_is_noop(self):
+        trace.add_edge("send", (0, 1, 5, 0), peer=1)
+        assert trace.TRACER.edges() == []
+
+    def test_edges_survive_category_narrowing(self):
+        # Edges feed the causal graph; narrowing span categories must
+        # not drop them.
+        trace.set_tracing(True, categories=("exec",))
+        trace.add_edge("send", (0, 1, 5, 0), peer=1)
+        (e,) = trace.TRACER.edges()
+        assert e.kind == "send" and e.key == (0, 1, 5, 0)
+
+    def test_snapshot_counts_dropped_spans(self):
+        tr = Tracer(max_spans_per_rank=2)
+        for i in range(5):
+            tr.add(f"s{i}", trace.now(), rank=0)
+        snap = tr.snapshot()
+        assert snap["spans"][0] == 2
+        assert snap["spans_dropped"][0] == 3
+        assert tr.dropped(0) == 3
+        assert tr.dropped() == {0: 3}
+
+    def test_flow_events_for_matched_edge_pairs(self):
+        trace.set_tracing(True)
+        t = trace.now()
+        trace.TRACER.edge("send", (0, 1, 7, 0), peer=1, rank=0,
+                          t0=t, t1=t)
+        trace.TRACER.edge("recv", (0, 1, 7, 0), peer=0, rank=1,
+                          t0=t, t1=t + 1e-4)
+        trace.TRACER.edge("recv", (3, 1, 9, 0), peer=3, rank=1,
+                          t0=t, t1=t)  # unmatched: no flow
+        doc = chrome_trace()
+        flows = [e for e in doc["traceEvents"] if e.get("cat") == "flow"]
+        assert len(flows) == 2
+        s, f = flows
+        assert s["ph"] == "s" and s["tid"] == 0
+        assert f["ph"] == "f" and f["tid"] == 1 and f["bp"] == "e"
+        assert s["id"] == f["id"]
+        assert f["ts"] >= s["ts"]
+
+    def test_export_state_ships_ids_edges_and_dropped(self):
+        tr = Tracer(max_spans_per_rank=2)
+        t = trace.now()
+        for i in range(3):
+            tr.add(f"s{i}", t, rank=1)
+        tr.edge("send", (1, 0, 5, 0), peer=0, rank=1, t0=t, t1=t)
+        sink = Tracer()
+        sink.ingest_state(tr.export_state())
+        assert [s.name for s in sink.spans()] == ["s1", "s2"]
+        assert sink.spans()[0].sid >= 0
+        (e,) = sink.edges()
+        assert e.kind == "send" and e.rank == 1 and e.peer == 0
+        assert sink.dropped(1) == 1
