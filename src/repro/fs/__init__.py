@@ -26,6 +26,9 @@ Public surface:
   :class:`FcntlRangeLockManager` — the same surfaces over a real
   directory, real descriptors and real ``fcntl`` locks, for the
   multi-process runtime (``docs/runtime.md``).
+* :class:`ShardedFileSystem`, :class:`ShardedFile` — one logical file
+  striped round-robin across N shard server processes, the request-
+  shipping backend of ``docs/shipping.md``.
 """
 
 from repro.fs.stats import DeviceModel, FileStats
@@ -34,6 +37,16 @@ from repro.fs.simfile import SimFile
 from repro.fs.striping import StripingConfig
 from repro.fs.filesystem import OsFileSystem, SimFileSystem
 from repro.fs.posix import OsFile, PosixFile
+from repro.fs.sharded import (
+    ShardedFile,
+    ShardedFileSystem,
+    global_size,
+    local_size,
+    split_blocks,
+    split_extent,
+    to_global,
+    to_local,
+)
 
 __all__ = [
     "DeviceModel",
@@ -46,4 +59,12 @@ __all__ = [
     "OsFileSystem",
     "SimFileSystem",
     "PosixFile",
+    "ShardedFile",
+    "ShardedFileSystem",
+    "global_size",
+    "local_size",
+    "split_blocks",
+    "split_extent",
+    "to_global",
+    "to_local",
 ]

@@ -233,6 +233,12 @@ class IOEngine:
                  mem: Optional[MemDescriptor] = None,
                  buffers: Optional[dict] = None,
                  file_delta: int = 0) -> dict:
+        if self.fh.hints.ship_protocol is not None:
+            # Sharded-backend request shipping: rewrite eligible file
+            # ops into ShipOps (no-op on non-sharded backends).
+            from repro.io import shipping
+
+            plan = shipping.maybe_rewrite(self, plan)
         return self.executor.run(plan, mem, buffers, file_delta)
 
     def write_independent(self, mem: MemDescriptor, d0: int) -> None:

@@ -35,6 +35,15 @@ datatype handling:
     with the next round's pack/exchange and relax the per-round
     alltoall to point-to-point completion tracking.  ``auto`` lets the
     cost model decide from the round count.
+``ship_protocol``
+    request-shipping protocol against a striped multi-server backend
+    (``repro.fs.sharded``; see ``docs/shipping.md``): ``list`` ships
+    exploded per-shard offset/length lists, ``dtype`` ships the compact
+    fileview descriptor plus access params and lets the servers flatten
+    on the fly — the list-I/O vs datatype-I/O comparison of
+    "Noncontiguous I/O through PVFS".  Unset (the default) keeps every
+    access on the plain per-primitive wire path; ignored on
+    non-sharded backends.
 """
 
 from __future__ import annotations
@@ -44,13 +53,17 @@ from typing import Mapping, Optional
 
 from repro.errors import HintError
 
-__all__ = ["Hints", "DOMAIN_ALIGNMENTS", "PIPELINE_MODES"]
+__all__ = ["Hints", "DOMAIN_ALIGNMENTS", "PIPELINE_MODES",
+           "SHIP_PROTOCOLS"]
 
 #: Legal values of the ``cb_domain_align`` hint (``None`` → automatic).
 DOMAIN_ALIGNMENTS = ("even", "stripe", "block")
 
 #: Legal values of the ``cb_pipeline`` hint.
 PIPELINE_MODES = ("auto", "on", "off")
+
+#: Legal values of the ``ship_protocol`` hint (``None`` → no shipping).
+SHIP_PROTOCOLS = ("list", "dtype")
 
 
 def _to_bool(value: str) -> bool:
@@ -90,6 +103,11 @@ class Hints:
     #: keeps the strict exchange→file-I/O sequence, ``auto`` lets the
     #: cost model decide from the round count.
     cb_pipeline: str = "auto"
+    #: Request-shipping protocol against a sharded multi-server backend:
+    #: ``list`` (exploded per-shard ol-lists) or ``dtype`` (compact
+    #: fileview + access params, server-side flattening).  ``None``
+    #: disables shipping; silently ignored on non-sharded backends.
+    ship_protocol: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in ("ind_rd_buffer_size", "ind_wr_buffer_size",
@@ -118,6 +136,12 @@ class Hints:
             raise HintError(
                 f"cb_pipeline must be one of "
                 f"{'/'.join(PIPELINE_MODES)}, got {self.cb_pipeline!r}"
+            )
+        if (self.ship_protocol is not None
+                and self.ship_protocol not in SHIP_PROTOCOLS):
+            raise HintError(
+                f"ship_protocol must be one of "
+                f"{'/'.join(SHIP_PROTOCOLS)}, got {self.ship_protocol!r}"
             )
 
     #: Per-field string coercion for :meth:`from_mapping` (``MPI_Info``
@@ -193,6 +217,7 @@ class Hints:
             self.ff_block_programs,
             self.cb_domain_align,
             self.cb_pipeline,
+            self.ship_protocol,
         )
 
     def with_(self, **kwargs) -> "Hints":

@@ -536,8 +536,13 @@ class ProcGroupComm(ProcComm):
 def _worker_main(shared: _ProcShared, rank: int, fn, args,
                  trace_on: bool, network: Optional[NetworkModel]) -> None:
     # Rank attribution for the tracer and phase accounting: the same
-    # thread-name convention the thread backend uses.
+    # thread-name convention the thread backend uses.  The explicit pin
+    # matters: if the parent's main thread ever resolved its own rank
+    # (any tracing or flight note in the parent does), this forked
+    # child inherits that cached 0 and the rename alone would not
+    # shake it.
     threading.current_thread().name = f"rank-{rank}"
+    trace.set_current_rank(rank)
     trace.set_tracing(trace_on)
     trace.TRACER.clear()
     # Fresh flight rings (fork inherits the parent's), and a beacon

@@ -27,6 +27,11 @@ Buckets (see ``docs/observability.md`` for the mapping to paper terms):
 ``sync``
     collective coordination: the access-range allgather that starts
     every collective access (includes waiting for slower ranks);
+``ship``
+    shipped noncontiguous requests against a sharded multi-server
+    backend (``repro.plan.ops.ShipOp``): building per-shard wire
+    descriptions, the round trips to the shard servers, and the
+    payload scatter/gather on the client side (``docs/shipping.md``);
 ``pipeline_io``
     file work executed by the pipeline worker on behalf of this rank
     (jobs offloaded by pipelined collective rounds).  On the simulated
@@ -59,7 +64,7 @@ __all__ = [
 #: snapshots are keyed ``phase_<bucket>`` and sorted alphabetically).
 BUCKETS: Tuple[str, ...] = (
     "plan", "pack", "unpack", "file_io", "pipeline_io", "exchange",
-    "lock", "sync",
+    "lock", "sync", "ship",
 )
 
 _now = time.perf_counter

@@ -230,6 +230,20 @@ _NOOP = _NoopSpan()
 _tls = threading.local()
 
 
+def set_current_rank(rank: int) -> None:
+    """Pin the calling thread's rank attribution to ``rank``.
+
+    Rank resolution caches in a thread-local, and a forked worker
+    process inherits the parent main thread's cache (fork copies
+    thread-locals along with the rest of memory) — so a process-backed
+    rank must overwrite the cache explicitly; renaming its thread to
+    ``rank-N`` is not enough.  Also drops any span stack inherited
+    from the parent: those spans belong to the parent's timeline.
+    """
+    _tls.rank = rank
+    _tls.stack = []
+
+
 def _current_rank() -> int:
     """Rank of the calling thread (cached), from the ``rank-N`` thread
     name the SPMD harness assigns; 0 outside any rank thread."""

@@ -55,6 +55,7 @@ from repro.plan.ops import (
     RoundOp,
     ScatterOp,
     Send,
+    ShipOp,
     TupleBlocks,
     UnlockOp,
     in_slot,
@@ -288,6 +289,19 @@ class PlanExecutor:
                     self._note_staging(bufs)
                     stats.executed_exchanges += 1
                     bucket = "exchange"
+                elif isinstance(op, ShipOp):
+                    from repro.io import shipping
+
+                    if op.write and self._worker is not None:
+                        # Same ordering contract as synchronous writes:
+                        # offloaded ops land before the shipped write.
+                        self._drain_worker(plan, 0, cur_round, bufs)
+                    shipping.execute_ship(
+                        self, plan, op, mem, bufs,
+                        cur_round[0] if cur_round is not None else -1,
+                    )
+                    self._note_staging(bufs)
+                    bucket = "ship"
                 else:
                     raise IOEngineError(f"unknown plan op {op!r}")
                 stats.executed_ops += 1

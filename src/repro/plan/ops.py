@@ -50,6 +50,7 @@ __all__ = [
     "ExchangeOp",
     "RoundOp",
     "DrainOp",
+    "ShipOp",
     "Piece",
     "Blocks",
     "TupleBlocks",
@@ -365,6 +366,45 @@ class ExchangeOp(PlanOp):
                 f"recvs={len(self.recvs)}, tag={self.tag})"
             )
         return f"ExchangeOp(sends={len(self.sends)})"
+
+
+@dataclass(frozen=True, repr=False)
+class ShipOp(PlanOp):
+    """Ship a file op's noncontiguous accesses to the shard servers.
+
+    A plan rewrite (``repro.io.shipping``) replaces an eligible
+    :class:`FileReadOp`/:class:`FileWriteOp` against a
+    :class:`~repro.fs.sharded.ShardedFile` with this op: instead of the
+    executor accessing bytes through the file surface (one wire round
+    trip per primitive), the whole noncontiguous access is described to
+    each involved shard server in one request per shard.
+
+    ``protocol`` selects the wire description (the list-I/O vs
+    datatype-I/O comparison of "Noncontiguous I/O through PVFS"):
+    ``"list"`` ships exploded per-shard offset/length lists, ``"dtype"``
+    ships the compact fileview once per (shard, view) and then only
+    ``(view id, data range, file delta)`` — ``views`` carries the
+    per-piece ``(vid, cview, data_base)`` triple for the dtype path,
+    ``None`` entries falling back to lists.  Coordinates in ``pieces``
+    stay plan-relative; the executor's file delta is applied at ship
+    time, so cached/replayed plans rewrite once and re-ship anywhere.
+    """
+
+    lo: int
+    hi: int
+    write: bool
+    protocol: str
+    pieces: Tuple[Piece, ...] = ()
+    views: Tuple[object, ...] = field(default=(), compare=False)
+    strict: bool = False
+
+    def __repr__(self) -> str:
+        kind = "write" if self.write else "read"
+        return (
+            f"ShipOp({kind} [{self.lo}, {self.hi}), "
+            f"protocol={self.protocol!r}, pieces={len(self.pieces)}"
+            f"{', strict' if self.strict else ''})"
+        )
 
 
 @dataclass(frozen=True, repr=False)

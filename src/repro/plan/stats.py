@@ -74,6 +74,22 @@ class PlanStats:
     #: device time still outstanding when a drain required completion
     #: (effective wall = measured CPU + device_sync + device_stall)
     device_stall_seconds: float = 0.0
+    #: ShipOps executed (file ops rewritten to request shipping)
+    ship_ops: int = 0
+    #: shard-server requests sent by ShipOps
+    ship_requests: int = 0
+    #: modeled request-description wire bytes (headers + ol-lists or
+    #: datatype access params) — the descriptor side of the list-I/O vs
+    #: datatype-I/O comparison
+    ship_wire_request_bytes: int = 0
+    #: payload wire bytes moved by ShipOps (both directions)
+    ship_wire_payload_bytes: int = 0
+    #: compact-fileview bytes installed on shard servers (charged once
+    #: per (shard, view); the datatype-I/O protocol's up-front cost)
+    ship_view_bytes: int = 0
+    #: dtype-protocol pieces that fell back to list shipping (no
+    #: compact view available, or the data-coordinate check failed)
+    ship_dtype_fallbacks: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -100,4 +116,10 @@ class PlanStats:
             "device_sync_seconds": self.device_sync_seconds,
             "device_async_seconds": self.device_async_seconds,
             "device_stall_seconds": self.device_stall_seconds,
+            "ship_ops": self.ship_ops,
+            "ship_requests": self.ship_requests,
+            "ship_wire_request_bytes": self.ship_wire_request_bytes,
+            "ship_wire_payload_bytes": self.ship_wire_payload_bytes,
+            "ship_view_bytes": self.ship_view_bytes,
+            "ship_dtype_fallbacks": self.ship_dtype_fallbacks,
         }

@@ -20,12 +20,18 @@ from repro.errors import (
     MPIRuntimeError,
     ReproError,
 )
-from repro.fs import DeviceModel, SimFileSystem, StripingConfig
+from repro.fs import (
+    DeviceModel,
+    ShardedFileSystem,
+    SimFileSystem,
+    StripingConfig,
+)
 from repro.fs.simfile import SimFile
 from repro.io import File, MODE_CREATE, MODE_RDONLY, MODE_RDWR
 from repro.io.hints import Hints
 from repro.mpi import run_spmd
 from repro.mpi.proc import run_spmd_proc
+from repro.mpi.runtime import Runtime
 
 ENGINES = ["listless", "list_based"]
 
@@ -310,6 +316,149 @@ class TestFlightRecorder:
         # ... but the record is still stashed in memory for inspection.
         rec = flight.last_record()
         assert rec is not None and rec["reason"] == "abort"
+
+
+def _interleave_view(size, rank):
+    ft = dt.resized(dt.vector(6, 8, size * 8, dt.BYTE), 0, 6 * size * 8)
+    return ft, rank * 8
+
+
+class TestShardServerDeath:
+    """SIGKILL a shard server mid-workload: the next touch of the dead
+    shard must abort the world with a :class:`FileSystemError` naming
+    the shard — promptly, never as a hang — the crash-safe beacon must
+    still report the shard's last served round, the flight recorder must
+    carry a ``ship_dead_shard`` breadcrumb, and no residual byte-range
+    locks may survive on the other shard servers."""
+
+    def test_sigkill_mid_collective_write_aborts_world(
+            self, tmp_path, monkeypatch):
+        out = tmp_path / "flight.json"
+        monkeypatch.setenv("REPRO_FLIGHT", str(out))
+        fs = ShardedFileSystem(str(tmp_path / "sh"), nshards=3,
+                               stripe_size=16)
+        victim = 1
+        try:
+            def worker(comm, fs):
+                fh = File.open(comm, fs, "/w.out",
+                               MODE_CREATE | MODE_RDWR, engine="listless",
+                               hints=Hints(ship_protocol="list"))
+                ft, disp = _interleave_view(comm.size, comm.rank)
+                fh.set_view(disp, dt.BYTE, ft)
+                buf = np.full(ft.size, 1 + comm.rank, dtype=np.uint8)
+                fh.write_at_all(0, buf)  # warm-up: every shard serves
+                comm.barrier()
+                if comm.rank == 0:
+                    os.kill(fs.server_pid(victim), signal.SIGKILL)
+                comm.barrier()
+                fh.write_at_all(ft.size, buf)  # touches the dead shard
+                fh.close()
+
+            with pytest.raises(FileSystemError,
+                               match=f"shard {victim} server dead"):
+                Runtime("sim").run(2, worker, fs)
+
+            # The beacon survived the SIGKILL with a served round count.
+            assert fs.shard_last_round(victim) >= 0
+            # No residual locks on the surviving shard servers.
+            for k in (0, 2):
+                held = fs.shard_locks_held(k, "/w.out")
+                assert held["ranges"] == [], (k, held)
+                assert held["backing"] == [], (k, held)
+            doc = json.loads(out.read_text())
+            assert doc["reason"] == "abort"
+            crumbs = [c for ent in doc["ranks"].values()
+                      for c in ent["breadcrumbs"]]
+            assert any(c[1] == "ship_dead_shard" for c in crumbs), crumbs
+        finally:
+            fs.close()
+
+    def test_sigkill_mid_pipelined_read_aborts_world(self, tmp_path):
+        fs = ShardedFileSystem(str(tmp_path / "shp"), nshards=3,
+                               stripe_size=16)
+        victim = 2
+        try:
+            def worker(comm, fs):
+                fh = File.open(
+                    comm, fs, "/r.out", MODE_CREATE | MODE_RDWR,
+                    engine="listless",
+                    hints=Hints(ship_protocol="list", cb_buffer_size=64,
+                                cb_pipeline="on"))
+                ft, disp = _interleave_view(comm.size, comm.rank)
+                fh.set_view(disp, dt.BYTE, ft)
+                buf = np.full(ft.size * 2, 1 + comm.rank, dtype=np.uint8)
+                fh.write_at_all(0, buf)
+                comm.barrier()
+                if comm.rank == 0:
+                    os.kill(fs.server_pid(victim), signal.SIGKILL)
+                comm.barrier()
+                got = np.zeros(ft.size * 2, dtype=np.uint8)
+                fh.read_at_all(0, got)  # pipelined rounds hit the shard
+                fh.close()
+
+            with pytest.raises(FileSystemError,
+                               match=f"shard {victim} server dead"):
+                Runtime("sim").run(4, worker, fs)
+        finally:
+            fs.close()
+
+    def test_locks_rolled_back_when_shard_dies_mid_rmw(self, tmp_path):
+        """A sieved (rmw) write locks shards in ascending order; when a
+        middle shard turns out dead the already-acquired ranges must be
+        rolled back, or a second writer deadlocks on them."""
+        fs = ShardedFileSystem(str(tmp_path / "shl"), nshards=3,
+                               stripe_size=16)
+        victim = 1
+        try:
+            def worker(comm, fs):
+                fh = File.open(comm, fs, "/l.out",
+                               MODE_CREATE | MODE_RDWR, engine="listless")
+                # sparse view over [0, 47): rmw window spans shards 0..2
+                fh.set_view(0, dt.BYTE, dt.vector(24, 1, 2, dt.BYTE))
+                if comm.rank == 0:
+                    os.kill(fs.server_pid(victim), signal.SIGKILL)
+                fh.write_at(0, np.full(24, 5, dtype=np.uint8))
+                fh.close()
+
+            with pytest.raises(FileSystemError,
+                               match=f"shard {victim} server dead"):
+                Runtime("sim").run(1, worker, fs)
+
+            for k in (0, 2):
+                held = fs.shard_locks_held(k, "/l.out")
+                assert held["ranges"] == [], (k, held)
+                assert held["backing"] == [], (k, held)
+        finally:
+            fs.close()
+
+    def test_sigkill_proc_runtime_surfaces_promptly(self, tmp_path):
+        """Under the multi-process runtime every rank holds its own
+        connections to the shard servers; a dead shard must surface as
+        the original FileSystemError on the survivors, not a timeout
+        shadow or a hang."""
+        fs = ShardedFileSystem(str(tmp_path / "shd"), nshards=2,
+                               stripe_size=16)
+        try:
+            def worker(comm, fs):
+                fh = File.open(comm, fs, "/p.out",
+                               MODE_CREATE | MODE_RDWR, engine="listless",
+                               hints=Hints(ship_protocol="dtype"))
+                ft, disp = _interleave_view(comm.size, comm.rank)
+                fh.set_view(disp, dt.BYTE, ft)
+                buf = np.full(ft.size, 7, dtype=np.uint8)
+                fh.write_at_all(0, buf)
+                comm.barrier()
+                if comm.rank == 0:
+                    os.kill(fs.server_pid(0), signal.SIGKILL)
+                comm.barrier()
+                fh.write_at_all(ft.size, buf)
+                fh.close()
+
+            with pytest.raises(FileSystemError,
+                               match="shard 0 server dead"):
+                Runtime("proc").run(2, worker, fs)
+        finally:
+            fs.close()
 
 
 class TestShortReads:

@@ -173,7 +173,7 @@ class TestSchema:
             assert set(e["phases"]) == {
                 "phase_exchange", "phase_file_io", "phase_lock",
                 "phase_pack", "phase_pipeline_io", "phase_plan",
-                "phase_sync", "phase_unpack",
+                "phase_ship", "phase_sync", "phase_unpack",
             }
 
 

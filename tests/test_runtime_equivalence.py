@@ -18,7 +18,7 @@ from repro import datatypes as dt
 from repro.bench.btio import BTIOConfig, run_btio
 from repro.datatypes.validation import validate_filetype
 from repro.errors import DatatypeError
-from repro.fs import OsFileSystem, SimFileSystem
+from repro.fs import OsFileSystem, ShardedFileSystem, SimFileSystem
 from repro.io import File, MODE_CREATE, MODE_RDWR
 from repro.io.hints import Hints
 from repro.mpi.runtime import Runtime
@@ -335,3 +335,73 @@ def test_backends_agree_full_sweep(view_name, kind, engine, size,
     tier-1; CI's runtime-proc job runs it)."""
     sim, proc = run_equivalence(view_name, engine, kind, size, tmp_path)
     assert_identical(sim, proc)
+
+
+# -- sharded backend: request shipping vs the plain single backend -----
+
+SHIP_PROTOCOLS = ["list", "dtype"]
+
+
+def run_sharded_equivalence(view_name, engine, kind, size, nshards,
+                            protocol, tmp_path, seed=7, runtime="sim"):
+    """Run the same worker on a plain SimFileSystem (no shipping) and on
+    a ShardedFileSystem with ``ship_protocol`` set; return (plain,
+    sharded) results in the :func:`assert_identical` shape."""
+
+    def base_worker(comm, fs):
+        return _worker(comm, view_name, engine, kind, seed)(fs)
+
+    def ship_worker(comm, fs):
+        return _worker(comm, view_name, engine, kind, seed,
+                       hints=Hints(ship_protocol=protocol))(fs)
+
+    sim_fs = SimFileSystem()
+    sim_reads = Runtime("sim").run(size, base_worker, sim_fs)
+    sim_bytes = bytes(sim_fs.lookup("/eq.out").contents())
+
+    sh_fs = ShardedFileSystem(
+        str(tmp_path / f"sh{nshards}-{protocol}-{engine}-{kind}"),
+        nshards=nshards, stripe_size=64)
+    try:
+        sh_reads = Runtime(runtime).run(size, ship_worker, sh_fs)
+        sh_bytes = bytes(sh_fs.lookup("/eq.out").contents())
+    finally:
+        sh_fs.close()
+    return (sim_bytes, sim_reads), (sh_bytes, sh_reads)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("protocol", SHIP_PROTOCOLS)
+@pytest.mark.parametrize("kind", KINDS)
+def test_sharded_backend_agrees(kind, protocol, engine, tmp_path):
+    """Request shipping to 2 shard servers — both protocols (list-I/O
+    and datatype-I/O), both engines, all four access kinds — must leave
+    bytes identical to the plain single-backend run (16 cases)."""
+    plain, sharded = run_sharded_equivalence(
+        "interleaved", engine, kind, 2, 2, protocol, tmp_path)
+    assert_identical(plain, sharded)
+
+
+def test_sharded_backend_agrees_proc_runtime(tmp_path):
+    """The sharded backend under the multi-process runtime: each rank
+    process reconnects to the shard servers through a pickled handle;
+    the result must still match the plain in-process run."""
+    plain, sharded = run_sharded_equivalence(
+        "interleaved", "listless", "write_at_all", 2, 2, "dtype",
+        tmp_path, runtime="proc")
+    assert_identical(plain, sharded)
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize("nshards", [1, 2, 4])
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("protocol", SHIP_PROTOCOLS)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("view_name", ["interleaved", "strided_gap"])
+def test_sharded_backend_full_sweep(view_name, kind, protocol, engine,
+                                    nshards, tmp_path):
+    """The sharded sweep: 2 views x 4 kinds x 2 protocols x 2 engines x
+    {1,2,4} shards at P=4 (96 cases; soak: CI's shipping job runs it)."""
+    plain, sharded = run_sharded_equivalence(
+        view_name, engine, kind, 4, nshards, protocol, tmp_path)
+    assert_identical(plain, sharded)
