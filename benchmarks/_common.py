@@ -135,10 +135,24 @@ def probe_metric_schema() -> Dict:
 
     for engine in ENGINES:
         run(engine)
+
+    # Service section: one tiny write+read through the IOP server so
+    # the per-tenant counter key set lands in the golden schema too.
+    from repro.server import IOPServer, ServiceClient
+
+    with IOPServer(workers=1) as srv:
+        srv.register_tenant("probe")
+        cl = ServiceClient(srv, "probe")
+        cl.write("/probe", 0, np.zeros(64, np.uint8), timeout=30.0)
+        cl.read("/probe", 0, 64, timeout=30.0)
+        service = metrics.metric_schema(
+            srv.session.metrics.snapshot())["service"]
+
     return {
         "engines": {k: box["engines"][k] for k in sorted(box["engines"])},
         "file_counters": box["file_counters"],
         "global": box["global"],
+        "service": service,
     }
 
 

@@ -1,0 +1,320 @@
+"""The multi-tenant IOP service: soak, admission A/B, batching A/B.
+
+Three cells, each pinning one acceptance claim of the service-ified
+stack (``repro.server``, ``docs/service.md``):
+
+* **soak** — hundreds of concurrent clients spread over several
+  tenants hammer ≥ 8 files through one :class:`IOPServer`; the
+  harness (:func:`repro.server.soak.run_soak`) proves the final file
+  bytes are identical to serialized execution of the same writes, and
+  records per-tenant latency percentiles;
+* **admission A/B** — a noisy tenant floods the service with large
+  writes while a victim tenant runs a closed loop of small requests.
+  With admission control (weighted-fair DRR dequeue + in-flight byte
+  budget) the victim's p99 stays bounded; with ``fair=False`` (one
+  global arrival-order queue, no budgets) the victim queues behind the
+  flood.  Acceptance: victim p99 with admission ≤ victim p99 without;
+* **batching A/B** — concurrently posted tiling writes with cross-
+  client batching on vs off, same workload.  Acceptance is the
+  *counter*, not the clock: with batching, ``file_accesses`` (server
+  accesses actually performed) drops below ``requests_executed``;
+  without, they are equal.
+
+Standalone run writes the machine-readable record::
+
+    python benchmarks/bench_service.py --quick \
+        --out results/BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import ServiceQueueFull
+from repro.server import IOPServer, ServiceClient
+from repro.server.soak import SoakConfig, run_soak
+
+#: Soak shape (full mode; --quick divides the client count down).
+SOAK_CLIENTS = 128
+SOAK_FILES = 8
+SOAK_TENANTS = 4
+SOAK_ROUNDS = 3
+SOAK_REQ_BYTES = 4096
+WORKERS = 4
+
+#: Admission A/B: noisy tenant's request size and the victim's.
+NOISY_BYTES = 256 * 1024
+VICTIM_BYTES = 4096
+#: Victim closed-loop requests measured per mode.
+VICTIM_REQUESTS = 40
+#: Simulated device latency per server access (creates queueing).
+AB_WORKER_DELAY = 0.002
+
+#: Batching A/B: concurrently posted tiling writes.
+BATCH_REQUESTS = 32
+BATCH_REQ_BYTES = 4096
+BATCH_WORKER_DELAY = 0.005
+
+
+def _pct(xs, q):
+    if not xs:
+        return 0.0
+    xs = sorted(xs)
+    return xs[min(len(xs) - 1, int(q * len(xs)))]
+
+
+def _soak_cell(quick: bool) -> dict:
+    cfg = SoakConfig(
+        nclients=SOAK_CLIENTS // (4 if quick else 1),
+        nfiles=SOAK_FILES,
+        ntenants=SOAK_TENANTS,
+        rounds=SOAK_ROUNDS,
+        req_bytes=SOAK_REQ_BYTES,
+        workers=WORKERS,
+    )
+    res = run_soak(cfg)
+    return {
+        "clients": cfg.nclients,
+        "files": cfg.nfiles,
+        "tenants": cfg.ntenants,
+        "requests": res.requests,
+        "rejected": res.rejected,
+        "bytes_moved": res.bytes_moved,
+        "wall_seconds": res.wall_seconds,
+        "byte_identical": bool(res.ok),
+        "mismatches": res.mismatches,
+        "tenant_p50_ms": {
+            t: 1e3 * res.percentile(t, 0.50) for t in res.latencies
+        },
+        "tenant_p99_ms": {
+            t: 1e3 * res.percentile(t, 0.99) for t in res.latencies
+        },
+        "server": res.server,
+    }
+
+
+def _admission_cell(fair: bool, quick: bool) -> dict:
+    """Victim latency under a sustained noisy-tenant flood.
+
+    The noisy threads keep a window of large writes posted for the
+    whole victim measurement; batching is off so the cell isolates the
+    scheduling policy (merging the noisy tiling writes would shrink
+    the flood by itself).
+    """
+    nvictim = VICTIM_REQUESTS // (2 if quick else 1)
+    with IOPServer(workers=2, fair=fair, batching=False,
+                   worker_delay=AB_WORKER_DELAY) as srv:
+        # Small in-flight budget: at most two noisy requests execute
+        # at once no matter how deep its backlog. (Ignored when
+        # fair=False — that is the point of the A/B.)
+        srv.register_tenant("noisy", byte_budget=2 * NOISY_BYTES,
+                            queue_depth=64)
+        srv.register_tenant("victim", queue_depth=64)
+        noisy = ServiceClient(srv, "noisy")
+        victim = ServiceClient(srv, "victim")
+        stop = threading.Event()
+
+        def flood():
+            blob = np.zeros(NOISY_BYTES, np.uint8)
+            i = 0
+            while not stop.is_set():
+                window = []
+                for _ in range(8):
+                    try:
+                        window.append(
+                            noisy.iwrite("/noise", i * NOISY_BYTES,
+                                         blob))
+                    except ServiceQueueFull:
+                        break
+                    i = (i + 1) % 64
+                for r in window:
+                    try:
+                        r.wait(60.0)
+                    except Exception:
+                        pass
+
+        floods = [threading.Thread(target=flood) for _ in range(2)]
+        for th in floods:
+            th.start()
+        time.sleep(0.05)  # let the flood establish a backlog
+        lats = []
+        data = np.arange(VICTIM_BYTES, dtype=np.int64).astype(np.uint8)
+        for k in range(nvictim):
+            r = victim.iwrite("/victim", k * VICTIM_BYTES, data)
+            r.wait(120.0)
+            lats.append(r.latency)
+        stop.set()
+        for th in floods:
+            th.join()
+        t = srv.tenant("noisy")
+        return {
+            "fair": fair,
+            "victim_requests": nvictim,
+            "victim_p50_ms": 1e3 * _pct(lats, 0.50),
+            "victim_p99_ms": 1e3 * _pct(lats, 0.99),
+            "victim_mean_ms": 1e3 * sum(lats) / len(lats),
+            "noisy_completed": t.stats.completed,
+            "noisy_budget_stalls": t.stats.budget_stalls,
+        }
+
+
+def _batching_cell(batching: bool, quick: bool) -> dict:
+    n = BATCH_REQUESTS // (2 if quick else 1)
+    with IOPServer(workers=1, batching=batching,
+                   worker_delay=BATCH_WORKER_DELAY) as srv:
+        srv.register_tenant("a")
+        cl = ServiceClient(srv, "a")
+        data = np.arange(BATCH_REQ_BYTES, dtype=np.int64).astype(
+            np.uint8)
+        # The plug occupies the single worker so the writes pile up
+        # into one scheduling window — the cross-client-batching case.
+        plug = cl.iwrite("/plug", 0, np.zeros(8, np.uint8))
+        t0 = time.perf_counter()
+        reqs = [cl.iwrite("/f", i * BATCH_REQ_BYTES, data)
+                for i in range(n)]
+        plug.wait(60.0)
+        for r in reqs:
+            r.wait(60.0)
+        wall = time.perf_counter() - t0
+        got = cl.read("/f", 0, n * BATCH_REQ_BYTES, timeout=60.0)
+        want = np.concatenate([data] * n)
+        snap = srv.counters.snapshot()
+        return {
+            "batching": batching,
+            "requests": n + 1,
+            "wall_seconds": wall,
+            "byte_identical": bool(np.array_equal(got, want)),
+            "requests_executed": snap["requests_executed"],
+            "file_accesses": snap["file_accesses"],
+            "batch_merged_requests": snap["batch_merged_requests"],
+        }
+
+
+def collect(quick: bool) -> dict:
+    soak = _soak_cell(quick)
+    admission = {
+        "with_admission": _admission_cell(True, quick),
+        "no_admission": _admission_cell(False, quick),
+    }
+    batching = {
+        "on": _batching_cell(True, quick),
+        "off": _batching_cell(False, quick),
+    }
+    adm_on = admission["with_admission"]["victim_p99_ms"]
+    adm_off = admission["no_admission"]["victim_p99_ms"]
+    record = {
+        "bench": "service",
+        "quick": quick,
+        "config": {
+            "workers": WORKERS,
+            "soak_req_bytes": SOAK_REQ_BYTES,
+            "noisy_bytes": NOISY_BYTES,
+            "victim_bytes": VICTIM_BYTES,
+            "ab_worker_delay": AB_WORKER_DELAY,
+            "batch_worker_delay": BATCH_WORKER_DELAY,
+        },
+        "soak": soak,
+        "admission": admission,
+        "batching": batching,
+        "acceptance": {
+            "soak_byte_identical": soak["byte_identical"],
+            "admission_bounds_p99": bool(adm_on <= adm_off),
+            "victim_p99_ratio": adm_off / max(adm_on, 1e-9),
+            "batching_reduces_accesses": bool(
+                batching["on"]["file_accesses"]
+                < batching["on"]["requests_executed"]
+                and batching["off"]["file_accesses"]
+                == batching["off"]["requests_executed"]
+            ),
+            "pass": bool(
+                soak["byte_identical"]
+                and adm_on <= adm_off
+                and batching["on"]["file_accesses"]
+                < batching["on"]["requests_executed"]
+            ),
+        },
+    }
+    try:
+        from benchmarks._common import obs_record
+    except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+        from _common import obs_record
+    record["observability"] = obs_record()
+    return record
+
+
+# ----------------------------------------------------------------------
+# pytest cases
+# ----------------------------------------------------------------------
+def test_soak_is_byte_identical_quick():
+    cell = _soak_cell(quick=True)
+    assert cell["byte_identical"], cell
+    assert cell["mismatches"] == 0
+
+
+def test_admission_bounds_victim_p99():
+    on = _admission_cell(True, quick=True)
+    off = _admission_cell(False, quick=True)
+    assert on["victim_p99_ms"] <= off["victim_p99_ms"], (on, off)
+
+
+def test_batching_reduces_file_accesses():
+    on = _batching_cell(True, quick=True)
+    off = _batching_cell(False, quick=True)
+    assert on["byte_identical"] and off["byte_identical"]
+    assert on["file_accesses"] < on["requests_executed"], on
+    assert off["file_accesses"] == off["requests_executed"], off
+
+
+# ----------------------------------------------------------------------
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller client counts (CI smoke)")
+    ap.add_argument("--out", default=None,
+                    help="write the JSON record to this path")
+    args = ap.parse_args()
+
+    rec = collect(args.quick)
+    s = rec["soak"]
+    print("=== Multi-tenant IOP service "
+          f"({'quick' if rec['quick'] else 'full'}) ===")
+    print(f"soak: {s['clients']} clients / {s['tenants']} tenants / "
+          f"{s['files']} files, {s['requests']} requests, "
+          f"{s['bytes_moved'] / 1e6:.1f} MB in {s['wall_seconds']:.2f}s "
+          f"-> byte-identical: {s['byte_identical']}")
+    for t in sorted(s["tenant_p99_ms"]):
+        print(f"  {t}: p50 {s['tenant_p50_ms'][t]:7.2f} ms   "
+              f"p99 {s['tenant_p99_ms'][t]:7.2f} ms")
+    a_on = rec["admission"]["with_admission"]
+    a_off = rec["admission"]["no_admission"]
+    print(f"admission A/B (victim under noisy flood): "
+          f"p99 {a_on['victim_p99_ms']:.1f} ms with admission vs "
+          f"{a_off['victim_p99_ms']:.1f} ms without "
+          f"({rec['acceptance']['victim_p99_ratio']:.1f}x; "
+          f"{a_on['noisy_budget_stalls']} budget stalls)")
+    b_on, b_off = rec["batching"]["on"], rec["batching"]["off"]
+    print(f"batching A/B: {b_on['requests_executed']} requests in "
+          f"{b_on['file_accesses']} accesses with batching vs "
+          f"{b_off['file_accesses']} without "
+          f"(wall {b_on['wall_seconds']:.3f}s vs "
+          f"{b_off['wall_seconds']:.3f}s)")
+    acc = rec["acceptance"]
+    print(f"acceptance: soak byte-identity {acc['soak_byte_identical']}"
+          f", admission bounds p99 {acc['admission_bounds_p99']}, "
+          f"batching reduces accesses "
+          f"{acc['batching_reduces_accesses']} -> "
+          f"{'PASS' if acc['pass'] else 'FAIL'}")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(rec, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

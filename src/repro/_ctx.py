@@ -1,0 +1,24 @@
+"""The ambient-session context variable.
+
+Kept in a leaf module with no imports so every layer — the copy kernels
+in :mod:`repro.core`, the metrics registry in :mod:`repro.obs`, the
+runtimes in :mod:`repro.mpi` — can resolve the active
+:class:`~repro.session.IOSession` without import cycles.
+
+``SESSION.get(None)`` is the one-read hot-path probe: ``None`` means no
+session is active and callers fall back to the historical process-wide
+singletons (so code that never touches sessions behaves exactly as
+before).  New threads start with an empty context, so a session must be
+activated explicitly inside each rank thread / server worker that
+should land in it (:meth:`repro.session.IOSession.activate`,
+``run_spmd(..., session=)``).
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+
+__all__ = ["SESSION"]
+
+#: The active IOSession of the calling context, if any.
+SESSION: ContextVar = ContextVar("repro_session")

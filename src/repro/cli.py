@@ -39,6 +39,13 @@ Commands
     on demand (the same record a world abort produces)::
 
         python -m repro.cli flight --out flight_record.json
+
+``serve``
+    Stand up the multi-tenant IOP service and drive a concurrent-client
+    soak through it (admission control, cross-client batching,
+    byte-identity check), printing the per-tenant figures::
+
+        python -m repro.cli serve --clients 64 --files 8 --tenants 4
 """
 
 from __future__ import annotations
@@ -368,6 +375,55 @@ def _cmd_flight(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.server.soak import SoakConfig, run_soak
+
+    root = None
+    if args.mode == "proc":
+        root = tempfile.mkdtemp(prefix="repro-serve-")
+    cfg = SoakConfig(
+        nclients=args.clients, nfiles=args.files,
+        ntenants=args.tenants, rounds=args.rounds,
+        req_bytes=args.req_bytes, workers=args.workers,
+        worker_mode=args.mode, batching=not args.no_batching,
+        fair=not args.no_admission, root=root,
+    )
+    res = run_soak(cfg)
+    print(
+        f"service soak: {args.clients} clients x {args.rounds} rounds "
+        f"over {args.files} files, {args.tenants} tenants, "
+        f"{args.workers} {args.mode} workers "
+        f"({'batching' if cfg.batching else 'no batching'}, "
+        f"{'admission' if cfg.fair else 'no admission'})"
+    )
+    rows = []
+    for name, st in sorted(res.tenant_stats.items()):
+        p50 = res.percentile(name, 0.50) * 1e3
+        p99 = res.percentile(name, 0.99) * 1e3
+        rows.append((
+            name, st["completed"], st["failed"],
+            st["rejected_queue_full"],
+            fmt_bytes(st["bytes_written"] + st["bytes_read"]),
+            f"{p50:.2f}", f"{p99:.2f}",
+        ))
+    print(format_table(
+        ["tenant", "done", "failed", "rejected", "bytes",
+         "p50 ms", "p99 ms"], rows,
+    ))
+    srv = res.server
+    print(
+        f"server: {srv['requests_executed']} requests in "
+        f"{srv['file_accesses']} file accesses "
+        f"({srv['batch_merged_requests']} rode merged batches), "
+        f"{res.wall_seconds:.3f} s wall"
+    )
+    print("byte-identity vs serialized execution: "
+          + ("OK" if res.ok else f"FAILED ({res.mismatches} bytes)"))
+    return 0 if res.ok else 1
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -536,6 +592,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="destination file (a directory gets "
                     "flight_record.json inside)")
     fl.set_defaults(fn=_cmd_flight)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the multi-tenant IOP service under a client soak",
+    )
+    sv.add_argument("--clients", type=int, default=64)
+    sv.add_argument("--files", type=int, default=8)
+    sv.add_argument("--tenants", type=int, default=4)
+    sv.add_argument("--rounds", type=int, default=2,
+                    help="write+read rounds per client")
+    sv.add_argument("--req-bytes", type=int, default=4096,
+                    dest="req_bytes")
+    sv.add_argument("--workers", type=int, default=4)
+    sv.add_argument("--mode", choices=["thread", "proc"],
+                    default="thread",
+                    help="worker pool: threads on the in-memory store, "
+                    "or IOP processes on a real directory")
+    sv.add_argument("--no-batching", action="store_true",
+                    help="disable cross-client access merging")
+    sv.add_argument("--no-admission", action="store_true",
+                    help="disable budgets and fair dequeue (global "
+                    "FIFO baseline)")
+    sv.set_defaults(fn=_cmd_serve)
 
     wl = sub.add_parser(
         "workloads", help="compare engines across application workloads"

@@ -34,8 +34,11 @@ Toggling: the environment variable ``REPRO_BLOCKPROG=0`` (or ``false``/
 it at runtime — benchmarks use this for A/B runs.  Per-file, the
 ``ff_block_programs`` hint disables program use on the listless
 engine's pack/unpack path.  Counters (compiles, hits, misses,
-translations) are process-global, shared by all simulated ranks, and
-surfaced through engine stats and ``repro.cli plan-dump``.
+translations) and the cache itself are scoped to the active
+:class:`~repro.session.IOSession` — shared by all simulated ranks of a
+world, isolated between sessions, with process-wide defaults when no
+session is active — and surfaced through the metrics registry and
+``repro.cli plan-dump``.
 """
 
 from __future__ import annotations
@@ -48,17 +51,21 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro._ctx import SESSION
 from repro.core.dataloop import DLContig, DLSeq, DLVector, Dataloop
 from repro.core.gather import (
     _BIG_BLOCK,
     _SMALL_N,
-    KERNEL_PATHS,
+    active_kernel_paths,
     block_index,
 )
 
 __all__ = [
     "BlockProgram",
     "BLOCKPROG_STATS",
+    "ProgramCache",
+    "active_cache",
+    "active_stats",
     "blockprog_stats",
     "blocks_range_cached",
     "clear",
@@ -101,7 +108,8 @@ def set_enabled(flag: bool) -> bool:
 
 
 class _Stats:
-    """Process-global block-program counters."""
+    """Block-program counters (one instance per session, plus the
+    process-wide default)."""
 
     __slots__ = ("compiled", "hits", "misses", "translations", "bypasses")
 
@@ -128,9 +136,16 @@ class _Stats:
 BLOCKPROG_STATS = _Stats()
 
 
+def active_stats() -> _Stats:
+    """The counters of the active :class:`~repro.session.IOSession`, or
+    the process-wide defaults when no session is active."""
+    s = SESSION.get(None)
+    return BLOCKPROG_STATS if s is None else s.prog_stats
+
+
 def blockprog_stats() -> dict:
-    """Snapshot of the process-global block-program counters."""
-    return BLOCKPROG_STATS.snapshot()
+    """Snapshot of the active context's block-program counters."""
+    return active_stats().snapshot()
 
 
 # Kernel kinds, decided once at compile time (matching the dispatch
@@ -185,7 +200,7 @@ class BlockProgram:
         self._step = 0
         self._start = 0
         self._kind = self._compile()
-        BLOCKPROG_STATS.compiled += 1
+        active_stats().compiled += 1
 
     # ------------------------------------------------------------------
     def _compile(self) -> int:
@@ -239,7 +254,7 @@ class BlockProgram:
     # ------------------------------------------------------------------
     def materialize(self, base: int) -> Tuple[np.ndarray, np.ndarray]:
         """``(offsets + base, lengths)`` — the relocated descriptor."""
-        BLOCKPROG_STATS.translations += 1
+        active_stats().translations += 1
         if base == 0:
             return self.offsets, self.lengths
         return self.offsets + base, self.lengths
@@ -249,10 +264,11 @@ class BlockProgram:
                out_pos: int = 0) -> int:
         """Copy the program's blocks (translated by ``base``) of ``src``
         into ``out`` at ``out_pos``; returns bytes copied."""
-        BLOCKPROG_STATS.translations += 1
+        active_stats().translations += 1
+        paths = active_kernel_paths()
         kind = self._kind
         if kind == _K_SINGLE:
-            KERNEL_PATHS.single += 1
+            paths.single += 1
             if self.count == 0:
                 return 0
             o = int(self.offsets[0]) + base
@@ -260,7 +276,7 @@ class BlockProgram:
             out[out_pos : out_pos + ln] = src[o : o + ln]
             return ln
         if kind == _K_STRIDED:
-            KERNEL_PATHS.strided_view += 1
+            paths.strided_view += 1
             view = np.lib.stride_tricks.as_strided(
                 src[self._start + base :],
                 shape=(self.count, self._first),
@@ -270,12 +286,12 @@ class BlockProgram:
             out[out_pos : out_pos + self.nbytes] = view.reshape(-1)
             return self.nbytes
         if kind == _K_INDEX:
-            KERNEL_PATHS.fancy_index += 1
+            paths.fancy_index += 1
             idx = self._idx if base == 0 else self._idx + base
             out[out_pos : out_pos + self.nbytes] = src[idx]
             return self.nbytes
-        KERNEL_PATHS.small_loop += 1 if kind == _K_SMALL else 0
-        KERNEL_PATHS.big_block += 1 if kind == _K_BIG else 0
+        paths.small_loop += 1 if kind == _K_SMALL else 0
+        paths.big_block += 1 if kind == _K_BIG else 0
         pos = out_pos
         for o, ln in zip(self._off_list, self._len_list):
             o += base
@@ -287,10 +303,11 @@ class BlockProgram:
                 src_pos: int = 0) -> int:
         """Copy contiguous ``src`` bytes from ``src_pos`` into the
         program's blocks of ``dst`` (translated by ``base``)."""
-        BLOCKPROG_STATS.translations += 1
+        active_stats().translations += 1
+        paths = active_kernel_paths()
         kind = self._kind
         if kind == _K_SINGLE:
-            KERNEL_PATHS.single += 1
+            paths.single += 1
             if self.count == 0:
                 return 0
             o = int(self.offsets[0]) + base
@@ -298,7 +315,7 @@ class BlockProgram:
             dst[o : o + ln] = src[src_pos : src_pos + ln]
             return ln
         if kind == _K_STRIDED:
-            KERNEL_PATHS.strided_view += 1
+            paths.strided_view += 1
             view = np.lib.stride_tricks.as_strided(
                 dst[self._start + base :],
                 shape=(self.count, self._first),
@@ -309,12 +326,12 @@ class BlockProgram:
             )
             return self.nbytes
         if kind == _K_INDEX:
-            KERNEL_PATHS.fancy_index += 1
+            paths.fancy_index += 1
             idx = self._idx if base == 0 else self._idx + base
             dst[idx] = src[src_pos : src_pos + self.nbytes]
             return self.nbytes
-        KERNEL_PATHS.small_loop += 1 if kind == _K_SMALL else 0
-        KERNEL_PATHS.big_block += 1 if kind == _K_BIG else 0
+        paths.small_loop += 1 if kind == _K_SMALL else 0
+        paths.big_block += 1 if kind == _K_BIG else 0
         pos = src_pos
         for o, ln in zip(self._off_list, self._len_list):
             o += base
@@ -334,21 +351,83 @@ class BlockProgram:
 # ----------------------------------------------------------------------
 # The cache
 # ----------------------------------------------------------------------
-# loop -> OrderedDict[(residue, nbytes)] -> BlockProgram.  The loop key
-# is held weakly: dropping a datatype (and with it the cached dataloop)
-# drops every program compiled from it.  Guarded by a lock because
-# simulated ranks are threads sharing the process-global cache.
-_cache: "weakref.WeakKeyDictionary[Dataloop, OrderedDict]" = (
-    weakref.WeakKeyDictionary()
-)
-_lock = threading.Lock()
+class ProgramCache:
+    """Store of compiled programs: loop → LRU of keyed programs.
+
+    Entries are keyed ``(owner, residue, nbytes)`` — ``owner`` is the
+    file identity (:attr:`repro.io.file_handle.SharedFileState.
+    file_key`) the program was compiled for, or ``None`` for
+    file-independent callers — so two open files can never alias each
+    other's programs, and a fileview replacement on one file clears only
+    that file's programs (:meth:`clear` with an owner).  The loop key is
+    held weakly: dropping a datatype (and with it the cached dataloop)
+    drops every program compiled from it.  Guarded by a lock because
+    simulated ranks are threads sharing the cache.  One instance per
+    session, plus the process-wide default.
+    """
+
+    def __init__(self) -> None:
+        self._cache: "weakref.WeakKeyDictionary[Dataloop, OrderedDict]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._lock = threading.Lock()
+
+    def clear(self, owner=None) -> None:
+        """Drop compiled programs: all of them (``owner=None``), or only
+        those compiled for one file identity."""
+        with self._lock:
+            if owner is None:
+                self._cache.clear()
+                return
+            for progs in self._cache.values():
+                for key in [k for k in progs if k[0] == owner]:
+                    del progs[key]
+
+    def lookup(self, loop: Dataloop, key: tuple):
+        """The cached program for ``key``, LRU-promoted, or ``None``."""
+        with self._lock:
+            progs = self._cache.get(loop)
+            if progs is None:
+                return None
+            prog = progs.get(key)
+            if prog is not None:
+                progs.move_to_end(key)
+            return prog
+
+    def store(self, loop: Dataloop, key: tuple, prog: "BlockProgram"):
+        with self._lock:
+            progs = self._cache.get(loop)
+            if progs is None:
+                progs = OrderedDict()
+                self._cache[loop] = progs
+            progs[key] = prog
+            while len(progs) > _MAX_PROGRAMS_PER_LOOP:
+                progs.popitem(last=False)
 
 
-def clear() -> None:
-    """Drop every compiled program (called on fileview replacement —
-    the same epoch rule the plan LRU follows)."""
-    with _lock:
-        _cache.clear()
+_DEFAULT_CACHE = ProgramCache()
+
+#: Backward-compat view of the default cache's per-loop table (tests
+#: poke it directly).  Safe to alias: ProgramCache mutates the mapping
+#: in place and never rebinds it.
+_cache = _DEFAULT_CACHE._cache
+
+
+def active_cache() -> ProgramCache:
+    """The program cache of the active session, or the process default."""
+    s = SESSION.get(None)
+    return _DEFAULT_CACHE if s is None else s.programs
+
+
+def clear(owner=None) -> None:
+    """Drop compiled programs from the active context's cache.
+
+    Called on fileview replacement (the same epoch rule the plan LRU
+    follows) with the replaced file's identity as ``owner``, so one
+    file's ``set_view`` no longer evicts every other open file's
+    programs; ``clear()`` with no owner drops everything.
+    """
+    active_cache().clear(owner)
 
 
 def _periodicity(loop: Dataloop, s_lo: int, n: int) -> Tuple[int, int]:
@@ -393,6 +472,7 @@ def _periodicity(loop: Dataloop, s_lo: int, n: int) -> Tuple[int, int]:
 def program_for(
     loop: Optional[Dataloop], s_lo: int, s_hi: int,
     use_programs: Optional[bool] = None,
+    owner=None,
 ) -> Optional[Tuple[BlockProgram, int]]:
     """Compiled program and translation base for a range query.
 
@@ -400,12 +480,15 @@ def program_for(
     equals ``loop.blocks_range(s_lo, s_hi)``, or ``None`` when the layer
     is disabled or the query is not worth compiling (empty range,
     contiguous loop — plain slice arithmetic beats any cache).
+    ``owner`` is the file identity the program serves (part of the cache
+    key; see :class:`ProgramCache`).
     """
     if use_programs is None:
         use_programs = _enabled
+    stats = active_stats()
     if not use_programs or loop is None or s_hi <= s_lo:
         if use_programs:
-            BLOCKPROG_STATS.bypasses += 1
+            stats.bypasses += 1
         return None
     if isinstance(loop, DLContig) or (
         isinstance(loop, DLVector) and isinstance(loop.child, DLContig)
@@ -413,22 +496,17 @@ def program_for(
     ):
         # Contiguous data: blocks_range is a two-array constant — the
         # cache could only add overhead.
-        BLOCKPROG_STATS.bypasses += 1
+        stats.bypasses += 1
         return None
     n = s_hi - s_lo
     residue, base = _periodicity(loop, s_lo, n)
-    key = (residue, n)
-    with _lock:
-        progs = _cache.get(loop)
-        if progs is None:
-            progs = OrderedDict()
-            _cache[loop] = progs
-        prog = progs.get(key)
-        if prog is not None:
-            progs.move_to_end(key)
-            BLOCKPROG_STATS.hits += 1
-            return prog, base
-        BLOCKPROG_STATS.misses += 1
+    key = (owner, residue, n)
+    cache = active_cache()
+    prog = cache.lookup(loop, key)
+    if prog is not None:
+        stats.hits += 1
+        return prog, base
+    stats.misses += 1
     # Compile outside the lock: blocks_range is the expensive part and
     # touches only the immutable loop.
     from repro.obs import trace
@@ -438,16 +516,14 @@ def program_for(
     prog = BlockProgram(offs, lens)
     if trace.TRACE_ON:
         trace.TRACER.add("blockprog.compile", t0, blocks=int(offs.size))
-    with _lock:
-        progs[key] = prog
-        while len(progs) > _MAX_PROGRAMS_PER_LOOP:
-            progs.popitem(last=False)
+    cache.store(loop, key, prog)
     return prog, base
 
 
 def blocks_range_cached(
     loop: Dataloop, s_lo: int, s_hi: int,
     use_programs: Optional[bool] = None,
+    owner=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Drop-in for ``loop.blocks_range`` that reuses compiled programs.
 
@@ -456,7 +532,7 @@ def blocks_range_cached(
     them — except for ``base == 0`` hits, which return the read-only
     canonical arrays themselves; callers that mutate must copy.
     """
-    hit = program_for(loop, s_lo, s_hi, use_programs)
+    hit = program_for(loop, s_lo, s_hi, use_programs, owner=owner)
     if hit is None:
         return loop.blocks_range(s_lo, s_hi)
     prog, base = hit

@@ -81,6 +81,7 @@ def ff_pack(
     packsize: int,
     origin: int = 0,
     use_programs: bool | None = None,
+    owner=None,
 ) -> int:
     """Pack typed data from ``srcbuf`` into contiguous ``packbuf``.
 
@@ -99,6 +100,10 @@ def ff_pack(
     use_programs
         override the process-wide block-program toggle for this call
         (``None`` — follow :func:`repro.core.blockprog.enabled`).
+    owner
+        file identity keying compiled programs (the engine passes its
+        file's key so two files never alias cached programs; ``None``
+        for file-independent callers).
 
     Returns the number of bytes actually copied (0 at end of data).
     """
@@ -121,7 +126,7 @@ def ff_pack(
     src = _as_bytes(srcbuf, writeable=False)
     dst = _as_bytes(packbuf, writeable=True)
     hit = blockprog.program_for(loop, skipbytes, skipbytes + n,
-                                use_programs)
+                                use_programs, owner=owner)
     if hit is not None:
         prog, base = hit
         copied = prog.gather(src, base + origin, dst, 0)
@@ -148,6 +153,7 @@ def ff_unpack(
     skipbytes: int,
     origin: int = 0,
     use_programs: bool | None = None,
+    owner=None,
 ) -> int:
     """Unpack contiguous ``packbuf`` into typed ``dstbuf``.
 
@@ -171,7 +177,7 @@ def ff_unpack(
     src = _as_bytes(packbuf, writeable=False)
     dst = _as_bytes(dstbuf, writeable=True)
     hit = blockprog.program_for(loop, skipbytes, skipbytes + n,
-                                use_programs)
+                                use_programs, owner=owner)
     if hit is not None:
         prog, base = hit
         copied = prog.scatter(dst, base + origin, src, 0)

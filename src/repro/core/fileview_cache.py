@@ -56,6 +56,11 @@ class CompactFileview:
     _ft_size: int = 0
     _ft_extent: int = 0
     _ft_loop: Optional[Dataloop] = None
+    #: File identity (``SharedFileState.file_key``) this view belongs
+    #: to, set by the engine at ``setup_view``; keys compiled block
+    #: programs so identical geometries on different files never alias.
+    #: Travels with the view when it is pickled to shard servers.
+    owner: Any = None
 
     def _resolve(self) -> None:
         ft = self.filetype
@@ -126,7 +131,7 @@ class CompactFileview:
         canonical descriptor, translated by a scalar base.
         """
         offs, lens = blockprog.blocks_range_cached(
-            self.view_loop, d_lo, d_hi
+            self.view_loop, d_lo, d_hi, owner=self.owner
         )
         return offs + self.disp, lens
 

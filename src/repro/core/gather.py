@@ -20,11 +20,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._ctx import SESSION
+
 __all__ = [
     "gather_blocks",
     "scatter_blocks",
     "block_index",
     "KERNEL_PATHS",
+    "active_kernel_paths",
     "kernel_path_counts",
 ]
 
@@ -82,9 +85,18 @@ class _KernelPaths:
 KERNEL_PATHS = _KernelPaths()
 
 
+def active_kernel_paths() -> _KernelPaths:
+    """The counters of the active :class:`~repro.session.IOSession`, or
+    the process-wide defaults when no session is active.  Resolved once
+    per kernel call (a single ContextVar read) so sessions cost the hot
+    path essentially nothing."""
+    s = SESSION.get(None)
+    return KERNEL_PATHS if s is None else s.kernel_paths
+
+
 def kernel_path_counts() -> dict:
-    """Snapshot of the process-wide kernel path counters."""
-    return KERNEL_PATHS.snapshot()
+    """Snapshot of the active context's kernel path counters."""
+    return active_kernel_paths().snapshot()
 
 
 def _uniform_stride(offsets: np.ndarray) -> int | None:
@@ -137,13 +149,14 @@ def gather_blocks(
     n = offsets.size
     if n == 0:
         return 0
+    paths = active_kernel_paths()
     if n == 1:
-        KERNEL_PATHS.single += 1
+        paths.single += 1
         o, ln = int(offsets[0]), int(lengths[0])
         out[out_pos : out_pos + ln] = src[o : o + ln]
         return ln
     if n <= _SMALL_N:
-        KERNEL_PATHS.small_loop += 1
+        paths.small_loop += 1
         pos = out_pos
         for o, ln in zip(offsets.tolist(), lengths.tolist()):
             out[pos : pos + ln] = src[o : o + ln]
@@ -159,7 +172,7 @@ def gather_blocks(
         # buffer) and overlapping strides fall through to the index
         # paths, which handle arbitrary offsets.
         if step is not None and step >= first > 0:
-            KERNEL_PATHS.strided_view += 1
+            paths.strided_view += 1
             view = np.lib.stride_tricks.as_strided(
                 src[int(offsets[0]) :],
                 shape=(n, first),
@@ -170,20 +183,20 @@ def gather_blocks(
             return total
     if total >= n * _BIG_BLOCK:
         # Long blocks: per-block memcpy beats building index arrays.
-        KERNEL_PATHS.big_block += 1
+        paths.big_block += 1
         pos = out_pos
         for o, ln in zip(offsets.tolist(), lengths.tolist()):
             out[pos : pos + ln] = src[o : o + ln]
             pos += ln
         return pos - out_pos
     if uniform_len:
-        KERNEL_PATHS.fancy_index += 1
+        paths.fancy_index += 1
         idx = (
             offsets[:, None] + np.arange(first, dtype=np.int64)[None, :]
         ).reshape(-1)
         out[out_pos : out_pos + total] = src[idx]
         return total
-    KERNEL_PATHS.ragged_index += 1
+    paths.ragged_index += 1
     idx = block_index(offsets, lengths)
     out[out_pos : out_pos + total] = src[idx]
     return total
@@ -201,13 +214,14 @@ def scatter_blocks(
     n = offsets.size
     if n == 0:
         return 0
+    paths = active_kernel_paths()
     if n == 1:
-        KERNEL_PATHS.single += 1
+        paths.single += 1
         o, ln = int(offsets[0]), int(lengths[0])
         dst[o : o + ln] = src[src_pos : src_pos + ln]
         return ln
     if n <= _SMALL_N:
-        KERNEL_PATHS.small_loop += 1
+        paths.small_loop += 1
         pos = src_pos
         for o, ln in zip(offsets.tolist(), lengths.tolist()):
             dst[o : o + ln] = src[pos : pos + ln]
@@ -224,7 +238,7 @@ def scatter_blocks(
         # last block touching a byte wins, exactly like the per-block
         # loops, which write blocks in type-map order).
         if step is not None and step >= first > 0:
-            KERNEL_PATHS.strided_view += 1
+            paths.strided_view += 1
             view = np.lib.stride_tricks.as_strided(
                 dst[int(offsets[0]) :],
                 shape=(n, first),
@@ -233,20 +247,20 @@ def scatter_blocks(
             view[...] = src[src_pos : src_pos + total].reshape(n, first)
             return total
     if total >= n * _BIG_BLOCK:
-        KERNEL_PATHS.big_block += 1
+        paths.big_block += 1
         pos = src_pos
         for o, ln in zip(offsets.tolist(), lengths.tolist()):
             dst[o : o + ln] = src[pos : pos + ln]
             pos += ln
         return pos - src_pos
     if uniform_len:
-        KERNEL_PATHS.fancy_index += 1
+        paths.fancy_index += 1
         idx = (
             offsets[:, None] + np.arange(first, dtype=np.int64)[None, :]
         ).reshape(-1)
         dst[idx] = src[src_pos : src_pos + total]
         return total
-    KERNEL_PATHS.ragged_index += 1
+    paths.ragged_index += 1
     idx = block_index(offsets, lengths)
     dst[idx] = src[src_pos : src_pos + total]
     return total

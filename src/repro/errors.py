@@ -46,3 +46,16 @@ class IOEngineError(ReproError):
 
 class HintError(IOEngineError):
     """An MPI-IO hint has an invalid value."""
+
+
+class ServiceError(ReproError):
+    """Errors from the multi-tenant I/O service (:mod:`repro.server`)."""
+
+
+class ServiceQueueFull(ServiceError):
+    """A tenant's request queue is at capacity — backpressure surfaces
+    at post time, before any bytes are accepted."""
+
+
+class ServiceWorkerError(ServiceError):
+    """An IOP worker died (or failed) while executing a request."""

@@ -128,7 +128,9 @@ class IOEngine:
             fh.simfile, codec=self, comm=fh.comm, stats=self.stats.plan,
             phases=self.stats.phases, rounds=self.stats.rounds,
         )
-        metrics.register_engine(self)
+        metrics.register_engine(
+            self, session=getattr(fh, "session", None)
+        )
 
     def close(self) -> None:
         """Release engine resources (the executor's pipeline worker)."""

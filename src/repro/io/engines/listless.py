@@ -130,8 +130,14 @@ class ListlessEngine(IOEngine):
         self.cview = CompactFileview.from_view(
             view.disp, view.etype, view.filetype
         )
+        self.cview.owner = self.fh.shared.file_key
         comm = self.fh.comm
         gathered = comm.allgather(self.cview)
+        # Every installed view carries the file identity: compiled block
+        # programs key on it, so identical geometries on other open
+        # files can never serve (or be evicted by) this file's queries.
+        for cv in gathered:
+            cv.owner = self.fh.shared.file_key
         cache = self.fh.shared.fileview_cache
         cache.install({rank: cv for rank, cv in enumerate(gathered)})
         self.cache = cache
@@ -176,6 +182,7 @@ class ListlessEngine(IOEngine):
         ff_pack(
             mem.buf, mem.count, mem.memtype, d_lo, out, d_hi - d_lo,
             origin=mem.origin, use_programs=self._use_programs(),
+            owner=self.fh.shared.file_key,
         )
 
     def unpack_mem(self, mem: MemDescriptor, d_lo: int, d_hi: int,
@@ -187,6 +194,7 @@ class ListlessEngine(IOEngine):
         ff_unpack(
             data, d_hi - d_lo, mem.buf, mem.count, mem.memtype, d_lo,
             origin=mem.origin, use_programs=self._use_programs(),
+            owner=self.fh.shared.file_key,
         )
 
     # ------------------------------------------------------------------

@@ -13,11 +13,13 @@ byte movement is delegated to the configured engine (``"listless"`` or
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Optional
 
 import numpy as np
 
+from repro._ctx import SESSION
 from repro.core.fileview_cache import FileviewCache
 from repro.datatypes.base import Datatype
 from repro.datatypes.basic import BYTE
@@ -100,10 +102,20 @@ class SharedFileState:
     descriptor in the kernel.
     """
 
+    #: Monotonic open sequence feeding ``file_key`` (never reused, so a
+    #: close/reopen of the same path is a distinct identity).
+    _open_seq = itertools.count(1)
+
     def __init__(self, simfile: SimFile, path: str,
                  requires_ol_lists: bool = False) -> None:
         self.simfile = simfile
         self.path = path
+        #: Identity of this open file, stable across the rank threads /
+        #: processes sharing the state (it is assigned once on rank 0
+        #: and travels with the open broadcast).  Keys the planner's
+        #: caches and compiled block programs so two open files with
+        #: identical fileview geometry can never alias each other.
+        self.file_key = (str(path), next(self._open_seq))
         self._ptr = LocalCounter()  # etype units
         self.fileview_cache = FileviewCache()
         self.atomicity = False
@@ -153,11 +165,15 @@ class File:
         amode: int,
         engine_name: str,
         hints: Hints,
+        session=None,
     ) -> None:
         self.comm = comm
         self.shared = shared
         self.amode = amode
         self.hints = hints
+        #: The IOSession this handle reports into (explicit, or the one
+        #: active when the handle was built, or None → process default).
+        self.session = session if session is not None else SESSION.get(None)
         self.view: FileView = default_view()
         self._ind_ptr = 0  # etype units
         self._closed = False
@@ -169,7 +185,8 @@ class File:
         from repro.io.engines import make_engine
         from repro.obs import metrics
 
-        metrics.register_file(shared.path, shared.simfile.stats)
+        metrics.register_file(shared.path, shared.simfile.stats,
+                              session=self.session)
         self.engine_name = engine_name
         self.engine = make_engine(engine_name, self)
         # Views must be installed collectively even for the default view,
@@ -189,12 +206,15 @@ class File:
         engine: str = "listless",
         info: Optional[dict] = None,
         hints: Optional[Hints] = None,
+        session=None,
     ) -> "File":
         """Collectively open ``path`` on ``fs``.
 
         ``engine`` picks the non-contiguous machinery (``"listless"`` or
         ``"list_based"``); ``info`` takes ``MPI_Info``-style hint strings,
         or pass a ready :class:`~repro.io.hints.Hints` as ``hints``.
+        ``session`` pins the handle's metrics/caches to a specific
+        :class:`~repro.session.IOSession` (default: the active one).
         """
         _validate_amode(amode)
         if hints is None:
@@ -233,7 +253,7 @@ class File:
         make_counter = getattr(comm, "make_shared_counter", None)
         if make_counter is not None:
             state.attach_counter(make_counter())
-        fh = cls(comm, state, amode, engine, hints)
+        fh = cls(comm, state, amode, engine, hints, session=session)
         fh._fs = fs  # for DELETE_ON_CLOSE
         if amode & MODE_APPEND:
             fh.seek(fh._etypes_in_file(), SEEK_SET)

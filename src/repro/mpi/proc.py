@@ -62,6 +62,14 @@ DEFAULT_TIMEOUT = 60.0
 #: Queue poll granularity while waiting for a message or a result.
 _POLL = 0.05
 
+#: Seconds a rank that exited *cleanly* (exit code 0) may stay
+#: unreported before it is declared a no-show.  A rank exits as soon as
+#: its own result is queued, so the parent can observe it dead while the
+#: result blob is still in flight through the queue's pipe — more so
+#: under CPU contention from concurrent worlds.  Ranks killed hard
+#: (signal / non-zero exit) get no grace: prompt failure propagation.
+_DEATH_GRACE = 1.0
+
 #: Shared counters pre-allocated per world (they must exist before the
 #: ranks fork; each collective ``make_shared_counter`` call claims one).
 _COUNTER_POOL = 64
@@ -71,6 +79,22 @@ _COUNTER_POOL = 64
 #: sender's *world* rank) can never collide, even across nested
 #: sub-communicators.
 _PSEQ = itertools.count()
+
+#: One sequence number per world launched by this process.  Folded into
+#: the world uid so concurrent ``run_spmd_proc`` calls (driver threads
+#: running several worlds at once) can never share a segment namespace —
+#: the timestamp alone can collide at microsecond granularity, and a
+#: shared uid would let one world's end-of-run sweep delete the other's
+#: live segments.
+_WSEQ = itertools.count()
+
+#: Serializes world *launch* (primitive creation + forks) across
+#: concurrent ``run_spmd_proc`` callers.  Creating Queues/Barriers and
+#: forking both mutate process-global multiprocessing state (resource
+#: tracker, SemLocks, fd table); two driver threads doing so at once
+#: can hand a child a torn view of it.  Only the launch window is
+#: serialized — the worlds themselves still run concurrently.
+_LAUNCH_LOCK = threading.Lock()
 
 
 def _timeout_from_env(timeout: Optional[float]) -> float:
@@ -632,29 +656,34 @@ def run_spmd_proc(
     method = start_method or os.environ.get("REPRO_PROC_START", "fork")
     ctx = mp.get_context(method)
     tmo = _timeout_from_env(timeout)
-    uid = f"rp{os.getpid():x}x{int(time.monotonic() * 1e6) & 0xFFFFFF:x}"
+    uid = (f"rp{os.getpid():x}x"
+           f"{int(time.monotonic() * 1e6) & 0xFFFFFF:x}"
+           f"w{next(_WSEQ):x}")
     # Fresh flight state for this world: sim worlds run in parent
     # threads and leave last-round markers behind; without the clear a
     # stale marker would win the max() against a dead rank's beacon.
     flight.RECORDER.clear()
-    shared = _ProcShared(ctx, size, tmo, uid)
     report = ProcWorldReport(size)
     if world_out is not None:
         world_out.append(report)
 
-    procs = [
-        ctx.Process(target=_worker_main,
-                    args=(shared, r, fn, args, trace.TRACE_ON, network),
-                    name=f"rank-{r}")
-        for r in range(size)
-    ]
-    for p in procs:
-        p.start()
+    with _LAUNCH_LOCK:
+        shared = _ProcShared(ctx, size, tmo, uid)
+        procs = [
+            ctx.Process(target=_worker_main,
+                        args=(shared, r, fn, args, trace.TRACE_ON,
+                              network),
+                        name=f"rank-{r}")
+            for r in range(size)
+        ]
+        for p in procs:
+            p.start()
 
     results: List[Any] = [None] * size
     failures: List[Tuple[int, BaseException]] = []
     died: List[int] = []
     reported: set = set()
+    dead_since: Dict[int, float] = {}
     deadline = time.monotonic() + tmo + 10.0
     try:
         while len(reported) < size:
@@ -679,10 +708,18 @@ def run_spmd_proc(
                     failures.append((r, value))
                 continue
             # No result: check for ranks that died without reporting.
-            dead = [
-                r for r, p in enumerate(procs)
-                if r not in reported and not p.is_alive()
-            ]
+            # A clean exit (code 0) races its own result delivery —
+            # give it _DEATH_GRACE to drain before declaring a no-show,
+            # so a slow queue never aborts a healthy world.
+            now = time.monotonic()
+            dead = []
+            for r, p in enumerate(procs):
+                if r in reported or p.is_alive():
+                    continue
+                first = dead_since.setdefault(r, now)
+                if p.exitcode == 0 and now - first < _DEATH_GRACE:
+                    continue
+                dead.append(r)
             if dead and not shared.abort.is_set():
                 shared.abort.set()
                 shared.barrier.abort()

@@ -30,15 +30,18 @@ import json
 import os
 import threading
 import time
+import weakref
 from collections import deque
 from typing import Callable, Dict, Optional
 
+from repro._ctx import SESSION
 from repro.obs.trace import _current_rank
 
 __all__ = [
     "FLIGHT_VERSION",
     "FlightRecorder",
     "RECORDER",
+    "active_recorder",
     "dump_on_abort",
     "last_record",
     "note",
@@ -58,10 +61,20 @@ _now = time.perf_counter
 
 
 class FlightRecorder:
-    """Bounded per-rank breadcrumb rings + last-round tracking."""
+    """Bounded per-rank breadcrumb rings + last-round tracking.
 
-    def __init__(self, maxlen: int = MAX_CRUMBS_PER_RANK) -> None:
+    One instance per :class:`~repro.session.IOSession` plus the process
+    default (:data:`RECORDER`), so concurrent worlds/tenants keep
+    separate records.  A session-bound recorder reports its session's
+    ``global`` counters in :meth:`record`.
+    """
+
+    def __init__(self, maxlen: int = MAX_CRUMBS_PER_RANK,
+                 session=None) -> None:
         self.maxlen = maxlen
+        self._session = (
+            weakref.ref(session) if session is not None else None
+        )
         self._rings: Dict[int, deque] = {}
         self._last_round: Dict[int, int] = {}
         self._beacon: Optional[Callable[[int], None]] = None
@@ -161,8 +174,12 @@ class FlightRecorder:
             err = {"type": type(error).__name__, "message": str(error)}
         counters = {}
         try:
-            from repro.obs.metrics import REGISTRY
-            counters = REGISTRY.snapshot().get("global", {})
+            s = self._session() if self._session is not None else None
+            if s is not None:
+                counters = s.metrics.snapshot().get("global", {})
+            else:
+                from repro.obs.metrics import REGISTRY
+                counters = REGISTRY.snapshot().get("global", {})
         except Exception:
             pass
         spans_dropped = {}
@@ -199,26 +216,32 @@ class FlightRecorder:
         }
 
 
-#: The process flight recorder.
+#: The process-default flight recorder (no active session).
 RECORDER = FlightRecorder()
 
 _last_record: Optional[dict] = None
 _mu = threading.Lock()
 
 
+def active_recorder() -> FlightRecorder:
+    """The active session's recorder, or the process default."""
+    s = SESSION.get(None)
+    return RECORDER if s is None else s.flight
+
+
 def note(kind: str, rank: Optional[int] = None, **info) -> None:
     """Module-level convenience for :meth:`FlightRecorder.note`."""
-    RECORDER.note(kind, rank=rank, **info)
+    active_recorder().note(kind, rank=rank, **info)
 
 
 def note_round(index: int, total: int, rank: Optional[int] = None,
                **info) -> None:
     """Module-level convenience for :meth:`FlightRecorder.note_round`."""
-    RECORDER.note_round(index, total, rank=rank, **info)
+    active_recorder().note_round(index, total, rank=rank, **info)
 
 
 def set_beacon(fn: Optional[Callable[[int], None]]) -> None:
-    RECORDER.set_beacon(fn)
+    active_recorder().set_beacon(fn)
 
 
 def last_record() -> Optional[dict]:
@@ -237,7 +260,7 @@ def dump(path: str, reason: str = "on_demand", **kw) -> str:
     """Build the current record and write it to ``path``; returns the
     resolved file path."""
     global _last_record
-    rec = RECORDER.record(reason, **kw)
+    rec = active_recorder().record(reason, **kw)
     with _mu:
         _last_record = rec
     out = _resolve_path(path)
@@ -251,14 +274,20 @@ def dump_on_abort(error: BaseException, backend: str,
                   failed_rank: Optional[int] = None,
                   failed_ranks: Optional[list] = None,
                   last_rounds: Optional[Dict[int, int]] = None,
-                  world_size: Optional[int] = None) -> Optional[str]:
+                  world_size: Optional[int] = None,
+                  recorder: Optional[FlightRecorder] = None,
+                  ) -> Optional[str]:
     """Called by the SPMD runtimes when a world dies.  Always builds
     and stashes the record; writes it to disk only when
-    ``REPRO_FLIGHT`` names a destination.  Never raises — this runs on
-    the failure path and must not mask the original error."""
+    ``REPRO_FLIGHT`` names a destination.  ``recorder`` pins the record
+    to a specific world's session recorder (the sim runtime passes the
+    one it cleared at launch); default: the active context's.  Never
+    raises — this runs on the failure path and must not mask the
+    original error."""
     global _last_record
     try:
-        rec = RECORDER.record(
+        rec = (recorder if recorder is not None
+               else active_recorder()).record(
             "abort", error=error, failed_rank=failed_rank,
             failed_ranks=failed_ranks, last_rounds=last_rounds,
             backend=backend, world_size=world_size)

@@ -35,11 +35,15 @@ import threading
 import weakref
 from typing import Dict, List, Optional, Tuple
 
+from repro._ctx import SESSION
+
 __all__ = [
     "MetricsRegistry",
     "REGISTRY",
+    "active_registry",
     "register_engine",
     "register_file",
+    "register_service",
     "snapshot",
     "reset",
     "metric_schema",
@@ -47,24 +51,49 @@ __all__ = [
 
 
 def _global_counters() -> Dict[str, int]:
-    """The process-wide counters, reported once per snapshot."""
-    from repro.core.blockprog import blockprog_stats
-    from repro.core.gather import kernel_path_counts
+    """The process-default counters, reported once per snapshot."""
+    from repro.core.blockprog import BLOCKPROG_STATS
+    from repro.core.gather import KERNEL_PATHS
 
-    out = dict(blockprog_stats())
-    out.update(kernel_path_counts())
+    out = dict(BLOCKPROG_STATS.snapshot())
+    out.update(KERNEL_PATHS.snapshot())
     return dict(sorted(out.items()))
 
 
 class MetricsRegistry:
-    """Weak registry of stats producers with one snapshot/reset surface."""
+    """Weak registry of stats producers with one snapshot/reset surface.
 
-    def __init__(self) -> None:
+    One instance per :class:`~repro.session.IOSession` plus the process
+    default (:data:`REGISTRY`).  A session-bound registry reports and
+    resets *its session's* block-program and kernel-path counters under
+    the ``global`` key — the key name is kept for snapshot-schema
+    compatibility, but for a session it means "session-wide", so two
+    concurrent tenants' snapshots never absorb each other's counts.
+    """
+
+    def __init__(self, session=None) -> None:
         self._mu = threading.Lock()
+        # Weak back-reference: the session owns this registry strongly.
+        self._session = (
+            weakref.ref(session) if session is not None else None
+        )
         # label -> weakref to the stats-bearing object.  Engine labels are
         # (path, engine_name, rank); file labels are (path,).
         self._engines: Dict[Tuple[str, str, int], weakref.ref] = {}
         self._files: Dict[str, weakref.ref] = {}
+        # tenant label -> weakref to a ServiceStats (repro.server).
+        self._services: Dict[str, weakref.ref] = {}
+
+    def _scope(self):
+        """``(prog_stats, kernel_paths)`` this registry reports under
+        ``global``: the session's counters, or the process defaults."""
+        s = self._session() if self._session is not None else None
+        if s is not None:
+            return s.prog_stats, s.kernel_paths
+        from repro.core.blockprog import BLOCKPROG_STATS
+        from repro.core.gather import KERNEL_PATHS
+
+        return BLOCKPROG_STATS, KERNEL_PATHS
 
     # ------------------------------------------------------------------
     # Registration (weak; dead entries pruned on snapshot)
@@ -81,8 +110,14 @@ class MetricsRegistry:
         with self._mu:
             self._files[str(path)] = weakref.ref(stats)
 
+    def register_service(self, tenant: str, stats) -> None:
+        """Register a tenant's :class:`~repro.server.admission.
+        ServiceStats` under its tenant label."""
+        with self._mu:
+            self._services[str(tenant)] = weakref.ref(stats)
+
     def _live(self):
-        """(engine entries, file entries) with dead weakrefs pruned."""
+        """(engine, file, service entries) with dead weakrefs pruned."""
         with self._mu:
             engines, dead = [], []
             for label, ref in self._engines.items():
@@ -102,7 +137,16 @@ class MetricsRegistry:
                     files.append((path, obj))
             for path in dead:
                 del self._files[path]
-        return engines, files
+            services, dead = [], []
+            for tenant, ref in self._services.items():
+                obj = ref()
+                if obj is None:
+                    dead.append(tenant)
+                else:
+                    services.append((tenant, obj))
+            for tenant in dead:
+                del self._services[tenant]
+        return engines, files, services
 
     # ------------------------------------------------------------------
     # The unified surface
@@ -110,11 +154,13 @@ class MetricsRegistry:
     def snapshot(self) -> dict:
         """Every live metric, deterministically ordered.
 
-        ``{"engines": [...], "files": [...], "global": {...}}`` where each
-        engine entry is ``{"path", "engine", "rank", "counters",
-        "phases"}`` and each file entry ``{"path", "counters"}``.
+        ``{"engines": [...], "files": [...], "service": [...],
+        "global": {...}}`` where each engine entry is ``{"path",
+        "engine", "rank", "counters", "phases"}``, each file entry
+        ``{"path", "counters"}``, and each service entry ``{"tenant",
+        "counters"}`` (one per registered tenant).
         """
-        engines, files = self._live()
+        engines, files, services = self._live()
         eng_out: List[dict] = []
         for (path, name, rank), eng in sorted(engines, key=lambda e: e[0]):
             eng_out.append({
@@ -130,19 +176,28 @@ class MetricsRegistry:
                 "path": path,
                 "counters": dict(sorted(st.snapshot().items())),
             })
+        svc_out: List[dict] = []
+        for tenant, st in sorted(services, key=lambda s: s[0]):
+            svc_out.append({
+                "tenant": tenant,
+                "counters": dict(sorted(st.snapshot().items())),
+            })
+        prog_stats, kernel_paths = self._scope()
+        counters = dict(prog_stats.snapshot())
+        counters.update(kernel_paths.snapshot())
         return {
             "engines": eng_out,
             "files": file_out,
-            "global": _global_counters(),
+            "service": svc_out,
+            "global": dict(sorted(counters.items())),
         }
 
     def reset(self) -> None:
-        """Zero every live registered stats object *and* the process-wide
-        counters (the reset that the old per-engine merge never did)."""
-        from repro.core.blockprog import BLOCKPROG_STATS
-        from repro.core.gather import KERNEL_PATHS
-
-        engines, files = self._live()
+        """Zero every live registered stats object *and* this scope's
+        block-program/kernel-path counters (the reset that the old
+        per-engine merge never did)."""
+        prog_stats, kernel_paths = self._scope()
+        engines, files, services = self._live()
         for _label, eng in engines:
             st = eng.stats
             for f in (
@@ -157,14 +212,17 @@ class MetricsRegistry:
             st.rounds.reset()
         for _path, st in files:
             st.reset()
-        BLOCKPROG_STATS.reset()
-        KERNEL_PATHS.reset()
+        for _tenant, st in services:
+            st.reset()
+        prog_stats.reset()
+        kernel_paths.reset()
 
     def clear(self) -> None:
         """Forget all registrations (process-wide counters untouched)."""
         with self._mu:
             self._engines.clear()
             self._files.clear()
+            self._services.clear()
 
 
 def metric_schema(snap: Optional[dict] = None) -> dict:
@@ -175,7 +233,7 @@ def metric_schema(snap: Optional[dict] = None) -> dict:
     the global key list is taken verbatim.
     """
     if snap is None:
-        snap = REGISTRY.snapshot()
+        snap = active_registry().snapshot()
     engines: Dict[str, dict] = {}
     for e in snap["engines"]:
         engines[e["engine"]] = {
@@ -185,28 +243,45 @@ def metric_schema(snap: Optional[dict] = None) -> dict:
     file_keys: set = set()
     for f in snap["files"]:
         file_keys.update(f["counters"])
+    service_keys: set = set()
+    for s in snap.get("service", ()):
+        service_keys.update(s["counters"])
     return {
         "engines": {k: engines[k] for k in sorted(engines)},
         "file_counters": sorted(file_keys),
         "global": sorted(snap["global"]),
+        "service": sorted(service_keys),
     }
 
 
-#: The process registry every open file's engine registers into.
+#: The process-default registry (used whenever no session is active).
 REGISTRY = MetricsRegistry()
 
 
-def register_engine(engine) -> None:
-    REGISTRY.register_engine(engine)
+def active_registry(session=None) -> MetricsRegistry:
+    """Resolve a registry: ``session``'s if given, else the active
+    session's, else the process default."""
+    if session is not None:
+        return session.metrics
+    s = SESSION.get(None)
+    return REGISTRY if s is None else s.metrics
 
 
-def register_file(path: str, stats) -> None:
-    REGISTRY.register_file(path, stats)
+def register_engine(engine, session=None) -> None:
+    active_registry(session).register_engine(engine)
 
 
-def snapshot() -> dict:
-    return REGISTRY.snapshot()
+def register_file(path: str, stats, session=None) -> None:
+    active_registry(session).register_file(path, stats)
 
 
-def reset() -> None:
-    REGISTRY.reset()
+def register_service(tenant: str, stats, session=None) -> None:
+    active_registry(session).register_service(tenant, stats)
+
+
+def snapshot(session=None) -> dict:
+    return active_registry(session).snapshot()
+
+
+def reset(session=None) -> None:
+    active_registry(session).reset()

@@ -105,9 +105,19 @@ class Planner:
         self._replay: "OrderedDict[tuple, tuple]" = OrderedDict()
 
     # ------------------------------------------------------------------
+    def _file_key(self):
+        """Identity of the open file this planner serves (or ``None``
+        for engines without one — unit-test fakes)."""
+        shared = getattr(getattr(self.engine, "fh", None), "shared", None)
+        return getattr(shared, "file_key", None)
+
     def _fingerprint(self) -> tuple:
-        """Hints + cost-model inputs that shape plans, for cache keys."""
-        return (self.engine.fh.hints.fingerprint()
+        """File identity + hints + cost-model inputs that shape plans,
+        for cache keys.  The file identity makes cached plans impossible
+        to alias across two open files with identical fileview geometry
+        (epochs alone only order views within one planner)."""
+        return ((self._file_key(),)
+                + self.engine.fh.hints.fingerprint()
                 + self.storage.fingerprint())
 
     def invalidate(self) -> None:
@@ -115,13 +125,15 @@ class Planner:
 
         Compiled block programs follow the same epoch rule: a replaced
         view may retire the loops its programs were compiled from, so
-        the program cache is cleared alongside the plan LRU (programs
-        for still-live loops recompile on first miss).
+        this file's programs are cleared alongside the plan LRU
+        (programs for still-live loops recompile on first miss).  The
+        clear is owner-scoped — other open files keep their compiled
+        programs.
         """
         self.epoch += 1
         self._cache.clear()
         self._replay.clear()
-        blockprog.clear()
+        blockprog.clear(owner=self._file_key())
 
     def _lookup(self, sig: Optional[tuple]) -> Optional[IOPlan]:
         if not self.cacheable or sig is None:

@@ -1,0 +1,40 @@
+"""Multi-tenant IOP service over the session-scoped core.
+
+See ``docs/service.md``.  Public surface:
+
+* :class:`IOPServer` — persistent worker pool, per-tenant admission
+  control, cross-client plan batching (:mod:`repro.server.core`);
+* :class:`ServiceClient` / :class:`ServiceRequest` — tenant-scoped
+  client handles with post/wait semantics
+  (:mod:`repro.server.client`);
+* :class:`AdmissionController`, :class:`ServiceStats`,
+  :class:`TenantState` — queues, budgets, weighted-fair dequeue
+  (:mod:`repro.server.admission`);
+* :func:`plan_batches`, :class:`Batch` — cross-client access merging
+  (:mod:`repro.server.batch`);
+* :func:`run_soak` — the concurrent-clients soak harness shared by
+  tests, ``repro serve`` and ``benchmarks/bench_service.py``
+  (:mod:`repro.server.soak`).
+"""
+
+from repro.server.admission import (
+    AdmissionController,
+    ServiceStats,
+    TenantState,
+)
+from repro.server.batch import Batch, plan_batches
+from repro.server.client import ServiceClient, ServiceRequest
+from repro.server.core import IOPServer
+from repro.server.soak import run_soak
+
+__all__ = [
+    "AdmissionController",
+    "Batch",
+    "IOPServer",
+    "ServiceClient",
+    "ServiceRequest",
+    "ServiceStats",
+    "TenantState",
+    "plan_batches",
+    "run_soak",
+]

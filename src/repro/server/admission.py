@@ -1,0 +1,241 @@
+"""Admission control for the multi-tenant IOP server.
+
+Three mechanisms, composed (see ``docs/service.md`` §3):
+
+* **bounded per-tenant queues** — each tenant owns a FIFO of posted
+  requests with a hard depth limit; a post beyond it raises
+  :class:`~repro.errors.ServiceQueueFull` *at post time*, so
+  backpressure reaches the client before any bytes are accepted;
+* **per-tenant in-flight byte budgets** — a request is dispatched only
+  while the tenant's bytes currently executing stay within its budget,
+  which bounds how much of the worker pool and staging memory one noisy
+  tenant can occupy (a request larger than the whole budget still runs
+  when the tenant has nothing in flight — oversized requests must not
+  starve);
+* **weighted-fair dequeue** — deficit round robin over the tenants:
+  each scheduling pass grants every backlogged tenant ``weight ×
+  quantum`` bytes of credit and dispatches from its queue head while
+  the credit lasts, so sustained dispatch *bandwidth* (not request
+  count) is proportional to weight regardless of request sizes.
+
+``fair=False`` degrades the controller to a single global
+arrival-order queue with no budgets — the "no admission control"
+baseline the service benchmark A/Bs against.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ServiceError, ServiceQueueFull
+
+__all__ = ["AdmissionController", "ServiceStats", "TenantState"]
+
+#: Default DRR credit granted per (weight unit × scheduling pass).
+DEFAULT_QUANTUM = 64 * 1024
+#: Default per-tenant in-flight byte budget.
+DEFAULT_BYTE_BUDGET = 8 * 1024 * 1024
+#: Default per-tenant queue depth.
+DEFAULT_QUEUE_DEPTH = 256
+
+
+@dataclass
+class ServiceStats:
+    """Per-tenant service counters (registered with the obs metrics
+    registry under the ``service`` section, labeled by tenant)."""
+
+    #: requests offered to the queue (admitted + rejected)
+    posted: int = 0
+    #: requests accepted into the tenant queue
+    admitted: int = 0
+    #: posts refused because the queue was at depth
+    rejected_queue_full: int = 0
+    #: requests dispatched to the worker pool
+    dispatched: int = 0
+    #: requests finished successfully
+    completed: int = 0
+    #: requests finished with an error
+    failed: int = 0
+    #: times the dequeue stopped at this tenant's head for budget
+    budget_stalls: int = 0
+    #: bytes accepted at post
+    bytes_posted: int = 0
+    #: bytes finished (either way)
+    bytes_completed: int = 0
+    #: bytes written / read on this tenant's behalf
+    bytes_written: int = 0
+    bytes_read: int = 0
+    #: requests that rode a merged multi-request batch
+    batched_requests: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(sorted(self.__dict__.items()))
+
+    def reset(self) -> None:
+        for k in self.__dict__:
+            setattr(self, k, 0)
+
+
+@dataclass
+class TenantState:
+    """One tenant's queue, budget, fair-share state and counters."""
+
+    name: str
+    weight: int = 1
+    byte_budget: int = DEFAULT_BYTE_BUDGET
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    queue: deque = field(default_factory=deque)
+    in_flight_bytes: int = 0
+    deficit: int = 0
+    stats: ServiceStats = field(default_factory=ServiceStats)
+    #: The tenant's IOSession (attached by the server; admission itself
+    #: never touches it).
+    session: object = None
+
+
+class AdmissionController:
+    """Bounded tenant queues + byte budgets + DRR fair dequeue.
+
+    Thread-safe; the server posts from client threads and takes from
+    its scheduler thread.
+    """
+
+    def __init__(self, quantum: int = DEFAULT_QUANTUM,
+                 fair: bool = True) -> None:
+        if quantum <= 0:
+            raise ServiceError(f"quantum must be positive, got {quantum}")
+        self.quantum = quantum
+        self.fair = fair
+        self._mu = threading.Lock()
+        self._tenants: Dict[str, TenantState] = {}
+        self._order: List[str] = []
+        self._next = 0
+        #: Global arrival order (used verbatim when ``fair=False``).
+        self._fifo: deque = deque()
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, weight: int = 1,
+                 byte_budget: int = DEFAULT_BYTE_BUDGET,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH) -> TenantState:
+        if weight < 1:
+            raise ServiceError(f"tenant weight must be >= 1, got {weight}")
+        with self._mu:
+            if name in self._tenants:
+                raise ServiceError(f"tenant {name!r} already registered")
+            t = TenantState(name=name, weight=weight,
+                            byte_budget=byte_budget,
+                            queue_depth=queue_depth)
+            self._tenants[name] = t
+            self._order.append(name)
+            return t
+
+    def tenant(self, name: str) -> TenantState:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise ServiceError(f"unknown tenant {name!r}") from None
+
+    def tenants(self) -> List[TenantState]:
+        with self._mu:
+            return [self._tenants[n] for n in self._order]
+
+    # ------------------------------------------------------------------
+    def post(self, name: str, item, nbytes: int) -> None:
+        """Queue ``item`` for ``name``; raises :class:`ServiceQueueFull`
+        when the tenant queue is at depth (nothing is enqueued)."""
+        t = self.tenant(name)
+        with self._mu:
+            t.stats.posted += 1
+            if len(t.queue) >= t.queue_depth:
+                t.stats.rejected_queue_full += 1
+                raise ServiceQueueFull(
+                    f"tenant {name!r} queue full "
+                    f"({t.queue_depth} requests outstanding)"
+                )
+            t.stats.admitted += 1
+            t.stats.bytes_posted += nbytes
+            t.queue.append((item, nbytes))
+            self._fifo.append((t, item, nbytes))
+
+    # ------------------------------------------------------------------
+    def take(self) -> List[object]:
+        """One scheduling pass: dispatchable items, in dispatch order.
+
+        Fair mode runs one DRR rotation over the backlogged tenants,
+        honouring each tenant's in-flight byte budget.  Unfair mode
+        drains global arrival order and ignores budgets entirely.
+        """
+        out: List[object] = []
+        with self._mu:
+            if not self.fair:
+                while self._fifo:
+                    t, item, nb = self._fifo.popleft()
+                    for i, (it, _n) in enumerate(t.queue):
+                        if it is item:
+                            del t.queue[i]
+                            self._dispatch(t, item, nb, out)
+                            break
+                return out
+            n = len(self._order)
+            for i in range(n):
+                t = self._tenants[self._order[(self._next + i) % n]]
+                if not t.queue:
+                    # An idle tenant accumulates no credit: DRR fairness
+                    # is over *backlogged* tenants only.
+                    t.deficit = 0
+                    continue
+                t.deficit += t.weight * self.quantum
+                while t.queue:
+                    item, nb = t.queue[0]
+                    if nb > t.deficit:
+                        break
+                    if (t.in_flight_bytes
+                            and t.in_flight_bytes + nb > t.byte_budget):
+                        t.stats.budget_stalls += 1
+                        break
+                    t.queue.popleft()
+                    self._remove_fifo(item)
+                    t.deficit -= nb
+                    self._dispatch(t, item, nb, out)
+            if n:
+                self._next = (self._next + 1) % n
+        return out
+
+    def _dispatch(self, t: TenantState, item, nb: int, out: list) -> None:
+        t.in_flight_bytes += nb
+        t.stats.dispatched += 1
+        out.append(item)
+
+    def _remove_fifo(self, item) -> None:
+        for i, (_t, it, _nb) in enumerate(self._fifo):
+            if it is item:
+                del self._fifo[i]
+                return
+
+    # ------------------------------------------------------------------
+    def complete(self, name: str, nbytes: int, ok: bool) -> None:
+        """Return ``nbytes`` of budget to ``name`` after execution."""
+        t = self.tenant(name)
+        with self._mu:
+            t.in_flight_bytes = max(0, t.in_flight_bytes - nbytes)
+            t.stats.bytes_completed += nbytes
+            if ok:
+                t.stats.completed += 1
+            else:
+                t.stats.failed += 1
+
+    def backlog(self) -> int:
+        """Requests queued (not yet dispatched) across all tenants."""
+        with self._mu:
+            return sum(len(t.queue) for t in self._tenants.values())
+
+    def in_flight(self) -> int:
+        """Requests dispatched but not yet completed."""
+        with self._mu:
+            return sum(
+                t.stats.dispatched - t.stats.completed - t.stats.failed
+                for t in self._tenants.values()
+            )

@@ -1,0 +1,122 @@
+"""Client handles on the IOP service.
+
+:class:`ServiceClient` is a tenant-scoped handle on a running
+:class:`~repro.server.core.IOPServer`.  Its nonblocking entry points
+carry the deferred-``Request`` semantics of the MPI-IO layer
+(``iwrite``/``iread`` on :class:`~repro.io.file_handle.File`) to the
+service: the *post* is eager — admission control runs immediately, so
+:class:`~repro.errors.ServiceQueueFull` backpressure surfaces as the
+post's exception, and a write's payload is pinned by copy so the caller
+may reuse its buffer — while the data movement completes asynchronously
+in the server's worker pool and is joined by ``wait()``/``test()``.
+
+Many :class:`ServiceClient` instances may share one tenant (they are
+just names for the tenant's queue), and many tenants share one server.
+Ordering guarantee: requests are ordered only through completion — a
+request posted after another's ``wait()`` returned observes its
+effects; two in-flight requests may execute in either order (exactly
+MPI's nonblocking-I/O contract).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ServiceError
+
+__all__ = ["ServiceClient", "ServiceRequest"]
+
+
+class ServiceRequest:
+    """Handle for one posted service access (MPI-Request-shaped)."""
+
+    def __init__(self, req) -> None:
+        self._req = req
+
+    @property
+    def path(self) -> str:
+        return self._req.path
+
+    @property
+    def nbytes(self) -> int:
+        return self._req.nbytes
+
+    @property
+    def write(self) -> bool:
+        return self._req.write
+
+    def test(self) -> bool:
+        """True when complete; re-raises the request's error."""
+        if not self._req.done():
+            return False
+        if self._req.error is not None:
+            raise self._req.error
+        return True
+
+    def wait(self, timeout: Optional[float] = None
+             ) -> Optional[np.ndarray]:
+        """Block until complete; returns the read data (reads) or
+        ``None`` (writes).  Re-raises the request's error — e.g.
+        :class:`~repro.errors.ServiceWorkerError` when the IOP worker
+        executing it died."""
+        if not self._req.wait(timeout):
+            raise ServiceError(
+                f"request on {self._req.path!r} still pending after "
+                f"{timeout}s"
+            )
+        if self._req.error is not None:
+            raise self._req.error
+        return self._req.result
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Post-to-completion seconds (None while pending)."""
+        if self._req.t_done is None:
+            return None
+        return self._req.t_done - self._req.t_post
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "done" if self._req.done() else "pending"
+        kind = "write" if self._req.write else "read"
+        return (f"<ServiceRequest {kind} {self._req.path!r} "
+                f"{self._req.nbytes}B {state}>")
+
+
+class ServiceClient:
+    """A tenant's handle on a running :class:`IOPServer`."""
+
+    def __init__(self, server, tenant: str) -> None:
+        self.server = server
+        self.tenant = tenant
+        server.tenant(tenant)  # validate at construction
+
+    # -- nonblocking (post now, complete on wait) ----------------------
+    def iwrite(self, path: str, offset: int,
+               data: np.ndarray) -> ServiceRequest:
+        """Post a write of ``data`` at byte ``offset``; admission
+        (queue depth) is checked here, at post time."""
+        return ServiceRequest(
+            self.server.post(self.tenant, path, True, offset, data=data)
+        )
+
+    def iread(self, path: str, offset: int,
+              nbytes: int) -> ServiceRequest:
+        """Post a read of ``nbytes`` at byte ``offset``."""
+        return ServiceRequest(
+            self.server.post(self.tenant, path, False, offset,
+                             nbytes=nbytes)
+        )
+
+    # -- blocking conveniences -----------------------------------------
+    def write(self, path: str, offset: int, data: np.ndarray,
+              timeout: Optional[float] = None) -> None:
+        self.iwrite(path, offset, data).wait(timeout)
+
+    def read(self, path: str, offset: int, nbytes: int,
+             timeout: Optional[float] = None) -> np.ndarray:
+        return self.iread(path, offset, nbytes).wait(timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ServiceClient tenant={self.tenant!r}>"

@@ -1,0 +1,216 @@
+"""Concurrent-clients soak harness for the IOP service.
+
+One entry point, :func:`run_soak`, drives N client threads spread over
+T tenants against F files on a running (or freshly built)
+:class:`~repro.server.core.IOPServer`, then proves **byte-identity to
+serialized execution**: every client writes deterministic content into
+file stripes disjoint from every other client's, so the final bytes of
+every file must equal the serial application of the same writes in any
+order.  The harness reads every file back through the service and
+compares against the serially computed expectation.
+
+Used by ``tests/test_service.py`` (small tier-1 points + a soak-marked
+sweep), ``repro serve`` (the CLI demo) and
+``benchmarks/bench_service.py`` (the headline numbers).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ServiceQueueFull
+
+__all__ = ["SoakConfig", "SoakResult", "run_soak"]
+
+
+@dataclass
+class SoakConfig:
+    """Shape of one soak run."""
+
+    nclients: int = 32
+    nfiles: int = 8
+    ntenants: int = 4
+    #: write+read rounds per client
+    rounds: int = 2
+    #: bytes per request
+    req_bytes: int = 4096
+    workers: int = 4
+    worker_mode: str = "thread"
+    batching: bool = True
+    fair: bool = True
+    byte_budget: int = 8 * 1024 * 1024
+    queue_depth: int = 10_000
+    #: per-tenant weights (cycled; default all 1)
+    weights: Optional[List[int]] = None
+    #: proc mode only: directory for the on-disk store
+    root: Optional[str] = None
+    seed: int = 0
+
+
+@dataclass
+class SoakResult:
+    """Outcome + per-tenant figures of one soak run."""
+
+    ok: bool
+    requests: int
+    rejected: int
+    bytes_moved: int
+    wall_seconds: float
+    #: tenant -> sorted latency samples (seconds, completed requests)
+    latencies: Dict[str, List[float]] = field(default_factory=dict)
+    #: tenant -> ServiceStats snapshot
+    tenant_stats: Dict[str, dict] = field(default_factory=dict)
+    #: ServerCounters snapshot
+    server: dict = field(default_factory=dict)
+    mismatches: int = 0
+
+    def percentile(self, tenant: str, q: float) -> float:
+        xs = self.latencies.get(tenant) or [0.0]
+        i = min(len(xs) - 1, int(q * len(xs)))
+        return xs[i]
+
+
+def _content(client: int, file_idx: int, rnd: int,
+             nbytes: int) -> np.ndarray:
+    """Deterministic request payload (cheap, distinct per slot)."""
+    base = (client * 131 + file_idx * 31 + rnd * 7 + 1) % 251
+    out = np.arange(nbytes, dtype=np.int64) * (base + 1) + base
+    return (out % 256).astype(np.uint8)
+
+
+def run_soak(cfg: SoakConfig, server=None) -> SoakResult:
+    """Run one soak; returns figures + the byte-identity verdict.
+
+    Layout: client ``c`` targets file ``c % nfiles`` and owns the
+    stripe ``[c * rounds * req_bytes, (c+1) * rounds * req_bytes)`` of
+    it — stripes are disjoint, so serialized execution of the same
+    writes yields a unique expected image per file regardless of
+    order.  Each round every client writes its block, reads it back,
+    and checks the echo; after the barrier the harness reads every
+    file image back through the service and diffs against the serial
+    expectation.
+    """
+    import time
+
+    from repro.server.core import IOPServer
+
+    own_server = server is None
+    if own_server:
+        server = IOPServer(
+            workers=cfg.workers, worker_mode=cfg.worker_mode,
+            batching=cfg.batching, fair=cfg.fair, root=cfg.root,
+        )
+    tenants = [f"t{i}" for i in range(cfg.ntenants)]
+    weights = cfg.weights or [1] * cfg.ntenants
+    for i, name in enumerate(tenants):
+        server.register_tenant(
+            name, weight=weights[i % len(weights)],
+            byte_budget=cfg.byte_budget, queue_depth=cfg.queue_depth,
+        )
+    if own_server:
+        server.start()
+
+    from repro.server.client import ServiceClient
+
+    nclients, nfiles, rounds = cfg.nclients, cfg.nfiles, cfg.rounds
+    nb = cfg.req_bytes
+    paths = [f"/soak{f}" for f in range(nfiles)]
+    expected = {
+        p: np.zeros(0, np.uint8) for p in paths
+    }
+    # Serial expectation: apply every write to an in-memory image.
+    sizes = {p: 0 for p in paths}
+    for c in range(nclients):
+        p = paths[c % nfiles]
+        sizes[p] = max(sizes[p], (c + 1) * rounds * nb)
+    for p in paths:
+        expected[p] = np.zeros(sizes[p], np.uint8)
+    for c in range(nclients):
+        f = c % nfiles
+        for r in range(rounds):
+            off = (c * rounds + r) * nb
+            expected[paths[f]][off:off + nb] = _content(c, f, r, nb)
+
+    lat_mu = threading.Lock()
+    latencies: Dict[str, List[float]] = {t: [] for t in tenants}
+    errors: List[BaseException] = []
+    rejected = [0]
+
+    def client_main(c: int) -> None:
+        tenant = tenants[c % cfg.ntenants]
+        cl = ServiceClient(server, tenant)
+        f = c % nfiles
+        p = paths[f]
+        try:
+            for r in range(rounds):
+                off = (c * rounds + r) * nb
+                data = _content(c, f, r, nb)
+                try:
+                    wr = cl.iwrite(p, off, data)
+                    wr.wait(60.0)
+                except ServiceQueueFull:
+                    with lat_mu:
+                        rejected[0] += 1
+                    continue
+                got = cl.read(p, off, nb, timeout=60.0)
+                if not np.array_equal(got, data):
+                    raise AssertionError(
+                        f"echo mismatch client {c} round {r}"
+                    )
+                with lat_mu:
+                    if wr.latency is not None:
+                        latencies[tenant].append(wr.latency)
+        except BaseException as exc:  # noqa: BLE001 - collected
+            with lat_mu:
+                errors.append(exc)
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=client_main, args=(c,),
+                         name=f"client-{c}")
+        for c in range(nclients)
+    ]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    wall = time.perf_counter() - t0
+
+    # Byte-identity vs the serialized image, through the service.
+    mismatches = 0
+    verifier = ServiceClient(server, tenants[0])
+    for p in paths:
+        want = expected[p]
+        if not want.size:
+            continue
+        got = verifier.read(p, 0, want.size, timeout=60.0)
+        mismatches += int(np.count_nonzero(got != want))
+
+    result = SoakResult(
+        ok=not errors and mismatches == 0,
+        requests=nclients * rounds * 2,
+        rejected=rejected[0],
+        bytes_moved=sum(
+            t.stats.bytes_written + t.stats.bytes_read
+            for t in server.admission.tenants()
+        ),
+        wall_seconds=wall,
+        latencies={t: sorted(v) for t, v in latencies.items()},
+        tenant_stats={
+            t.name: t.stats.snapshot()
+            for t in server.admission.tenants()
+        },
+        server=server.counters.snapshot(),
+        mismatches=mismatches,
+    )
+    if errors:
+        if own_server:
+            server.stop(drain=False)
+        raise errors[0]
+    if own_server:
+        server.stop()
+    return result

@@ -1,0 +1,122 @@
+"""Explicit I/O sessions: re-entrant, isolated copies of the core state.
+
+Historically every piece of cross-cutting state in this stack was a
+process-wide singleton: the kernel-path counters
+(:data:`repro.core.gather.KERNEL_PATHS`), the block-program cache and
+its counters (:mod:`repro.core.blockprog`), the metrics registry
+(:data:`repro.obs.metrics.REGISTRY`) and the flight recorder
+(:data:`repro.obs.flight.RECORDER`).  That is fine for one open file
+driven by one SPMD world — and wrong the moment two client worlds or
+two service tenants share a process: their counters absorb each other,
+one world's ``set_view`` clears another's compiled programs, and a new
+world wipes the previous world's flight record.
+
+An :class:`IOSession` is one isolated copy of all of that.  Activating
+a session (``with session:`` or ``with session.activate():``) binds it
+to the calling context via a :class:`contextvars.ContextVar`
+(:data:`repro._ctx.SESSION`); every layer resolves its state through
+that variable with a single ``get`` on the hot path.  No active session
+means the historical module-level singletons — existing code, tests and
+benchmarks behave exactly as before.
+
+Sessions are what make the multi-tenant service (:mod:`repro.server`)
+possible: each tenant gets its own session, so per-tenant metric
+snapshots, program caches and flight breadcrumbs never bleed across
+tenants.  ``run_spmd(..., session=s)`` activates a session inside every
+rank thread of a sim world, so two worlds can run concurrently in one
+process without sharing observability state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro._ctx import SESSION
+
+__all__ = ["IOSession", "current"]
+
+
+class IOSession:
+    """One isolated copy of the cross-cutting core/obs state.
+
+    Components (all freshly constructed, never shared with the process
+    defaults):
+
+    ``metrics``
+        a :class:`~repro.obs.metrics.MetricsRegistry` whose ``global``
+        section reads *this session's* block-program and kernel-path
+        counters;
+    ``programs``
+        a :class:`~repro.core.blockprog.ProgramCache` of compiled block
+        programs;
+    ``prog_stats`` / ``kernel_paths``
+        the block-program and gather/scatter-kernel counters;
+    ``flight``
+        a :class:`~repro.obs.flight.FlightRecorder` of breadcrumbs.
+    """
+
+    def __init__(self, name: str = "session") -> None:
+        # Imported here, not at module top: repro.session sits below the
+        # core/obs layers in the import graph only because construction
+        # is lazy.
+        from repro.core.blockprog import ProgramCache, _Stats
+        from repro.core.gather import _KernelPaths
+        from repro.obs.flight import FlightRecorder
+        from repro.obs.metrics import MetricsRegistry
+
+        import threading
+
+        self.name = str(name)
+        self.kernel_paths = _KernelPaths()
+        self.prog_stats = _Stats()
+        self.programs = ProgramCache()
+        self.flight = FlightRecorder(session=self)
+        self.metrics = MetricsRegistry(session=self)
+        # Activation tokens are context-bound: keep the stack per
+        # thread so several worker threads can hold the same session
+        # active at once without popping each other's tokens.
+        self._tokens = threading.local()
+
+    # ------------------------------------------------------------------
+    def activate(self) -> "IOSession":
+        """Bind this session to the calling context (re-entrant).
+
+        Usable directly as a context manager::
+
+            with session.activate():
+                ...  # every layer resolves this session's state
+        """
+        stack = getattr(self._tokens, "stack", None)
+        if stack is None:
+            stack = self._tokens.stack = []
+        stack.append(SESSION.set(self))
+        return self
+
+    def deactivate(self) -> None:
+        """Undo the innermost :meth:`activate` of this thread."""
+        stack = getattr(self._tokens, "stack", None)
+        if stack:
+            SESSION.reset(stack.pop())
+
+    def __enter__(self) -> "IOSession":
+        return self.activate()
+
+    def __exit__(self, *exc) -> None:
+        self.deactivate()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero this session's counters and drop its compiled programs
+        (the session-scoped analogue of ``metrics.reset()``)."""
+        self.metrics.reset()
+        self.programs.clear()
+        self.flight.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<IOSession {self.name!r}>"
+
+
+def current() -> Optional[IOSession]:
+    """The session active in the calling context, or ``None`` (meaning
+    the process-wide default singletons are in effect)."""
+    return SESSION.get(None)

@@ -1,0 +1,255 @@
+"""IOSession scoping: isolation, defaults, and file-identity keying.
+
+The tentpole invariants of the session refactor:
+
+* no active session → every layer uses the historical process-wide
+  singletons (full backward compatibility);
+* an active session sees *only* its own counters, program cache,
+  metrics registry and flight recorder;
+* cache keys carry the open file's identity, so two files with
+  identical view geometry never serve each other's compiled programs,
+  and one file's invalidation leaves the other's programs cached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import datatypes as dt
+from repro.core import blockprog
+from repro.core.blockprog import BLOCKPROG_STATS, program_for
+from repro.core.ff_pack import top_dataloop
+from repro.core.gather import KERNEL_PATHS, active_kernel_paths
+from repro.fs import SimFileSystem
+from repro.io import MODE_CREATE, MODE_RDWR
+from repro.io.file_handle import File
+from repro.mpi import run_spmd
+from repro.obs import flight, metrics
+from repro.session import IOSession, current
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    prev = blockprog.set_enabled(True)
+    blockprog.clear()
+    BLOCKPROG_STATS.reset()
+    KERNEL_PATHS.reset()
+    yield
+    blockprog.set_enabled(prev)
+    blockprog.clear()
+
+
+def _ragged():
+    return dt.resized(dt.indexed([3, 1, 7, 2], [0, 5, 9, 20], dt.BYTE),
+                      0, 32)
+
+
+class TestActivation:
+    def test_no_session_by_default(self):
+        assert current() is None
+        assert active_kernel_paths() is KERNEL_PATHS
+        assert blockprog.active_stats() is BLOCKPROG_STATS
+        assert metrics.active_registry() is metrics.REGISTRY
+        assert flight.active_recorder() is flight.RECORDER
+
+    def test_with_activates_and_restores(self):
+        s = IOSession("t")
+        with s:
+            assert current() is s
+            assert blockprog.active_stats() is s.prog_stats
+            assert metrics.active_registry() is s.metrics
+            assert flight.active_recorder() is s.flight
+        assert current() is None
+
+    def test_reentrant(self):
+        a, b = IOSession("a"), IOSession("b")
+        with a:
+            with b:
+                assert current() is b
+            assert current() is a
+        assert current() is None
+
+    def test_new_threads_start_sessionless(self):
+        import threading
+
+        s = IOSession("t")
+        seen = []
+        with s:
+            th = threading.Thread(
+                target=lambda: seen.append(current()))
+            th.start()
+            th.join()
+        assert seen == [None]
+
+
+class TestCounterIsolation:
+    def test_program_cache_and_stats_are_per_session(self):
+        loop = top_dataloop(_ragged(), 64)
+        a, b = IOSession("a"), IOSession("b")
+        with a:
+            program_for(loop, 0, 10)
+            program_for(loop, 0, 10)
+        with b:
+            program_for(loop, 0, 10)
+        assert a.prog_stats.misses == 1 and a.prog_stats.hits == 1
+        assert b.prog_stats.misses == 1 and b.prog_stats.hits == 0
+        # The process-default cache and counters never moved.
+        assert BLOCKPROG_STATS.misses == 0
+        assert blockprog._cache.get(loop) is None
+
+    def test_session_snapshot_global_reads_session(self):
+        loop = top_dataloop(_ragged(), 64)
+        s = IOSession("t")
+        with s:
+            program_for(loop, 0, 10)
+            snap = metrics.snapshot()
+        assert snap["global"]["blockprog_misses"] == 1
+        # Process-default snapshot stays untouched.
+        assert metrics.REGISTRY.snapshot()["global"][
+            "blockprog_misses"] == 0
+
+    def test_session_reset_leaves_process_counters(self):
+        loop = top_dataloop(_ragged(), 64)
+        BLOCKPROG_STATS.misses = 7
+        s = IOSession("t")
+        with s:
+            program_for(loop, 0, 10)
+            metrics.reset()
+        assert s.prog_stats.misses == 0
+        assert BLOCKPROG_STATS.misses == 7
+
+    def test_flight_recorders_are_separate(self):
+        s = IOSession("t")
+        with s:
+            flight.note("inner", rank=0)
+        flight.note("outer", rank=0)
+        inner = s.flight.export_state()["crumbs"]
+        outer = flight.RECORDER.export_state()["crumbs"]
+        assert [c[1] for c in inner[0]] == ["inner"]
+        assert any(c[1] == "outer" for c in outer[0])
+        flight.RECORDER.clear()
+
+
+class TestFileIdentityKeying:
+    def _open_two(self, comm, fs):
+        fa = File.open(comm, fs, "/a", MODE_CREATE | MODE_RDWR)
+        fb = File.open(comm, fs, "/b", MODE_CREATE | MODE_RDWR)
+        ft = dt.vector(8, 2, 4, dt.BYTE)
+        fa.set_view(0, dt.BYTE, ft)
+        fb.set_view(0, dt.BYTE, ft)
+        return fa, fb
+
+    def test_file_keys_are_distinct_and_stable(self):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fa, fb = self._open_two(comm, fs)
+            ka, kb = fa.shared.file_key, fb.shared.file_key
+            fa.close(), fb.close()
+            return ka, kb
+
+        (ka, kb), = run_spmd(1, worker)
+        assert ka != kb
+        assert ka[0] == "/a" and kb[0] == "/b"
+
+    def test_same_geometry_two_files_two_cache_entries(self):
+        """Identical fileviews on two open files compile their block
+        programs under distinct owners: invalidating one file's view
+        drops only that file's programs."""
+        fs = SimFileSystem()
+        out = {}
+
+        def worker(comm):
+            s = IOSession("t")
+            with s:
+                fa, fb = self._open_two(comm, fs)
+                buf = np.arange(16, dtype=np.uint8)
+                fa.write_at(0, buf)
+                fb.write_at(0, buf)
+                misses_after_both = s.prog_stats.misses
+                # Same geometry, second file: must NOT have hit the
+                # first file's programs.
+                assert misses_after_both >= 2
+                # Invalidate /a only: /b's programs survive.
+                s.prog_stats.reset()
+                fa.set_view(0, dt.BYTE, dt.vector(8, 2, 4, dt.BYTE))
+                fb.write_at(0, buf)
+                out["b_misses_after_a_invalidate"] = \
+                    s.prog_stats.misses
+                fa.close(), fb.close()
+
+        run_spmd(1, worker)
+        assert out["b_misses_after_a_invalidate"] == 0
+
+    def test_planner_fingerprint_includes_file_key(self):
+        fs = SimFileSystem()
+
+        def worker(comm):
+            fa, fb = self._open_two(comm, fs)
+            fpa = fa.engine.planner._fingerprint()
+            fpb = fb.engine.planner._fingerprint()
+            fa.close(), fb.close()
+            return fpa, fpb
+
+        (fpa, fpb), = run_spmd(1, worker)
+        assert fpa != fpb
+        assert fpa[0] != fpb[0]
+
+    def test_owner_scoped_clear(self):
+        loop = top_dataloop(_ragged(), 64)
+        program_for(loop, 0, 10, owner=("f1", 1))
+        program_for(loop, 0, 10, owner=("f2", 2))
+        blockprog.clear(owner=("f1", 1))
+        BLOCKPROG_STATS.reset()
+        program_for(loop, 0, 10, owner=("f2", 2))
+        assert BLOCKPROG_STATS.hits == 1
+        program_for(loop, 0, 10, owner=("f1", 1))
+        assert BLOCKPROG_STATS.misses == 1
+
+
+class TestSessionedWorlds:
+    def test_run_spmd_activates_session_in_ranks(self):
+        s = IOSession("w")
+
+        def worker(comm):
+            return current() is s
+
+        assert all(run_spmd(2, worker, session=s))
+
+    def test_file_open_pins_session(self):
+        fs = SimFileSystem()
+        s = IOSession("w")
+
+        def worker(comm):
+            fh = File.open(comm, fs, "/f", MODE_CREATE | MODE_RDWR)
+            fh.write_at(0, np.zeros(8, np.uint8))
+            fh.close()
+
+        run_spmd(1, worker, session=s)
+        snap = s.metrics.snapshot()
+        assert any(f["path"] == "/f" for f in snap["files"])
+        assert not any(
+            f["path"] == "/f"
+            for f in metrics.REGISTRY.snapshot()["files"]
+        )
+
+    def test_abort_dumps_session_recorder(self, tmp_path, monkeypatch):
+        import json
+
+        s = IOSession("w")
+        out = tmp_path / "flight.json"
+        monkeypatch.setenv("REPRO_FLIGHT", str(out))
+
+        def worker(comm):
+            flight.note("pre_crash", rank=comm.rank)
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError):
+            run_spmd(2, worker, session=s)
+        rec = json.loads(out.read_text())
+        crumbs = [c[1] for r in rec["ranks"].values()
+                  for c in r["breadcrumbs"]]
+        assert "pre_crash" in crumbs
